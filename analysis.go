@@ -1,0 +1,34 @@
+package decluster
+
+import (
+	"io"
+
+	"decluster/internal/allocio"
+	"decluster/internal/analysis"
+)
+
+// HeatMap holds the response time of one query shape at every placement
+// on the grid — the spatial structure beneath a workload average.
+type HeatMap = analysis.HeatMap
+
+// ScoredQuery is a query with its response time, optimum and ratio.
+type ScoredQuery = analysis.ScoredQuery
+
+// NewHeatMap evaluates the query shape at every placement under m.
+func NewHeatMap(m Method, sides []int) (*HeatMap, error) {
+	return analysis.NewHeatMap(m, sides)
+}
+
+// WorstQueries returns the k worst queries (largest deviation from
+// optimal) among all rectangles of volume at most maxVolume.
+func WorstQueries(m Method, maxVolume, k int) ([]ScoredQuery, error) {
+	return analysis.WorstQueries(m, maxVolume, k)
+}
+
+// SaveAllocation materializes m's bucket→disk table and writes it as
+// JSON.
+func SaveAllocation(w io.Writer, m Method) error { return allocio.Save(w, m) }
+
+// LoadAllocation reads a JSON allocation written by SaveAllocation and
+// reconstructs it as a table-backed method.
+func LoadAllocation(r io.Reader) (Method, error) { return allocio.Load(r) }

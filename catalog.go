@@ -1,0 +1,25 @@
+package decluster
+
+import (
+	"io"
+
+	"decluster/internal/catalog"
+)
+
+// Catalog manages the declustering metadata of a parallel database
+// instance: one entry per relation, each with its own grid and
+// declustering method — the paper's conclusion ("parallel database
+// systems must support a number of declustering methods") as a
+// component.
+type Catalog = catalog.Catalog
+
+// Relation is one declustered relation in a catalog.
+type Relation = catalog.Relation
+
+// NewCatalog creates an empty catalog for a system with the given disk
+// count.
+func NewCatalog(disks int) (*Catalog, error) { return catalog.New(disks) }
+
+// LoadCatalog reconstructs a catalog's metadata from JSON written by
+// Catalog.Save.
+func LoadCatalog(r io.Reader) (*Catalog, error) { return catalog.Load(r) }

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"decluster/internal/allocio"
+)
+
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodSpec = `{
+  "grid": [32, 32],
+  "disks": 8,
+  "classes": [
+    {"name": "rows", "sides": [1, 16], "weight": 3},
+    {"name": "tiles", "sides": [4, 4], "weight": 1}
+  ]
+}`
+
+func TestRunRecommends(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, writeSpec(t, goodSpec), "", "", 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"recommended method:", "per-class breakdown", "rows", "tiles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSavesAllocation(t *testing.T) {
+	var buf bytes.Buffer
+	savePath := filepath.Join(t.TempDir(), "alloc.json")
+	if err := run(&buf, writeSpec(t, goodSpec), savePath, "", 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(savePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := allocio.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Disks() != 8 || m.Grid().Buckets() != 1024 {
+		t.Errorf("saved allocation wrong: %d disks, %d buckets", m.Disks(), m.Grid().Buckets())
+	}
+}
+
+func TestRunCandidateFilter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, writeSpec(t, goodSpec), "", "DM, HCAM", 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "ECC") {
+		t.Error("filtered-out candidate appears in output")
+	}
+}
+
+func TestRunSpecErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "/nonexistent/spec.json", "", "", 100, 1); err == nil {
+		t.Error("missing spec accepted")
+	}
+	if err := run(&buf, writeSpec(t, "not json"), "", "", 100, 1); err == nil {
+		t.Error("garbage spec accepted")
+	}
+	if err := run(&buf, writeSpec(t, `{"grid":[8,8],"disks":0,"classes":[]}`), "", "", 100, 1); err == nil {
+		t.Error("zero disks accepted")
+	}
+	if err := run(&buf, writeSpec(t, `{"grid":[8,8],"disks":4,"classes":[]}`), "", "", 100, 1); err == nil {
+		t.Error("empty classes accepted")
+	}
+	if err := run(&buf, writeSpec(t, `{"grid":[],"disks":4,"classes":[{"sides":[1],"weight":1}]}`), "", "", 100, 1); err == nil {
+		t.Error("empty grid accepted")
+	}
+	bad := `{"grid":[8,8],"disks":4,"classes":[{"name":"x","sides":[9,1],"weight":1}]}`
+	if err := run(&buf, writeSpec(t, bad), "", "", 100, 1); err == nil {
+		t.Error("oversized class shape accepted")
+	}
+}
+
+func TestRunUnnamedClassGetsDefault(t *testing.T) {
+	var buf bytes.Buffer
+	spec := `{"grid":[16,16],"disks":4,"classes":[{"sides":[2,2],"weight":1}]}`
+	if err := run(&buf, writeSpec(t, spec), "", "", 50, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "class 0") {
+		t.Errorf("default class name missing:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"decluster/internal/experiments"
+)
+
+func fastOpt() experiments.Options {
+	return experiments.Options{Seed: 1, SampleLimit: 50}
+}
+
+func TestParseMetric(t *testing.T) {
+	for name, want := range map[string]experiments.Metric{
+		"meanrt":  experiments.MeanRT,
+		"RATIO":   experiments.Ratio,
+		"fracopt": experiments.FracOptimal,
+		"worst":   experiments.WorstRT,
+	} {
+		got, err := parseMetric(name)
+		if err != nil || got != want {
+			t.Errorf("parseMetric(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseMetric("bogus"); err == nil {
+		t.Error("bogus metric accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "bogus", experiments.MeanRT, fastOpt(), modeTable); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunSizeTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "size", experiments.Ratio, fastOpt(), modeTable); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"E3", "DM", "HCAM", "area=1024", "best per row:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("size output missing %q", want)
+		}
+	}
+}
+
+func TestRunSizeCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "size", experiments.Ratio, fastOpt(), modeCSV); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "query area,") {
+		t.Errorf("CSV header missing: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	if strings.Contains(out, "best per row") {
+		t.Error("CSV output contains table footer")
+	}
+}
+
+func TestRunTheorem(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "theorem", experiments.MeanRT, fastOpt(), modeTable); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "paper theorem confirmed") {
+		t.Errorf("theorem output:\n%s", buf.String())
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "table1", experiments.MeanRT, fastOpt(), modeTable); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "holds") {
+		t.Errorf("table1 output:\n%s", buf.String())
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	opt := experiments.Options{Seed: 1, SampleLimit: 5}
+	if err := run(&buf, "endtoend", experiments.MeanRT, opt, modeTable); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E10") {
+		t.Errorf("endtoend output:\n%s", buf.String())
+	}
+}
+
+func TestRunPlotMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "size", experiments.Ratio, fastOpt(), modePlot); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "|") {
+		t.Errorf("plot output malformed:\n%s", out)
+	}
+}
+
+func TestRunPMShapeAttrs(t *testing.T) {
+	for _, name := range []string{"pm", "shape", "attrs", "dbsize"} {
+		var buf bytes.Buffer
+		if err := run(&buf, name, experiments.MeanRT, fastOpt(), modeTable); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+	}
+}
+
+func TestRunRemainingExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavier experiment defaults")
+	}
+	opt := experiments.Options{Seed: 1, SampleLimit: 20}
+	for _, name := range []string{
+		"disks-small", "disks-large", "batch", "skew", "drift", "replication", "load",
+	} {
+		var buf bytes.Buffer
+		if err := run(&buf, name, experiments.MeanRT, opt, modeTable); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+	}
+}
+
+func TestRunWitness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("witness extraction is seconds-scale")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "witness", experiments.MeanRT, fastOpt(), modeTable); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "M=7") || !strings.Contains(out, "unsatisfiable") {
+		t.Errorf("witness output malformed:\n%s", out)
+	}
+}

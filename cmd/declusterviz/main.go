@@ -1,0 +1,183 @@
+// Command declusterviz renders a declustering method's allocation of a
+// 2-D grid as ASCII art: one character per bucket, the character
+// encoding the disk (0-9 then a-z then A-Z), so the spatial structure
+// of each scheme — DM's anti-diagonals, FX's XOR tartan, ECC's coset
+// weave, HCAM's curve-following round robin — is visible at a glance.
+//
+// Usage:
+//
+//	declusterviz [flags]
+//
+//	-method  declustering method name (default HCAM)
+//	-rows    grid partitions on attribute 0 (default 16)
+//	-cols    grid partitions on attribute 1 (default 16)
+//	-disks   number of disks (default 8)
+//	-query   optional query rectangle "lo0,lo1,hi0,hi1" to analyze
+//	-heat    optional query shape "s0xs1": render the response-time
+//	         deviation of that shape at every placement
+//	-worst   list the N worst small queries of the method (0 = off)
+//
+// Examples:
+//
+//	declusterviz -method DM -rows 12 -cols 12 -disks 5 -query 2,3,5,9
+//	declusterviz -method DM -disks 4 -heat 2x2 -worst 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"decluster"
+)
+
+// diskChar encodes a disk number as one character.
+func diskChar(d int) byte {
+	switch {
+	case d < 10:
+		return byte('0' + d)
+	case d < 36:
+		return byte('a' + d - 10)
+	case d < 62:
+		return byte('A' + d - 36)
+	default:
+		return '?'
+	}
+}
+
+func main() {
+	var (
+		method = flag.String("method", "HCAM", "declustering method (see decluster.MethodNames)")
+		rows   = flag.Int("rows", 16, "partitions on attribute 0")
+		cols   = flag.Int("cols", 16, "partitions on attribute 1")
+		disks  = flag.Int("disks", 8, "number of disks")
+		qspec  = flag.String("query", "", `query rectangle "lo0,lo1,hi0,hi1"`)
+		heat   = flag.String("heat", "", `query shape "s0xs1" to heat-map`)
+		worst  = flag.Int("worst", 0, "list the N worst small queries")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *method, *rows, *cols, *disks, *qspec, *heat, *worst); err != nil {
+		fmt.Fprintln(os.Stderr, "declusterviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, method string, rows, cols, disks int, qspec, heat string, worst int) error {
+	g, err := decluster.NewGrid(rows, cols)
+	if err != nil {
+		return err
+	}
+	m, err := decluster.Build(method, g, disks)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "%s on a %s grid over %d disks\n\n", m.Name(), g, disks)
+	for i := 0; i < rows; i++ {
+		var line strings.Builder
+		for j := 0; j < cols; j++ {
+			line.WriteByte(diskChar(m.DiskOf(decluster.Coord{i, j})))
+			line.WriteByte(' ')
+		}
+		fmt.Fprintln(w, line.String())
+	}
+
+	hist := decluster.LoadHistogram(m)
+	fmt.Fprintf(w, "\nload histogram (buckets per disk): %v", hist)
+	if decluster.IsBalanced(m) {
+		fmt.Fprintln(w, "  [balanced]")
+	} else {
+		fmt.Fprintln(w, "  [imbalanced]")
+	}
+
+	if qspec != "" {
+		r, err := parseQuery(g, qspec)
+		if err != nil {
+			return err
+		}
+		rt := decluster.ResponseTime(m, r)
+		opt := decluster.OptimalRT(r.Volume(), disks)
+		fmt.Fprintf(w, "\nquery %v: %d buckets, response time %d bucket accesses (optimal %d)\n",
+			r, r.Volume(), rt, opt)
+		fmt.Fprintf(w, "per-disk loads: %v\n", decluster.DiskLoads(m, r))
+		if rt == opt {
+			fmt.Fprintln(w, "the method answers this query optimally")
+		} else {
+			fmt.Fprintf(w, "deviation from optimal: %.2f×\n", float64(rt)/float64(opt))
+		}
+	}
+
+	if heat != "" {
+		sides, err := parseShape(heat)
+		if err != nil {
+			return err
+		}
+		hm, err := decluster.NewHeatMap(m, sides)
+		if err != nil {
+			return err
+		}
+		art, err := hm.Render2D()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, art)
+		anchor, worstRT := hm.Worst()
+		fmt.Fprintf(w, "optimal on %.0f%% of placements; worst anchor %v with RT %d\n",
+			hm.FracOptimal()*100, anchor, worstRT)
+	}
+
+	if worst > 0 {
+		maxVol := 2 * disks
+		qs, err := decluster.WorstQueries(m, maxVol, worst)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nworst queries of volume ≤ %d:\n", maxVol)
+		if len(qs) == 0 {
+			fmt.Fprintln(w, "  none — the method is optimal on every such query")
+		}
+		for i, q := range qs {
+			fmt.Fprintf(w, "  %d. %v  RT %d vs optimal %d (%.2f×)\n", i+1, q.Rect, q.RT, q.Opt, q.Ratio)
+		}
+	}
+	return nil
+}
+
+// parseShape parses "s0xs1" into side lengths.
+func parseShape(spec string) ([]int, error) {
+	parts := strings.Split(strings.ToLower(spec), "x")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("heat shape %q: want s0xs1", spec)
+	}
+	sides := make([]int, 2)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("heat shape %q: bad side %q", spec, p)
+		}
+		sides[i] = v
+	}
+	return sides, nil
+}
+
+// parseQuery parses "lo0,lo1,hi0,hi1" into a validated rectangle.
+func parseQuery(g *decluster.Grid, spec string) (decluster.Rect, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 4 {
+		return decluster.Rect{}, fmt.Errorf("query spec %q: want lo0,lo1,hi0,hi1", spec)
+	}
+	vals := make([]int, 4)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return decluster.Rect{}, fmt.Errorf("query spec %q: %v", spec, err)
+		}
+		vals[i] = v
+	}
+	return g.NewRect(decluster.Coord{vals[0], vals[1]}, decluster.Coord{vals[2], vals[3]})
+}

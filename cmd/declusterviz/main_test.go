@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDiskChar(t *testing.T) {
+	cases := []struct {
+		d    int
+		want byte
+	}{
+		{0, '0'}, {9, '9'}, {10, 'a'}, {35, 'z'}, {36, 'A'}, {61, 'Z'}, {62, '?'},
+	}
+	for _, tc := range cases {
+		if got := diskChar(tc.d); got != tc.want {
+			t.Errorf("diskChar(%d) = %c, want %c", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestRunBasicRendering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "DM", 8, 8, 5, "", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "DM on a 8×8 grid over 5 disks") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "load histogram") {
+		t.Error("histogram missing")
+	}
+	// 8 rows of 8 cells each.
+	gridLines := 0
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) == 16 && strings.Count(line, " ") == 8 {
+			gridLines++
+		}
+	}
+	if gridLines != 8 {
+		t.Errorf("got %d grid rows, want 8:\n%s", gridLines, out)
+	}
+}
+
+func TestRunWithQuery(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "DM", 8, 8, 4, "1,1,2,4", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "query <1,1>..<2,4>") || !strings.Contains(out, "per-disk loads") {
+		t.Errorf("query analysis missing:\n%s", out)
+	}
+}
+
+func TestRunWithHeatAndWorst(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "DM", 8, 8, 4, "", "2x2", 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "optimal on") || !strings.Contains(out, "worst queries of volume") {
+		t.Errorf("heat/worst output missing:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "bogus", 8, 8, 4, "", "", 0); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run(&buf, "DM", 0, 8, 4, "", "", 0); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if err := run(&buf, "DM", 8, 8, 4, "9,9,1,1", "", 0); err == nil {
+		t.Error("inverted query accepted")
+	}
+	if err := run(&buf, "DM", 8, 8, 4, "1,1", "", 0); err == nil {
+		t.Error("short query spec accepted")
+	}
+	if err := run(&buf, "DM", 8, 8, 4, "a,b,c,d", "", 0); err == nil {
+		t.Error("non-numeric query spec accepted")
+	}
+	if err := run(&buf, "DM", 8, 8, 4, "", "2x2x2", 0); err == nil {
+		t.Error("3-part heat shape accepted")
+	}
+	if err := run(&buf, "DM", 8, 8, 4, "", "0x2", 0); err == nil {
+		t.Error("zero heat side accepted")
+	}
+}

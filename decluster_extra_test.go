@@ -1,0 +1,208 @@
+package decluster_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"decluster"
+)
+
+func TestPublicSchemaToGridFile(t *testing.T) {
+	tier, err := decluster.NewEnumAttr("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := decluster.NewSchema(
+		decluster.IntAttr{Min: 0, Max: 99},
+		tier,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := decluster.NewGrid(8, 2)
+	m, _ := decluster.NewDM(g, 4)
+	f, err := decluster.NewGridFile(decluster.GridFileConfig{Method: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		rec, err := schema.Record(i, int64(i), []string{"a", "b"}[i%2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lo, hi, err := schema.Range(0, int64(20), int64(59))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := f.RangeSearch([]float64{lo, 0}, []float64{hi, 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Records) != 40 {
+		t.Fatalf("typed range returned %d records, want 40", len(rs.Records))
+	}
+}
+
+func TestPublicEquiDepthBoundaries(t *testing.T) {
+	recs := decluster.ZipfRecords{K: 2, Seed: 3, S: 1.5, Buckets: 32}.Generate(2000)
+	sample := make([][]float64, len(recs))
+	for i, r := range recs {
+		sample[i] = r.Values
+	}
+	g, _ := decluster.NewGrid(8, 8)
+	bounds, err := decluster.EquiDepth(sample, g.Dims())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := decluster.NewHCAM(g, 4)
+	f, err := decluster.NewGridFile(decluster.GridFileConfig{Method: m, Boundaries: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InsertAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().OccupiedBuckets < 50 {
+		t.Fatalf("equi-depth file occupies only %d/64 buckets under skew", f.Stats().OccupiedBuckets)
+	}
+	if u := decluster.UniformBoundaries(4); len(u) != 3 || u[1] != 0.5 {
+		t.Errorf("UniformBoundaries(4) = %v", u)
+	}
+}
+
+func TestPublicReplication(t *testing.T) {
+	g, _ := decluster.NewGrid(16, 16)
+	dm, _ := decluster.NewDM(g, 4)
+	r, err := decluster.NewChained(dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := g.MustRect(decluster.Coord{3, 3}, decluster.Coord{4, 4})
+	if rt := r.ResponseTime(q); rt != 1 {
+		t.Fatalf("chained DM on 2×2: RT %d, want 1", rt)
+	}
+	deg, err := r.ResponseTimeDegraded(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg < 1 || deg > 2 {
+		t.Fatalf("degraded RT %d out of expected band", deg)
+	}
+	if _, err := decluster.NewOffsetReplication(dm, 4); err == nil {
+		t.Error("offset ≡ 0 accepted")
+	}
+}
+
+func TestPublicWitness(t *testing.T) {
+	g, _ := decluster.NewGrid(4, 4)
+	core, err := decluster.MinimalWitness(g, 4, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := decluster.SearchWithShapes(g, 4, core, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != decluster.SearchImpossible {
+		t.Fatalf("public witness core does not prove impossibility: %v", core)
+	}
+}
+
+func TestPublicOptimizeGDMAndHotRegion(t *testing.T) {
+	g, _ := decluster.NewGrid(16, 16)
+	hot := g.MustRect(decluster.Coord{0, 0}, decluster.Coord{7, 7})
+	w, err := decluster.HotRegion(g, hot, 0.8, 1, 3, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := decluster.OptimizeGDM(g, 5, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Eval.Ratio < 1 {
+		t.Fatal("impossible ratio")
+	}
+}
+
+func TestPublicParallelScanMatchesSequential(t *testing.T) {
+	g, _ := decluster.NewGrid(16, 16)
+	m, _ := decluster.NewHCAM(g, 4)
+	f, _ := decluster.NewGridFile(decluster.GridFileConfig{Method: m})
+	if err := f.InsertAll(decluster.UniformRecords{K: 2, Seed: 1}.Generate(2000)); err != nil {
+		t.Fatal(err)
+	}
+	r := g.MustRect(decluster.Coord{2, 2}, decluster.Coord{12, 12})
+	par, err := decluster.ParallelRangeSearch(context.Background(), f, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := f.CellRangeSearch(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Records) != len(seq.Records) {
+		t.Fatalf("parallel %d, sequential %d", len(par.Records), len(seq.Records))
+	}
+}
+
+func TestPublicDynamicGridFile(t *testing.T) {
+	f, err := decluster.NewDynamicGridFile(decluster.DynamicConfig{K: 2, Disks: 4, Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InsertAll(decluster.UniformRecords{K: 2, Seed: 2}.Generate(500)); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumBuckets() < 10 {
+		t.Fatalf("dynamic file did not grow: %d buckets", f.NumBuckets())
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAllocationPersistence(t *testing.T) {
+	g, _ := decluster.NewGrid(8, 8)
+	m, _ := decluster.NewECC(g, 4)
+	var buf bytes.Buffer
+	if err := decluster.SaveAllocation(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := decluster.LoadAllocation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Each(func(c decluster.Coord) bool {
+		if loaded.DiskOf(c) != m.DiskOf(c) {
+			t.Fatalf("persisted allocation diverges at %v", c)
+		}
+		return true
+	})
+}
+
+func TestPublicOpenSimulation(t *testing.T) {
+	g, _ := decluster.NewGrid(16, 16)
+	m, _ := decluster.NewHCAM(g, 4)
+	f, _ := decluster.NewGridFile(decluster.GridFileConfig{Method: m})
+	if err := f.InsertAll(decluster.UniformRecords{K: 2, Seed: 3}.Generate(3000)); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := f.CellRangeSearch(g.MustRect(decluster.Coord{0, 0}, decluster.Coord{7, 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := decluster.NewDiskSimulator(decluster.DiskModel1993())
+	qr, err := sim.SimulateOpen([]decluster.AccessTrace{rs.Trace}, 1, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.MeanResponse < time.Millisecond || qr.Completed != 50 {
+		t.Fatalf("open simulation result %+v", qr)
+	}
+}

@@ -1,0 +1,193 @@
+package decluster_test
+
+import (
+	"testing"
+
+	"decluster"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	g, err := decluster.NewGrid(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := decluster.Build("HCAM", g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.MustRect(decluster.Coord{0, 0}, decluster.Coord{3, 3})
+	rt := decluster.ResponseTime(m, r)
+	opt := decluster.OptimalRT(16, 16)
+	if rt < opt || rt > 16 {
+		t.Fatalf("RT %d outside [%d, 16]", rt, opt)
+	}
+	if decluster.IsOptimalFor(m, r) != (rt == opt) {
+		t.Error("IsOptimalFor disagrees with ResponseTime")
+	}
+}
+
+func TestPublicConstructorsAgreeWithRegistry(t *testing.T) {
+	g, _ := decluster.NewGrid(16, 16)
+	direct := map[string]func() (decluster.Method, error){
+		"DM":   func() (decluster.Method, error) { return decluster.NewDM(g, 8) },
+		"FX":   func() (decluster.Method, error) { return decluster.NewFX(g, 8) },
+		"ExFX": func() (decluster.Method, error) { return decluster.NewExFX(g, 8) },
+		"ECC":  func() (decluster.Method, error) { return decluster.NewECC(g, 8) },
+		"HCAM": func() (decluster.Method, error) { return decluster.NewHCAM(g, 8) },
+	}
+	for name, ctor := range direct {
+		md, err := ctor()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mr, err := decluster.Build(name, g, 8)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		g.Each(func(c decluster.Coord) bool {
+			if md.DiskOf(c) != mr.DiskOf(c) {
+				t.Fatalf("%s: direct and registry constructions diverge at %v", name, c)
+			}
+			return true
+		})
+	}
+}
+
+func TestPublicWorkloadsAndEvaluation(t *testing.T) {
+	g, _ := decluster.NewGrid(32, 32)
+	ws, err := decluster.SizeSweep(g, []int{4, 16}, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := decluster.PaperSet(g, 8)
+	if len(methods) != 4 {
+		t.Fatalf("PaperSet returned %d methods", len(methods))
+	}
+	for _, w := range ws {
+		for _, res := range decluster.EvaluateAll(methods, w) {
+			if res.Ratio < 1 {
+				t.Fatalf("%s on %s: ratio %v < 1", res.Method, res.Workload, res.Ratio)
+			}
+		}
+	}
+}
+
+func TestPublicTheoremSurface(t *testing.T) {
+	g, _ := decluster.NewGrid(6, 6)
+	res := decluster.SearchStrictlyOptimal(g, 6, 1_000_000)
+	if res.Outcome != decluster.SearchImpossible {
+		t.Fatalf("M=6 outcome %v, want impossible (paper theorem)", res.Outcome)
+	}
+	g5, _ := decluster.NewGrid(5, 5)
+	res5 := decluster.SearchStrictlyOptimal(g5, 5, 1_000_000)
+	if res5.Outcome != decluster.SearchFound {
+		t.Fatalf("M=5 outcome %v, want found", res5.Outcome)
+	}
+	ta, err := decluster.NewTable("opt5", g5, 5, res5.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := decluster.CheckStrictlyOptimal(ta); v != nil {
+		t.Fatalf("returned allocation not strictly optimal: %v", v)
+	}
+}
+
+func TestPublicTable1(t *testing.T) {
+	g, _ := decluster.NewGrid(16, 16)
+	reports := decluster.Table1(g, 8)
+	if len(reports) != 5 {
+		t.Fatalf("Table1 returned %d rows", len(reports))
+	}
+	for _, r := range reports {
+		if r.Applies && !r.Holds {
+			t.Errorf("condition %q violated: %v", r.Condition, r.Violation)
+		}
+	}
+}
+
+func TestPublicStorageRoundTrip(t *testing.T) {
+	g, _ := decluster.NewGrid(16, 16)
+	m, _ := decluster.NewHCAM(g, 4)
+	f, err := decluster.NewGridFile(decluster.GridFileConfig{Method: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := decluster.UniformRecords{K: 2, Seed: 1}.Generate(1000)
+	if err := f.InsertAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := f.RangeSearch([]float64{0.2, 0.2}, []float64{0.7, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range rs.Records {
+		for _, v := range rec.Values {
+			if v < 0.2 || v > 0.7 {
+				t.Fatalf("record %v outside bounds", rec.Values)
+			}
+		}
+	}
+	sim, err := decluster.NewDiskSimulator(decluster.DiskModel1993())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.ResponseTime(rs.Trace) <= 0 {
+		t.Error("non-positive simulated response time")
+	}
+	if sim.Speedup(rs.Trace) < 1 {
+		t.Error("speedup below 1")
+	}
+}
+
+func TestPublicAdvisor(t *testing.T) {
+	g, _ := decluster.NewGrid(32, 32)
+	qs, err := decluster.Placements(g, []int{1, 8}, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := decluster.Recommend(g, 8, []decluster.WorkloadClass{
+		{Workload: decluster.Workload{Name: "rows", Queries: qs}, Weight: 1},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best() == "" {
+		t.Fatal("no recommendation")
+	}
+	if rec.Ranking[0].Score > rec.Ranking[len(rec.Ranking)-1].Score {
+		t.Fatal("ranking not sorted")
+	}
+}
+
+func TestPublicClassify(t *testing.T) {
+	g, _ := decluster.NewGrid(8, 8)
+	if k := decluster.ClassifyQuery(g, g.MustRect(decluster.Coord{1, 1}, decluster.Coord{1, 1})); k != decluster.PointQuery {
+		t.Errorf("point classified as %v", k)
+	}
+	if k := decluster.ClassifyQuery(g, g.MustRect(decluster.Coord{1, 0}, decluster.Coord{1, 7})); k != decluster.PartialMatchQuery {
+		t.Errorf("PM classified as %v", k)
+	}
+	if k := decluster.ClassifyQuery(g, g.MustRect(decluster.Coord{1, 2}, decluster.Coord{3, 4})); k != decluster.RangeQuery {
+		t.Errorf("range classified as %v", k)
+	}
+}
+
+func TestPublicBalanceHelpers(t *testing.T) {
+	g, _ := decluster.NewGrid(16, 16)
+	m, _ := decluster.NewHCAM(g, 5)
+	if !decluster.IsBalanced(m) {
+		t.Error("HCAM unbalanced")
+	}
+	h := decluster.LoadHistogram(m)
+	total := 0
+	for _, v := range h {
+		total += v
+	}
+	if total != 256 {
+		t.Errorf("histogram total %d", total)
+	}
+	tab := decluster.AllocationTable(m)
+	if len(tab) != 256 {
+		t.Errorf("table length %d", len(tab))
+	}
+}

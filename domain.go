@@ -1,0 +1,48 @@
+package decluster
+
+import (
+	"decluster/internal/domain"
+	"decluster/internal/partition"
+)
+
+// Scaler maps one attribute's typed values into the normalized [0, 1)
+// axis the grid partitions.
+type Scaler = domain.Scaler
+
+// Schema binds one scaler per attribute of a relation: build normalized
+// records from typed tuples and translate typed range predicates.
+type Schema = domain.Schema
+
+// IntAttr scales int64 values from an inclusive range.
+type IntAttr = domain.Ints
+
+// FloatAttr scales float64 values from a half-open range.
+type FloatAttr = domain.Floats
+
+// TimeAttr scales time.Time values from a half-open interval.
+type TimeAttr = domain.Times
+
+// EnumAttr scales an ordered categorical attribute.
+type EnumAttr = domain.Enum
+
+// HashAttr scales arbitrary strings by hashing (unordered: point and
+// partial-match predicates only).
+type HashAttr = domain.Hash
+
+// NewSchema builds a schema from per-attribute scalers.
+func NewSchema(scalers ...Scaler) (*Schema, error) { return domain.NewSchema(scalers...) }
+
+// NewEnumAttr builds an ordered categorical scaler.
+func NewEnumAttr(values ...string) (*EnumAttr, error) { return domain.NewEnum(values...) }
+
+// EquiDepth computes per-axis equi-depth (quantile) partition
+// boundaries from a sample, for use as GridFileConfig.Boundaries —
+// keeping bucket occupancy balanced under skewed data.
+func EquiDepth(sample [][]float64, dims []int) ([][]float64, error) {
+	return partition.EquiDepth(sample, dims)
+}
+
+// UniformBoundaries returns the equal-width interior boundaries for an
+// axis with d partitions — for mixing with equi-depth axes (e.g. a
+// low-cardinality categorical axis whose quantiles would collapse).
+func UniformBoundaries(d int) []float64 { return partition.Uniform(d) }

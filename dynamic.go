@@ -1,0 +1,35 @@
+package decluster
+
+import (
+	"decluster/internal/dyngrid"
+)
+
+// DynamicGridFile is an adaptable grid file (Nievergelt et al. 1984):
+// attribute scales grow as data arrives, buckets split on overflow, and
+// each new bucket is placed on a disk by a pluggable allocator — the
+// dynamic structure whose stable snapshot is the Cartesian product file
+// the declustering methods allocate.
+type DynamicGridFile = dyngrid.File
+
+// DynamicConfig describes a dynamic grid file.
+type DynamicConfig = dyngrid.Config
+
+// BucketAllocator chooses the disk for a freshly created bucket from
+// its value-space bounding box.
+type BucketAllocator = dyngrid.Allocator
+
+// NewDynamicGridFile creates an empty dynamic grid file.
+func NewDynamicGridFile(cfg DynamicConfig) (*DynamicGridFile, error) {
+	return dyngrid.New(cfg)
+}
+
+// RoundRobinAllocator deals disks to buckets in creation order — the
+// baseline dynamic policy.
+func RoundRobinAllocator() BucketAllocator { return dyngrid.RoundRobin() }
+
+// MethodBucketAllocator adapts a static declustering method to dynamic
+// bucket creation: each new bucket receives the disk the method assigns
+// to the virtual grid cell containing the bucket's center.
+func MethodBucketAllocator(m Method) (BucketAllocator, error) {
+	return dyngrid.MethodAllocator(m)
+}

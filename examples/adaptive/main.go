@@ -1,0 +1,105 @@
+// Adaptive: a dynamic grid file growing under skewed insertions. The
+// paper's methods allocate a *static* Cartesian product file, assuming
+// "the data distribution tends to remain fairly stable"; this example
+// shows the structure underneath that assumption — scales adapt to the
+// data, buckets split, the directory doubles — and compares two dynamic
+// disk-allocation policies: creation-order round robin versus placing
+// each new bucket with a static HCAM layout over a virtual grid. The
+// punchline is a concrete demonstration of the static assumption's
+// limit: under heavy skew the virtual grid's resolution saturates (many
+// hot buckets share one virtual cell, hence one disk), so the static
+// layout collapses exactly where the data is hottest.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"decluster"
+)
+
+func main() {
+	const (
+		disks   = 8
+		records = 40_000
+	)
+	// A skewed population: most records crowd the low corner.
+	gen := decluster.ZipfRecords{K: 2, Seed: 13, S: 1.6, Buckets: 128}
+	population := gen.Generate(records)
+
+	// Policy 1: round robin by bucket creation order.
+	rr, err := decluster.NewDynamicGridFile(decluster.DynamicConfig{
+		K: 2, Disks: disks, Capacity: 16,
+		Allocate: decluster.RoundRobinAllocator(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Policy 2: HCAM over a virtual 64×64 grid decides each bucket's
+	// disk from its spatial position.
+	vg, err := decluster.NewGrid(64, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hcam, err := decluster.NewHCAM(vg, disks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	methodAlloc, err := decluster.MethodBucketAllocator(hcam)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ma, err := decluster.NewDynamicGridFile(decluster.DynamicConfig{
+		K: 2, Disks: disks, Capacity: 16,
+		Allocate: methodAlloc,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, f := range []*decluster.DynamicGridFile{rr, ma} {
+		if err := f.InsertAll(population); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("inserted %d %s records\n\n", records, gen.Name())
+	fmt.Printf("structure after growth (both files see the same data):\n")
+	fmt.Printf("  buckets: %d   splits: %d   directory doublings: %d   directory: %v cells\n",
+		rr.NumBuckets(), rr.Splits(), rr.DirectoryDoublings(), rr.Dims())
+	lowScales, highScales := 0, 0
+	for _, s := range rr.Scales(0) {
+		if s < 0.25 {
+			lowScales++
+		} else {
+			highScales++
+		}
+	}
+	fmt.Printf("  attribute 0 split points: %d below 0.25, %d above — the scales follow the skew\n\n",
+		lowScales, highScales)
+
+	// Compare the policies on compact queries in the hot region.
+	fmt.Println("hot-region 10%×10% range queries, busiest-disk pages per query:")
+	fmt.Printf("  %-28s %-12s %s\n", "query box", "round-robin", "HCAM-placed")
+	for _, corner := range [][2]float64{{0.0, 0.0}, {0.05, 0.05}, {0.1, 0.02}, {0.02, 0.12}} {
+		lo := []float64{corner[0], corner[1]}
+		hi := []float64{corner[0] + 0.1, corner[1] + 0.1}
+		r1, err := rr.RangeSearch(lo, hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r2, err := ma.RangeSearch(lo, hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  [%.2f,%.2f]→[%.2f,%.2f]      %-12d %d\n",
+			lo[0], lo[1], hi[0], hi[1], r1.Trace.MaxDiskPages(), r2.Trace.MaxDiskPages())
+	}
+	fmt.Println("\naway from the hot spot both policies are comparable, but in the hottest")
+	fmt.Println("box the HCAM-placed file collapses onto few disks: thousands of buckets")
+	fmt.Println("map to a handful of virtual 64×64 cells, so they share disks. This is")
+	fmt.Println("the boundary of the paper's static-allocation assumption — when the")
+	fmt.Println("distribution drifts far from the declustering grid, the relation must")
+	fmt.Println("be redeclustered (or allocated adaptively, as round robin does here).")
+}

@@ -1,0 +1,54 @@
+// Shapestudy: the paper's Experiment 2 through the public API — fix a
+// query area and sweep its shape from square to line, showing how
+// sensitive each declustering method is to aspect ratio. Demonstrates
+// building shape-sweep workloads and tabulating results by hand.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"decluster"
+)
+
+func main() {
+	g, err := decluster.NewGrid(64, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		disks = 16
+		area  = 64 // every query touches 64 buckets; only the shape varies
+	)
+	methods := decluster.PaperSet(g, disks)
+
+	workloads, err := decluster.ShapeSweep(g, area, 500, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query shape sweep at fixed area %d on %v, M=%d\n", area, g, disks)
+	fmt.Printf("(mean response time in bucket accesses; optimal = %d)\n\n",
+		decluster.OptimalRT(area, disks))
+
+	fmt.Printf("%-8s", "shape")
+	for _, m := range methods {
+		fmt.Printf("%8s", m.Name())
+	}
+	fmt.Println()
+	for _, w := range workloads {
+		fmt.Printf("%-8s", w.Name)
+		for _, res := range decluster.EvaluateAll(methods, w) {
+			fmt.Printf("%8.3f", res.MeanRT)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nreading the sweep:")
+	fmt.Println("  - DM and FX answer 1×64 / 64×1 line queries exactly optimally")
+	fmt.Println("    (the classic partial-match optimality of the modulo family);")
+	fmt.Println("  - HCAM prefers compact shapes: its Hilbert clustering falls apart")
+	fmt.Println("    on lines, which cross many curve segments;")
+	fmt.Println("  - the paper's finding (iii): performance is quite sensitive to")
+	fmt.Println("    query shape, so no single method wins every shape.")
+}

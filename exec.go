@@ -1,0 +1,38 @@
+package decluster
+
+import (
+	"context"
+
+	"decluster/internal/exec"
+)
+
+// Executor runs grid-file searches with real per-disk concurrency: one
+// worker goroutine per disk, reading the buckets its disk holds — the
+// fan-out a parallel I/O subsystem performs, as live Go code rather
+// than a timing model.
+type Executor = exec.Executor
+
+// ExecResult is the outcome of a parallel search: records in
+// deterministic order plus per-disk bucket counts.
+type ExecResult = exec.Result
+
+// NewExecutor constructs a parallel executor over the grid file.
+func NewExecutor(f *GridFile, opts ...ExecOption) (*Executor, error) {
+	return exec.New(f, opts...)
+}
+
+// ExecOption configures an Executor.
+type ExecOption = exec.Option
+
+// WithMaxParallel bounds the number of disk workers running at once.
+func WithMaxParallel(n int) ExecOption { return exec.WithMaxParallel(n) }
+
+// ParallelRangeSearch is a convenience wrapper: build an executor and
+// run one concurrent cell-range search.
+func ParallelRangeSearch(ctx context.Context, f *GridFile, r Rect) (*ExecResult, error) {
+	e, err := exec.New(f)
+	if err != nil {
+		return nil, err
+	}
+	return e.RangeSearch(ctx, r)
+}

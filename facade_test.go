@@ -1,0 +1,153 @@
+package decluster_test
+
+import (
+	"testing"
+
+	"decluster"
+)
+
+// Exercise every facade constructor against its internal behavior so
+// the public API surface stays wired correctly.
+func TestFacadeConstructors(t *testing.T) {
+	g, err := decluster.UniformGrid(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctors := map[string]func() (decluster.Method, error){
+		"GDM":    func() (decluster.Method, error) { return decluster.NewGDM(g, 5, []int{1, 2}) },
+		"FXAuto": func() (decluster.Method, error) { return decluster.NewFXAuto(g, 8) },
+		"ZCAM":   func() (decluster.Method, error) { return decluster.NewZCAM(g, 8) },
+		"GCAM":   func() (decluster.Method, error) { return decluster.NewGCAM(g, 8) },
+		"Random": func() (decluster.Method, error) { return decluster.NewRandom(g, 8, 1) },
+	}
+	for name, ctor := range ctors {
+		m, err := ctor()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !decluster.IsBalanced(m) && name != "GDM" {
+			t.Errorf("%s unbalanced", name)
+		}
+		if d := m.DiskOf(decluster.Coord{3, 3}); d < 0 || d >= m.Disks() {
+			t.Errorf("%s disk out of range", name)
+		}
+	}
+	gb, _ := decluster.UniformGrid(3, 2)
+	if _, err := decluster.NewBDM(gb, 4); err != nil {
+		t.Errorf("BDM on binary grid: %v", err)
+	}
+	table := make([]int, 256)
+	if _, err := decluster.NewTable("t", g, 8, table); err != nil {
+		t.Errorf("NewTable: %v", err)
+	}
+	if len(decluster.MethodNames()) < 10 {
+		t.Errorf("MethodNames = %v", decluster.MethodNames())
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	g, _ := decluster.NewGrid(16, 16)
+	if _, err := decluster.ShapeSweep(g, 16, 50, 1); err != nil {
+		t.Errorf("ShapeSweep: %v", err)
+	}
+	w, err := decluster.RandomRange(g, 2, 5, 30, 1)
+	if err != nil || len(w.Queries) != 30 {
+		t.Errorf("RandomRange: %v", err)
+	}
+	pts, err := decluster.Points(g, 20, 1)
+	if err != nil || len(pts.Queries) != 20 {
+		t.Errorf("Points: %v", err)
+	}
+	pm, err := decluster.PartialMatch(g, []bool{true, false}, 0, 1)
+	if err != nil || len(pm.Queries) != 16 {
+		t.Errorf("PartialMatch: %v, %d queries", err, len(pm.Queries))
+	}
+	m, _ := decluster.NewDM(g, 4)
+	loads := decluster.DiskLoads(m, g.MustRect(decluster.Coord{0, 0}, decluster.Coord{3, 3}))
+	total := 0
+	for _, l := range loads {
+		total += l
+	}
+	if total != 16 {
+		t.Errorf("DiskLoads sum %d", total)
+	}
+}
+
+func TestFacadeHeatAndWorst(t *testing.T) {
+	g, _ := decluster.NewGrid(8, 8)
+	m, _ := decluster.NewDM(g, 4)
+	hm, err := decluster.NewHeatMap(m, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm.FracOptimal() != 0 {
+		t.Errorf("DM 2×2 FracOptimal = %v", hm.FracOptimal())
+	}
+	worst, err := decluster.WorstQueries(m, 8, 3)
+	if err != nil || len(worst) != 3 {
+		t.Errorf("WorstQueries: %v, %d", err, len(worst))
+	}
+}
+
+func TestFacadeDiskModels(t *testing.T) {
+	if decluster.DiskModelModern().PageTransfer >= decluster.DiskModel1993().PageTransfer {
+		t.Error("modern model not faster")
+	}
+	if _, err := decluster.NewDiskSimulator(decluster.DiskModel{}); err == nil {
+		t.Error("zero model accepted")
+	}
+}
+
+func TestFacadeExecutorOptions(t *testing.T) {
+	g, _ := decluster.NewGrid(8, 8)
+	m, _ := decluster.NewHCAM(g, 4)
+	f, _ := decluster.NewGridFile(decluster.GridFileConfig{Method: m})
+	if _, err := decluster.NewExecutor(f, decluster.WithMaxParallel(2)); err != nil {
+		t.Errorf("NewExecutor: %v", err)
+	}
+	if _, err := decluster.NewExecutor(nil); err == nil {
+		t.Error("nil file accepted")
+	}
+}
+
+func TestFacadeCheckWorkloadOptimal(t *testing.T) {
+	g, _ := decluster.NewGrid(8, 8)
+	m, _ := decluster.NewDM(g, 4)
+	rows, _ := decluster.Placements(g, []int{1, 4}, 0, 1)
+	if v := decluster.CheckWorkloadOptimal(m, rows); v != nil {
+		t.Errorf("DM violated on rows: %v", v)
+	}
+	squares, _ := decluster.Placements(g, []int{2, 2}, 0, 1)
+	if v := decluster.CheckWorkloadOptimal(m, squares); v == nil {
+		t.Error("DM reported optimal on squares")
+	}
+}
+
+func TestFacadeDynamicAllocators(t *testing.T) {
+	if decluster.RoundRobinAllocator() == nil {
+		t.Error("nil round robin")
+	}
+	g, _ := decluster.NewGrid(8, 8)
+	m, _ := decluster.NewHCAM(g, 4)
+	a, err := decluster.MethodBucketAllocator(m)
+	if err != nil || a == nil {
+		t.Errorf("MethodBucketAllocator: %v", err)
+	}
+	if _, err := decluster.MethodBucketAllocator(nil); err == nil {
+		t.Error("nil method accepted")
+	}
+}
+
+func TestFacadeCatalogRoundTrip(t *testing.T) {
+	c, err := decluster.NewCatalog(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := decluster.NewGrid(8, 8)
+	if _, err := c.Create("r", g, "DM", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Names(); len(got) != 1 || got[0] != "r" {
+		t.Errorf("Names = %v", got)
+	}
+}

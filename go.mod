@@ -1,0 +1,3 @@
+module decluster
+
+go 1.22

@@ -1,0 +1,115 @@
+// Package advisor turns the paper's conclusion into a tool. The study
+// ends: "information about common queries on a relation ought to be
+// used in deciding the declustering for it … since there is no clear
+// winner, parallel database systems must support a number of
+// declustering methods." Given a description of the expected query
+// workload, the advisor evaluates every applicable declustering method
+// on it and recommends the best, with the full ranking for inspection.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"decluster/internal/alloc"
+	"decluster/internal/cost"
+	"decluster/internal/grid"
+	"decluster/internal/query"
+)
+
+// WorkloadClass is one component of an expected workload: a query
+// workload with a relative weight (how often queries of this class
+// run).
+type WorkloadClass struct {
+	Workload query.Workload
+	Weight   float64
+}
+
+// Scored is one method's evaluation across the workload mix.
+type Scored struct {
+	// Method is the method name.
+	Method string
+	// Score is the weighted mean response time in bucket accesses
+	// (lower is better).
+	Score float64
+	// Ratio is the weighted mean deviation from optimal.
+	Ratio float64
+	// PerClass holds the per-workload results, in input order.
+	PerClass []cost.Result
+}
+
+// Recommendation ranks the candidate methods on a workload mix.
+type Recommendation struct {
+	// Ranking is sorted best (lowest weighted mean RT) first.
+	Ranking []Scored
+}
+
+// Best returns the winning method name.
+func (r *Recommendation) Best() string {
+	return r.Ranking[0].Method
+}
+
+// DefaultCandidates is the method set the advisor tries when the caller
+// does not supply one: the paper's four schemes plus the GDM diagonal
+// variant.
+var DefaultCandidates = []string{"DM", "GDM", "FX*", "ECC", "HCAM"}
+
+// Recommend evaluates candidate methods (by registry name; nil selects
+// DefaultCandidates) over the weighted workload mix on grid g with m
+// disks. Methods whose structural preconditions fail (e.g. ECC on a
+// non-power-of-two grid) are skipped silently; an error is returned
+// only when no candidate applies, the mix is empty, or a weight is not
+// positive.
+func Recommend(g *grid.Grid, m int, mix []WorkloadClass, candidates []string) (*Recommendation, error) {
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("advisor: empty workload mix")
+	}
+	totalWeight := 0.0
+	totalQueries := 0
+	for i, c := range mix {
+		if c.Weight <= 0 {
+			return nil, fmt.Errorf("advisor: workload %d (%s) has non-positive weight %v", i, c.Workload.Name, c.Weight)
+		}
+		totalWeight += c.Weight
+		totalQueries += len(c.Workload.Queries)
+	}
+	if totalQueries == 0 {
+		return nil, fmt.Errorf("advisor: workload mix contains no queries")
+	}
+	if candidates == nil {
+		candidates = DefaultCandidates
+	}
+
+	var ranking []Scored
+	for _, name := range candidates {
+		method, err := alloc.Build(name, g, m)
+		if err != nil {
+			continue // candidate does not apply to this configuration
+		}
+		s := Scored{Method: name}
+		for _, c := range mix {
+			res := cost.Evaluate(method, c.Workload)
+			s.PerClass = append(s.PerClass, res)
+			w := c.Weight / totalWeight
+			s.Score += w * res.MeanRT
+			s.Ratio += w * res.Ratio
+		}
+		ranking = append(ranking, s)
+	}
+	if len(ranking) == 0 {
+		return nil, fmt.Errorf("advisor: no candidate method applies to grid %v with %d disks", g, m)
+	}
+	sort.SliceStable(ranking, func(i, j int) bool { return ranking[i].Score < ranking[j].Score })
+	return &Recommendation{Ranking: ranking}, nil
+}
+
+// Describe renders the recommendation as prose-plus-ranking suitable
+// for CLI output.
+func (r *Recommendation) Describe() string {
+	out := fmt.Sprintf("recommended method: %s\n", r.Best())
+	for i, s := range r.Ranking {
+		out += fmt.Sprintf("  %d. %-6s weighted mean RT %.3f buckets (%.3f× optimal)\n",
+			i+1, s.Method, s.Score, s.Ratio)
+	}
+	return out
+}

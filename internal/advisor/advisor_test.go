@@ -1,0 +1,171 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"decluster/internal/grid"
+	"decluster/internal/query"
+)
+
+func mixOf(t *testing.T, g *grid.Grid, sides []int, weight float64) WorkloadClass {
+	t.Helper()
+	qs, err := query.Placements(g, sides, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return WorkloadClass{
+		Workload: query.Workload{Name: "test", Queries: qs},
+		Weight:   weight,
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	g := grid.MustNew(16, 16)
+	if _, err := Recommend(g, 4, nil, nil); err == nil {
+		t.Error("empty mix accepted")
+	}
+	bad := []WorkloadClass{{Workload: query.Workload{Name: "w"}, Weight: 0}}
+	if _, err := Recommend(g, 4, bad, nil); err == nil {
+		t.Error("zero weight accepted")
+	}
+	empty := []WorkloadClass{{Workload: query.Workload{Name: "w"}, Weight: 1}}
+	if _, err := Recommend(g, 4, empty, nil); err == nil {
+		t.Error("query-less mix accepted")
+	}
+}
+
+func TestRecommendRanksAllCandidates(t *testing.T) {
+	g := grid.MustNew(16, 16)
+	mix := []WorkloadClass{mixOf(t, g, []int{2, 2}, 1)}
+	rec, err := Recommend(g, 8, mix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Ranking) != len(DefaultCandidates) {
+		t.Fatalf("ranked %d methods, want %d", len(rec.Ranking), len(DefaultCandidates))
+	}
+	for i := 1; i < len(rec.Ranking); i++ {
+		if rec.Ranking[i-1].Score > rec.Ranking[i].Score {
+			t.Fatal("ranking not sorted by score")
+		}
+	}
+	if rec.Best() != rec.Ranking[0].Method {
+		t.Error("Best() disagrees with ranking head")
+	}
+}
+
+// Row-query-dominated workloads must elect a modulo-family method (DM
+// or GDM) — they are exactly optimal there.
+func TestRecommendRowWorkloadElectsModulo(t *testing.T) {
+	g := grid.MustNew(16, 16)
+	mix := []WorkloadClass{mixOf(t, g, []int{1, 8}, 1)}
+	rec, err := Recommend(g, 8, mix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := rec.Best()
+	bestScore := rec.Ranking[0].Score
+	// DM must be at (or tied with) the top: score 1.0 = exactly optimal.
+	for _, s := range rec.Ranking {
+		if s.Method == "DM" && s.Score > bestScore+1e-9 {
+			t.Errorf("DM score %.3f not tied-best (%s at %.3f) on row queries", s.Score, best, bestScore)
+		}
+	}
+}
+
+// Small-square-dominated workloads must not elect DM (the paper's
+// small-query finding).
+func TestRecommendSquareWorkloadRejectsDM(t *testing.T) {
+	g := grid.MustNew(64, 64)
+	mix := []WorkloadClass{mixOf(t, g, []int{4, 4}, 1)}
+	rec, err := Recommend(g, 16, mix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best() == "DM" {
+		t.Error("DM recommended for small squares; contradicts the paper's finding")
+	}
+}
+
+// Weights matter: a mix dominated by rows flips the recommendation
+// toward DM relative to a mix dominated by squares.
+func TestRecommendWeightsShiftOutcome(t *testing.T) {
+	g := grid.MustNew(64, 64)
+	rows := mixOf(t, g, []int{1, 16}, 1)
+	squares := mixOf(t, g, []int{4, 4}, 1)
+
+	rowHeavy := []WorkloadClass{
+		{Workload: rows.Workload, Weight: 100},
+		{Workload: squares.Workload, Weight: 1},
+	}
+	squareHeavy := []WorkloadClass{
+		{Workload: rows.Workload, Weight: 1},
+		{Workload: squares.Workload, Weight: 100},
+	}
+	r1, err := Recommend(g, 16, rowHeavy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Recommend(g, 16, squareHeavy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dmRow, dmSquare float64
+	for _, s := range r1.Ranking {
+		if s.Method == "DM" {
+			dmRow = s.Ratio
+		}
+	}
+	for _, s := range r2.Ranking {
+		if s.Method == "DM" {
+			dmSquare = s.Ratio
+		}
+	}
+	if dmRow >= dmSquare {
+		t.Errorf("DM weighted ratio %0.3f (row-heavy) should beat %0.3f (square-heavy)", dmRow, dmSquare)
+	}
+}
+
+func TestRecommendSkipsInapplicableCandidates(t *testing.T) {
+	// Non-power-of-two grid: ECC inapplicable but others rank.
+	g := grid.MustNew(12, 12)
+	mix := []WorkloadClass{mixOf(t, g, []int{2, 2}, 1)}
+	rec, err := Recommend(g, 4, mix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rec.Ranking {
+		if s.Method == "ECC" {
+			t.Error("ECC ranked on a non-power-of-two grid")
+		}
+	}
+	if len(rec.Ranking) == 0 {
+		t.Fatal("no methods ranked")
+	}
+}
+
+func TestRecommendNoCandidateApplies(t *testing.T) {
+	g := grid.MustNew(12, 12)
+	mix := []WorkloadClass{mixOf(t, g, []int{2, 2}, 1)}
+	if _, err := Recommend(g, 4, mix, []string{"ECC"}); err == nil {
+		t.Error("impossible candidate set accepted")
+	}
+	if _, err := Recommend(g, 4, mix, []string{"nonsense"}); err == nil {
+		t.Error("unknown candidate set accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	g := grid.MustNew(16, 16)
+	mix := []WorkloadClass{mixOf(t, g, []int{2, 2}, 1)}
+	rec, err := Recommend(g, 8, mix, []string{"DM", "HCAM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rec.Describe()
+	if !strings.Contains(out, "recommended method:") ||
+		!strings.Contains(out, "1.") || !strings.Contains(out, "2.") {
+		t.Errorf("Describe output malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,178 @@
+package alloc
+
+import (
+	"testing"
+
+	"decluster/internal/grid"
+)
+
+func TestFXFormula(t *testing.T) {
+	g := grid.MustNew(16, 16)
+	fx, err := NewFX(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		c    grid.Coord
+		want int
+	}{
+		{grid.Coord{0, 0}, 0},
+		{grid.Coord{5, 3}, 6},   // 101 ⊕ 011 = 110
+		{grid.Coord{15, 15}, 0}, // equal values cancel
+		{grid.Coord{12, 10}, 6}, // 1100 ⊕ 1010 = 0110
+	}
+	for _, tc := range cases {
+		if got := fx.DiskOf(tc.c); got != tc.want {
+			t.Errorf("DiskOf(%v) = %d, want %d", tc.c, got, tc.want)
+		}
+	}
+	if fx.Name() != "FX" || fx.Disks() != 16 || fx.Grid() != g {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestFXModulo(t *testing.T) {
+	// XOR exceeding M must wrap by mod, per Kim & Pramanik.
+	fx, _ := NewFX(grid.MustNew(16, 16), 10)
+	// 12 ⊕ 0 = 12 → 12 mod 10 = 2
+	if d := fx.DiskOf(grid.Coord{12, 0}); d != 2 {
+		t.Errorf("DiskOf(<12,0>) = %d, want 2", d)
+	}
+}
+
+func TestFXDiagonalCancellation(t *testing.T) {
+	// The main diagonal all XORs to zero — a real FX property the
+	// shape experiments exercise.
+	fx, _ := NewFX(grid.MustNew(8, 8), 4)
+	for i := 0; i < 8; i++ {
+		if d := fx.DiskOf(grid.Coord{i, i}); d != 0 {
+			t.Fatalf("diagonal bucket <%d,%d> on disk %d, want 0", i, i, d)
+		}
+	}
+}
+
+func TestFXValidation(t *testing.T) {
+	if _, err := NewFX(nil, 4); err == nil {
+		t.Error("nil grid accepted")
+	}
+	if _, err := NewFX(grid.MustNew(4, 4), -1); err == nil {
+		t.Error("negative disks accepted")
+	}
+}
+
+func TestFXPanicsOnBadCoord(t *testing.T) {
+	fx, _ := NewFX(grid.MustNew(4, 4), 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("DiskOf out-of-range did not panic")
+		}
+	}()
+	fx.DiskOf(grid.Coord{4, 0})
+}
+
+func TestExFXCoversAllDisks(t *testing.T) {
+	// Narrow fields: 4×4 grid (2 bits per field) but 8 disks. Plain FX
+	// can only reach disks 0..3; ExFX must reach all 8.
+	g := grid.MustNew(4, 4)
+	ex, err := NewExFX(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Width() < 3 {
+		t.Fatalf("Width = %d, want ≥ 3 for 8 disks", ex.Width())
+	}
+	seen := make(map[int]bool)
+	g.Each(func(c grid.Coord) bool {
+		d := ex.DiskOf(c)
+		if d < 0 || d >= 8 {
+			t.Fatalf("DiskOf(%v) = %d out of range", c, d)
+		}
+		seen[d] = true
+		return true
+	})
+	if len(seen) != 8 {
+		t.Fatalf("ExFX reached %d of 8 disks", len(seen))
+	}
+}
+
+func TestPlainFXCannotCoverWideDiskRange(t *testing.T) {
+	// Demonstrates why ExFX exists: the 4×4 grid under plain FX never
+	// reaches disks ≥ 4.
+	g := grid.MustNew(4, 4)
+	fx, _ := NewFX(g, 8)
+	g.Each(func(c grid.Coord) bool {
+		if d := fx.DiskOf(c); d >= 4 {
+			t.Fatalf("plain FX reached disk %d on a 2-bit grid", d)
+		}
+		return true
+	})
+}
+
+func TestExFXStaggerBreaksDiagonal(t *testing.T) {
+	// With per-field rotation, equal coordinates must not all cancel to
+	// disk 0 (the plain-FX diagonal pathology).
+	g := grid.MustNew(8, 8)
+	ex, err := NewExFX(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for i := 0; i < 8; i++ {
+		if ex.DiskOf(grid.Coord{i, i}) == 0 {
+			zeros++
+		}
+	}
+	if zeros == 8 {
+		t.Fatal("ExFX maps the entire diagonal to disk 0; stagger ineffective")
+	}
+}
+
+func TestExFXName(t *testing.T) {
+	ex, _ := NewExFX(grid.MustNew(4, 4), 8)
+	if ex.Name() != "ExFX" || ex.Disks() != 8 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestExFXValidation(t *testing.T) {
+	if _, err := NewExFX(nil, 4); err == nil {
+		t.Error("nil grid accepted")
+	}
+	if _, err := NewExFX(grid.MustNew(4, 4), 0); err == nil {
+		t.Error("zero disks accepted")
+	}
+}
+
+func TestExFXPanicsOnBadCoord(t *testing.T) {
+	ex, _ := NewExFX(grid.MustNew(4, 4), 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("DiskOf out-of-range did not panic")
+		}
+	}()
+	ex.DiskOf(grid.Coord{0, 4})
+}
+
+func TestFXAutoSelection(t *testing.T) {
+	// Partitions (16) > disks (8) on all axes → plain FX.
+	m1, err := NewFXAuto(grid.MustNew(16, 16), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Name() != "FX" {
+		t.Errorf("FXAuto on 16×16/8 = %s, want FX", m1.Name())
+	}
+	// One axis (4) ≤ disks (8) → ExFX.
+	m2, err := NewFXAuto(grid.MustNew(16, 4), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Name() != "ExFX" {
+		t.Errorf("FXAuto on 16×4/8 = %s, want ExFX", m2.Name())
+	}
+	// Boundary: partitions equal to disks → ExFX (rule is strict >).
+	m3, _ := NewFXAuto(grid.MustNew(8, 8), 8)
+	if m3.Name() != "ExFX" {
+		t.Errorf("FXAuto on 8×8/8 = %s, want ExFX", m3.Name())
+	}
+}

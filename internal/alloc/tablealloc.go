@@ -1,0 +1,77 @@
+package alloc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"decluster/internal/grid"
+)
+
+// TableAlloc is an explicit allocation: a disk number per bucket,
+// indexed by row-major bucket number. It is the output format of the
+// strict-optimality search and the input format for allocations loaded
+// from external tools.
+type TableAlloc struct {
+	g     *grid.Grid
+	m     int
+	name  string
+	table []int
+}
+
+// NewTable wraps an explicit bucket→disk table. The table must have one
+// entry per bucket of g, each in [0, m).
+func NewTable(name string, g *grid.Grid, m int, table []int) (*TableAlloc, error) {
+	if err := checkArgs(g, m); err != nil {
+		return nil, err
+	}
+	if name == "" {
+		name = "Table"
+	}
+	if len(table) != g.Buckets() {
+		return nil, fmt.Errorf("alloc: table has %d entries; grid %v has %d buckets", len(table), g, g.Buckets())
+	}
+	t := make([]int, len(table))
+	for i, d := range table {
+		if d < 0 || d >= m {
+			return nil, fmt.Errorf("alloc: table entry %d = %d out of [0,%d)", i, d, m)
+		}
+		t[i] = d
+	}
+	return &TableAlloc{g: g, m: m, name: name, table: t}, nil
+}
+
+// Name implements Method.
+func (t *TableAlloc) Name() string { return t.name }
+
+// Grid implements Method.
+func (t *TableAlloc) Grid() *grid.Grid { return t.g }
+
+// Disks implements Method.
+func (t *TableAlloc) Disks() int { return t.m }
+
+// DiskOf implements Method.
+func (t *TableAlloc) DiskOf(c grid.Coord) int {
+	return t.table[t.g.Linearize(c)]
+}
+
+// NewRandom builds a balanced pseudo-random allocation: bucket numbers
+// are shuffled deterministically from seed and disks dealt round-robin
+// over the shuffle, so per-disk loads differ by at most one. Random
+// allocation is the classic straw-man baseline: balanced overall but
+// with no locality structure, so nearby buckets frequently collide.
+func NewRandom(g *grid.Grid, m int, seed int64) (*TableAlloc, error) {
+	if err := checkArgs(g, m); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(g.Buckets())
+	table := make([]int, g.Buckets())
+	for rank, bucket := range perm {
+		table[bucket] = rank % m
+	}
+	t, err := NewTable("Random", g, m, table)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}

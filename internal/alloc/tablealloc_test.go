@@ -1,0 +1,130 @@
+package alloc
+
+import (
+	"testing"
+
+	"decluster/internal/grid"
+)
+
+func TestNewTableValidation(t *testing.T) {
+	g := grid.MustNew(2, 2)
+	if _, err := NewTable("t", g, 2, []int{0, 1, 0}); err == nil {
+		t.Error("short table accepted")
+	}
+	if _, err := NewTable("t", g, 2, []int{0, 1, 2, 0}); err == nil {
+		t.Error("out-of-range disk accepted")
+	}
+	if _, err := NewTable("t", g, 2, []int{0, -1, 0, 1}); err == nil {
+		t.Error("negative disk accepted")
+	}
+	if _, err := NewTable("t", nil, 2, nil); err == nil {
+		t.Error("nil grid accepted")
+	}
+}
+
+func TestTableLookup(t *testing.T) {
+	g := grid.MustNew(2, 3)
+	table := []int{0, 1, 2, 2, 1, 0}
+	ta, err := NewTable("custom", g, 3, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.Name() != "custom" || ta.Disks() != 3 || ta.Grid() != g {
+		t.Error("accessors wrong")
+	}
+	g.Each(func(c grid.Coord) bool {
+		if got := ta.DiskOf(c); got != table[g.Linearize(c)] {
+			t.Fatalf("DiskOf(%v) = %d, want %d", c, got, table[g.Linearize(c)])
+		}
+		return true
+	})
+}
+
+func TestTableDefaultName(t *testing.T) {
+	g := grid.MustNew(1, 2)
+	ta, err := NewTable("", g, 1, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.Name() != "Table" {
+		t.Errorf("default name = %q", ta.Name())
+	}
+}
+
+func TestTableCopiesInput(t *testing.T) {
+	g := grid.MustNew(1, 2)
+	in := []int{0, 1}
+	ta, _ := NewTable("t", g, 2, in)
+	in[0] = 1
+	if ta.DiskOf(grid.Coord{0, 0}) != 0 {
+		t.Fatal("table shares caller's slice")
+	}
+}
+
+func TestRandomBalancedAndDeterministic(t *testing.T) {
+	g := grid.MustNew(9, 7)
+	r1, err := NewRandom(g, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsBalanced(r1) {
+		t.Fatalf("random allocation unbalanced: %v", LoadHistogram(r1))
+	}
+	r2, _ := NewRandom(g, 4, 42)
+	r3, _ := NewRandom(g, 4, 43)
+	same, diff := true, false
+	g.Each(func(c grid.Coord) bool {
+		if r1.DiskOf(c) != r2.DiskOf(c) {
+			same = false
+		}
+		if r1.DiskOf(c) != r3.DiskOf(c) {
+			diff = true
+		}
+		return true
+	})
+	if !same {
+		t.Error("same seed produced different allocations")
+	}
+	if !diff {
+		t.Error("different seeds produced identical allocations")
+	}
+}
+
+func TestRandomValidation(t *testing.T) {
+	if _, err := NewRandom(nil, 4, 1); err == nil {
+		t.Error("nil grid accepted")
+	}
+	if _, err := NewRandom(grid.MustNew(2, 2), 0, 1); err == nil {
+		t.Error("zero disks accepted")
+	}
+}
+
+func TestMaterializedTableMatchesMethod(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	dm, _ := NewDM(g, 5)
+	table := Table(dm)
+	ta, err := NewTable("copy", g, 5, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Each(func(c grid.Coord) bool {
+		if dm.DiskOf(c) != ta.DiskOf(c) {
+			t.Fatalf("materialized table diverges at %v", c)
+		}
+		return true
+	})
+}
+
+func TestLoadHistogramSums(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	for _, m := range PaperSet(g, 8) {
+		h := LoadHistogram(m)
+		total := 0
+		for _, v := range h {
+			total += v
+		}
+		if total != g.Buckets() {
+			t.Errorf("%s: histogram sums to %d, want %d", m.Name(), total, g.Buckets())
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Package allocio serializes declustering allocations. Allocation
+// tables are the natural exchange format between this library and a
+// database system's catalog: a method is materialized once at relation
+// creation time and the bucket→disk table persists with the relation's
+// metadata. The format is JSON with explicit grid shape and disk count
+// so a loaded table can be validated structurally.
+package allocio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"decluster/internal/alloc"
+	"decluster/internal/grid"
+)
+
+// formatVersion guards against schema drift in persisted files.
+const formatVersion = 1
+
+// savedAllocation is the on-disk JSON schema.
+type savedAllocation struct {
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+	Dims    []int  `json:"dims"`
+	Disks   int    `json:"disks"`
+	// Table maps row-major bucket number to disk.
+	Table []int `json:"table"`
+}
+
+// Save materializes the method's full allocation and writes it as JSON.
+func Save(w io.Writer, m alloc.Method) error {
+	doc := savedAllocation{
+		Version: formatVersion,
+		Name:    m.Name(),
+		Dims:    m.Grid().Dims(),
+		Disks:   m.Disks(),
+		Table:   alloc.Table(m),
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("allocio: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a JSON allocation and reconstructs it as a table-backed
+// method, validating version, grid shape, disk count and every table
+// entry.
+func Load(r io.Reader) (*alloc.TableAlloc, error) {
+	var doc savedAllocation
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("allocio: decode: %w", err)
+	}
+	if doc.Version != formatVersion {
+		return nil, fmt.Errorf("allocio: unsupported format version %d (want %d)", doc.Version, formatVersion)
+	}
+	g, err := grid.New(doc.Dims...)
+	if err != nil {
+		return nil, fmt.Errorf("allocio: invalid grid: %w", err)
+	}
+	ta, err := alloc.NewTable(doc.Name, g, doc.Disks, doc.Table)
+	if err != nil {
+		return nil, fmt.Errorf("allocio: invalid table: %w", err)
+	}
+	return ta, nil
+}

@@ -1,0 +1,85 @@
+package allocio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"decluster/internal/alloc"
+	"decluster/internal/grid"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	for _, name := range []string{"DM", "FX", "ECC", "HCAM"} {
+		m, err := alloc.Build(name, g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Name() != m.Name() || loaded.Disks() != 4 {
+			t.Fatalf("%s: metadata lost: %s/%d", name, loaded.Name(), loaded.Disks())
+		}
+		g.Each(func(c grid.Coord) bool {
+			if loaded.DiskOf(c) != m.DiskOf(c) {
+				t.Fatalf("%s: allocation diverges at %v", name, c)
+			}
+			return true
+		})
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	doc := `{"version":99,"name":"x","dims":[2,2],"disks":2,"table":[0,1,0,1]}`
+	if _, err := Load(strings.NewReader(doc)); err == nil {
+		t.Error("wrong version accepted")
+	}
+}
+
+func TestLoadRejectsBadGrid(t *testing.T) {
+	doc := `{"version":1,"name":"x","dims":[0],"disks":2,"table":[]}`
+	if _, err := Load(strings.NewReader(doc)); err == nil {
+		t.Error("invalid grid accepted")
+	}
+}
+
+func TestLoadRejectsBadTable(t *testing.T) {
+	// Table entry out of disk range.
+	doc := `{"version":1,"name":"x","dims":[2,2],"disks":2,"table":[0,1,2,0]}`
+	if _, err := Load(strings.NewReader(doc)); err == nil {
+		t.Error("out-of-range table entry accepted")
+	}
+	// Table too short.
+	doc2 := `{"version":1,"name":"x","dims":[2,2],"disks":2,"table":[0,1]}`
+	if _, err := Load(strings.NewReader(doc2)); err == nil {
+		t.Error("short table accepted")
+	}
+}
+
+func TestSavedFormatIsStable(t *testing.T) {
+	g := grid.MustNew(2, 2)
+	m, _ := alloc.NewDM(g, 2)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"version":1`, `"name":"DM"`, `"dims":[2,2]`, `"disks":2`, `"table":[0,1,1,0]`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serialized form missing %s:\n%s", want, out)
+		}
+	}
+}

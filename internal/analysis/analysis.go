@@ -1,0 +1,222 @@
+// Package analysis locates where a declustering method is weak. The
+// reproduced paper reports workload averages; these tools expose the
+// spatial structure underneath them — the response time of a query
+// shape at every placement (a heat map), the distribution of response
+// times, and the worst queries of bounded volume — which is what a
+// practitioner inspects when a method underperforms on their relation.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"decluster/internal/alloc"
+	"decluster/internal/cost"
+	"decluster/internal/grid"
+	"decluster/internal/stats"
+)
+
+// HeatMap holds the response time of one query shape at every
+// placement on the grid.
+type HeatMap struct {
+	method alloc.Method
+	sides  []int
+	// rts is indexed by placement number: row-major order of the query
+	// low corner over the placement space.
+	rts []int
+	// radix is the placement-space dimensions (d_i − side_i + 1).
+	radix []int
+	// opt is the optimal RT of the shape (placement-independent).
+	opt int
+}
+
+// NewHeatMap evaluates the query shape at every placement under m.
+func NewHeatMap(m alloc.Method, sides []int) (*HeatMap, error) {
+	g := m.Grid()
+	total, err := g.PlacementCount(sides)
+	if err != nil {
+		return nil, err
+	}
+	h := &HeatMap{
+		method: m,
+		sides:  append([]int(nil), sides...),
+		rts:    make([]int, 0, total),
+		radix:  make([]int, g.K()),
+	}
+	for i := range h.radix {
+		h.radix[i] = g.Dim(i) - sides[i] + 1
+	}
+	vol := 1
+	for _, s := range sides {
+		vol *= s
+	}
+	h.opt = cost.OptimalRT(vol, m.Disks())
+	_, err = g.Placements(sides, func(r grid.Rect) bool {
+		h.rts = append(h.rts, cost.ResponseTime(m, r))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Sides returns the analyzed query shape.
+func (h *HeatMap) Sides() []int { return append([]int(nil), h.sides...) }
+
+// Optimal returns the shape's optimal response time.
+func (h *HeatMap) Optimal() int { return h.opt }
+
+// Placements returns the number of placements evaluated.
+func (h *HeatMap) Placements() int { return len(h.rts) }
+
+// At returns the response time of the query anchored at the given low
+// corner.
+func (h *HeatMap) At(lo grid.Coord) (int, error) {
+	if len(lo) != len(h.radix) {
+		return 0, fmt.Errorf("analysis: anchor arity %d for %d-dimensional map", len(lo), len(h.radix))
+	}
+	idx := 0
+	for i, v := range lo {
+		if v < 0 || v >= h.radix[i] {
+			return 0, fmt.Errorf("analysis: anchor %v outside placement space %v", lo, h.radix)
+		}
+		idx = idx*h.radix[i] + v
+	}
+	return h.rts[idx], nil
+}
+
+// FracOptimal returns the fraction of placements answered at the
+// optimum.
+func (h *HeatMap) FracOptimal() float64 {
+	if len(h.rts) == 0 {
+		return 0
+	}
+	n := 0
+	for _, rt := range h.rts {
+		if rt == h.opt {
+			n++
+		}
+	}
+	return float64(n) / float64(len(h.rts))
+}
+
+// Summary returns descriptive statistics of the placement response
+// times.
+func (h *HeatMap) Summary() stats.Summary {
+	xs := make([]float64, len(h.rts))
+	for i, rt := range h.rts {
+		xs[i] = float64(rt)
+	}
+	return stats.Summarize(xs)
+}
+
+// Worst returns the anchor and response time of the worst placement
+// (earliest in row-major order on ties).
+func (h *HeatMap) Worst() (grid.Coord, int) {
+	worstIdx, worstRT := 0, -1
+	for i, rt := range h.rts {
+		if rt > worstRT {
+			worstIdx, worstRT = i, rt
+		}
+	}
+	lo := make(grid.Coord, len(h.radix))
+	rem := worstIdx
+	for i := len(h.radix) - 1; i >= 0; i-- {
+		lo[i] = rem % h.radix[i]
+		rem /= h.radix[i]
+	}
+	return lo, worstRT
+}
+
+// Render2D draws a 2-attribute heat map as ASCII: each placement's
+// deviation RT − optimal as a digit ('.' for optimal, '9'+ capped).
+func (h *HeatMap) Render2D() (string, error) {
+	if len(h.radix) != 2 {
+		return "", fmt.Errorf("analysis: Render2D needs a 2-attribute map, got %d", len(h.radix))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %v queries on %v over %d disks (optimal %d; '.' = optimal, digit = deviation)\n",
+		h.method.Name(), h.sides, h.method.Grid(), h.method.Disks(), h.opt)
+	for i := 0; i < h.radix[0]; i++ {
+		for j := 0; j < h.radix[1]; j++ {
+			dev := h.rts[i*h.radix[1]+j] - h.opt
+			switch {
+			case dev == 0:
+				b.WriteByte('.')
+			case dev > 9:
+				b.WriteByte('+')
+			default:
+				b.WriteByte(byte('0' + dev))
+			}
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// ScoredQuery is a query with its response time and deviation.
+type ScoredQuery struct {
+	Rect  grid.Rect
+	RT    int
+	Opt   int
+	Ratio float64
+}
+
+// WorstQueries returns the k worst queries (largest RT/optimal ratio,
+// ties broken toward larger RT) among all rectangles of volume at most
+// maxVolume, scanning every shape at every placement. Cost grows with
+// grid size and maxVolume; intended for the modest grids declustering
+// studies use.
+func WorstQueries(m alloc.Method, maxVolume, k int) ([]ScoredQuery, error) {
+	if maxVolume < 1 {
+		return nil, fmt.Errorf("analysis: maxVolume must be ≥ 1, got %d", maxVolume)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("analysis: k must be ≥ 1, got %d", k)
+	}
+	g := m.Grid()
+	var all []ScoredQuery
+	sides := make([]int, g.K())
+	var sweep func(axis, vol int) error
+	sweep = func(axis, vol int) error {
+		if axis == g.K() {
+			_, err := g.Placements(sides, func(r grid.Rect) bool {
+				rt := cost.ResponseTime(m, r)
+				opt := cost.OptimalRT(r.Volume(), m.Disks())
+				if rt > opt {
+					all = append(all, ScoredQuery{
+						Rect:  grid.Rect{Lo: r.Lo.Clone(), Hi: r.Hi.Clone()},
+						RT:    rt,
+						Opt:   opt,
+						Ratio: float64(rt) / float64(opt),
+					})
+				}
+				return true
+			})
+			return err
+		}
+		for s := 1; s <= g.Dim(axis) && s*vol <= maxVolume; s++ {
+			sides[axis] = s
+			if err := sweep(axis+1, vol*s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := sweep(0, 1); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Ratio != all[j].Ratio {
+			return all[i].Ratio > all[j].Ratio
+		}
+		return all[i].RT > all[j].RT
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
+}

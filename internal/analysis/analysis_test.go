@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"decluster/internal/alloc"
+	"decluster/internal/cost"
+	"decluster/internal/grid"
+)
+
+func TestNewHeatMapShape(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	m, _ := alloc.NewDM(g, 4)
+	h, err := NewHeatMap(m, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Placements() != 49 {
+		t.Fatalf("placements = %d, want 49", h.Placements())
+	}
+	if h.Optimal() != 1 {
+		t.Fatalf("optimal = %d, want 1", h.Optimal())
+	}
+	got := h.Sides()
+	got[0] = 99
+	if h.Sides()[0] != 2 {
+		t.Fatal("Sides exposes internal state")
+	}
+}
+
+func TestNewHeatMapInvalidShape(t *testing.T) {
+	g := grid.MustNew(4, 4)
+	m, _ := alloc.NewDM(g, 2)
+	if _, err := NewHeatMap(m, []int{5, 1}); err == nil {
+		t.Error("oversized shape accepted")
+	}
+	if _, err := NewHeatMap(m, []int{2}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestHeatMapAtMatchesDirectEvaluation(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	m, _ := alloc.NewHCAM(g, 4)
+	h, err := NewHeatMap(m, []int{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 7; j++ {
+			r := g.MustRect(grid.Coord{i, j}, grid.Coord{i + 2, j + 1})
+			want := cost.ResponseTime(m, r)
+			got, err := h.At(grid.Coord{i, j})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("At(%d,%d) = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestHeatMapAtValidation(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	m, _ := alloc.NewDM(g, 4)
+	h, _ := NewHeatMap(m, []int{2, 2})
+	if _, err := h.At(grid.Coord{7, 0}); err == nil {
+		t.Error("anchor outside placement space accepted")
+	}
+	if _, err := h.At(grid.Coord{0}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestHeatMapFracOptimalAndWorst(t *testing.T) {
+	// DM over 4 disks on 2×2 squares: never optimal (each square holds
+	// residues {s, s+1, s+1, s+2}).
+	g := grid.MustNew(8, 8)
+	m, _ := alloc.NewDM(g, 4)
+	h, _ := NewHeatMap(m, []int{2, 2})
+	if h.FracOptimal() != 0 {
+		t.Fatalf("FracOptimal = %v, want 0", h.FracOptimal())
+	}
+	_, worst := h.Worst()
+	if worst != 2 {
+		t.Fatalf("worst RT = %d, want 2", worst)
+	}
+	s := h.Summary()
+	if s.Min != 2 || s.Max != 2 || s.N != 49 {
+		t.Fatalf("summary %v", s)
+	}
+	// GDM(1,2) mod 5: strictly optimal → FracOptimal 1.
+	m5, _ := alloc.NewGDM(g, 5, []int{1, 2})
+	h5, _ := NewHeatMap(m5, []int{2, 2})
+	if h5.FracOptimal() != 1 {
+		t.Fatalf("GDM(1,2) FracOptimal = %v, want 1", h5.FracOptimal())
+	}
+}
+
+func TestRender2D(t *testing.T) {
+	g := grid.MustNew(6, 6)
+	m, _ := alloc.NewDM(g, 4)
+	h, _ := NewHeatMap(m, []int{2, 2})
+	out, err := h.Render2D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "DM") || !strings.Contains(out, "1") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+5 { // header + 5 placement rows
+		t.Fatalf("got %d lines", len(lines))
+	}
+}
+
+func TestRender2DRejectsOtherDims(t *testing.T) {
+	g := grid.MustNew(4, 4, 4)
+	m, _ := alloc.NewDM(g, 4)
+	h, err := NewHeatMap(m, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Render2D(); err == nil {
+		t.Error("3-D render accepted")
+	}
+}
+
+func TestWorstQueries(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	m, _ := alloc.NewDM(g, 4)
+	worst, err := WorstQueries(m, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worst) != 5 {
+		t.Fatalf("got %d queries, want 5", len(worst))
+	}
+	for i, q := range worst {
+		if q.RT <= q.Opt {
+			t.Fatalf("query %v not suboptimal", q)
+		}
+		if q.Rect.Volume() > 8 {
+			t.Fatalf("query %v exceeds volume bound", q.Rect)
+		}
+		if i > 0 && worst[i-1].Ratio < q.Ratio {
+			t.Fatal("not sorted by ratio descending")
+		}
+		// Re-verify the recorded numbers.
+		if cost.ResponseTime(m, q.Rect) != q.RT {
+			t.Fatalf("query %v: recorded RT stale", q.Rect)
+		}
+	}
+	// DM's worst small query on 4 disks is the 2×2 square (ratio 2).
+	if worst[0].Ratio < 2 {
+		t.Fatalf("worst ratio %v, want ≥ 2", worst[0].Ratio)
+	}
+}
+
+func TestWorstQueriesStrictlyOptimalMethodEmpty(t *testing.T) {
+	g := grid.MustNew(10, 10)
+	m, _ := alloc.NewGDM(g, 5, []int{1, 2})
+	worst, err := WorstQueries(m, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worst) != 0 {
+		t.Fatalf("strictly optimal method has %d bad queries: %v", len(worst), worst)
+	}
+}
+
+func TestWorstQueriesValidation(t *testing.T) {
+	g := grid.MustNew(4, 4)
+	m, _ := alloc.NewDM(g, 2)
+	if _, err := WorstQueries(m, 0, 3); err == nil {
+		t.Error("zero volume accepted")
+	}
+	if _, err := WorstQueries(m, 4, 0); err == nil {
+		t.Error("zero k accepted")
+	}
+}

@@ -1,0 +1,285 @@
+package catalog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"decluster/internal/advisor"
+	"decluster/internal/datagen"
+	"decluster/internal/grid"
+	"decluster/internal/query"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero disks accepted")
+	}
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Disks() != 8 || len(c.Names()) != 0 {
+		t.Error("fresh catalog state wrong")
+	}
+}
+
+func TestCreateAndGet(t *testing.T) {
+	c, _ := New(8)
+	g := grid.MustNew(16, 16)
+	r, err := c.Create("orders", g, "HCAM", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "orders" || r.Method().Name() != "HCAM" || r.File() == nil {
+		t.Error("relation state wrong")
+	}
+	got, err := c.Get("orders")
+	if err != nil || got != r {
+		t.Error("Get failed")
+	}
+	if _, err := c.Get("nope"); err == nil {
+		t.Error("missing relation returned")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	c, _ := New(8)
+	g := grid.MustNew(16, 16)
+	if _, err := c.Create("", g, "DM", 0); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := c.Create("r", g, "unknown-method", 0); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if _, err := c.Create("r", g, "DM", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("r", g, "FX", 0); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	c, _ := New(4)
+	g := grid.MustNew(8, 8)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := c.Create(n, g, "DM", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := c.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	c, _ := New(4)
+	g := grid.MustNew(8, 8)
+	if _, err := c.Create("r", g, "DM", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("r"); err == nil {
+		t.Error("double drop accepted")
+	}
+	if len(c.Names()) != 0 {
+		t.Error("relation survived drop")
+	}
+}
+
+func TestInsertAndRangeSearch(t *testing.T) {
+	c, _ := New(4)
+	g := grid.MustNew(16, 16)
+	if _, err := c.Create("points", g, "HCAM", 0); err != nil {
+		t.Fatal(err)
+	}
+	recs := datagen.Uniform{K: 2, Seed: 3}.Generate(500)
+	if err := c.Insert("points", recs); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := c.RangeSearch("points", []float64{0.2, 0.2}, []float64{0.8, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Records) == 0 {
+		t.Fatal("no results")
+	}
+	if err := c.Insert("missing", recs); err == nil {
+		t.Error("insert into missing relation accepted")
+	}
+	if _, err := c.RangeSearch("missing", []float64{0, 0}, []float64{0.5, 0.5}); err == nil {
+		t.Error("query on missing relation accepted")
+	}
+}
+
+func TestCreateAdvised(t *testing.T) {
+	c, _ := New(16)
+	g := grid.MustNew(64, 64)
+	qs, err := query.Placements(g, []int{1, 32}, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := []advisor.WorkloadClass{{
+		Workload: query.Workload{Name: "rows", Queries: qs},
+		Weight:   1,
+	}}
+	r, rec, err := c.CreateAdvised("scans", g, mix, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Method().Name() == "HCAM" {
+		t.Error("advisor elected HCAM for row scans; modulo family expected")
+	}
+	if rec.Best() == "" {
+		t.Error("no recommendation")
+	}
+	// The created relation's method matches the recommendation (modulo
+	// the FX* alias resolving to FX or ExFX underneath).
+	best := rec.Best()
+	if best == "FX*" {
+		if n := r.Method().Name(); n != "FX" && n != "ExFX" {
+			t.Errorf("FX* resolved to %s", n)
+		}
+	} else if r.Method().Name() != best {
+		t.Errorf("relation method %s != recommendation %s", r.Method().Name(), best)
+	}
+}
+
+func TestRedecluster(t *testing.T) {
+	c, _ := New(8)
+	g := grid.MustNew(16, 16)
+	if _, err := c.Create("r", g, "DM", 0); err != nil {
+		t.Fatal(err)
+	}
+	recs := datagen.Uniform{K: 2, Seed: 7}.Generate(1000)
+	if err := c.Insert("r", recs); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := c.RangeSearch("r", []float64{0.1, 0.1}, []float64{0.6, 0.6})
+
+	moved, err := c.Redecluster("r", "HCAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Error("no buckets moved between DM and HCAM")
+	}
+	r, _ := c.Get("r")
+	if r.Method().Name() != "HCAM" {
+		t.Errorf("method after redecluster = %s", r.Method().Name())
+	}
+	if r.File().Len() != 1000 {
+		t.Fatalf("records lost: %d", r.File().Len())
+	}
+	after, err := c.RangeSearch("r", []float64{0.1, 0.1}, []float64{0.6, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Records) != len(before.Records) {
+		t.Fatalf("query results changed: %d vs %d", len(after.Records), len(before.Records))
+	}
+}
+
+func TestRedeclusterValidation(t *testing.T) {
+	c, _ := New(8)
+	if _, err := c.Redecluster("missing", "DM"); err == nil {
+		t.Error("missing relation accepted")
+	}
+	g := grid.MustNew(12, 12) // non-pow2
+	if _, err := c.Create("r", g, "DM", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Redecluster("r", "ECC"); err == nil {
+		t.Error("inapplicable target method accepted")
+	}
+	// Failure must leave the relation untouched.
+	r, _ := c.Get("r")
+	if r.Method().Name() != "DM" {
+		t.Error("failed redecluster mutated the relation")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c, _ := New(8)
+	g1 := grid.MustNew(16, 16)
+	g2 := grid.MustNew(8, 8, 8)
+	if _, err := c.Create("orders", g1, "HCAM", 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("events", g2, "DM", 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Disks() != 8 {
+		t.Error("disks lost")
+	}
+	names := loaded.Names()
+	if len(names) != 2 || names[0] != "events" || names[1] != "orders" {
+		t.Fatalf("Names = %v", names)
+	}
+	orders, _ := loaded.Get("orders")
+	if orders.Method().Name() != "HCAM" || orders.File().PageCapacity() != 64 {
+		t.Error("orders metadata lost")
+	}
+	events, _ := loaded.Get("events")
+	if events.Method().Grid().K() != 3 {
+		t.Error("events grid lost")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version":9,"disks":2}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"disks":0}`)); err == nil {
+		t.Error("zero disks accepted")
+	}
+}
+
+func TestDumpLoadData(t *testing.T) {
+	c, _ := New(4)
+	g := grid.MustNew(8, 8)
+	if _, err := c.Create("r", g, "HCAM", 0); err != nil {
+		t.Fatal(err)
+	}
+	recs := datagen.Uniform{K: 2, Seed: 13}.Generate(300)
+	if err := c.Insert("r", recs); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.DumpData("r", &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Restore into a fresh catalog with a different method.
+	c2, _ := New(4)
+	if _, err := c2.Create("r", g, "DM", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.LoadData("r", &buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := c2.Get("r")
+	if r2.File().Len() != 300 {
+		t.Fatalf("restored %d records, want 300", r2.File().Len())
+	}
+	if err := c.DumpData("missing", &buf); err == nil {
+		t.Error("dump of missing relation accepted")
+	}
+	if err := c2.LoadData("missing", &buf); err == nil {
+		t.Error("load into missing relation accepted")
+	}
+}

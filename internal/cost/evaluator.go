@@ -1,0 +1,121 @@
+package cost
+
+import (
+	"decluster/internal/alloc"
+	"decluster/internal/grid"
+	"decluster/internal/query"
+	"decluster/internal/stats"
+)
+
+// Evaluator amortizes the per-query overheads of evaluating one method
+// over many queries: the allocation is materialized once into a flat
+// table (a single slice lookup replaces the method's per-coordinate
+// computation) and the per-disk load counters are reused across
+// queries. For table-backed methods this removes interface-call and
+// allocation overhead; for computed methods (DM, FX, ECC) it also
+// removes the arithmetic from the inner loop. The experiment harness
+// evaluates millions of (query, bucket) pairs, so this path matters —
+// see BenchmarkEvaluateWorkload.
+//
+// An Evaluator is not safe for concurrent use (shared scratch); create
+// one per goroutine.
+type Evaluator struct {
+	method alloc.Method
+	g      *grid.Grid
+	disks  int
+	table  []int
+	loads  []int
+	// strides mirror the grid's row-major linearization so the hot loop
+	// can walk bucket numbers incrementally instead of re-linearizing.
+	strides []int
+}
+
+// NewEvaluator materializes the method's allocation.
+func NewEvaluator(m alloc.Method) *Evaluator {
+	g := m.Grid()
+	strides := make([]int, g.K())
+	stride := 1
+	for i := g.K() - 1; i >= 0; i-- {
+		strides[i] = stride
+		stride *= g.Dim(i)
+	}
+	return &Evaluator{
+		method:  m,
+		g:       g,
+		disks:   m.Disks(),
+		table:   alloc.Table(m),
+		loads:   make([]int, m.Disks()),
+		strides: strides,
+	}
+}
+
+// Method returns the evaluated method.
+func (e *Evaluator) Method() alloc.Method { return e.method }
+
+// ResponseTime returns the parallel response time of the query in
+// bucket accesses, using the materialized table.
+func (e *Evaluator) ResponseTime(r grid.Rect) int {
+	for i := range e.loads {
+		e.loads[i] = 0
+	}
+	// Walk the rectangle in row-major order, maintaining the bucket
+	// number incrementally.
+	k := len(r.Lo)
+	cur := make([]int, k)
+	base := 0
+	for i := 0; i < k; i++ {
+		cur[i] = r.Lo[i]
+		base += r.Lo[i] * e.strides[i]
+	}
+	max := 0
+	n := base
+	for {
+		d := e.table[n]
+		e.loads[d]++
+		if e.loads[d] > max {
+			max = e.loads[d]
+		}
+		i := k - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			n += e.strides[i]
+			if cur[i] <= r.Hi[i] {
+				break
+			}
+			n -= (cur[i] - r.Lo[i]) * e.strides[i]
+			cur[i] = r.Lo[i]
+		}
+		if i < 0 {
+			return max
+		}
+	}
+}
+
+// Evaluate measures the method over a workload with the same aggregates
+// as the package-level Evaluate.
+func (e *Evaluator) Evaluate(w query.Workload) Result {
+	res := Result{Method: e.method.Name(), Workload: w.Name, Queries: len(w.Queries)}
+	if len(w.Queries) == 0 {
+		res.Ratio = 1
+		return res
+	}
+	sumRT, sumOpt, optimalCount := 0, 0, 0
+	for _, q := range w.Queries {
+		rt := e.ResponseTime(q)
+		opt := OptimalRT(q.Volume(), e.disks)
+		sumRT += rt
+		sumOpt += opt
+		if rt == opt {
+			optimalCount++
+		}
+		if rt > res.WorstRT {
+			res.WorstRT = rt
+		}
+	}
+	n := float64(len(w.Queries))
+	res.MeanRT = float64(sumRT) / n
+	res.MeanOpt = float64(sumOpt) / n
+	res.Ratio = stats.Ratio(res.MeanRT, res.MeanOpt)
+	res.FracOptimal = float64(optimalCount) / n
+	return res
+}

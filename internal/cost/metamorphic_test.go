@@ -1,0 +1,107 @@
+package cost
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"decluster/internal/alloc"
+	"decluster/internal/grid"
+)
+
+// Relabeling disks must not change any response time: RT depends only
+// on the partition of buckets, not the disk names.
+func TestRelabelingInvariance(t *testing.T) {
+	g := grid.MustNew(16, 16)
+	base, _ := alloc.NewHCAM(g, 8)
+	rng := rand.New(rand.NewSource(5))
+	perm := rng.Perm(8)
+	relabeled := make([]int, g.Buckets())
+	for b, d := range alloc.Table(base) {
+		relabeled[b] = perm[d]
+	}
+	ta, err := alloc.NewTable("relabel", g, 8, relabeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		lo0, lo1 := rng.Intn(16), rng.Intn(16)
+		hi0 := lo0 + rng.Intn(16-lo0)
+		hi1 := lo1 + rng.Intn(16-lo1)
+		r := g.MustRect(grid.Coord{lo0, lo1}, grid.Coord{hi0, hi1})
+		if ResponseTime(base, r) != ResponseTime(ta, r) {
+			t.Fatalf("relabeling changed RT on %v", r)
+		}
+	}
+}
+
+// DM's response time is invariant under translating a query by any
+// vector whose coordinate sum is a multiple of M — the structure behind
+// its anti-diagonal stripes.
+func TestDMTranslationInvariance(t *testing.T) {
+	g := grid.MustNew(32, 32)
+	dm, _ := alloc.NewDM(g, 4)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		lo0, lo1 := rng.Intn(16), rng.Intn(16)
+		s0, s1 := 1+rng.Intn(8), 1+rng.Intn(8)
+		r := g.MustRect(grid.Coord{lo0, lo1}, grid.Coord{lo0 + s0 - 1, lo1 + s1 - 1})
+		// Translate by (2, 2): sum 4 ≡ 0 (mod 4).
+		shifted := g.MustRect(
+			grid.Coord{lo0 + 2, lo1 + 2},
+			grid.Coord{lo0 + s0 + 1, lo1 + s1 + 1})
+		if ResponseTime(dm, r) != ResponseTime(dm, shifted) {
+			t.Fatalf("DM RT changed under (2,2) translation of %v", r)
+		}
+	}
+}
+
+// In fact DM's RT is invariant under ANY translation: the multiset of
+// residues (i+j) mod M over a fixed-shape box does not depend on the
+// box position... only on the position's sum mod M, which merely
+// rotates the residues. Verify the stronger claim.
+func TestDMAnyTranslationInvariance(t *testing.T) {
+	g := grid.MustNew(32, 32)
+	dm, _ := alloc.NewDM(g, 5)
+	shape := []int{3, 4}
+	want := -1
+	_, err := g.Placements(shape, func(r grid.Rect) bool {
+		rt := ResponseTime(dm, r)
+		if want < 0 {
+			want = rt
+		} else if rt != want {
+			t.Fatalf("DM RT %d at %v; %d elsewhere", rt, r, want)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// All Method implementations must be safe for concurrent readers: the
+// allocation is immutable after construction.
+func TestConcurrentDiskOfSafety(t *testing.T) {
+	g := grid.MustNew(32, 32)
+	methods := alloc.PaperSet(g, 8)
+	rnd, _ := alloc.NewRandom(g, 8, 1)
+	methods = append(methods, rnd)
+	var wg sync.WaitGroup
+	for _, m := range methods {
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(m alloc.Method, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 2000; i++ {
+					c := grid.Coord{rng.Intn(32), rng.Intn(32)}
+					if d := m.DiskOf(c); d < 0 || d >= 8 {
+						t.Errorf("%s: disk %d out of range", m.Name(), d)
+						return
+					}
+				}
+			}(m, int64(w))
+		}
+	}
+	wg.Wait()
+}

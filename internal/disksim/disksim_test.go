@@ -1,0 +1,166 @@
+package disksim
+
+import (
+	"testing"
+	"time"
+
+	"decluster/internal/gridfile"
+)
+
+func testModel() Model {
+	return Model{Seek: 10 * time.Millisecond, Rotation: 5 * time.Millisecond, PageTransfer: time.Millisecond}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Model{}); err == nil {
+		t.Error("zero transfer accepted")
+	}
+	if _, err := New(Model{Seek: -1, PageTransfer: 1}); err == nil {
+		t.Error("negative seek accepted")
+	}
+	if _, err := New(Model{Rotation: -1, PageTransfer: 1}); err == nil {
+		t.Error("negative rotation accepted")
+	}
+	s, err := New(testModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Model() != testModel() {
+		t.Error("model not stored")
+	}
+}
+
+func TestPresetModelsValid(t *testing.T) {
+	if err := Default1993().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := Modern().Validate(); err != nil {
+		t.Error(err)
+	}
+	if Modern().PageTransfer >= Default1993().PageTransfer {
+		t.Error("modern disk not faster")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	s, _ := New(testModel())
+	tr := gridfile.Trace{PerDisk: make([][]gridfile.Access, 4)}
+	if s.ResponseTime(tr) != 0 || s.SerialTime(tr) != 0 {
+		t.Error("empty trace has nonzero time")
+	}
+	if s.Speedup(tr) != 1 {
+		t.Error("empty trace speedup != 1")
+	}
+}
+
+func TestSingleAccess(t *testing.T) {
+	s, _ := New(testModel())
+	tr := gridfile.Trace{PerDisk: [][]gridfile.Access{
+		{{Bucket: 3, Pages: 2}},
+	}}
+	// seek 10 + rot 5 + 2 pages × 1 = 17ms
+	want := 17 * time.Millisecond
+	if got := s.ResponseTime(tr); got != want {
+		t.Fatalf("ResponseTime = %v, want %v", got, want)
+	}
+}
+
+func TestSequentialAdjacencySkipsSeek(t *testing.T) {
+	s, _ := New(testModel())
+	// Buckets 5 and 6 on one disk: second access is sequential.
+	tr := gridfile.Trace{PerDisk: [][]gridfile.Access{
+		{{Bucket: 5, Pages: 1}, {Bucket: 6, Pages: 1}},
+	}}
+	// seek+rot (15) + 1 + 1 = 17
+	want := 17 * time.Millisecond
+	if got := s.ResponseTime(tr); got != want {
+		t.Fatalf("ResponseTime = %v, want %v", got, want)
+	}
+	// Buckets 5 and 7: both pay seek.
+	tr2 := gridfile.Trace{PerDisk: [][]gridfile.Access{
+		{{Bucket: 5, Pages: 1}, {Bucket: 7, Pages: 1}},
+	}}
+	want2 := 32 * time.Millisecond
+	if got := s.ResponseTime(tr2); got != want2 {
+		t.Fatalf("ResponseTime = %v, want %v", got, want2)
+	}
+}
+
+func TestElevatorOrdering(t *testing.T) {
+	s, _ := New(testModel())
+	// Accesses arrive out of order; elevator order makes them
+	// sequential: 4,5,6 → one seek.
+	tr := gridfile.Trace{PerDisk: [][]gridfile.Access{
+		{{Bucket: 6, Pages: 1}, {Bucket: 4, Pages: 1}, {Bucket: 5, Pages: 1}},
+	}}
+	want := 18 * time.Millisecond // 15 + 3×1
+	if got := s.ResponseTime(tr); got != want {
+		t.Fatalf("ResponseTime = %v, want %v", got, want)
+	}
+}
+
+func TestParallelResponseIsMax(t *testing.T) {
+	s, _ := New(testModel())
+	tr := gridfile.Trace{PerDisk: [][]gridfile.Access{
+		{{Bucket: 0, Pages: 1}},                          // 16ms
+		{{Bucket: 10, Pages: 5}},                         // 20ms
+		{{Bucket: 20, Pages: 1}, {Bucket: 30, Pages: 1}}, // 32ms
+	}}
+	if got := s.ResponseTime(tr); got != 32*time.Millisecond {
+		t.Fatalf("ResponseTime = %v, want 32ms", got)
+	}
+	if got := s.SerialTime(tr); got != 68*time.Millisecond {
+		t.Fatalf("SerialTime = %v, want 68ms", got)
+	}
+	speedup := s.Speedup(tr)
+	if speedup < 2.1 || speedup > 2.2 { // 68/32 = 2.125
+		t.Fatalf("Speedup = %v, want 2.125", speedup)
+	}
+}
+
+func TestDiskTimesPerDisk(t *testing.T) {
+	s, _ := New(testModel())
+	tr := gridfile.Trace{PerDisk: [][]gridfile.Access{
+		nil,
+		{{Bucket: 1, Pages: 3}},
+	}}
+	times := s.DiskTimes(tr)
+	if len(times) != 2 {
+		t.Fatalf("DiskTimes has %d entries", len(times))
+	}
+	if times[0] != 0 {
+		t.Error("idle disk has nonzero time")
+	}
+	if times[1] != 18*time.Millisecond {
+		t.Errorf("disk 1 time = %v, want 18ms", times[1])
+	}
+}
+
+func TestBatchResponseTime(t *testing.T) {
+	s, _ := New(testModel())
+	q1 := gridfile.Trace{PerDisk: [][]gridfile.Access{
+		{{Bucket: 0, Pages: 1}}, // disk0: 16
+		{{Bucket: 1, Pages: 1}}, // disk1: 16
+	}}
+	q2 := gridfile.Trace{PerDisk: [][]gridfile.Access{
+		{{Bucket: 2, Pages: 1}}, // disk0: +16
+		nil,
+	}}
+	got := s.BatchResponseTime([]gridfile.Trace{q1, q2})
+	if got != 32*time.Millisecond {
+		t.Fatalf("BatchResponseTime = %v, want 32ms", got)
+	}
+	if s.BatchResponseTime(nil) != 0 {
+		t.Error("empty batch nonzero")
+	}
+}
+
+func TestServeDoesNotMutateTrace(t *testing.T) {
+	s, _ := New(testModel())
+	accesses := []gridfile.Access{{Bucket: 9, Pages: 1}, {Bucket: 2, Pages: 1}}
+	tr := gridfile.Trace{PerDisk: [][]gridfile.Access{accesses}}
+	s.ResponseTime(tr)
+	if accesses[0].Bucket != 9 || accesses[1].Bucket != 2 {
+		t.Fatal("simulator reordered the caller's trace")
+	}
+}

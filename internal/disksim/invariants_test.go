@@ -1,0 +1,90 @@
+package disksim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"decluster/internal/gridfile"
+)
+
+// randomTrace builds a trace with random accesses over the given disks.
+func randomTrace(rng *rand.Rand, disks int) gridfile.Trace {
+	t := gridfile.Trace{PerDisk: make([][]gridfile.Access, disks)}
+	for d := 0; d < disks; d++ {
+		n := rng.Intn(5)
+		for i := 0; i < n; i++ {
+			t.PerDisk[d] = append(t.PerDisk[d], gridfile.Access{
+				Bucket: rng.Intn(100),
+				Pages:  1 + rng.Intn(4),
+			})
+		}
+	}
+	return t
+}
+
+// Parallel response never exceeds serial time, and serial time never
+// exceeds disks × response (work conservation bounds).
+func TestResponseSerialBounds(t *testing.T) {
+	s, _ := New(testModel())
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		tr := randomTrace(rng, 1+rng.Intn(8))
+		rt := s.ResponseTime(tr)
+		serial := s.SerialTime(tr)
+		if rt > serial {
+			t.Fatalf("response %v exceeds serial %v", rt, serial)
+		}
+		if bound := time.Duration(len(tr.PerDisk)) * rt; serial > bound {
+			t.Fatalf("serial %v exceeds disks×response %v", serial, bound)
+		}
+	}
+}
+
+// Batch makespan of a set never beats the largest single makespan and
+// never exceeds the sum of all makespans.
+func TestBatchBounds(t *testing.T) {
+	s, _ := New(testModel())
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		var traces []gridfile.Trace
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			traces = append(traces, randomTrace(rng, 4))
+		}
+		batch := s.BatchResponseTime(traces)
+		var maxSingle, sumSingle int64
+		for _, tr := range traces {
+			rt := int64(s.ResponseTime(tr))
+			if rt > maxSingle {
+				maxSingle = rt
+			}
+			sumSingle += rt
+		}
+		if int64(batch) < maxSingle {
+			t.Fatalf("batch %v below largest single %v", batch, maxSingle)
+		}
+		if int64(batch) > sumSingle {
+			t.Fatalf("batch %v above sum of singles %v (max-of-sums ≤ sum-of-maxes)", batch, sumSingle)
+		}
+	}
+}
+
+// Adding pages to any access can only slow the trace down.
+func TestMonotoneInPages(t *testing.T) {
+	s, _ := New(testModel())
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		tr := randomTrace(rng, 4)
+		base := s.ResponseTime(tr)
+		// Inflate one random access.
+		d := rng.Intn(4)
+		if len(tr.PerDisk[d]) == 0 {
+			continue
+		}
+		tr.PerDisk[d][rng.Intn(len(tr.PerDisk[d]))].Pages += 3
+		if s.ResponseTime(tr) < base {
+			t.Fatal("adding pages reduced response time")
+		}
+	}
+}

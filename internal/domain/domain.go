@@ -1,0 +1,255 @@
+// Package domain maps typed attribute values — integers, floats,
+// timestamps, ordered categories, free strings — onto the normalized
+// [0, 1) axes the grid file partitions. It is the adapter between real
+// relations and the declustering machinery: a Schema binds one scaler
+// per attribute, builds records from typed tuples, and translates typed
+// range predicates into normalized bounds.
+package domain
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"decluster/internal/datagen"
+)
+
+// Scaler maps one attribute's typed values into [0, 1).
+type Scaler interface {
+	// Name describes the scaler.
+	Name() string
+	// Scale converts a value. The concrete value type each scaler
+	// accepts is documented on the implementation; a mismatch is an
+	// error, not a panic.
+	Scale(v interface{}) (float64, error)
+	// Ordered reports whether the scaler preserves ordering — required
+	// for meaningful range predicates on the attribute. Hash scalers
+	// are unordered: only point/partial-match predicates make sense.
+	Ordered() bool
+}
+
+// Ints scales int64 values from the inclusive range [Min, Max].
+type Ints struct {
+	Min, Max int64
+}
+
+// Name implements Scaler.
+func (s Ints) Name() string { return fmt.Sprintf("ints[%d..%d]", s.Min, s.Max) }
+
+// Ordered implements Scaler.
+func (s Ints) Ordered() bool { return true }
+
+// Scale implements Scaler; it accepts int, int32 and int64.
+func (s Ints) Scale(v interface{}) (float64, error) {
+	var x int64
+	switch t := v.(type) {
+	case int:
+		x = int64(t)
+	case int32:
+		x = int64(t)
+	case int64:
+		x = t
+	default:
+		return 0, fmt.Errorf("domain: %s: unsupported type %T", s.Name(), v)
+	}
+	if s.Max <= s.Min {
+		return 0, fmt.Errorf("domain: %s: empty range", s.Name())
+	}
+	if x < s.Min || x > s.Max {
+		return 0, fmt.Errorf("domain: %s: value %d out of range", s.Name(), x)
+	}
+	return float64(x-s.Min) / float64(s.Max-s.Min+1), nil
+}
+
+// Floats scales float64 values from the half-open range [Min, Max).
+type Floats struct {
+	Min, Max float64
+}
+
+// Name implements Scaler.
+func (s Floats) Name() string { return fmt.Sprintf("floats[%g..%g)", s.Min, s.Max) }
+
+// Ordered implements Scaler.
+func (s Floats) Ordered() bool { return true }
+
+// Scale implements Scaler; it accepts float32 and float64.
+func (s Floats) Scale(v interface{}) (float64, error) {
+	var x float64
+	switch t := v.(type) {
+	case float32:
+		x = float64(t)
+	case float64:
+		x = t
+	default:
+		return 0, fmt.Errorf("domain: %s: unsupported type %T", s.Name(), v)
+	}
+	if !(s.Max > s.Min) {
+		return 0, fmt.Errorf("domain: %s: empty range", s.Name())
+	}
+	if x < s.Min || x >= s.Max || math.IsNaN(x) {
+		return 0, fmt.Errorf("domain: %s: value %v out of range", s.Name(), x)
+	}
+	return (x - s.Min) / (s.Max - s.Min), nil
+}
+
+// Times scales time.Time values from the half-open interval
+// [Start, End).
+type Times struct {
+	Start, End time.Time
+}
+
+// Name implements Scaler.
+func (s Times) Name() string {
+	return fmt.Sprintf("times[%s..%s)", s.Start.Format(time.RFC3339), s.End.Format(time.RFC3339))
+}
+
+// Ordered implements Scaler.
+func (s Times) Ordered() bool { return true }
+
+// Scale implements Scaler; it accepts time.Time.
+func (s Times) Scale(v interface{}) (float64, error) {
+	t, ok := v.(time.Time)
+	if !ok {
+		return 0, fmt.Errorf("domain: %s: unsupported type %T", s.Name(), v)
+	}
+	if !s.End.After(s.Start) {
+		return 0, fmt.Errorf("domain: %s: empty interval", s.Name())
+	}
+	if t.Before(s.Start) || !t.Before(s.End) {
+		return 0, fmt.Errorf("domain: %s: time %v out of interval", s.Name(), t)
+	}
+	span := float64(s.End.Sub(s.Start))
+	return float64(t.Sub(s.Start)) / span, nil
+}
+
+// Enum scales an ordered categorical attribute: values map to equal
+// slots in declaration order.
+type Enum struct {
+	Values []string
+	index  map[string]int
+}
+
+// NewEnum builds an enum scaler, rejecting duplicates.
+func NewEnum(values ...string) (*Enum, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("domain: enum needs at least one value")
+	}
+	idx := make(map[string]int, len(values))
+	for i, v := range values {
+		if _, dup := idx[v]; dup {
+			return nil, fmt.Errorf("domain: enum value %q repeated", v)
+		}
+		idx[v] = i
+	}
+	return &Enum{Values: values, index: idx}, nil
+}
+
+// Name implements Scaler.
+func (s *Enum) Name() string { return fmt.Sprintf("enum(%d values)", len(s.Values)) }
+
+// Ordered implements Scaler.
+func (s *Enum) Ordered() bool { return true }
+
+// Scale implements Scaler; it accepts string.
+func (s *Enum) Scale(v interface{}) (float64, error) {
+	str, ok := v.(string)
+	if !ok {
+		return 0, fmt.Errorf("domain: %s: unsupported type %T", s.Name(), v)
+	}
+	i, ok := s.index[str]
+	if !ok {
+		return 0, fmt.Errorf("domain: %s: unknown value %q", s.Name(), str)
+	}
+	return float64(i) / float64(len(s.Values)), nil
+}
+
+// Hash scales arbitrary strings by FNV-1a hashing — uniform but
+// order-destroying: suitable for point and partial-match predicates
+// only.
+type Hash struct{}
+
+// Name implements Scaler.
+func (Hash) Name() string { return "hash" }
+
+// Ordered implements Scaler.
+func (Hash) Ordered() bool { return false }
+
+// Scale implements Scaler; it accepts string.
+func (Hash) Scale(v interface{}) (float64, error) {
+	str, ok := v.(string)
+	if !ok {
+		return 0, fmt.Errorf("domain: hash: unsupported type %T", v)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(str))
+	// Use the top 53 bits for a uniform float in [0, 1).
+	return float64(h.Sum64()>>11) / float64(1<<53), nil
+}
+
+// Schema binds one scaler per attribute of a relation.
+type Schema struct {
+	scalers []Scaler
+}
+
+// NewSchema builds a schema; at least one attribute is required.
+func NewSchema(scalers ...Scaler) (*Schema, error) {
+	if len(scalers) == 0 {
+		return nil, fmt.Errorf("domain: schema needs at least one attribute")
+	}
+	for i, s := range scalers {
+		if s == nil {
+			return nil, fmt.Errorf("domain: attribute %d has nil scaler", i)
+		}
+	}
+	return &Schema{scalers: scalers}, nil
+}
+
+// K returns the number of attributes.
+func (s *Schema) K() int { return len(s.scalers) }
+
+// Scaler returns the scaler of attribute i.
+func (s *Schema) Scaler(i int) Scaler { return s.scalers[i] }
+
+// Record builds a normalized record from a typed tuple.
+func (s *Schema) Record(id int, values ...interface{}) (datagen.Record, error) {
+	if len(values) != len(s.scalers) {
+		return datagen.Record{}, fmt.Errorf("domain: tuple has %d values; schema has %d attributes",
+			len(values), len(s.scalers))
+	}
+	rec := datagen.Record{ID: id, Values: make([]float64, len(values))}
+	for i, v := range values {
+		f, err := s.scalers[i].Scale(v)
+		if err != nil {
+			return datagen.Record{}, fmt.Errorf("domain: attribute %d: %w", i, err)
+		}
+		rec.Values[i] = f
+	}
+	return rec, nil
+}
+
+// Range translates a typed inclusive range predicate on attribute i
+// into normalized bounds usable with GridFile.RangeSearch. It rejects
+// unordered scalers, whose normalized images are meaningless as
+// intervals.
+func (s *Schema) Range(i int, lo, hi interface{}) (nlo, nhi float64, err error) {
+	if i < 0 || i >= len(s.scalers) {
+		return 0, 0, fmt.Errorf("domain: attribute %d out of range", i)
+	}
+	sc := s.scalers[i]
+	if !sc.Ordered() {
+		return 0, 0, fmt.Errorf("domain: attribute %d (%s) is unordered; range predicates unsupported", i, sc.Name())
+	}
+	nlo, err = sc.Scale(lo)
+	if err != nil {
+		return 0, 0, err
+	}
+	nhi, err = sc.Scale(hi)
+	if err != nil {
+		return 0, 0, err
+	}
+	if nlo > nhi {
+		return 0, 0, fmt.Errorf("domain: attribute %d: inverted range", i)
+	}
+	return nlo, nhi, nil
+}

@@ -1,0 +1,211 @@
+package domain
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestIntsScale(t *testing.T) {
+	s := Ints{Min: 10, Max: 19}
+	cases := []struct {
+		v    interface{}
+		want float64
+	}{
+		{int64(10), 0.0},
+		{int(15), 0.5},
+		{int32(19), 0.9},
+	}
+	for _, tc := range cases {
+		got, err := s.Scale(tc.v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("Scale(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+		if got < 0 || got >= 1 {
+			t.Errorf("Scale(%v) = %v outside [0,1)", tc.v, got)
+		}
+	}
+	if _, err := s.Scale(int64(9)); err == nil {
+		t.Error("below-range value accepted")
+	}
+	if _, err := s.Scale(int64(20)); err == nil {
+		t.Error("above-range value accepted")
+	}
+	if _, err := s.Scale("x"); err == nil {
+		t.Error("wrong type accepted")
+	}
+	if _, err := (Ints{Min: 5, Max: 5}).Scale(int64(5)); err == nil {
+		t.Error("empty range accepted")
+	}
+	if !s.Ordered() {
+		t.Error("Ints not ordered")
+	}
+}
+
+func TestFloatsScale(t *testing.T) {
+	s := Floats{Min: -10, Max: 10}
+	got, err := s.Scale(0.0)
+	if err != nil || got != 0.5 {
+		t.Errorf("Scale(0) = %v, %v", got, err)
+	}
+	if _, err := s.Scale(float32(-5)); err != nil {
+		t.Errorf("float32 rejected: %v", err)
+	}
+	if _, err := s.Scale(10.0); err == nil {
+		t.Error("upper bound accepted (half-open)")
+	}
+	if _, err := s.Scale("x"); err == nil {
+		t.Error("wrong type accepted")
+	}
+	if _, err := (Floats{Min: 1, Max: 1}).Scale(1.0); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestTimesScale(t *testing.T) {
+	start := time.Date(1994, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := time.Date(1995, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := Times{Start: start, End: end}
+	mid := start.Add(end.Sub(start) / 2)
+	got, err := s.Scale(mid)
+	if err != nil || got != 0.5 {
+		t.Errorf("Scale(mid) = %v, %v", got, err)
+	}
+	if _, err := s.Scale(end); err == nil {
+		t.Error("end accepted (half-open)")
+	}
+	if _, err := s.Scale(start.Add(-time.Hour)); err == nil {
+		t.Error("before-start accepted")
+	}
+	if _, err := s.Scale(42); err == nil {
+		t.Error("wrong type accepted")
+	}
+	if !s.Ordered() {
+		t.Error("Times not ordered")
+	}
+}
+
+func TestEnumScale(t *testing.T) {
+	s, err := NewEnum("bronze", "silver", "gold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []string{"bronze", "silver", "gold"} {
+		got, err := s.Scale(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(i) / 3
+		if got != want {
+			t.Errorf("Scale(%s) = %v, want %v", v, got, want)
+		}
+	}
+	if _, err := s.Scale("platinum"); err == nil {
+		t.Error("unknown value accepted")
+	}
+	if _, err := s.Scale(1); err == nil {
+		t.Error("wrong type accepted")
+	}
+	if _, err := NewEnum(); err == nil {
+		t.Error("empty enum accepted")
+	}
+	if _, err := NewEnum("a", "a"); err == nil {
+		t.Error("duplicate enum accepted")
+	}
+}
+
+func TestHashScale(t *testing.T) {
+	var s Hash
+	a, err := s.Scale("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Scale("hello")
+	c, _ := s.Scale("world")
+	if a != b {
+		t.Error("hash not deterministic")
+	}
+	if a == c {
+		t.Error("distinct strings collide (astronomically unlikely)")
+	}
+	if a < 0 || a >= 1 {
+		t.Errorf("hash value %v outside [0,1)", a)
+	}
+	if s.Ordered() {
+		t.Error("Hash claims ordering")
+	}
+	if _, err := s.Scale(5); err == nil {
+		t.Error("wrong type accepted")
+	}
+}
+
+func TestSchemaRecord(t *testing.T) {
+	enum, _ := NewEnum("a", "b")
+	schema, err := NewSchema(Ints{Min: 0, Max: 99}, enum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.K() != 2 {
+		t.Error("K wrong")
+	}
+	rec, err := schema.Record(7, int64(50), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != 7 || rec.Values[0] != 0.5 || rec.Values[1] != 0.5 {
+		t.Errorf("Record = %+v", rec)
+	}
+	if _, err := schema.Record(0, int64(50)); err == nil {
+		t.Error("short tuple accepted")
+	}
+	if _, err := schema.Record(0, int64(200), "a"); err == nil {
+		t.Error("out-of-range attribute accepted")
+	}
+	if schema.Scaler(1) != Scaler(enum) {
+		t.Error("Scaler accessor wrong")
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := NewSchema(nil); err == nil {
+		t.Error("nil scaler accepted")
+	}
+}
+
+func TestSchemaRange(t *testing.T) {
+	schema, _ := NewSchema(Ints{Min: 0, Max: 99}, Hash{})
+	lo, hi, err := schema.Range(0, int64(25), int64(74))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0.25 || hi != 0.74 {
+		t.Errorf("Range = [%v, %v]", lo, hi)
+	}
+	if _, _, err := schema.Range(1, "a", "b"); err == nil {
+		t.Error("range on unordered attribute accepted")
+	}
+	if _, _, err := schema.Range(0, int64(74), int64(25)); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, _, err := schema.Range(5, int64(1), int64(2)); err == nil {
+		t.Error("attribute index out of range accepted")
+	}
+	if _, _, err := schema.Range(0, "x", int64(2)); err == nil {
+		t.Error("mistyped bound accepted")
+	}
+}
+
+func TestScalerNames(t *testing.T) {
+	enum, _ := NewEnum("x")
+	for _, s := range []Scaler{Ints{0, 1}, Floats{0, 1}, Times{time.Unix(0, 0), time.Unix(1, 0)}, enum, Hash{}} {
+		if strings.TrimSpace(s.Name()) == "" {
+			t.Errorf("%T has empty name", s)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package dyngrid
+
+import (
+	"math"
+	"testing"
+
+	"decluster/internal/datagen"
+)
+
+// FuzzInsertInvariants feeds fuzzed record streams into a small-capacity
+// file and checks the structural invariants after every batch.
+func FuzzInsertInvariants(f *testing.F) {
+	f.Add(int64(1), uint8(50), uint8(4))
+	f.Add(int64(7), uint8(200), uint8(2))
+	f.Add(int64(42), uint8(120), uint8(8))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, capRaw uint8) {
+		n := int(nRaw)%300 + 1
+		capacity := int(capRaw)%16 + 1
+		file, err := New(Config{K: 2, Disks: 3, Capacity: capacity})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := datagen.Clustered{K: 2, Seed: seed, Clusters: 2, Sigma: 0.02}.Generate(n)
+		if err := file.InsertAll(recs); err != nil {
+			t.Fatal(err)
+		}
+		if file.Len() != n {
+			t.Fatalf("Len = %d, want %d", file.Len(), n)
+		}
+		if err := file.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after %d inserts (capacity %d): %v", n, capacity, err)
+		}
+		// Full scan must return everything exactly once. Records can
+		// carry values up to Nextafter(1, 0) (datagen clamps there), so
+		// the scan bound must reach it.
+		top := math.Nextafter(1, 0)
+		rs, err := file.RangeSearch([]float64{0, 0}, []float64{top, top})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs.Records) != n {
+			t.Fatalf("full scan returned %d of %d records", len(rs.Records), n)
+		}
+	})
+}

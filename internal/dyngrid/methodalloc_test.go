@@ -1,0 +1,110 @@
+package dyngrid
+
+import (
+	"testing"
+
+	"decluster/internal/alloc"
+	"decluster/internal/datagen"
+	"decluster/internal/grid"
+)
+
+func TestMethodAllocatorValidation(t *testing.T) {
+	if _, err := MethodAllocator(nil); err == nil {
+		t.Error("nil method accepted")
+	}
+}
+
+func TestMethodAllocatorDisksMismatchPanics(t *testing.T) {
+	g := grid.MustNew(16, 16)
+	m, _ := alloc.NewDM(g, 8)
+	a, err := MethodAllocator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("disk-count mismatch did not panic")
+		}
+	}()
+	a([]float64{0, 0}, []float64{1, 1}, 4)
+}
+
+func TestDynamicFileWithHCAMAllocator(t *testing.T) {
+	g := grid.MustNew(32, 32)
+	m, err := alloc.NewHCAM(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := MethodAllocator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(Config{K: 2, Disks: 4, Capacity: 8, Allocate: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := datagen.Uniform{K: 2, Seed: 17}.Generate(3000)
+	if err := f.InsertAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// All disks must be in use, and a spatially compact query should
+	// fan out: the whole point of method-based dynamic allocation.
+	rs, err := f.RangeSearch([]float64{0.3, 0.3}, []float64{0.6, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := 0
+	for _, as := range rs.Trace.PerDisk {
+		if len(as) > 0 {
+			used++
+		}
+	}
+	if used < 3 {
+		t.Fatalf("compact query touched only %d/4 disks under HCAM allocation", used)
+	}
+}
+
+// Method-based dynamic allocation should spread compact queries at
+// least as well as creation-order round robin on clustered data, where
+// round robin correlates bucket creation order with space.
+func TestMethodAllocatorBeatsRoundRobinOnClusters(t *testing.T) {
+	g := grid.MustNew(32, 32)
+	m, _ := alloc.NewHCAM(g, 4)
+	ma, _ := MethodAllocator(m)
+
+	build := func(a Allocator) *File {
+		f, err := New(Config{K: 2, Disks: 4, Capacity: 8, Allocate: a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := datagen.Uniform{K: 2, Seed: 23}.Generate(3000)
+		if err := f.InsertAll(recs); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	maxPages := func(f *File) int {
+		total := 0
+		n := 0
+		for x := 0.0; x < 0.9; x += 0.15 {
+			for y := 0.0; y < 0.9; y += 0.15 {
+				rs, err := f.RangeSearch([]float64{x, y}, []float64{x + 0.1, y + 0.1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				total += rs.Trace.MaxDiskPages()
+				n++
+			}
+		}
+		return total
+	}
+	methodCost := maxPages(build(ma))
+	rrCost := maxPages(build(RoundRobin()))
+	// Method allocation must be competitive: not worse than 120% of RR.
+	if float64(methodCost) > 1.2*float64(rrCost) {
+		t.Fatalf("HCAM-based allocation cost %d vs round robin %d", methodCost, rrCost)
+	}
+}

@@ -1,0 +1,225 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"decluster/internal/gf2"
+)
+
+func TestNewShortenedHammingValidation(t *testing.T) {
+	cases := []struct {
+		n, r int
+		ok   bool
+	}{
+		{7, 3, true},
+		{4, 2, true},
+		{1, 1, true},
+		{0, 3, false},
+		{65, 3, false},
+		{7, 0, false},
+		{7, 64, false},
+	}
+	for _, tc := range cases {
+		_, err := NewShortenedHamming(tc.n, tc.r)
+		if (err == nil) != tc.ok {
+			t.Errorf("NewShortenedHamming(%d,%d) err=%v, want ok=%v", tc.n, tc.r, err, tc.ok)
+		}
+	}
+}
+
+func TestHamming74Properties(t *testing.T) {
+	c, err := NewShortenedHamming(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Length() != 7 || c.ParityBits() != 3 || c.Syndromes() != 8 {
+		t.Fatal("shape accessors wrong")
+	}
+	if d := c.MinDistance(); d != 3 {
+		t.Fatalf("MinDistance = %d, want 3 (Hamming(7,4))", d)
+	}
+	// Codeword count: 2^(n-r) = 16.
+	count := 0
+	for x := gf2.Vec(0); x < 128; x++ {
+		if c.IsCodeword(x) {
+			count++
+		}
+	}
+	if count != 16 {
+		t.Fatalf("codeword count = %d, want 16", count)
+	}
+}
+
+func TestShortenedDistance3(t *testing.T) {
+	// Shortened Hamming: n=5 ≤ 2^3−1 → distance still 3.
+	c, _ := NewShortenedHamming(5, 3)
+	if d := c.MinDistance(); d != 3 {
+		t.Fatalf("MinDistance = %d, want 3", d)
+	}
+}
+
+func TestColumnsDistinctWhilePossible(t *testing.T) {
+	c, _ := NewShortenedHamming(7, 3)
+	h := c.ParityCheck()
+	seen := make(map[gf2.Vec]bool)
+	for col := 0; col < 7; col++ {
+		v := h.Column(col)
+		if v == 0 {
+			t.Fatalf("column %d is zero", col)
+		}
+		if seen[v] {
+			t.Fatalf("column %d = %v repeated before exhausting nonzero vectors", col, v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestColumnsRepeatPastLimit(t *testing.T) {
+	// n=10 > 2^3−1=7: columns must repeat but never be zero.
+	c, _ := NewShortenedHamming(10, 3)
+	h := c.ParityCheck()
+	for col := 0; col < 10; col++ {
+		if h.Column(col) == 0 {
+			t.Fatalf("column %d is zero", col)
+		}
+	}
+}
+
+// Cosets partition the word space evenly when H has full row rank.
+func TestCosetsPartitionEvenly(t *testing.T) {
+	c, _ := NewShortenedHamming(6, 2)
+	counts := make([]int, c.Syndromes())
+	for x := gf2.Vec(0); x < 64; x++ {
+		counts[c.Syndrome(x)]++
+	}
+	for s, n := range counts {
+		if n != 16 {
+			t.Fatalf("syndrome %d has %d words, want 16", s, n)
+		}
+	}
+}
+
+func TestSyndromeLinearity(t *testing.T) {
+	c, _ := NewShortenedHamming(8, 3)
+	f := func(a, b uint8) bool {
+		x, y := gf2.Vec(a), gf2.Vec(b)
+		return c.Syndrome(x^y) == c.Syndrome(x)^c.Syndrome(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosetLeaderWeightOne(t *testing.T) {
+	// Hamming(7,4): every nonzero syndrome has a weight-1 coset leader.
+	c, _ := NewShortenedHamming(7, 3)
+	for s := 1; s < 8; s++ {
+		leader, err := c.CosetLeader(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leader.Weight() != 1 {
+			t.Errorf("syndrome %d: leader weight %d, want 1", s, leader.Weight())
+		}
+		if c.Syndrome(leader) != s {
+			t.Errorf("syndrome %d: leader has syndrome %d", s, c.Syndrome(leader))
+		}
+	}
+	if leader, err := c.CosetLeader(0); err != nil || leader != 0 {
+		t.Error("zero syndrome must have zero leader")
+	}
+}
+
+func TestCosetLeaderValidation(t *testing.T) {
+	c, _ := NewShortenedHamming(7, 3)
+	if _, err := c.CosetLeader(-1); err == nil {
+		t.Error("negative syndrome accepted")
+	}
+	if _, err := c.CosetLeader(8); err == nil {
+		t.Error("overflow syndrome accepted")
+	}
+}
+
+func TestCosetLeaderUnreachable(t *testing.T) {
+	// Zero parity-check row → syndromes with that bit set are unreachable.
+	h := gf2.MustMatrix(3, gf2.Vec(0b111), gf2.Vec(0))
+	c, err := NewFromParityCheck(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CosetLeader(0b10); err == nil {
+		t.Error("unreachable syndrome accepted")
+	}
+}
+
+// Correct must fix every single-bit error in a distance-3 code.
+func TestCorrectSingleErrors(t *testing.T) {
+	c, _ := NewShortenedHamming(7, 3)
+	for x := gf2.Vec(0); x < 128; x++ {
+		if !c.IsCodeword(x) {
+			continue
+		}
+		for bit := 0; bit < 7; bit++ {
+			corrupted := x ^ 1<<uint(bit)
+			fixed, err := c.Correct(corrupted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fixed != x {
+				t.Fatalf("codeword %07b, error bit %d: corrected to %07b", x, bit, fixed)
+			}
+		}
+	}
+}
+
+func TestCorrectLeavesCodewordsAlone(t *testing.T) {
+	c, _ := NewShortenedHamming(7, 3)
+	for x := gf2.Vec(0); x < 128; x++ {
+		if c.IsCodeword(x) {
+			fixed, err := c.Correct(x)
+			if err != nil || fixed != x {
+				t.Fatalf("codeword %07b altered to %07b (err %v)", x, fixed, err)
+			}
+		}
+	}
+}
+
+func TestNewFromParityCheckValidation(t *testing.T) {
+	if _, err := NewFromParityCheck(gf2.MustMatrix(0)); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	h := gf2.MustMatrix(4, gf2.Vec(0b1111))
+	c, err := NewFromParityCheck(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even-weight words are codewords of the single-parity-check code.
+	if !c.IsCodeword(0b0011) || c.IsCodeword(0b0111) {
+		t.Error("single-parity-check code misclassified words")
+	}
+	if d := c.MinDistance(); d != 2 {
+		t.Errorf("single-parity-check MinDistance = %d, want 2", d)
+	}
+}
+
+func TestNewFromParityCheckClones(t *testing.T) {
+	h := gf2.MustMatrix(3, gf2.Vec(0b111))
+	c, _ := NewFromParityCheck(h)
+	h.Set(0, 0, 0) // mutate the caller's matrix
+	if c.Syndrome(0b001) != 1 {
+		t.Fatal("Code shares caller's parity-check matrix")
+	}
+}
+
+// Property: corrected words are always codewords (full-rank H).
+func TestQuickCorrectYieldsCodeword(t *testing.T) {
+	c, _ := NewShortenedHamming(7, 3)
+	f := func(a uint8) bool {
+		fixed, err := c.Correct(gf2.Vec(a & 0x7F))
+		return err == nil && c.IsCodeword(fixed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

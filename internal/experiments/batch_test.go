@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBatchStructure(t *testing.T) {
+	cfg := BatchConfig{GridSide: 16, Disks: 4, Records: 5000, BatchSizes: []int{1, 4, 8}}
+	res, err := Batch(cfg, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	if len(res.Methods) != 4 {
+		t.Fatalf("methods = %v", res.Methods)
+	}
+	for _, row := range res.Rows {
+		for _, name := range res.Methods {
+			if row.Makespan[name] <= 0 {
+				t.Errorf("batch %d method %s: non-positive makespan", row.BatchSize, name)
+			}
+		}
+	}
+}
+
+// Makespan must grow monotonically with batch size for every method.
+func TestBatchMakespanMonotone(t *testing.T) {
+	cfg := BatchConfig{GridSide: 16, Disks: 4, Records: 5000, BatchSizes: []int{1, 4, 16}}
+	res, err := Batch(cfg, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range res.Methods {
+		for i := 1; i < len(res.Rows); i++ {
+			if res.Rows[i].Makespan[name] < res.Rows[i-1].Makespan[name] {
+				t.Errorf("method %s: makespan shrank from batch %d to %d",
+					name, res.Rows[i-1].BatchSize, res.Rows[i].BatchSize)
+			}
+		}
+	}
+}
+
+// Scaling sanity: a batch of 8 costs more than one query but nowhere
+// near pathological super-linear growth. (Exactly 8× is not an upper
+// bound — the batch makespan is a max of per-disk sums, and a batch
+// can stack one disk that the single reference query barely used — but
+// it must stay within a small constant of linear.)
+func TestBatchScalingSanity(t *testing.T) {
+	cfg := BatchConfig{GridSide: 16, Disks: 4, Records: 10000, BatchSizes: []int{1, 8}}
+	res, err := Batch(cfg, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := res.Rows[0]
+	eight := res.Rows[1]
+	for _, name := range res.Methods {
+		ratio := float64(eight.Makespan[name]) / float64(single.Makespan[name])
+		if ratio < 1 {
+			t.Errorf("method %s: batch of 8 cheaper than one query (%.2f×)", name, ratio)
+		}
+		if ratio > 16 {
+			t.Errorf("method %s: batch of 8 cost %.1f× a single query; pathological scaling", name, ratio)
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	if _, err := Batch(BatchConfig{GridSide: 16, Disks: 4, BatchSizes: []int{0}}, Options{}); err == nil {
+		t.Error("zero batch size accepted")
+	}
+	// Batch larger than the placement space must be rejected.
+	if _, err := Batch(BatchConfig{GridSide: 8, Disks: 4, Records: 100,
+		QuerySides: []int{8, 8}, BatchSizes: []int{2}}, Options{}); err == nil {
+		t.Error("batch exceeding placement count accepted")
+	}
+}
+
+func TestBatchTableRendering(t *testing.T) {
+	cfg := BatchConfig{GridSide: 16, Disks: 4, Records: 2000, BatchSizes: []int{1, 2}}
+	res, err := Batch(cfg, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table().String()
+	if !strings.Contains(out, "E11") || !strings.Contains(out, "batch size") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}

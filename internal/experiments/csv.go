@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the experiment as CSV — one header row, then one row
+// per sweep point with the chosen metric per method — the format
+// plotting scripts consume to redraw the paper's figures.
+func (e *Experiment) WriteCSV(w io.Writer, metric Metric) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{e.XLabel}, e.Methods...)
+	if metric == MeanRT {
+		header = append(header, "optimal")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for _, row := range e.Rows {
+		cells := make([]string, 0, len(header))
+		cells = append(cells, row.Label)
+		for _, r := range row.Results {
+			switch v := metric.value(r).(type) {
+			case float64:
+				cells = append(cells, strconv.FormatFloat(v, 'f', 6, 64))
+			case int:
+				cells = append(cells, strconv.Itoa(v))
+			default:
+				cells = append(cells, fmt.Sprintf("%v", v))
+			}
+		}
+		if metric == MeanRT && len(row.Results) > 0 {
+			cells = append(cells, strconv.FormatFloat(row.Results[0].MeanOpt, 'f', 6, 64))
+		}
+		if err := cw.Write(cells); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

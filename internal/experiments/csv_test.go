@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSVShape(t *testing.T) {
+	e, err := QuerySize(SizeConfig{Areas: []int{4, 16}}, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteCSV(&buf, Ratio); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 { // header + 2 rows
+		t.Fatalf("got %d CSV records, want 3", len(records))
+	}
+	if records[0][0] != "query area" {
+		t.Errorf("header = %v", records[0])
+	}
+	wantCols := 1 + len(e.Methods)
+	for i, rec := range records {
+		if len(rec) != wantCols {
+			t.Fatalf("record %d has %d columns, want %d", i, len(rec), wantCols)
+		}
+	}
+	// Data cells parse as floats ≥ 1 (ratios).
+	for _, rec := range records[1:] {
+		for _, cell := range rec[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("cell %q not numeric: %v", cell, err)
+			}
+			if v < 1 {
+				t.Errorf("ratio %v < 1", v)
+			}
+		}
+	}
+}
+
+func TestWriteCSVMeanRTHasOptimalColumn(t *testing.T) {
+	e, err := QuerySize(SizeConfig{Areas: []int{4}}, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteCSV(&buf, MeanRT); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.Split(strings.SplitN(buf.String(), "\n", 2)[0], ",")
+	if header[len(header)-1] != "optimal" {
+		t.Errorf("last header column = %q, want optimal", header[len(header)-1])
+	}
+}
+
+func TestWriteCSVWorstRTIntegers(t *testing.T) {
+	e, err := QuerySize(SizeConfig{Areas: []int{16}}, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteCSV(&buf, WorstRT); err != nil {
+		t.Fatal(err)
+	}
+	records, _ := csv.NewReader(&buf).ReadAll()
+	for _, cell := range records[1][1:] {
+		if _, err := strconv.Atoi(cell); err != nil {
+			t.Errorf("worst RT cell %q not an integer", cell)
+		}
+	}
+}

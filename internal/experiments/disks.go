@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"decluster/internal/cost"
+	"decluster/internal/grid"
+	"decluster/internal/query"
+)
+
+// DisksConfig parameterizes the disk-count sweeps (Figure 5(a)/(b) of
+// the paper). Each query class is a band of sizes and shapes: every
+// query draws its side on each axis uniformly from the band, modelling
+// the paper's "small queries" and "large queries" populations.
+type DisksConfig struct {
+	// GridSide is the partitions per attribute of the 2-D grid
+	// (default 64).
+	GridSide int
+	// Disks are the disk counts swept (default 2..32 — the paper's
+	// figure discusses crossovers at 14 and 25 disks, so the sweep must
+	// cover past 25).
+	Disks []int
+	// SmallBand is the [min, max] query side band for the small-query
+	// figure (default [1, 4]).
+	SmallBand [2]int
+	// LargeBand is the [min, max] query side band for the large-query
+	// figure (default [16, 48]).
+	LargeBand [2]int
+}
+
+func (c DisksConfig) withDefaults() DisksConfig {
+	if c.GridSide == 0 {
+		c.GridSide = 64
+	}
+	if len(c.Disks) == 0 {
+		for m := 2; m <= 32; m += 2 {
+			c.Disks = append(c.Disks, m)
+		}
+	}
+	if c.SmallBand == [2]int{} {
+		c.SmallBand = [2]int{1, 4}
+	}
+	if c.LargeBand == [2]int{} {
+		c.LargeBand = [2]int{16, 48}
+	}
+	return c
+}
+
+// disksSweep runs one query band across the disk counts. Unlike the
+// other experiments the x axis is M, so each row rebuilds the method
+// set; the FX/ExFX pair collapses onto one "FX" line per the paper's
+// selection rule, and methods inapplicable at some M leave a gap
+// (zero-query result) to keep columns aligned.
+func disksSweep(id, title string, band [2]int, cfg DisksConfig, opt Options) (*Experiment, error) {
+	g, err := grid.New(cfg.GridSide, cfg.GridSide)
+	if err != nil {
+		return nil, err
+	}
+	n := opt.limit()
+	if n == 0 {
+		n = 2000 // the band is open-ended; exhaustive enumeration is undefined
+	}
+	w, err := query.RandomRange(g, band[0], band[1], n, opt.seed())
+	if err != nil {
+		return nil, err
+	}
+
+	// Column set: union of line names across all M.
+	var colSet []string
+	seen := map[string]bool{}
+	for _, m := range cfg.Disks {
+		methods, err := opt.methods(g, m)
+		if err != nil {
+			return nil, err
+		}
+		for _, mm := range methods {
+			if name := lineName(mm); !seen[name] {
+				seen[name] = true
+				colSet = append(colSet, name)
+			}
+		}
+	}
+
+	rows := make([]Row, 0, len(cfg.Disks))
+	for _, m := range cfg.Disks {
+		methods, err := opt.methods(g, m)
+		if err != nil {
+			return nil, err
+		}
+		byName := map[string]cost.Result{}
+		for i, res := range cost.EvaluateAll(methods, w) {
+			byName[lineName(methods[i])] = res
+		}
+		results := make([]cost.Result, len(colSet))
+		for i, name := range colSet {
+			if r, ok := byName[name]; ok {
+				results[i] = r
+			} else {
+				results[i] = cost.Result{Method: name, Workload: w.Name} // gap
+			}
+		}
+		rows = append(rows, Row{Label: fmt.Sprintf("M=%d", m), Results: results})
+	}
+	return &Experiment{
+		ID:      id,
+		Title:   title,
+		XLabel:  "disks",
+		Methods: colSet,
+		Rows:    rows,
+	}, nil
+}
+
+// DisksSmall reproduces Figure 5(a): mean response time versus the
+// number of disks for small queries. The paper finds HCAM uniformly
+// best here (bested only in small regions by FX or ECC) and DM/CMD
+// uniformly worst.
+func DisksSmall(cfg DisksConfig, opt Options) (*Experiment, error) {
+	cfg = cfg.withDefaults()
+	return disksSweep("E6", "Figure 5(a): disks sweep, small queries", cfg.SmallBand, cfg, opt)
+}
+
+// DisksLarge reproduces Figure 5(b): mean response time versus the
+// number of disks for large queries. The paper finds the picture
+// inverted from 5(a): DM/CMD and FX outperform HCAM, with ECC
+// overtaking HCAM and then DM/CMD as disks grow.
+func DisksLarge(cfg DisksConfig, opt Options) (*Experiment, error) {
+	cfg = cfg.withDefaults()
+	return disksSweep("E7", "Figure 5(b): disks sweep, large queries", cfg.LargeBand, cfg, opt)
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDriftElectionsDiffer(t *testing.T) {
+	res, err := Drift(DriftConfig{}, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BeforeMethod == res.AfterMethod {
+		t.Fatalf("row-scan and tile profiles elected the same method %s; drift has no story",
+			res.BeforeMethod)
+	}
+	if res.Penalty <= 1 {
+		t.Fatalf("penalty %.3f ≤ 1; stale method should be worse on the drifted profile", res.Penalty)
+	}
+	if res.MovedBuckets == 0 || res.MovedFraction <= 0 {
+		t.Fatal("no reorganization cost recorded")
+	}
+	if res.MovedFraction > 1 {
+		t.Fatalf("moved fraction %v > 1", res.MovedFraction)
+	}
+}
+
+func TestDriftFreshBeatsStale(t *testing.T) {
+	res, err := Drift(DriftConfig{}, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FreshRT > res.StaleRT {
+		t.Fatalf("re-elected method (%.3f) worse than stale (%.3f) on the profile it was elected for",
+			res.FreshRT, res.StaleRT)
+	}
+}
+
+func TestDriftTableRendering(t *testing.T) {
+	res, err := Drift(DriftConfig{GridSide: 32, Disks: 8}, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table().String()
+	for _, want := range []string{"E13", "penalty", "fraction of buckets moved"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

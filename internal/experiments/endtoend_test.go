@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEndToEndStructure(t *testing.T) {
+	cfg := EndToEndConfig{GridSide: 16, Disks: 4, Records: 5000}
+	res, err := EndToEnd(cfg, Options{Seed: 1, SampleLimit: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 5000 {
+		t.Errorf("Records = %d", res.Records)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 methods", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.MeanResponse <= 0 {
+			t.Errorf("%s: non-positive mean response %v", row.Method, row.MeanResponse)
+		}
+		if row.WorstCase < row.MeanResponse {
+			t.Errorf("%s: worst %v below mean %v", row.Method, row.WorstCase, row.MeanResponse)
+		}
+		if row.MeanSpeedup < 1 || row.MeanSpeedup > 4 {
+			t.Errorf("%s: speedup %v outside [1, disks]", row.Method, row.MeanSpeedup)
+		}
+	}
+}
+
+func TestEndToEndSpeedupApproachesDisks(t *testing.T) {
+	// A well-declustered 8×8 query over 4 disks should parallelize
+	// near 4× for the best method.
+	cfg := EndToEndConfig{GridSide: 16, Disks: 4, Records: 20000}
+	res, err := EndToEnd(cfg, Options{Seed: 1, SampleLimit: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for _, row := range res.Rows {
+		if row.MeanSpeedup > best {
+			best = row.MeanSpeedup
+		}
+	}
+	if best < 3 {
+		t.Errorf("best speedup %.2f; declustering over 4 disks should approach 4×", best)
+	}
+}
+
+func TestEndToEndTableRendering(t *testing.T) {
+	cfg := EndToEndConfig{GridSide: 16, Disks: 4, Records: 2000}
+	res, err := EndToEnd(cfg, Options{Seed: 1, SampleLimit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table().String()
+	for _, want := range []string{"E10", "DM", "HCAM", "mean response"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallLoadCfg() LoadConfig {
+	return LoadConfig{
+		GridSide: 16, Disks: 4, Records: 5000,
+		Rates: []float64{0.5, 50}, Queries: 150,
+	}
+}
+
+func TestLoadStructure(t *testing.T) {
+	res, err := Load(smallLoadCfg(), Options{Seed: 1, SampleLimit: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(res.Methods) != 4 {
+		t.Fatalf("shape wrong: %d rows, %v", len(res.Rows), res.Methods)
+	}
+	for _, row := range res.Rows {
+		for _, name := range res.Methods {
+			if row.Mean[name] <= 0 {
+				t.Errorf("rate %v method %s: non-positive response", row.Rate, name)
+			}
+			if row.Util[name] < 0 || row.Util[name] > 1+1e-9 {
+				t.Errorf("rate %v method %s: utilization %v", row.Rate, name, row.Util[name])
+			}
+		}
+	}
+}
+
+// Responses must grow with offered load for every method.
+func TestLoadResponseGrowsWithRate(t *testing.T) {
+	res, err := Load(smallLoadCfg(), Options{Seed: 1, SampleLimit: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, heavy := res.Rows[0], res.Rows[1]
+	for _, name := range res.Methods {
+		if heavy.Mean[name] <= light.Mean[name] {
+			t.Errorf("method %s: heavy-load response %v not above light-load %v",
+				name, heavy.Mean[name], light.Mean[name])
+		}
+		if heavy.Util[name] <= light.Util[name] {
+			t.Errorf("method %s: utilization did not grow with load", name)
+		}
+	}
+}
+
+func TestLoadTableRendering(t *testing.T) {
+	res, err := Load(smallLoadCfg(), Options{Seed: 1, SampleLimit: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table().String()
+	for _, want := range []string{"E15", "arrivals/s", "util"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"decluster/internal/alloc"
+	"decluster/internal/cost"
+	"decluster/internal/grid"
+	"decluster/internal/query"
+)
+
+// Pinned exhaustive values on the 16×16 / M=4 reference configuration.
+// These are exact (every placement enumerated, no sampling) and fully
+// deterministic; any change signals a behavioral change in a method or
+// the metric, which must be deliberate and re-pinned.
+func TestPinnedExhaustiveReference(t *testing.T) {
+	g := grid.MustNew(16, 16)
+	methods := alloc.PaperSet(g, 4)
+	want := map[string]map[string]float64{
+		"2×2": {"DM": 2.0, "FX": 1.502222, "ECC": 1.444444, "HCAM": 1.466667},
+		"1×4": {"DM": 1.0, "FX": 1.0, "ECC": 1.692308, "HCAM": 1.625},
+		"3×3": {"DM": 3.0, "FX": 3.0, "ECC": 3.183673, "HCAM": 3.061224},
+		"4×4": {"DM": 4.0, "FX": 4.0, "ECC": 4.473373, "HCAM": 4.633136},
+		"2×8": {"DM": 4.0, "FX": 4.0, "ECC": 4.385185, "HCAM": 4.785185},
+	}
+	shapes := map[string][]int{
+		"2×2": {2, 2}, "1×4": {1, 4}, "3×3": {3, 3}, "4×4": {4, 4}, "2×8": {2, 8},
+	}
+	for name, sides := range shapes {
+		qs, err := query.Placements(g, sides, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := query.Workload{Name: name, Queries: qs}
+		for _, res := range cost.EvaluateAll(methods, w) {
+			expect, ok := want[name][res.Method]
+			if !ok {
+				t.Fatalf("unexpected method %s", res.Method)
+			}
+			if math.Abs(res.MeanRT-expect) > 1e-6 {
+				t.Errorf("%s on %s: mean RT %.6f, pinned %.6f", res.Method, name, res.MeanRT, expect)
+			}
+		}
+	}
+}
+
+// The pinned theorem outcomes (node counts included) on the default
+// sweep — any change to the search order or pruning shows here.
+func TestPinnedTheoremNodes(t *testing.T) {
+	res, err := Theorem(TheoremConfig{MaxDisks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNodes := map[int]int64{1: 9, 2: 13, 3: 21, 4: 54, 5: 115, 6: 225, 7: 1442, 8: 1292}
+	for _, row := range res.Rows {
+		if got := wantNodes[row.Disks]; row.Nodes != got {
+			t.Errorf("M=%d: %d nodes, pinned %d", row.Disks, row.Nodes, got)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"decluster/internal/cost"
+	"decluster/internal/grid"
+	"decluster/internal/query"
+	"decluster/internal/replica"
+	"decluster/internal/stats"
+	"decluster/internal/table"
+)
+
+// ReplicationConfig parameterizes the replication experiment — the
+// future-work extension the paper flags: two-copy (chained)
+// declustering with free replica choice per query.
+type ReplicationConfig struct {
+	// GridSide is the partitions per attribute of the 2-D grid
+	// (default 64).
+	GridSide int
+	// Disks is M (default 16).
+	Disks int
+	// QuerySides is the query shape studied (default 4×4 — the small
+	// squares where single-copy methods deviate most).
+	QuerySides []int
+}
+
+func (c ReplicationConfig) withDefaults() ReplicationConfig {
+	if c.GridSide == 0 {
+		c.GridSide = 64
+	}
+	if c.Disks == 0 {
+		c.Disks = 16
+	}
+	if len(c.QuerySides) == 0 {
+		c.QuerySides = []int{4, 4}
+	}
+	return c
+}
+
+// ReplicationRow compares one base method with its chained replication.
+type ReplicationRow struct {
+	Method string
+	// BaseRatio / ReplicatedRatio are mean RT ÷ optimal without and
+	// with replication (healthy disks).
+	BaseRatio, ReplicatedRatio float64
+	// DegradedRatio is the replicated scheme's mean RT ÷ optimal with
+	// the worst single disk failed (max over failed-disk choices of the
+	// mean).
+	DegradedRatio float64
+}
+
+// ReplicationResult is the regenerated replication table.
+type ReplicationResult struct {
+	Workload string
+	Rows     []ReplicationRow
+}
+
+// Replication compares every paper method against its chained two-copy
+// replication on the configured query class, healthy and with one disk
+// failed. Expected shape: replication pulls every method close to
+// optimal (chained DM becomes exactly optimal on small squares), and
+// the degraded penalty stays below 2×.
+func Replication(cfg ReplicationConfig, opt Options) (*ReplicationResult, error) {
+	cfg = cfg.withDefaults()
+	g, err := grid.New(cfg.GridSide, cfg.GridSide)
+	if err != nil {
+		return nil, err
+	}
+	methods, err := opt.methods(g, cfg.Disks)
+	if err != nil {
+		return nil, err
+	}
+	limit := opt.limit()
+	if limit == 0 || limit > 300 {
+		limit = 300 // the exact scheduler runs per query per failed disk
+	}
+	qs, err := query.Placements(g, cfg.QuerySides, limit, opt.seed())
+	if err != nil {
+		return nil, err
+	}
+	w := query.Workload{Name: fmt.Sprintf("%d×%d", cfg.QuerySides[0], cfg.QuerySides[1]), Queries: qs}
+
+	res := &ReplicationResult{Workload: w.Name}
+	for _, m := range methods {
+		rep, err := replica.NewChained(m)
+		if err != nil {
+			return nil, err
+		}
+		base := cost.Evaluate(m, w)
+		healthy := rep.Evaluate(w.Name, qs)
+
+		// Degraded: worst mean ratio over the failed-disk choices,
+		// probing a spread of disks (all of them at small M).
+		worstDegraded := 0.0
+		for failed := 0; failed < cfg.Disks; failed++ {
+			rts := make([]float64, 0, len(qs))
+			opts := make([]float64, 0, len(qs))
+			for _, q := range qs {
+				rt, err := rep.ResponseTimeDegraded(q, failed)
+				if err != nil {
+					return nil, err
+				}
+				rts = append(rts, float64(rt))
+				opts = append(opts, float64(cost.OptimalRT(q.Volume(), cfg.Disks)))
+			}
+			ratio := stats.Ratio(stats.Mean(rts), stats.Mean(opts))
+			if ratio > worstDegraded {
+				worstDegraded = ratio
+			}
+		}
+		res.Rows = append(res.Rows, ReplicationRow{
+			Method:          lineName(m),
+			BaseRatio:       base.Ratio,
+			ReplicatedRatio: healthy.Ratio,
+			DegradedRatio:   worstDegraded,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the replication comparison.
+func (r *ReplicationResult) Table() *table.Table {
+	t := table.New(
+		fmt.Sprintf("E14 — chained replication on %s queries [RT / optimal]", r.Workload),
+		"method", "single copy", "replicated", "replicated, worst disk failed")
+	for _, row := range r.Rows {
+		t.AddRowf(row.Method, row.BaseRatio, row.ReplicatedRatio, row.DegradedRatio)
+	}
+	return t
+}

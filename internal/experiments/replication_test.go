@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReplicationImprovesEveryMethod(t *testing.T) {
+	cfg := ReplicationConfig{GridSide: 32, Disks: 8}
+	res, err := Replication(cfg, Options{Seed: 1, SampleLimit: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.ReplicatedRatio > row.BaseRatio+1e-9 {
+			t.Errorf("%s: replication worsened ratio %.3f → %.3f",
+				row.Method, row.BaseRatio, row.ReplicatedRatio)
+		}
+		if row.ReplicatedRatio < 1 {
+			t.Errorf("%s: impossible replicated ratio %.3f", row.Method, row.ReplicatedRatio)
+		}
+		if row.DegradedRatio < row.ReplicatedRatio {
+			t.Errorf("%s: degraded %.3f below healthy %.3f", row.Method, row.DegradedRatio, row.ReplicatedRatio)
+		}
+		if row.DegradedRatio > 2*row.BaseRatio+1 {
+			t.Errorf("%s: degraded ratio %.3f blew past the chained bound", row.Method, row.DegradedRatio)
+		}
+	}
+}
+
+// Chained DM must become exactly optimal on 2×2 squares (the scheduling
+// headroom of primary vs chain-neighbour covers the diagonal collision).
+func TestReplicationRescuesDMSquares(t *testing.T) {
+	cfg := ReplicationConfig{GridSide: 32, Disks: 8, QuerySides: []int{2, 2}}
+	res, err := Replication(cfg, Options{Seed: 1, SampleLimit: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Method != "DM" {
+			continue
+		}
+		if row.BaseRatio != 2 {
+			t.Fatalf("plain DM ratio %.3f on 2×2, want 2", row.BaseRatio)
+		}
+		if row.ReplicatedRatio != 1 {
+			t.Fatalf("chained DM ratio %.3f on 2×2, want exactly 1", row.ReplicatedRatio)
+		}
+	}
+}
+
+func TestReplicationTableRendering(t *testing.T) {
+	cfg := ReplicationConfig{GridSide: 16, Disks: 4}
+	res, err := Replication(cfg, Options{Seed: 1, SampleLimit: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table().String()
+	for _, want := range []string{"E14", "single copy", "replicated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

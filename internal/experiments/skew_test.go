@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSkewStructure(t *testing.T) {
+	cfg := SkewConfig{GridSide: 16, Disks: 4, Records: 5000}
+	res, err := Skew(cfg, Options{Seed: 1, SampleLimit: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 { // uniform, zipf, clustered, correlated
+		t.Fatalf("got %d populations, want 4", len(res.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range res.Rows {
+		names[row.Population] = true
+		for _, m := range res.Methods {
+			if row.MeanMillis[m] <= 0 {
+				t.Errorf("population %s method %s: non-positive time", row.Population, m)
+			}
+		}
+	}
+	for _, want := range []string{"uniform"} {
+		if !names[want] {
+			t.Errorf("population %s missing (have %v)", want, names)
+		}
+	}
+}
+
+// Skewed populations concentrate pages, so for every method the
+// clustered population must cost at least as much as uniform on the
+// worst case... the weaker, robust claim: times differ across
+// populations (the metric is population-sensitive at all).
+func TestSkewPopulationSensitivity(t *testing.T) {
+	cfg := SkewConfig{GridSide: 16, Disks: 4, Records: 10000}
+	res, err := Skew(cfg, Options{Seed: 1, SampleLimit: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Methods {
+		lo, hi := res.Rows[0].MeanMillis[m], res.Rows[0].MeanMillis[m]
+		for _, row := range res.Rows {
+			v := row.MeanMillis[m]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi == lo {
+			t.Errorf("method %s: identical times across all populations; skew had no effect", m)
+		}
+	}
+}
+
+func TestSkewTableRendering(t *testing.T) {
+	cfg := SkewConfig{GridSide: 16, Disks: 4, Records: 2000}
+	res, err := Skew(cfg, Options{Seed: 1, SampleLimit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table().String()
+	if !strings.Contains(out, "E12") || !strings.Contains(out, "uniform") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"decluster/internal/optimality"
+)
+
+func TestTheoremReproducesPaperClaim(t *testing.T) {
+	res, err := Theorem(TheoremConfig{MaxDisks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(res.Rows))
+	}
+	want := map[int]optimality.Outcome{
+		1: optimality.Found,
+		2: optimality.Found,
+		3: optimality.Found,
+		4: optimality.Impossible,
+		5: optimality.Found,
+		6: optimality.Impossible,
+		7: optimality.Impossible,
+		8: optimality.Impossible,
+	}
+	for _, row := range res.Rows {
+		if row.Outcome != want[row.Disks] {
+			t.Errorf("M=%d: outcome %v, want %v", row.Disks, row.Outcome, want[row.Disks])
+		}
+		if row.Nodes <= 0 {
+			t.Errorf("M=%d: no nodes recorded", row.Disks)
+		}
+	}
+	if !res.HoldsPaperTheorem() {
+		t.Error("HoldsPaperTheorem() = false")
+	}
+}
+
+func TestTheoremTableRendering(t *testing.T) {
+	res, err := Theorem(TheoremConfig{MaxDisks: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Table().String()
+	if !strings.Contains(out, "exists") || !strings.Contains(out, "none (proved by exhaustion)") {
+		t.Errorf("table missing outcomes:\n%s", out)
+	}
+}
+
+func TestHoldsPaperTheoremRequiresBand(t *testing.T) {
+	// A sweep that never reaches M=6 cannot confirm the claim.
+	res, err := Theorem(TheoremConfig{MaxDisks: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HoldsPaperTheorem() {
+		t.Error("claim confirmed without any M > 5 row")
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	tb, err := Table1Report([]int{16, 16}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	for _, want := range []string{"DM", "FX", "ECC", "HCAM", "holds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "VIOLATED") {
+		t.Errorf("Table 1 reports violations on the canonical config:\n%s", out)
+	}
+	if _, err := Table1Report([]int{0}, 8); err == nil {
+		t.Error("invalid grid accepted")
+	}
+}

@@ -1,0 +1,112 @@
+// Package gdmopt searches the generalized-disk-modulo coefficient space
+// for the vector that best declusters a given workload. GDM subsumes DM
+// (all-ones coefficients) and the diagonal schemes — e.g. the search
+// rediscovers the (1, 2) mod 5 allocation that is strictly optimal on
+// 2-D grids — so tuning its coefficients is the modulo family's answer
+// to the paper's conclusion that declustering should follow the
+// workload.
+package gdmopt
+
+import (
+	"fmt"
+
+	"decluster/internal/alloc"
+	"decluster/internal/cost"
+	"decluster/internal/grid"
+	"decluster/internal/query"
+)
+
+// Result reports the best coefficient vector found.
+type Result struct {
+	// Coefficients is the winning vector (one per attribute, in
+	// [0, M)).
+	Coefficients []int
+	// Eval is the winning vector's workload evaluation.
+	Eval cost.Result
+	// Evaluated counts coefficient vectors tried.
+	Evaluated int
+	// Exhaustive reports whether the whole (canonical) space was
+	// searched, or the budget cut it short.
+	Exhaustive bool
+}
+
+// Search enumerates coefficient vectors in canonical order and returns
+// the one minimizing mean response time on the workload (ties to the
+// earliest). Vectors whose first coefficient is a unit mod M are
+// canonicalized to lead with 1 (scaling all coefficients by a unit
+// permutes disk labels without changing response times), which shrinks
+// the space by ~φ(M). budget bounds vectors evaluated (0 = unlimited);
+// when the budget cuts enumeration short the best-so-far is returned
+// with Exhaustive=false.
+func Search(g *grid.Grid, m int, w query.Workload, budget int) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("gdmopt: nil grid")
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("gdmopt: need at least one disk, got %d", m)
+	}
+	if len(w.Queries) == 0 {
+		return nil, fmt.Errorf("gdmopt: empty workload")
+	}
+	res := &Result{Exhaustive: true}
+	coeffs := make([]int, g.K())
+	var best *cost.Result
+
+	var sweep func(axis int) bool // false = budget exhausted
+	sweep = func(axis int) bool {
+		if axis == g.K() {
+			if budget > 0 && res.Evaluated >= budget {
+				return false
+			}
+			res.Evaluated++
+			gdm, err := alloc.NewGDM(g, m, coeffs)
+			if err != nil {
+				// Construction only fails on arity/disk errors, which
+				// were validated above.
+				panic(err)
+			}
+			eval := cost.Evaluate(gdm, w)
+			if best == nil || eval.MeanRT < best.MeanRT {
+				e := eval
+				best = &e
+				res.Coefficients = append(res.Coefficients[:0], coeffs...)
+			}
+			return true
+		}
+		for a := 0; a < m; a++ {
+			if axis == 0 && a != canonicalLead(a, m) {
+				continue
+			}
+			coeffs[axis] = a
+			if !sweep(axis + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if !sweep(0) {
+		res.Exhaustive = false
+	}
+	if best == nil {
+		return nil, fmt.Errorf("gdmopt: budget %d too small to evaluate any vector", budget)
+	}
+	res.Eval = *best
+	return res, nil
+}
+
+// canonicalLead returns the canonical representative of a's
+// unit-scaling class as a leading coefficient: units collapse to 1,
+// non-units stay themselves.
+func canonicalLead(a, m int) int {
+	if a != 0 && gcd(a, m) == 1 {
+		return 1
+	}
+	return a
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,128 @@
+package gdmopt
+
+import (
+	"testing"
+
+	"decluster/internal/alloc"
+	"decluster/internal/cost"
+	"decluster/internal/grid"
+	"decluster/internal/query"
+)
+
+func squaresWorkload(t *testing.T, g *grid.Grid, side int) query.Workload {
+	t.Helper()
+	qs, err := query.Placements(g, []int{side, side}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return query.Workload{Name: "squares", Queries: qs}
+}
+
+func TestSearchValidation(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	w := squaresWorkload(t, g, 2)
+	if _, err := Search(nil, 4, w, 0); err == nil {
+		t.Error("nil grid accepted")
+	}
+	if _, err := Search(g, 0, w, 0); err == nil {
+		t.Error("zero disks accepted")
+	}
+	if _, err := Search(g, 4, query.Workload{}, 0); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+// The search must rediscover the strictly optimal diagonal (1,2) (or an
+// equivalent) for 2×2 squares over 5 disks.
+func TestSearchRediscoversDiagonalMod5(t *testing.T) {
+	g := grid.MustNew(10, 10)
+	w := squaresWorkload(t, g, 2)
+	res, err := Search(g, 5, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhaustive {
+		t.Fatal("unlimited budget reported non-exhaustive")
+	}
+	if res.Eval.Ratio != 1 {
+		t.Fatalf("best GDM ratio %.3f, want 1 (diagonal exists); coeffs %v",
+			res.Eval.Ratio, res.Coefficients)
+	}
+	// Verify independently.
+	gdm, err := alloc.NewGDM(g, 5, res.Coefficients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := cost.Evaluate(gdm, w); r.Ratio != 1 {
+		t.Fatalf("reported coefficients %v re-evaluate to %.3f", res.Coefficients, r.Ratio)
+	}
+}
+
+// The optimum can never be worse than plain DM (all-ones is in the
+// search space).
+func TestSearchNeverWorseThanDM(t *testing.T) {
+	g := grid.MustNew(16, 16)
+	for _, m := range []int{4, 7, 8} {
+		w := squaresWorkload(t, g, 3)
+		res, err := Search(g, m, w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dm, _ := alloc.NewDM(g, m)
+		dmEval := cost.Evaluate(dm, w)
+		if res.Eval.MeanRT > dmEval.MeanRT {
+			t.Errorf("M=%d: best GDM %.3f worse than DM %.3f", m, res.Eval.MeanRT, dmEval.MeanRT)
+		}
+	}
+}
+
+func TestSearchBudget(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	w := squaresWorkload(t, g, 2)
+	res, err := Search(g, 8, w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhaustive {
+		t.Error("tiny budget reported exhaustive")
+	}
+	if res.Evaluated != 3 {
+		t.Errorf("evaluated %d vectors with budget 3", res.Evaluated)
+	}
+	if len(res.Coefficients) != 2 {
+		t.Error("no best-so-far returned")
+	}
+}
+
+func TestSearchCanonicalizationSkipsUnits(t *testing.T) {
+	// M=5: units are 1..4; leads 2,3,4 are skipped, so the space is
+	// (1 unit lead + 1 zero lead) × 5 = 10 vectors.
+	g := grid.MustNew(5, 5)
+	w := squaresWorkload(t, g, 2)
+	res, err := Search(g, 5, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 10 {
+		t.Errorf("evaluated %d vectors, want 10 (canonicalized)", res.Evaluated)
+	}
+}
+
+func TestSearch3D(t *testing.T) {
+	g := grid.MustNew(6, 6, 6)
+	qs, err := query.Placements(g, []int{2, 2, 2}, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := query.Workload{Name: "cubes", Queries: qs}
+	res, err := Search(g, 4, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Coefficients) != 3 {
+		t.Fatalf("coefficients %v, want 3 entries", res.Coefficients)
+	}
+	if res.Eval.Ratio < 1 {
+		t.Fatal("impossible ratio")
+	}
+}

@@ -1,0 +1,270 @@
+// Package gf2 implements linear algebra over GF(2), the binary field.
+// It is the substrate for the error-correcting-code declustering method
+// (parity-check matrices, syndromes, cosets) and for analyses of the
+// field-wise-XOR method.
+//
+// Vectors are represented as uint64 bit masks (bit i = component i),
+// which bounds dimensions at 64 — far beyond what grid declustering
+// needs (a 64-bit word already addresses 2^64 buckets).
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxBits is the largest supported vector dimension.
+const MaxBits = 64
+
+// Vec is a vector over GF(2), packed into a word: bit i holds
+// component i.
+type Vec uint64
+
+// Bit returns component i (0 or 1).
+func (v Vec) Bit(i int) int { return int(v>>uint(i)) & 1 }
+
+// Weight returns the Hamming weight (number of 1 components).
+func (v Vec) Weight() int { return bits.OnesCount64(uint64(v)) }
+
+// Dot returns the GF(2) inner product of two vectors.
+func Dot(a, b Vec) int { return bits.OnesCount64(uint64(a&b)) & 1 }
+
+// String renders the low n bits of v, most significant first.
+func (v Vec) String() string { return v.StringN(bits.Len64(uint64(v))) }
+
+// StringN renders exactly n bits of v, most significant first.
+func (v Vec) StringN(n int) string {
+	if n <= 0 {
+		return "0"
+	}
+	var b strings.Builder
+	for i := n - 1; i >= 0; i-- {
+		b.WriteByte(byte('0' + v.Bit(i)))
+	}
+	return b.String()
+}
+
+// Matrix is a matrix over GF(2), stored row-wise: Rows[i] bit j is the
+// entry at row i, column j. Cols bounds which bits are meaningful.
+type Matrix struct {
+	Rows []Vec
+	Cols int
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) (*Matrix, error) {
+	if rows < 0 || cols < 0 || cols > MaxBits {
+		return nil, fmt.Errorf("gf2: invalid matrix shape %d×%d (cols ≤ %d)", rows, cols, MaxBits)
+	}
+	return &Matrix{Rows: make([]Vec, rows), Cols: cols}, nil
+}
+
+// MustMatrix builds a matrix from row bit masks, panicking on invalid
+// shape. Intended for tests and constant matrices.
+func MustMatrix(cols int, rows ...Vec) *Matrix {
+	m, err := NewMatrix(len(rows), cols)
+	if err != nil {
+		panic(err)
+	}
+	copy(m.Rows, rows)
+	return m
+}
+
+// NumRows returns the number of rows.
+func (m *Matrix) NumRows() int { return len(m.Rows) }
+
+// At returns the entry at row r, column c.
+func (m *Matrix) At(r, c int) int { return m.Rows[r].Bit(c) }
+
+// Set assigns the entry at row r, column c.
+func (m *Matrix) Set(r, c, val int) {
+	if val&1 == 1 {
+		m.Rows[r] |= 1 << uint(c)
+	} else {
+		m.Rows[r] &^= 1 << uint(c)
+	}
+}
+
+// Clone returns an independent copy of m.
+func (m *Matrix) Clone() *Matrix {
+	rows := make([]Vec, len(m.Rows))
+	copy(rows, m.Rows)
+	return &Matrix{Rows: rows, Cols: m.Cols}
+}
+
+// Column returns column c as a vector whose bit i is row i's entry.
+func (m *Matrix) Column(c int) Vec {
+	var v Vec
+	for i, row := range m.Rows {
+		if row.Bit(c) == 1 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// SetColumn assigns column c from a vector whose bit i is row i's entry.
+func (m *Matrix) SetColumn(c int, v Vec) {
+	for i := range m.Rows {
+		m.Set(i, c, v.Bit(i))
+	}
+}
+
+// MulVec computes the matrix-vector product m·x over GF(2), returning a
+// vector whose bit i is the parity of row i masked by x.
+func (m *Matrix) MulVec(x Vec) Vec {
+	var out Vec
+	for i, row := range m.Rows {
+		out |= Vec(Dot(row, x)) << uint(i)
+	}
+	return out
+}
+
+// String renders the matrix one row per line.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i, row := range m.Rows {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(row.StringN(m.Cols))
+	}
+	return b.String()
+}
+
+// Rank returns the rank of m over GF(2) via Gaussian elimination on a
+// copy.
+func (m *Matrix) Rank() int {
+	rows := make([]Vec, len(m.Rows))
+	copy(rows, m.Rows)
+	rank := 0
+	for col := 0; col < m.Cols && rank < len(rows); col++ {
+		pivot := -1
+		for i := rank; i < len(rows); i++ {
+			if rows[i].Bit(col) == 1 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for i := 0; i < len(rows); i++ {
+			if i != rank && rows[i].Bit(col) == 1 {
+				rows[i] ^= rows[rank]
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// Solve finds one solution x to m·x = b over GF(2), together with a
+// basis of the nullspace of m (so the full solution set is
+// x + span(nullspace)). ok is false when the system is inconsistent.
+func (m *Matrix) Solve(b Vec) (x Vec, nullspace []Vec, ok bool) {
+	type augRow struct {
+		row Vec
+		rhs int
+	}
+	rows := make([]augRow, len(m.Rows))
+	for i, r := range m.Rows {
+		rows[i] = augRow{r, b.Bit(i)}
+	}
+	pivotCol := make([]int, 0, len(rows))
+	rank := 0
+	for col := 0; col < m.Cols && rank < len(rows); col++ {
+		pivot := -1
+		for i := rank; i < len(rows); i++ {
+			if rows[i].row.Bit(col) == 1 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for i := range rows {
+			if i != rank && rows[i].row.Bit(col) == 1 {
+				rows[i].row ^= rows[rank].row
+				rows[i].rhs ^= rows[rank].rhs
+			}
+		}
+		pivotCol = append(pivotCol, col)
+		rank++
+	}
+	for i := rank; i < len(rows); i++ {
+		if rows[i].rhs == 1 {
+			return 0, nil, false
+		}
+	}
+	// Particular solution: set free variables to 0, pivots to rhs.
+	for i, col := range pivotCol {
+		if rows[i].rhs == 1 {
+			x |= 1 << uint(col)
+		}
+	}
+	// Nullspace: one basis vector per free column.
+	isPivot := make([]bool, m.Cols)
+	for _, c := range pivotCol {
+		isPivot[c] = true
+	}
+	for free := 0; free < m.Cols; free++ {
+		if isPivot[free] {
+			continue
+		}
+		var n Vec = 1 << uint(free)
+		for i, col := range pivotCol {
+			if rows[i].row.Bit(free) == 1 {
+				n |= 1 << uint(col)
+			}
+		}
+		nullspace = append(nullspace, n)
+	}
+	return x, nullspace, true
+}
+
+// MinDistance returns the minimum Hamming distance of the linear code
+// whose parity-check matrix is m: the smallest number of columns of m
+// that sum to zero. It returns 0 when the code has no nonzero codeword
+// shorter than the search bound (i.e. distance exceeds Cols) — for a
+// linear code with nontrivial nullspace this cannot happen. Cost is
+// O(2^k) over the nullspace dimension; intended for the small codes
+// used in declustering.
+func (m *Matrix) MinDistance() int {
+	_, null, ok := m.Solve(0)
+	if !ok || len(null) == 0 {
+		return 0
+	}
+	if len(null) > 24 {
+		panic(fmt.Sprintf("gf2: MinDistance over %d-dimensional code is too large", len(null)))
+	}
+	best := 0
+	for mask := 1; mask < 1<<uint(len(null)); mask++ {
+		var w Vec
+		for i, nv := range null {
+			if mask>>uint(i)&1 == 1 {
+				w ^= nv
+			}
+		}
+		if wt := w.Weight(); best == 0 || wt < best {
+			best = wt
+		}
+	}
+	return best
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m, err := NewMatrix(n, n)
+	if err != nil {
+		panic(err)
+	}
+	for i := range m.Rows {
+		m.Rows[i] = 1 << uint(i)
+	}
+	return m
+}

@@ -1,0 +1,261 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecBasics(t *testing.T) {
+	v := Vec(0b1011)
+	if v.Bit(0) != 1 || v.Bit(1) != 1 || v.Bit(2) != 0 || v.Bit(3) != 1 {
+		t.Error("Bit wrong")
+	}
+	if v.Weight() != 3 {
+		t.Errorf("Weight = %d, want 3", v.Weight())
+	}
+	if Dot(0b101, 0b110) != 1 { // overlap at bit 2 only
+		t.Error("Dot(101,110) != 1")
+	}
+	if Dot(0b11, 0b11) != 0 { // two overlaps, even parity
+		t.Error("Dot(11,11) != 0")
+	}
+}
+
+func TestVecString(t *testing.T) {
+	if s := Vec(0b1010).String(); s != "1010" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Vec(0).String(); s != "0" {
+		t.Errorf("String(0) = %q", s)
+	}
+	if s := Vec(0b1).StringN(4); s != "0001" {
+		t.Errorf("StringN = %q", s)
+	}
+}
+
+func TestMatrixShapeValidation(t *testing.T) {
+	if _, err := NewMatrix(2, 65); err == nil {
+		t.Error("65 columns accepted")
+	}
+	if _, err := NewMatrix(-1, 4); err == nil {
+		t.Error("negative rows accepted")
+	}
+	if m, err := NewMatrix(0, 0); err != nil || m.NumRows() != 0 {
+		t.Error("empty matrix rejected")
+	}
+}
+
+func TestSetAtColumn(t *testing.T) {
+	m, _ := NewMatrix(3, 4)
+	m.Set(0, 1, 1)
+	m.Set(2, 1, 1)
+	m.Set(2, 3, 1)
+	if m.At(0, 1) != 1 || m.At(1, 1) != 0 || m.At(2, 3) != 1 {
+		t.Error("Set/At wrong")
+	}
+	if c := m.Column(1); c != 0b101 {
+		t.Errorf("Column(1) = %b, want 101", c)
+	}
+	m.Set(0, 1, 0)
+	if m.At(0, 1) != 0 {
+		t.Error("clearing a bit failed")
+	}
+	m.SetColumn(0, 0b111)
+	if m.Column(0) != 0b111 {
+		t.Error("SetColumn failed")
+	}
+	m.SetColumn(0, 0b010)
+	if m.Column(0) != 0b010 {
+		t.Error("SetColumn does not clear old bits")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	// H = [1 0 1; 0 1 1] (cols are x0,x1,x2)
+	h := MustMatrix(3, Vec(0b101), Vec(0b110))
+	cases := []struct {
+		x, want Vec
+	}{
+		{0b000, 0b00},
+		{0b001, 0b01}, // x0=1: row0 has bit0 → 1, row1 bit0=0 → 0
+		{0b010, 0b10},
+		{0b100, 0b11},
+		{0b111, 0b00}, // 111 is in the nullspace
+	}
+	for _, tc := range cases {
+		if got := h.MulVec(tc.x); got != tc.want {
+			t.Errorf("MulVec(%03b) = %02b, want %02b", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestRank(t *testing.T) {
+	cases := []struct {
+		m    *Matrix
+		want int
+	}{
+		{Identity(4), 4},
+		{MustMatrix(3, 0b111, 0b111), 1},
+		{MustMatrix(3, 0b101, 0b011, 0b110), 2}, // third = sum of first two
+		{MustMatrix(4, 0, 0), 0},
+		{MustMatrix(4, 0b0001, 0b0010, 0b0100, 0b1000), 4},
+	}
+	for i, tc := range cases {
+		if got := tc.m.Rank(); got != tc.want {
+			t.Errorf("case %d: Rank = %d, want %d", i, got, tc.want)
+		}
+	}
+}
+
+func TestSolveConsistent(t *testing.T) {
+	h := MustMatrix(4, 0b1010, 0b0110, 0b0001)
+	b := Vec(0b101)
+	x, null, ok := h.Solve(b)
+	if !ok {
+		t.Fatal("consistent system reported inconsistent")
+	}
+	if h.MulVec(x) != b {
+		t.Fatalf("solution check failed: H·%b = %b, want %b", x, h.MulVec(x), b)
+	}
+	for _, n := range null {
+		if h.MulVec(n) != 0 {
+			t.Errorf("nullspace vector %b not in kernel", n)
+		}
+		if h.MulVec(x^n) != b {
+			t.Errorf("x+null not a solution")
+		}
+	}
+	// rank 3, 4 cols → nullspace dimension 1
+	if len(null) != 1 {
+		t.Errorf("nullspace dimension = %d, want 1", len(null))
+	}
+}
+
+func TestSolveInconsistent(t *testing.T) {
+	// Rows: x0 = 0 and x0 = 1 simultaneously.
+	h := MustMatrix(2, 0b01, 0b01)
+	if _, _, ok := h.Solve(0b10); ok {
+		t.Fatal("inconsistent system reported solvable")
+	}
+}
+
+func TestSolveZeroMatrix(t *testing.T) {
+	h := MustMatrix(3, 0, 0)
+	x, null, ok := h.Solve(0)
+	if !ok || x != 0 {
+		t.Fatal("zero system should have zero solution")
+	}
+	if len(null) != 3 {
+		t.Fatalf("nullspace of zero 2×3 matrix has dim %d, want 3", len(null))
+	}
+	if _, _, ok := h.Solve(0b1); ok {
+		t.Fatal("0·x = 1 reported solvable")
+	}
+}
+
+func TestMinDistanceHamming(t *testing.T) {
+	// Parity check of the [7,4] Hamming code: columns are 1..7 in binary.
+	h, _ := NewMatrix(3, 7)
+	for c := 0; c < 7; c++ {
+		h.SetColumn(c, Vec(c+1))
+	}
+	if d := h.MinDistance(); d != 3 {
+		t.Fatalf("Hamming(7,4) MinDistance = %d, want 3", d)
+	}
+}
+
+func TestMinDistanceRepetition(t *testing.T) {
+	// Parity check of the 3-repetition code {000, 111}: x0+x1=0, x1+x2=0.
+	h := MustMatrix(3, 0b011, 0b110)
+	if d := h.MinDistance(); d != 3 {
+		t.Fatalf("repetition code MinDistance = %d, want 3", d)
+	}
+}
+
+func TestMinDistanceFullRankSquare(t *testing.T) {
+	// Identity parity check: only codeword is 0 → distance reported 0.
+	if d := Identity(4).MinDistance(); d != 0 {
+		t.Fatalf("trivial code MinDistance = %d, want 0", d)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := MustMatrix(3, 0b111)
+	c := m.Clone()
+	c.Set(0, 0, 0)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares rows")
+	}
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	id := Identity(8)
+	for i := 0; i < 8; i++ {
+		x := Vec(1 << uint(i))
+		if id.MulVec(x) != x {
+			t.Fatalf("I·e%d != e%d", i, i)
+		}
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m := MustMatrix(3, 0b101, 0b010)
+	want := "101\n010"
+	if s := m.String(); s != want {
+		t.Errorf("String = %q, want %q", s, want)
+	}
+}
+
+// Property: MulVec is linear — H(x⊕y) = Hx ⊕ Hy.
+func TestQuickLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h, _ := NewMatrix(5, 12)
+	for i := range h.Rows {
+		h.Rows[i] = Vec(rng.Uint64() & 0xFFF)
+	}
+	f := func(a, b uint16) bool {
+		x, y := Vec(a&0xFFF), Vec(b&0xFFF)
+		return h.MulVec(x^y) == h.MulVec(x)^h.MulVec(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Solve returns vectors that satisfy the system whenever the
+// right-hand side is in the image (by construction H·x for random x).
+func TestQuickSolveImage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h, _ := NewMatrix(4, 10)
+	for i := range h.Rows {
+		h.Rows[i] = Vec(rng.Uint64() & 0x3FF)
+	}
+	f := func(a uint16) bool {
+		want := h.MulVec(Vec(a & 0x3FF))
+		x, _, ok := h.Solve(want)
+		return ok && h.MulVec(x) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rank is invariant under row swaps.
+func TestQuickRankRowSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, _ := NewMatrix(4, 8)
+		for i := range m.Rows {
+			m.Rows[i] = Vec(r.Uint64() & 0xFF)
+		}
+		i, j := rng.Intn(4), rng.Intn(4)
+		sw := m.Clone()
+		sw.Rows[i], sw.Rows[j] = sw.Rows[j], sw.Rows[i]
+		return m.Rank() == sw.Rank()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package grid
+
+import "testing"
+
+// FuzzLinearizeRoundTrip drives Linearize/Delinearize with fuzzed grid
+// shapes and bucket numbers.
+func FuzzLinearizeRoundTrip(f *testing.F) {
+	f.Add(uint8(3), uint8(4), uint8(5), uint16(0))
+	f.Add(uint8(1), uint8(1), uint8(1), uint16(0))
+	f.Add(uint8(16), uint8(2), uint8(9), uint16(100))
+	f.Fuzz(func(t *testing.T, d0, d1, d2 uint8, pick uint16) {
+		dims := []int{int(d0%16) + 1, int(d1%16) + 1, int(d2%16) + 1}
+		g, err := New(dims...)
+		if err != nil {
+			t.Fatalf("valid dims rejected: %v", err)
+		}
+		n := int(pick) % g.Buckets()
+		c := g.Delinearize(n, nil)
+		if !g.Contains(c) {
+			t.Fatalf("Delinearize(%d) = %v not contained", n, c)
+		}
+		if back := g.Linearize(c); back != n {
+			t.Fatalf("round trip %d → %v → %d", n, c, back)
+		}
+	})
+}
+
+// FuzzPlacements checks that every placement of a fuzzed shape stays in
+// bounds and the count matches the closed form.
+func FuzzPlacements(f *testing.F) {
+	f.Add(uint8(8), uint8(8), uint8(2), uint8(3))
+	f.Add(uint8(4), uint8(5), uint8(4), uint8(5))
+	f.Fuzz(func(t *testing.T, d0, d1, s0, s1 uint8) {
+		dims := []int{int(d0%12) + 1, int(d1%12) + 1}
+		g, err := New(dims...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sides := []int{int(s0)%dims[0] + 1, int(s1)%dims[1] + 1}
+		count := 0
+		n, err := g.Placements(sides, func(r Rect) bool {
+			if r.Lo[0] < 0 || r.Hi[0] >= dims[0] || r.Lo[1] < 0 || r.Hi[1] >= dims[1] {
+				t.Fatalf("placement %v out of bounds for %v", r, g)
+			}
+			if r.Side(0) != sides[0] || r.Side(1) != sides[1] {
+				t.Fatalf("placement %v has wrong shape", r)
+			}
+			count++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (dims[0] - sides[0] + 1) * (dims[1] - sides[1] + 1)
+		if n != want || count != want {
+			t.Fatalf("placements %d/%d, want %d", count, n, want)
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package gridfile
+
+import (
+	"testing"
+
+	"decluster/internal/alloc"
+	"decluster/internal/datagen"
+	"decluster/internal/grid"
+	"decluster/internal/partition"
+)
+
+func TestBoundariesValidation(t *testing.T) {
+	g := grid.MustNew(4, 4)
+	m, _ := alloc.NewDM(g, 2)
+	bad := [][]float64{{0.5}, {0.25, 0.5, 0.75}} // axis 0 has too few
+	if _, err := New(Config{Method: m, Boundaries: bad}); err == nil {
+		t.Error("mismatched boundaries accepted")
+	}
+	good := [][]float64{{0.25, 0.5, 0.75}, {0.25, 0.5, 0.75}}
+	if _, err := New(Config{Method: m, Boundaries: good}); err != nil {
+		t.Errorf("valid boundaries rejected: %v", err)
+	}
+}
+
+func TestBoundariesRouteRecords(t *testing.T) {
+	g := grid.MustNew(2, 2)
+	m, _ := alloc.NewDM(g, 2)
+	// Boundary at 0.9 on both axes: values below 0.9 → partition 0.
+	f, err := New(Config{Method: m, Boundaries: [][]float64{{0.9}, {0.9}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Insert(datagen.Record{ID: 0, Values: []float64{0.8, 0.8}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Insert(datagen.Record{ID: 1, Values: []float64{0.95, 0.95}}); err != nil {
+		t.Fatal(err)
+	}
+	if f.BucketLen(g.Linearize(grid.Coord{0, 0})) != 1 {
+		t.Error("record 0 not in cell (0,0) under custom boundaries")
+	}
+	if f.BucketLen(g.Linearize(grid.Coord{1, 1})) != 1 {
+		t.Error("record 1 not in cell (1,1)")
+	}
+	// Under uniform boundaries, 0.8 would land in cell (1,1).
+	uf, _ := New(Config{Method: m})
+	if err := uf.Insert(datagen.Record{ID: 0, Values: []float64{0.8, 0.8}}); err != nil {
+		t.Fatal(err)
+	}
+	if uf.BucketLen(g.Linearize(grid.Coord{1, 1})) != 1 {
+		t.Error("uniform mapping changed")
+	}
+}
+
+func TestEquiDepthBoundariesBalanceSkewedFile(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	m, _ := alloc.NewHCAM(g, 4)
+	recs := datagen.Zipf{K: 2, Seed: 5, S: 1.5, Buckets: 64}.Generate(6000)
+	sample := make([][]float64, len(recs))
+	for i, r := range recs {
+		sample[i] = r.Values
+	}
+	bounds, err := partition.EquiDepth(sample, g.Dims())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	occupancy := func(f *File) (min, max int) {
+		min, max = -1, 0
+		for b := 0; b < g.Buckets(); b++ {
+			n := f.BucketLen(b)
+			if n > max {
+				max = n
+			}
+			if min < 0 || n < min {
+				min = n
+			}
+		}
+		return min, max
+	}
+
+	uniform, _ := New(Config{Method: m})
+	if err := uniform.InsertAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	equi, err := New(Config{Method: m, Boundaries: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := equi.InsertAll(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	_, uniMax := occupancy(uniform)
+	equiMin, equiMax := occupancy(equi)
+	if equiMax >= uniMax {
+		t.Fatalf("equi-depth max bucket %d not below uniform max %d", equiMax, uniMax)
+	}
+	if equiMin == 0 {
+		t.Error("equi-depth left empty buckets on its own sample")
+	}
+	// Equi-depth buckets within a small factor of each other.
+	if equiMax > 6*equiMin {
+		t.Errorf("equi-depth occupancy spread %d..%d too wide", equiMin, equiMax)
+	}
+}
+
+func TestBoundariesRangeSearchConsistent(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	m, _ := alloc.NewDM(g, 4)
+	recs := datagen.Zipf{K: 2, Seed: 9, S: 1.4, Buckets: 32}.Generate(3000)
+	sample := make([][]float64, len(recs))
+	for i, r := range recs {
+		sample[i] = r.Values
+	}
+	bounds, err := partition.EquiDepth(sample, g.Dims())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(Config{Method: m, Boundaries: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InsertAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	lo := []float64{0.0, 0.0}
+	hi := []float64{0.1, 0.1}
+	rs, err := f.RangeSearch(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range recs {
+		if r.Values[0] <= 0.1 && r.Values[1] <= 0.1 {
+			want++
+		}
+	}
+	if len(rs.Records) != want {
+		t.Fatalf("range search returned %d, brute force %d", len(rs.Records), want)
+	}
+}
+
+func TestBoundariesPartialMatchConsistent(t *testing.T) {
+	g := grid.MustNew(4, 4)
+	m, _ := alloc.NewDM(g, 2)
+	f, err := New(Config{Method: m, Boundaries: [][]float64{{0.1, 0.2, 0.3}, {0.25, 0.5, 0.75}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []datagen.Record{
+		{ID: 0, Values: []float64{0.15, 0.6}}, // axis0 partition 1
+		{ID: 1, Values: []float64{0.5, 0.6}},  // axis0 partition 3
+	}
+	if err := f.InsertAll(recs); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := f.PartialMatchSearch([]float64{0.15, 0}, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Records) != 1 || rs.Records[0].ID != 0 {
+		t.Fatalf("PM under boundaries returned %v", rs.Records)
+	}
+}

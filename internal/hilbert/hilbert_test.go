@@ -1,0 +1,233 @@
+package hilbert
+
+import (
+	"testing"
+	"testing/quick"
+
+	"decluster/internal/grid"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		n, b int
+		ok   bool
+	}{
+		{2, 5, true},
+		{0, 3, false},
+		{2, 0, false},
+		{8, 8, false}, // 64 bits > 63
+		{7, 9, true},  // 63 bits exactly
+		{1, 1, true},
+	}
+	for _, tc := range cases {
+		_, err := New(tc.n, tc.b)
+		if (err == nil) != tc.ok {
+			t.Errorf("New(%d,%d) err=%v, want ok=%v", tc.n, tc.b, err, tc.ok)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c := MustNew(3, 4)
+	if c.Dims() != 3 || c.Bits() != 4 || c.Side() != 16 {
+		t.Error("accessors wrong")
+	}
+	if c.Points() != 1<<12 {
+		t.Errorf("Points = %d, want %d", c.Points(), 1<<12)
+	}
+}
+
+// The 2-D order-1 Hilbert curve visits (0,0) (0,1) (1,1) (1,0).
+func TestOrder1Curve2D(t *testing.T) {
+	c := MustNew(2, 1)
+	want := [][]int{{0, 0}, {0, 1}, {1, 1}, {1, 0}}
+	for idx, coords := range want {
+		got, err := c.Coords(int64(idx), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != coords[0] || got[1] != coords[1] {
+			t.Errorf("Coords(%d) = %v, want %v", idx, got, coords)
+		}
+	}
+}
+
+func TestIndexCoordsInverse(t *testing.T) {
+	for _, tc := range []struct{ n, b int }{{1, 6}, {2, 4}, {3, 3}, {4, 2}, {5, 2}} {
+		c := MustNew(tc.n, tc.b)
+		coords := make([]int, tc.n)
+		for idx := int64(0); idx < c.Points(); idx++ {
+			coords, _ = c.Coords(idx, coords)
+			back, err := c.Index(coords)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back != idx {
+				t.Fatalf("n=%d b=%d: Index(Coords(%d)) = %d", tc.n, tc.b, idx, back)
+			}
+		}
+	}
+}
+
+// The curve must visit every point exactly once.
+func TestCurveIsBijection(t *testing.T) {
+	c := MustNew(2, 3)
+	seen := make(map[[2]int]bool)
+	for idx := int64(0); idx < c.Points(); idx++ {
+		coords, err := c.Coords(idx, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := [2]int{coords[0], coords[1]}
+		if seen[key] {
+			t.Fatalf("point %v visited twice", coords)
+		}
+		seen[key] = true
+	}
+	if len(seen) != 64 {
+		t.Fatalf("visited %d points, want 64", len(seen))
+	}
+}
+
+// Consecutive curve positions must be adjacent in space (the defining
+// continuity property — this is what gives HCAM its clustering).
+func TestCurveContinuity(t *testing.T) {
+	for _, tc := range []struct{ n, b int }{{2, 4}, {3, 3}} {
+		c := MustNew(tc.n, tc.b)
+		prev, _ := c.Coords(0, nil)
+		for idx := int64(1); idx < c.Points(); idx++ {
+			cur, _ := c.Coords(idx, nil)
+			dist := 0
+			for i := range cur {
+				d := cur[i] - prev[i]
+				if d < 0 {
+					d = -d
+				}
+				dist += d
+			}
+			if dist != 1 {
+				t.Fatalf("n=%d b=%d: positions %d→%d jump distance %d (from %v to %v)",
+					tc.n, tc.b, idx-1, idx, dist, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	c := MustNew(2, 2)
+	if _, err := c.Index([]int{1}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := c.Index([]int{4, 0}); err == nil {
+		t.Error("out-of-range coordinate accepted")
+	}
+	if _, err := c.Index([]int{0, -1}); err == nil {
+		t.Error("negative coordinate accepted")
+	}
+	if _, err := c.Coords(-1, nil); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := c.Coords(16, nil); err == nil {
+		t.Error("overflow index accepted")
+	}
+}
+
+func TestMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex did not panic")
+		}
+	}()
+	MustNew(2, 2).MustIndex([]int{9, 9})
+}
+
+func TestForGrid(t *testing.T) {
+	g := grid.MustNew(8, 3) // bits: 3 and 2 → need 3
+	c, err := ForGrid(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dims() != 2 || c.Bits() != 3 {
+		t.Fatalf("ForGrid(8×3) = %d dims, %d bits", c.Dims(), c.Bits())
+	}
+}
+
+func TestRankTablePermutation(t *testing.T) {
+	for _, dims := range [][]int{{8, 8}, {4, 8}, {5, 7}, {4, 4, 4}, {3, 5, 2}} {
+		g := grid.MustNew(dims...)
+		ranks, err := RankTable(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ranks) != g.Buckets() {
+			t.Fatalf("grid %v: table size %d, want %d", g, len(ranks), g.Buckets())
+		}
+		seen := make([]bool, len(ranks))
+		for _, r := range ranks {
+			if r < 0 || r >= len(ranks) || seen[r] {
+				t.Fatalf("grid %v: ranks are not a permutation", g)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+// For a grid that exactly fills the hypercube, rank equals curve index.
+func TestRankTableMatchesIndexOnCube(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	ranks, err := RankTable(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := MustNew(2, 3)
+	g.Each(func(co grid.Coord) bool {
+		idx := c.MustIndex([]int{co[0], co[1]})
+		if ranks[g.Linearize(co)] != int(idx) {
+			t.Fatalf("bucket %v: rank %d != index %d", co, ranks[g.Linearize(co)], idx)
+		}
+		return true
+	})
+}
+
+// Ranks restricted to a subgrid preserve the curve's visiting order:
+// consecutive ranks correspond to increasing curve indexes.
+func TestRankTableOrderPreserving(t *testing.T) {
+	g := grid.MustNew(5, 6)
+	ranks, err := RankTable(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := ForGrid(g)
+	byRank := make([]int64, g.Buckets())
+	g.Each(func(co grid.Coord) bool {
+		byRank[ranks[g.Linearize(co)]] = c.MustIndex([]int{co[0], co[1]})
+		return true
+	})
+	for i := 1; i < len(byRank); i++ {
+		if byRank[i] <= byRank[i-1] {
+			t.Fatalf("rank %d has curve index %d ≤ previous %d", i, byRank[i], byRank[i-1])
+		}
+	}
+}
+
+// Property: Coords∘Index is the identity on random valid coordinates.
+func TestQuickIndexInverse(t *testing.T) {
+	c := MustNew(3, 5)
+	side := c.Side()
+	f := func(a, b, d uint) bool {
+		coords := []int{int(a % uint(side)), int(b % uint(side)), int(d % uint(side))}
+		idx, err := c.Index(coords)
+		if err != nil {
+			return false
+		}
+		back, err := c.Coords(idx, nil)
+		if err != nil {
+			return false
+		}
+		return back[0] == coords[0] && back[1] == coords[1] && back[2] == coords[2]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+package optimality
+
+import (
+	"fmt"
+
+	"decluster/internal/alloc"
+	"decluster/internal/gf2"
+	"decluster/internal/grid"
+	"decluster/internal/query"
+)
+
+// ConditionReport is one row of the paper's Table 1: a declustering
+// method, a published optimality condition for partial match queries,
+// whether the condition's structural preconditions apply to the tested
+// configuration, and whether optimality empirically held over every
+// partial match query in the condition's scope.
+type ConditionReport struct {
+	Method    string
+	Condition string
+	// Applies reports whether the configuration satisfies the
+	// condition's preconditions; when false, Holds is not meaningful
+	// and remains false.
+	Applies bool
+	// Holds reports whether the method met the optimal response time on
+	// every partial match query in scope.
+	Holds bool
+	// Violation carries the first counterexample when Applies && !Holds.
+	Violation *Violation
+}
+
+// String renders the report row.
+func (r ConditionReport) String() string {
+	status := "n/a"
+	if r.Applies {
+		if r.Holds {
+			status = "holds"
+		} else {
+			status = "VIOLATED: " + r.Violation.String()
+		}
+	}
+	return fmt.Sprintf("%-5s %-55s %s", r.Method, r.Condition, status)
+}
+
+// pmPatterns enumerates all 2^k − 1 partial-match patterns with at
+// least one unspecified attribute; pattern bit i set = attribute i
+// unspecified.
+func pmPatterns(k int) [][]bool {
+	var out [][]bool
+	for mask := 1; mask < 1<<uint(k); mask++ {
+		p := make([]bool, k)
+		for i := 0; i < k; i++ {
+			p[i] = mask>>uint(i)&1 == 1
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// checkPM verifies a method against every partial match query whose
+// unspecified-pattern satisfies want; it returns the first violation.
+func checkPM(m alloc.Method, want func(pattern []bool) bool) *Violation {
+	g := m.Grid()
+	for _, pattern := range pmPatterns(g.K()) {
+		if !want(pattern) {
+			continue
+		}
+		w, err := query.PartialMatchWorkload(g, pattern, 0, 1)
+		if err != nil {
+			panic(err) // patterns are generated with the right arity
+		}
+		if v := CheckWorkload(m, w.Queries); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// countUnspecified counts set entries of a pattern.
+func countUnspecified(pattern []bool) int {
+	n := 0
+	for _, u := range pattern {
+		if u {
+			n++
+		}
+	}
+	return n
+}
+
+// DMOneUnspecified checks the classic Du & Sobolewski theorem: DM is
+// strictly optimal for every partial match query with exactly one
+// unspecified attribute. Returns nil when the theorem holds on g/M.
+func DMOneUnspecified(g *grid.Grid, m int) *Violation {
+	dm, err := alloc.NewDM(g, m)
+	if err != nil {
+		panic(err)
+	}
+	return checkPM(dm, func(p []bool) bool { return countUnspecified(p) == 1 })
+}
+
+// DMDivisibleDomain checks: DM is strictly optimal for every partial
+// match query having at least one unspecified attribute whose domain
+// satisfies d_i mod M = 0.
+func DMDivisibleDomain(g *grid.Grid, m int) *Violation {
+	dm, err := alloc.NewDM(g, m)
+	if err != nil {
+		panic(err)
+	}
+	return checkPM(dm, func(p []bool) bool {
+		for i, u := range p {
+			if u && g.Dim(i)%m == 0 {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// FXOneUnspecified checks Kim & Pramanik's condition: FX is strictly
+// optimal for partial match queries with exactly one unspecified
+// attribute when domains and disks are powers of two and the
+// unspecified domain has d_i ≥ M.
+func FXOneUnspecified(g *grid.Grid, m int) *Violation {
+	fx, err := alloc.NewFX(g, m)
+	if err != nil {
+		panic(err)
+	}
+	return checkPM(fx, func(p []bool) bool {
+		if countUnspecified(p) != 1 {
+			return false
+		}
+		for i, u := range p {
+			if u {
+				return g.Dim(i) >= m
+			}
+		}
+		return false
+	})
+}
+
+// ECCPatternOptimal decides, from the code's parity-check matrix alone,
+// whether the ECC allocation is strictly optimal on every placement of
+// the given partial-match pattern. A pattern with unspecified attribute
+// set U frees exactly the word bits of those attributes, say f of them;
+// the queried buckets form an affine subspace of dimension f. Under the
+// linear syndrome map:
+//
+//   - when 2^f ≥ M, strict optimality (each disk exactly 2^f/M buckets)
+//     holds iff the free-column submatrix of H has full row rank r;
+//   - when 2^f < M, strict optimality (all buckets distinct disks)
+//     holds iff the submatrix has trivial kernel, i.e. rank f.
+//
+// This is the exact form of the Faloutsos & Metaxas partial-match
+// optimality condition for an arbitrary parity-check matrix.
+func ECCPatternOptimal(e *alloc.ECC, pattern []bool) (bool, error) {
+	g := e.Grid()
+	if len(pattern) != g.K() {
+		return false, fmt.Errorf("optimality: pattern arity %d for %d-attribute grid", len(pattern), g.K())
+	}
+	var free []int
+	for axis, u := range pattern {
+		if u {
+			free = append(free, e.BitPositions(axis)...)
+		}
+	}
+	h := e.Code().ParityCheck()
+	sub, err := gf2.NewMatrix(h.NumRows(), len(free))
+	if err != nil {
+		return false, err
+	}
+	for j, pos := range free {
+		sub.SetColumn(j, h.Column(pos))
+	}
+	rank := sub.Rank()
+	f := len(free)
+	r := e.Code().ParityBits()
+	if f >= r { // 2^f ≥ M = 2^r
+		return rank == r, nil
+	}
+	return rank == f, nil
+}
+
+// ECCPartialMatch checks the Faloutsos & Metaxas guarantee empirically:
+// ECC must meet the optimal response time on every placement of every
+// partial-match pattern that ECCPatternOptimal predicts is optimal.
+func ECCPartialMatch(g *grid.Grid, m int) *Violation {
+	e, err := alloc.NewECC(g, m)
+	if err != nil {
+		panic(err)
+	}
+	return checkPM(e, func(p []bool) bool {
+		ok, err := ECCPatternOptimal(e, p)
+		if err != nil {
+			panic(err)
+		}
+		return ok
+	})
+}
+
+// isPow2 reports whether n is a positive power of two.
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Table1 reproduces the paper's Table 1 on a concrete configuration:
+// for each method's published partial-match optimality condition it
+// reports whether the preconditions apply to g/M and, if so, whether
+// the condition empirically held over every partial match query in
+// scope. HCAM appears with no published condition, as in the paper.
+func Table1(g *grid.Grid, m int) []ConditionReport {
+	pow2Grid := g.IsPowerOfTwo()
+	pow2M := isPow2(m)
+	anyDivisible := false
+	anyWide := false
+	for i := 0; i < g.K(); i++ {
+		if g.Dim(i)%m == 0 {
+			anyDivisible = true
+		}
+		if g.Dim(i) >= m {
+			anyWide = true
+		}
+	}
+
+	reports := []ConditionReport{
+		{
+			Method:    "DM",
+			Condition: "PM, exactly one attribute unspecified",
+			Applies:   true,
+		},
+		{
+			Method:    "DM",
+			Condition: "PM, ≥1 unspecified attribute with d_i mod M = 0",
+			Applies:   anyDivisible,
+		},
+		{
+			Method:    "FX",
+			Condition: "PM, one unspecified attribute with d_i ≥ M (powers of 2)",
+			Applies:   pow2Grid && pow2M && anyWide,
+		},
+		{
+			Method:    "ECC",
+			Condition: "PM patterns whose free bits span/embed in GF(2)^r (powers of 2)",
+			Applies:   pow2Grid && pow2M,
+		},
+		{
+			Method:    "HCAM",
+			Condition: "no published optimality condition",
+			Applies:   false,
+		},
+	}
+
+	if reports[0].Applies {
+		reports[0].Violation = DMOneUnspecified(g, m)
+		reports[0].Holds = reports[0].Violation == nil
+	}
+	if reports[1].Applies {
+		reports[1].Violation = DMDivisibleDomain(g, m)
+		reports[1].Holds = reports[1].Violation == nil
+	}
+	if reports[2].Applies {
+		reports[2].Violation = FXOneUnspecified(g, m)
+		reports[2].Holds = reports[2].Violation == nil
+	}
+	if reports[3].Applies {
+		reports[3].Violation = ECCPartialMatch(g, m)
+		reports[3].Holds = reports[3].Violation == nil
+	}
+	return reports
+}

@@ -1,0 +1,206 @@
+package optimality
+
+import (
+	"strings"
+	"testing"
+
+	"decluster/internal/alloc"
+	"decluster/internal/grid"
+	"decluster/internal/query"
+)
+
+func TestPMPatterns(t *testing.T) {
+	ps := pmPatterns(3)
+	if len(ps) != 7 {
+		t.Fatalf("got %d patterns, want 7", len(ps))
+	}
+	seen := make(map[string]bool)
+	for _, p := range ps {
+		key := ""
+		any := false
+		for _, u := range p {
+			if u {
+				key += "1"
+				any = true
+			} else {
+				key += "0"
+			}
+		}
+		if !any {
+			t.Fatalf("pattern %v has no unspecified attribute", p)
+		}
+		if seen[key] {
+			t.Fatalf("duplicate pattern %v", p)
+		}
+		seen[key] = true
+	}
+}
+
+func TestDMOneUnspecifiedHolds(t *testing.T) {
+	for _, tc := range []struct {
+		dims []int
+		m    int
+	}{
+		{[]int{16, 16}, 4},
+		{[]int{12, 12}, 6},
+		{[]int{8, 8, 8}, 4},
+		{[]int{10, 15}, 5},
+	} {
+		g := grid.MustNew(tc.dims...)
+		if v := DMOneUnspecified(g, tc.m); v != nil {
+			t.Errorf("grid %v M=%d: %v", g, tc.m, v)
+		}
+	}
+}
+
+func TestDMDivisibleDomainHolds(t *testing.T) {
+	for _, tc := range []struct {
+		dims []int
+		m    int
+	}{
+		{[]int{16, 16}, 4},
+		{[]int{12, 7}, 6}, // only axis 0 divisible
+		{[]int{8, 8, 8}, 8},
+	} {
+		g := grid.MustNew(tc.dims...)
+		if v := DMDivisibleDomain(g, tc.m); v != nil {
+			t.Errorf("grid %v M=%d: %v", g, tc.m, v)
+		}
+	}
+}
+
+func TestFXOneUnspecifiedHolds(t *testing.T) {
+	for _, tc := range []struct {
+		dims []int
+		m    int
+	}{
+		{[]int{16, 16}, 4},
+		{[]int{16, 16}, 8},
+		{[]int{8, 16}, 8},
+		{[]int{8, 8, 8}, 4},
+	} {
+		g := grid.MustNew(tc.dims...)
+		if v := FXOneUnspecified(g, tc.m); v != nil {
+			t.Errorf("grid %v M=%d: %v", g, tc.m, v)
+		}
+	}
+}
+
+func TestECCPartialMatchHolds(t *testing.T) {
+	for _, tc := range []struct {
+		dims []int
+		m    int
+	}{
+		{[]int{16, 16}, 4},
+		{[]int{16, 16}, 8},
+		{[]int{8, 8, 8}, 4},
+		{[]int{32, 32}, 16},
+	} {
+		g := grid.MustNew(tc.dims...)
+		if v := ECCPartialMatch(g, tc.m); v != nil {
+			t.Errorf("grid %v M=%d: %v", g, tc.m, v)
+		}
+	}
+}
+
+// The rank-based prediction must match empirical reality in BOTH
+// directions for every pattern: predicted-optimal patterns have no
+// violation; predicted-suboptimal patterns have one.
+func TestECCPatternOptimalExact(t *testing.T) {
+	for _, tc := range []struct {
+		dims []int
+		m    int
+	}{
+		{[]int{8, 8}, 8},
+		{[]int{16, 8}, 8},
+		{[]int{4, 4, 4}, 4},
+		{[]int{8, 4, 2}, 4},
+	} {
+		g := grid.MustNew(tc.dims...)
+		e, err := alloc.NewECC(g, tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pattern := range pmPatterns(g.K()) {
+			predicted, err := ECCPatternOptimal(e, pattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := query.PartialMatchWorkload(g, pattern, 0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := CheckWorkload(e, w.Queries)
+			actual := v == nil
+			if predicted != actual {
+				t.Errorf("grid %v M=%d pattern %v: predicted optimal=%v, actual=%v (violation %v)",
+					g, tc.m, pattern, predicted, actual, v)
+			}
+		}
+	}
+}
+
+func TestECCPatternOptimalArity(t *testing.T) {
+	e, _ := alloc.NewECC(grid.MustNew(8, 8), 4)
+	if _, err := ECCPatternOptimal(e, []bool{true}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestTable1AllHoldOnPow2Config(t *testing.T) {
+	g := grid.MustNew(16, 16)
+	reports := Table1(g, 8)
+	if len(reports) != 5 {
+		t.Fatalf("got %d rows, want 5", len(reports))
+	}
+	for _, r := range reports[:4] {
+		if !r.Applies {
+			t.Errorf("%s condition does not apply on 16×16/8", r.Method)
+			continue
+		}
+		if !r.Holds {
+			t.Errorf("%s condition violated: %v", r.Method, r.Violation)
+		}
+	}
+	// HCAM row: no condition.
+	if reports[4].Method != "HCAM" || reports[4].Applies {
+		t.Error("HCAM row wrong")
+	}
+}
+
+func TestTable1NonPow2SkipsFXECC(t *testing.T) {
+	g := grid.MustNew(12, 12)
+	reports := Table1(g, 6)
+	for _, r := range reports {
+		switch r.Method {
+		case "FX", "ECC":
+			if r.Applies {
+				t.Errorf("%s condition applies on non-power-of-two config", r.Method)
+			}
+		case "DM":
+			if !r.Applies {
+				t.Errorf("DM row %q should apply", r.Condition)
+			} else if !r.Holds {
+				t.Errorf("DM condition violated: %v", r.Violation)
+			}
+		}
+	}
+}
+
+func TestConditionReportString(t *testing.T) {
+	r := ConditionReport{Method: "DM", Condition: "c", Applies: true, Holds: true}
+	if !strings.Contains(r.String(), "holds") {
+		t.Errorf("String() = %q", r.String())
+	}
+	r2 := ConditionReport{Method: "DM", Condition: "c"}
+	if !strings.Contains(r2.String(), "n/a") {
+		t.Errorf("String() = %q", r2.String())
+	}
+	r3 := ConditionReport{
+		Method: "DM", Condition: "c", Applies: true,
+		Violation: &Violation{Rect: grid.MustNew(2, 2).FullRect(), RT: 3, Optimal: 1},
+	}
+	if !strings.Contains(r3.String(), "VIOLATED") {
+		t.Errorf("String() = %q", r3.String())
+	}
+}

@@ -1,0 +1,277 @@
+// Package optimality implements the theoretical side of the
+// declustering study: strict-optimality checking of allocations against
+// all range queries, and an exhaustive (complete) backtracking search
+// that either constructs a strictly optimal allocation for a grid/disk
+// configuration or proves that none exists. The paper's theoretical
+// contribution — that no declustering method is strictly optimal for
+// range queries when the number of disks exceeds 5 — is verified
+// constructively by running the search to exhaustion on witness grids.
+//
+// An allocation is *strictly optimal* when every range query Q on the
+// grid meets the lower bound: RT(Q) = ⌈|Q|/M⌉. For queries no larger
+// than M this requires all buckets of Q on pairwise distinct disks.
+package optimality
+
+import (
+	"fmt"
+
+	"decluster/internal/alloc"
+	"decluster/internal/cost"
+	"decluster/internal/grid"
+)
+
+// Violation records a range query on which an allocation misses the
+// optimal response time.
+type Violation struct {
+	Rect    grid.Rect
+	RT      int
+	Optimal int
+}
+
+// String renders the violation.
+func (v *Violation) String() string {
+	return fmt.Sprintf("query %v: RT %d > optimal %d", v.Rect, v.RT, v.Optimal)
+}
+
+// Check tests m against every range query on its grid (every shape at
+// every placement) and returns the first violation found, or nil when m
+// is strictly optimal. Cost grows quickly with grid size — quadratic in
+// the bucket count times the mean query volume — so it is intended for
+// the small witness grids of the theorem and for tests.
+func Check(m alloc.Method) *Violation {
+	g := m.Grid()
+	var violation *Violation
+	eachShape(g, func(sides []int) bool {
+		_, err := g.Placements(sides, func(r grid.Rect) bool {
+			rt := cost.ResponseTime(m, r)
+			opt := cost.OptimalRT(r.Volume(), m.Disks())
+			if rt > opt {
+				violation = &Violation{
+					Rect:    grid.Rect{Lo: r.Lo.Clone(), Hi: r.Hi.Clone()},
+					RT:      rt,
+					Optimal: opt,
+				}
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			panic(err) // shapes generated from the grid always fit
+		}
+		return violation == nil
+	})
+	return violation
+}
+
+// CheckWorkload tests m against an explicit query set, returning the
+// first violation or nil.
+func CheckWorkload(m alloc.Method, queries []grid.Rect) *Violation {
+	for _, r := range queries {
+		rt := cost.ResponseTime(m, r)
+		opt := cost.OptimalRT(r.Volume(), m.Disks())
+		if rt > opt {
+			return &Violation{Rect: r, RT: rt, Optimal: opt}
+		}
+	}
+	return nil
+}
+
+// eachShape enumerates every side-length vector that fits g (sides from
+// 1 to d_i per axis), stopping early when fn returns false.
+func eachShape(g *grid.Grid, fn func(sides []int) bool) {
+	sides := make([]int, g.K())
+	for i := range sides {
+		sides[i] = 1
+	}
+	for {
+		if !fn(sides) {
+			return
+		}
+		i := g.K() - 1
+		for ; i >= 0; i-- {
+			sides[i]++
+			if sides[i] <= g.Dim(i) {
+				break
+			}
+			sides[i] = 1
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// Outcome is the tri-state result of the exhaustive search.
+type Outcome int
+
+const (
+	// Found: a strictly optimal allocation exists and was constructed.
+	Found Outcome = iota
+	// Impossible: the search ran to exhaustion; no strictly optimal
+	// allocation of this grid onto this many disks exists.
+	Impossible
+	// Undecided: the node budget ran out before the search completed.
+	Undecided
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Found:
+		return "found"
+	case Impossible:
+		return "impossible"
+	case Undecided:
+		return "undecided"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// SearchResult reports the outcome of SearchStrictlyOptimal.
+type SearchResult struct {
+	Outcome Outcome
+	// Table is the strictly optimal allocation (row-major bucket →
+	// disk) when Outcome == Found, nil otherwise.
+	Table []int
+	// Nodes counts the assignments attempted — the size of the explored
+	// search tree.
+	Nodes int64
+}
+
+// SearchStrictlyOptimal performs a complete backtracking search for a
+// strictly optimal allocation of g onto m disks. Buckets are assigned
+// in row-major order; after each assignment every range query whose
+// row-major-maximal corner is the assigned bucket is checked (those
+// queries are exactly the ones that became fully assigned), so any
+// completed assignment satisfies all range queries. Disk labels are
+// canonicalized — a bucket may only use a disk already in use or the
+// next fresh one — which quotients out the M! label symmetry.
+//
+// budget bounds the number of assignments attempted (0 = unlimited);
+// when exceeded the result is Undecided. The search is exact: Found
+// results carry a verified allocation, and Impossible results are
+// proofs by exhaustion.
+func SearchStrictlyOptimal(g *grid.Grid, m int, budget int64) SearchResult {
+	if m >= g.Buckets() {
+		// Every bucket on its own disk is trivially strictly optimal.
+		table := make([]int, g.Buckets())
+		for i := range table {
+			table[i] = i % m
+		}
+		return SearchResult{Outcome: Found, Table: table, Nodes: int64(g.Buckets())}
+	}
+	s := &searcher{
+		g:      g,
+		m:      m,
+		budget: budget,
+		assign: make([]int, g.Buckets()),
+		coords: make([]grid.Coord, g.Buckets()),
+	}
+	for i := range s.assign {
+		s.assign[i] = -1
+		s.coords[i] = g.Delinearize(i, nil)
+	}
+	outcome := s.place(0, 0)
+	res := SearchResult{Outcome: outcome, Nodes: s.nodes}
+	if outcome == Found {
+		res.Table = make([]int, len(s.assign))
+		copy(res.Table, s.assign)
+	}
+	return res
+}
+
+type searcher struct {
+	g      *grid.Grid
+	m      int
+	budget int64
+	nodes  int64
+	assign []int // row-major bucket → disk, -1 unassigned
+	coords []grid.Coord
+	// allowed restricts the checked query shapes (nil = all shapes).
+	allowed map[string]bool
+}
+
+// place tries every canonical disk for bucket idx. maxUsed is the
+// number of distinct disks used by buckets < idx.
+func (s *searcher) place(idx, maxUsed int) Outcome {
+	if idx == len(s.assign) {
+		return Found
+	}
+	limit := maxUsed + 1
+	if limit > s.m {
+		limit = s.m
+	}
+	for d := 0; d < limit; d++ {
+		s.nodes++
+		if s.budget > 0 && s.nodes > s.budget {
+			s.assign[idx] = -1
+			return Undecided
+		}
+		s.assign[idx] = d
+		if s.consistent(idx) {
+			nextUsed := maxUsed
+			if d == maxUsed {
+				nextUsed++
+			}
+			switch s.place(idx+1, nextUsed) {
+			case Found:
+				return Found
+			case Undecided:
+				s.assign[idx] = -1
+				return Undecided
+			}
+		}
+	}
+	s.assign[idx] = -1
+	return Impossible
+}
+
+// consistent checks every range query whose maximal corner is bucket
+// idx — all of whose buckets are assigned — against the strict bound.
+func (s *searcher) consistent(idx int) bool {
+	hi := s.coords[idx]
+	lo := make(grid.Coord, len(hi))
+	counts := make([]int, s.m)
+	return s.checkRects(hi, lo, 0, counts)
+}
+
+// checkRects recurses over all low corners lo ≤ hi axis by axis; at the
+// leaves it counts disk loads over the rectangle and compares with the
+// ceiling bound.
+func (s *searcher) checkRects(hi, lo grid.Coord, axis int, counts []int) bool {
+	if axis == len(hi) {
+		return s.checkOne(grid.Rect{Lo: lo, Hi: hi}, counts)
+	}
+	for v := hi[axis]; v >= 0; v-- {
+		lo[axis] = v
+		if !s.checkRects(hi, lo, axis+1, counts) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkOne verifies one fully-assigned rectangle against the ceiling
+// bound, reusing the counts scratch slice. Shapes outside the allowed
+// set (when one is configured) are unconstrained.
+func (s *searcher) checkOne(r grid.Rect, counts []int) bool {
+	if s.allowed != nil && !s.allowed[shapeKey(r.Sides())] {
+		return true
+	}
+	for i := range counts {
+		counts[i] = 0
+	}
+	bound := cost.OptimalRT(r.Volume(), s.m)
+	ok := true
+	grid.EachRect(r, func(c grid.Coord) bool {
+		d := s.assign[s.g.Linearize(c)]
+		counts[d]++
+		if counts[d] > bound {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}

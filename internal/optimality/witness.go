@@ -1,0 +1,130 @@
+package optimality
+
+import (
+	"fmt"
+	"sort"
+
+	"decluster/internal/grid"
+)
+
+// SearchWithShapes runs the strict-optimality search constrained to
+// range queries of the given shapes only (side vectors; every placement
+// of each shape). Queries of other shapes are unconstrained. With the
+// full shape set this coincides with SearchStrictlyOptimal; with a
+// subset, Impossible results identify *which* query shapes alone
+// already rule out strict optimality.
+func SearchWithShapes(g *grid.Grid, m int, shapes [][]int, budget int64) (SearchResult, error) {
+	allowed := make(map[string]bool, len(shapes))
+	for _, s := range shapes {
+		if len(s) != g.K() {
+			return SearchResult{}, fmt.Errorf("optimality: shape %v has %d sides; grid has %d axes", s, len(s), g.K())
+		}
+		for i, v := range s {
+			if v < 1 || v > g.Dim(i) {
+				return SearchResult{}, fmt.Errorf("optimality: shape %v does not fit grid %v", s, g)
+			}
+		}
+		allowed[shapeKey(s)] = true
+	}
+	if m >= g.Buckets() {
+		table := make([]int, g.Buckets())
+		for i := range table {
+			table[i] = i % m
+		}
+		return SearchResult{Outcome: Found, Table: table, Nodes: int64(g.Buckets())}, nil
+	}
+	s := &searcher{
+		g:       g,
+		m:       m,
+		budget:  budget,
+		assign:  make([]int, g.Buckets()),
+		coords:  make([]grid.Coord, g.Buckets()),
+		allowed: allowed,
+	}
+	for i := range s.assign {
+		s.assign[i] = -1
+		s.coords[i] = g.Delinearize(i, nil)
+	}
+	outcome := s.place(0, 0)
+	res := SearchResult{Outcome: outcome, Nodes: s.nodes}
+	if outcome == Found {
+		res.Table = make([]int, len(s.assign))
+		copy(res.Table, s.assign)
+	}
+	return res, nil
+}
+
+// shapeKey canonicalizes a side vector for set membership.
+func shapeKey(sides []int) string {
+	key := ""
+	for i, v := range sides {
+		if i > 0 {
+			key += "×"
+		}
+		key += fmt.Sprint(v)
+	}
+	return key
+}
+
+// MinimalWitness returns an inclusion-minimal set of query shapes whose
+// placements alone prove that no strictly optimal allocation of g onto
+// m disks exists: greedy deletion from the full fitting shape set,
+// preferring to drop large shapes so the surviving core is made of the
+// small queries the theorem's intuition lives on. It returns an error
+// when even the full constraint set admits an allocation (the
+// configuration is feasible) or the budget is exhausted.
+func MinimalWitness(g *grid.Grid, m int, budget int64) ([][]int, error) {
+	// Full shape set, largest volume first (deletion order).
+	var shapes [][]int
+	eachShape(g, func(sides []int) bool {
+		cp := make([]int, len(sides))
+		copy(cp, sides)
+		shapes = append(shapes, cp)
+		return true
+	})
+	sort.SliceStable(shapes, func(i, j int) bool {
+		return volume(shapes[i]) > volume(shapes[j])
+	})
+
+	res, err := SearchWithShapes(g, m, shapes, budget)
+	if err != nil {
+		return nil, err
+	}
+	switch res.Outcome {
+	case Found:
+		return nil, fmt.Errorf("optimality: %v onto %d disks is feasible; no witness exists", g, m)
+	case Undecided:
+		return nil, fmt.Errorf("optimality: budget %d exhausted on the full shape set", budget)
+	}
+
+	for i := 0; i < len(shapes); {
+		trial := make([][]int, 0, len(shapes)-1)
+		trial = append(trial, shapes[:i]...)
+		trial = append(trial, shapes[i+1:]...)
+		res, err := SearchWithShapes(g, m, trial, budget)
+		if err != nil {
+			return nil, err
+		}
+		switch res.Outcome {
+		case Impossible:
+			shapes = trial // shape i is redundant
+		case Found:
+			i++ // shape i is load-bearing
+		default:
+			return nil, fmt.Errorf("optimality: budget %d exhausted during reduction", budget)
+		}
+	}
+	// Present the core smallest-first.
+	sort.SliceStable(shapes, func(i, j int) bool {
+		return volume(shapes[i]) < volume(shapes[j])
+	})
+	return shapes, nil
+}
+
+func volume(sides []int) int {
+	v := 1
+	for _, s := range sides {
+		v *= s
+	}
+	return v
+}

@@ -1,0 +1,128 @@
+package optimality
+
+import (
+	"testing"
+
+	"decluster/internal/grid"
+)
+
+func TestSearchWithShapesValidation(t *testing.T) {
+	g := grid.MustNew(4, 4)
+	if _, err := SearchWithShapes(g, 4, [][]int{{1}}, 0); err == nil {
+		t.Error("wrong-arity shape accepted")
+	}
+	if _, err := SearchWithShapes(g, 4, [][]int{{5, 1}}, 0); err == nil {
+		t.Error("oversized shape accepted")
+	}
+}
+
+func TestSearchWithShapesFullSetMatchesUnrestricted(t *testing.T) {
+	g := grid.MustNew(4, 4)
+	var shapes [][]int
+	for a := 1; a <= 4; a++ {
+		for b := 1; b <= 4; b++ {
+			shapes = append(shapes, []int{a, b})
+		}
+	}
+	restricted, err := SearchWithShapes(g, 4, shapes, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := SearchStrictlyOptimal(g, 4, 1_000_000)
+	if restricted.Outcome != full.Outcome {
+		t.Fatalf("full shape set outcome %v != unrestricted %v", restricted.Outcome, full.Outcome)
+	}
+}
+
+func TestSearchWithShapesRelaxationCanBecomeFeasible(t *testing.T) {
+	// Constraining only 1×j row shapes is satisfiable even at M=6
+	// (DM-style striping works) although the full problem is not.
+	g := grid.MustNew(6, 6)
+	rows := [][]int{{1, 2}, {1, 3}, {1, 6}}
+	res, err := SearchWithShapes(g, 6, rows, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Found {
+		t.Fatalf("row-only constraints outcome %v, want found", res.Outcome)
+	}
+}
+
+func TestSearchWithShapesTrivialManyDisks(t *testing.T) {
+	g := grid.MustNew(3, 3)
+	res, err := SearchWithShapes(g, 9, [][]int{{2, 2}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Found {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+}
+
+func TestMinimalWitnessM4(t *testing.T) {
+	g := grid.MustNew(4, 4)
+	core, err := MinimalWitness(g, 4, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(core) == 0 {
+		t.Fatal("empty core")
+	}
+	// The core itself must still prove impossibility…
+	res, err := SearchWithShapes(g, 4, core, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Impossible {
+		t.Fatalf("core %v does not prove impossibility", core)
+	}
+	// …and be inclusion-minimal: dropping any shape makes it feasible.
+	for i := range core {
+		trial := make([][]int, 0, len(core)-1)
+		trial = append(trial, core[:i]...)
+		trial = append(trial, core[i+1:]...)
+		res, err := SearchWithShapes(g, 4, trial, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != Found {
+			t.Fatalf("core not minimal: dropping %v still impossible", core[i])
+		}
+	}
+	// All core shapes are small — the theorem lives on small queries.
+	for _, s := range core {
+		if volume(s) > 6 {
+			t.Errorf("core shape %v unexpectedly large", s)
+		}
+	}
+}
+
+func TestMinimalWitnessM6Rectangular(t *testing.T) {
+	// 3×6 is the cheap M=6 witness grid.
+	g := grid.MustNew(3, 6)
+	core, err := MinimalWitness(g, 6, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SearchWithShapes(g, 6, core, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Impossible {
+		t.Fatalf("core %v does not prove the M=6 case", core)
+	}
+}
+
+func TestMinimalWitnessFeasibleConfigErrors(t *testing.T) {
+	g := grid.MustNew(5, 5)
+	if _, err := MinimalWitness(g, 5, 10_000_000); err == nil {
+		t.Fatal("feasible configuration produced a witness")
+	}
+}
+
+func TestMinimalWitnessBudgetErrors(t *testing.T) {
+	g := grid.MustNew(6, 6)
+	if _, err := MinimalWitness(g, 6, 10); err == nil {
+		t.Fatal("tiny budget did not error")
+	}
+}

@@ -1,0 +1,172 @@
+// Package plot renders simple ASCII line charts — the terminal
+// rendition of the paper's figures. Each chart plots one or more named
+// series over a shared ordered x-axis; points are marked with the
+// series' glyph and collisions show the later series.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// glyphs mark series in order.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart holds the data and dimensions of one plot.
+type Chart struct {
+	title  string
+	xlabel string
+	labels []string // x tick labels, one per point
+	series []Series
+	width  int
+	height int
+}
+
+// New creates a chart with default dimensions (60×16 plot area).
+func New(title, xlabel string, labels []string) *Chart {
+	return &Chart{title: title, xlabel: xlabel, labels: labels, width: 60, height: 16}
+}
+
+// SetSize overrides the plot area dimensions (min 16×4).
+func (c *Chart) SetSize(width, height int) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	c.width = width
+	c.height = height
+}
+
+// Add appends a series; its length must match the x labels.
+func (c *Chart) Add(s Series) error {
+	if len(s.Y) != len(c.labels) {
+		return fmt.Errorf("plot: series %q has %d points; x-axis has %d", s.Name, len(s.Y), len(c.labels))
+	}
+	for _, v := range s.Y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("plot: series %q contains a non-finite value", s.Name)
+		}
+	}
+	c.series = append(c.series, s)
+	return nil
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	var b strings.Builder
+	if c.title != "" {
+		b.WriteString(c.title)
+		b.WriteByte('\n')
+	}
+	if len(c.series) == 0 || len(c.labels) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	lo, hi := c.series[0].Y[0], c.series[0].Y[0]
+	for _, s := range c.series {
+		for _, v := range s.Y {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1 // flat lines still render
+	}
+
+	// canvas[row][col]; row 0 is the top.
+	canvas := make([][]byte, c.height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", c.width))
+	}
+	n := len(c.labels)
+	colOf := func(i int) int {
+		if n == 1 {
+			return 0
+		}
+		return i * (c.width - 1) / (n - 1)
+	}
+	rowOf := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round((1 - frac) * float64(c.height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= c.height {
+			r = c.height - 1
+		}
+		return r
+	}
+	for si, s := range c.series {
+		glyph := glyphs[si%len(glyphs)]
+		for i, v := range s.Y {
+			canvas[rowOf(v)][colOf(i)] = glyph
+		}
+	}
+
+	// y-axis labels on the left, 9 characters wide.
+	for r := 0; r < c.height; r++ {
+		var yval float64
+		if c.height == 1 {
+			yval = hi
+		} else {
+			yval = hi - (hi-lo)*float64(r)/float64(c.height-1)
+		}
+		fmt.Fprintf(&b, "%8.2f |%s\n", yval, string(canvas[r]))
+	}
+	b.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", c.width) + "\n")
+
+	// x tick labels: first, middle, last.
+	ticks := make([]byte, c.width+10)
+	for i := range ticks {
+		ticks[i] = ' '
+	}
+	place := func(i int) {
+		label := c.labels[i]
+		col := 10 + colOf(i)
+		start := col - len(label)/2
+		if start < 10 {
+			start = 10
+		}
+		if start+len(label) > len(ticks) {
+			start = len(ticks) - len(label)
+		}
+		copy(ticks[start:], label)
+	}
+	place(0)
+	if n > 2 {
+		place(n / 2)
+	}
+	if n > 1 {
+		place(n - 1)
+	}
+	b.Write(ticks)
+	b.WriteByte('\n')
+	if c.xlabel != "" {
+		fmt.Fprintf(&b, "%*s%s\n", 10+c.width/2-len(c.xlabel)/2, "", c.xlabel)
+	}
+
+	// Legend.
+	b.WriteString("legend: ")
+	for si, s := range c.series {
+		if si > 0 {
+			b.WriteString("   ")
+		}
+		fmt.Fprintf(&b, "%c %s", glyphs[si%len(glyphs)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEmptyChart(t *testing.T) {
+	c := New("t", "x", nil)
+	if !strings.Contains(c.String(), "(no data)") {
+		t.Error("empty chart rendering wrong")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	c := New("t", "x", []string{"a", "b"})
+	if err := c.Add(Series{Name: "s", Y: []float64{1}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := c.Add(Series{Name: "s", Y: []float64{1, math.NaN()}}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if err := c.Add(Series{Name: "s", Y: []float64{1, math.Inf(1)}}); err == nil {
+		t.Error("Inf accepted")
+	}
+	if err := c.Add(Series{Name: "s", Y: []float64{1, 2}}); err != nil {
+		t.Errorf("valid series rejected: %v", err)
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	c := New("Title", "queries", []string{"1", "2", "3", "4"})
+	if err := c.Add(Series{Name: "up", Y: []float64{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(Series{Name: "down", Y: []float64{4, 3, 2, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.String()
+	for _, want := range []string{"Title", "legend:", "* up", "o down", "queries", "4.00", "1.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The increasing series' first point is at the bottom row, its last
+	// at the top: '*' appears on both extreme value rows.
+	lines := strings.Split(out, "\n")
+	var topRow, bottomRow string
+	for _, line := range lines {
+		if strings.Contains(line, "|") {
+			if topRow == "" {
+				topRow = line
+			}
+			bottomRow = line
+		}
+	}
+	if !strings.Contains(topRow, "*") {
+		t.Errorf("max of increasing series not on top row: %q", topRow)
+	}
+	if !strings.Contains(bottomRow, "*") {
+		t.Errorf("min of increasing series not on bottom row: %q", bottomRow)
+	}
+}
+
+func TestFlatSeries(t *testing.T) {
+	c := New("", "", []string{"a", "b"})
+	if err := c.Add(Series{Name: "flat", Y: []float64{5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.String()
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not rendered:\n%s", out)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	c := New("", "", []string{"only"})
+	if err := c.Add(Series{Name: "s", Y: []float64{3}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c.String(), "*") {
+		t.Error("single point not rendered")
+	}
+}
+
+func TestSetSizeClamps(t *testing.T) {
+	c := New("", "", []string{"a", "b"})
+	c.SetSize(1, 1)
+	if c.width != 16 || c.height != 4 {
+		t.Errorf("SetSize did not clamp: %d×%d", c.width, c.height)
+	}
+	c.SetSize(100, 30)
+	if c.width != 100 || c.height != 30 {
+		t.Error("SetSize ignored valid values")
+	}
+	if err := c.Add(Series{Name: "s", Y: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, l := range strings.Split(c.String(), "\n") {
+		if strings.Contains(l, "|") {
+			lines++
+		}
+	}
+	if lines != 30 {
+		t.Errorf("rendered %d plot rows, want 30", lines)
+	}
+}
+
+func TestManySeriesGlyphsCycle(t *testing.T) {
+	labels := []string{"a", "b"}
+	c := New("", "", labels)
+	for i := 0; i < 10; i++ {
+		if err := c.Add(Series{Name: "s", Y: []float64{float64(i), float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ten series over eight glyphs: rendering must not panic and the
+	// legend must carry all ten entries.
+	if n := strings.Count(c.String(), " s"); n < 10 {
+		t.Errorf("legend shows %d series, want 10", n)
+	}
+}

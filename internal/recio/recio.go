@@ -1,0 +1,61 @@
+// Package recio persists record populations as JSON Lines — one record
+// per line — the data companion to allocio (allocation tables) and
+// catalog.Save (relation metadata). JSONL streams: populations load and
+// store without materializing the encoded form, and partial files fail
+// cleanly at the offending line.
+package recio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"decluster/internal/datagen"
+)
+
+// WriteRecords streams records to w as JSON Lines.
+func WriteRecords(w io.Writer, recs []datagen.Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("recio: record %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("recio: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadRecords streams records from r, validating each line. The arity
+// of the first record fixes the expected attribute count.
+func ReadRecords(r io.Reader) ([]datagen.Record, error) {
+	var out []datagen.Record
+	dec := json.NewDecoder(bufio.NewReader(r))
+	arity := -1
+	for line := 0; ; line++ {
+		var rec datagen.Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("recio: line %d: %w", line, err)
+		}
+		if arity < 0 {
+			arity = len(rec.Values)
+			if arity == 0 {
+				return nil, fmt.Errorf("recio: line %d: record has no attributes", line)
+			}
+		} else if len(rec.Values) != arity {
+			return nil, fmt.Errorf("recio: line %d: arity %d != %d", line, len(rec.Values), arity)
+		}
+		for i, v := range rec.Values {
+			if v < 0 || v >= 1 {
+				return nil, fmt.Errorf("recio: line %d: attribute %d = %v outside [0,1)", line, i, v)
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package recio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"decluster/internal/datagen"
+)
+
+func TestRoundTrip(t *testing.T) {
+	recs := datagen.Uniform{K: 3, Seed: 5}.Generate(500)
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i].ID != recs[i].ID {
+			t.Fatalf("record %d: ID %d != %d", i, got[i].ID, recs[i].ID)
+		}
+		for j := range got[i].Values {
+			if got[i].Values[j] != recs[i].Values[j] {
+				t.Fatalf("record %d attr %d: %v != %v", i, j, got[i].Values[j], recs[i].Values[j])
+			}
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d records from empty stream", len(got))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadRecords(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReadRejectsArityDrift(t *testing.T) {
+	in := `{"ID":0,"Values":[0.1,0.2]}
+{"ID":1,"Values":[0.3]}
+`
+	if _, err := ReadRecords(strings.NewReader(in)); err == nil {
+		t.Error("arity drift accepted")
+	}
+}
+
+func TestReadRejectsOutOfRange(t *testing.T) {
+	in := `{"ID":0,"Values":[1.5,0.2]}
+`
+	if _, err := ReadRecords(strings.NewReader(in)); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+}
+
+func TestReadRejectsNoAttributes(t *testing.T) {
+	in := `{"ID":0,"Values":[]}
+`
+	if _, err := ReadRecords(strings.NewReader(in)); err == nil {
+		t.Error("attribute-less record accepted")
+	}
+}

@@ -1,0 +1,236 @@
+// Package replica implements replicated declustering — the extension
+// the reproduced paper flags as open ("while assigning a data block to
+// multiple disks … has been considered at the disk block level, for
+// reliability purposes, no corresponding data replication approaches
+// have been proposed for data declustering"). Every bucket is stored on
+// a primary and a backup disk (chained declustering, Hsiao & DeWitt
+// 1990: backup = primary + 1 mod M, or a configurable offset), and a
+// query may read each bucket from either replica. The response time is
+// then a scheduling problem — assign each bucket to one of its two
+// disks minimizing the busiest disk — which this package solves
+// *exactly* by binary-searching the makespan and checking feasibility
+// with a max-flow (bipartite b-matching) argument.
+package replica
+
+import (
+	"fmt"
+
+	"decluster/internal/alloc"
+	"decluster/internal/cost"
+	"decluster/internal/grid"
+)
+
+// job is one bucket read with its two admissible disks.
+type job struct{ a, b int }
+
+// Replicated is a two-copy declustering: per bucket, a primary and a
+// backup disk.
+type Replicated struct {
+	base    alloc.Method
+	g       *grid.Grid
+	m       int
+	offset  int
+	primary []int
+	backup  []int
+}
+
+// NewChained builds the chained replication of a base method: backup =
+// (primary + 1) mod M. It requires at least two disks.
+func NewChained(base alloc.Method) (*Replicated, error) {
+	return NewOffset(base, 1)
+}
+
+// NewOffset builds a replication with backup = (primary + offset) mod
+// M. The offset must not be ≡ 0 (mod M), or the two copies would share
+// a disk.
+func NewOffset(base alloc.Method, offset int) (*Replicated, error) {
+	if base == nil {
+		return nil, fmt.Errorf("replica: nil base method")
+	}
+	m := base.Disks()
+	if m < 2 {
+		return nil, fmt.Errorf("replica: need ≥ 2 disks, got %d", m)
+	}
+	off := ((offset % m) + m) % m
+	if off == 0 {
+		return nil, fmt.Errorf("replica: offset %d ≡ 0 (mod %d); replicas would share a disk", offset, m)
+	}
+	g := base.Grid()
+	primary := alloc.Table(base)
+	backup := make([]int, len(primary))
+	for b, d := range primary {
+		backup[b] = (d + off) % m
+	}
+	return &Replicated{base: base, g: g, m: m, offset: off, primary: primary, backup: backup}, nil
+}
+
+// Name identifies the replicated scheme.
+func (r *Replicated) Name() string { return r.base.Name() + "+chain" }
+
+// Grid returns the underlying grid.
+func (r *Replicated) Grid() *grid.Grid { return r.g }
+
+// Disks returns the disk count.
+func (r *Replicated) Disks() int { return r.m }
+
+// Offset returns the backup offset.
+func (r *Replicated) Offset() int { return r.offset }
+
+// Replicas returns the primary and backup disk of the bucket at c.
+func (r *Replicated) Replicas(c grid.Coord) (primary, backup int) {
+	b := r.g.Linearize(c)
+	return r.primary[b], r.backup[b]
+}
+
+// StorageOverhead returns the replication factor (2.0 — every bucket
+// stored twice). Provided for symmetry with cost reporting.
+func (r *Replicated) StorageOverhead() float64 { return 2.0 }
+
+// ResponseTime returns the exact optimal response time of the query
+// under free replica choice: the minimum over all bucket→replica
+// assignments of the busiest disk's bucket count. -1 disables no disk.
+func (r *Replicated) ResponseTime(rect grid.Rect) int {
+	return r.responseTime(rect, -1)
+}
+
+// ResponseTimeDegraded returns the exact optimal response time with one
+// disk failed: buckets whose surviving replica is unique are pinned to
+// it, the rest scheduled freely. It returns an error when failed is not
+// a valid disk.
+func (r *Replicated) ResponseTimeDegraded(rect grid.Rect, failed int) (int, error) {
+	if failed < 0 || failed >= r.m {
+		return 0, fmt.Errorf("replica: failed disk %d outside [0,%d)", failed, r.m)
+	}
+	return r.responseTime(rect, failed), nil
+}
+
+// responseTime solves the min-makespan replica assignment for the
+// query's buckets, optionally excluding a failed disk.
+func (r *Replicated) responseTime(rect grid.Rect, failed int) int {
+	// Gather each bucket's allowed disks.
+	var jobs []job
+	grid.EachRect(rect, func(c grid.Coord) bool {
+		idx := r.g.Linearize(c)
+		a, b := r.primary[idx], r.backup[idx]
+		if a == failed {
+			a = b
+		}
+		if b == failed {
+			b = a
+		}
+		jobs = append(jobs, job{a, b})
+		return true
+	})
+	n := len(jobs)
+	if n == 0 {
+		return 0
+	}
+	// Binary search the makespan L; feasibility by max-flow: source →
+	// job (cap 1) → its disks → sink (cap L). With unit job capacities
+	// this is bipartite b-matching; a simple augmenting-path matcher
+	// with per-disk quotas suffices.
+	lo, hi := cost.OptimalRT(n, r.m), n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.feasible(jobs, mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// feasible reports whether every job can be assigned to one of its two
+// disks with no disk exceeding quota q. Augmenting-path b-matching:
+// jobs are matched one at a time; a job may displace another job from a
+// full disk if that job can move to its alternative disk (chains of
+// displacement are explored depth-first).
+func (r *Replicated) feasible(jobs []job, q int) bool {
+	loads := make([]int, r.m)
+	// byDisk tracks which jobs sit on each disk for displacement.
+	byDisk := make([][]int, r.m)
+	var place func(j int, visited []bool) bool
+	place = func(j int, visited []bool) bool {
+		for _, d := range []int{jobs[j].a, jobs[j].b} {
+			if visited[d] {
+				continue
+			}
+			if loads[d] < q {
+				loads[d]++
+				byDisk[d] = append(byDisk[d], j)
+				return true
+			}
+		}
+		// Both disks full: try displacing an occupant to its other disk.
+		for _, d := range []int{jobs[j].a, jobs[j].b} {
+			if visited[d] {
+				continue
+			}
+			visited[d] = true
+			for i, occ := range byDisk[d] {
+				other := jobs[occ].a
+				if other == d {
+					other = jobs[occ].b
+				}
+				if other == d {
+					continue // occupant has no alternative
+				}
+				// Temporarily remove the occupant and try to re-place it.
+				byDisk[d][i] = byDisk[d][len(byDisk[d])-1]
+				byDisk[d] = byDisk[d][:len(byDisk[d])-1]
+				loads[d]--
+				if place(occ, visited) {
+					loads[d]++
+					byDisk[d] = append(byDisk[d], j)
+					return true
+				}
+				// Restore.
+				loads[d]++
+				byDisk[d] = append(byDisk[d], occ)
+			}
+		}
+		return false
+	}
+	for j := range jobs {
+		visited := make([]bool, r.m)
+		if !place(j, visited) {
+			return false
+		}
+	}
+	return true
+}
+
+// Evaluate measures the replicated scheme over a workload with the
+// paper's aggregates, reusing cost.Result semantics (replica choice
+// folded into RT).
+func (r *Replicated) Evaluate(name string, queries []grid.Rect) cost.Result {
+	res := cost.Result{Method: r.Name(), Workload: name, Queries: len(queries)}
+	if len(queries) == 0 {
+		res.Ratio = 1
+		return res
+	}
+	sumRT, sumOpt, optCount := 0, 0, 0
+	for _, q := range queries {
+		rt := r.ResponseTime(q)
+		opt := cost.OptimalRT(q.Volume(), r.m)
+		sumRT += rt
+		sumOpt += opt
+		if rt == opt {
+			optCount++
+		}
+		if rt > res.WorstRT {
+			res.WorstRT = rt
+		}
+	}
+	n := float64(len(queries))
+	res.MeanRT = float64(sumRT) / n
+	res.MeanOpt = float64(sumOpt) / n
+	if res.MeanOpt > 0 {
+		res.Ratio = res.MeanRT / res.MeanOpt
+	} else {
+		res.Ratio = 1
+	}
+	res.FracOptimal = float64(optCount) / n
+	return res
+}

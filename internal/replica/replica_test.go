@@ -1,0 +1,229 @@
+package replica
+
+import (
+	"testing"
+
+	"decluster/internal/alloc"
+	"decluster/internal/cost"
+	"decluster/internal/grid"
+	"decluster/internal/query"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewChained(nil); err == nil {
+		t.Error("nil base accepted")
+	}
+	g := grid.MustNew(8, 8)
+	one, _ := alloc.NewDM(g, 1)
+	if _, err := NewChained(one); err == nil {
+		t.Error("single disk accepted")
+	}
+	dm, _ := alloc.NewDM(g, 4)
+	if _, err := NewOffset(dm, 0); err == nil {
+		t.Error("zero offset accepted")
+	}
+	if _, err := NewOffset(dm, 4); err == nil {
+		t.Error("offset ≡ 0 (mod M) accepted")
+	}
+	r, err := NewOffset(dm, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Offset() != 3 {
+		t.Errorf("offset -1 reduced to %d, want 3", r.Offset())
+	}
+}
+
+func TestReplicasDistinct(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	dm, _ := alloc.NewDM(g, 4)
+	r, _ := NewChained(dm)
+	if r.Name() != "DM+chain" || r.Disks() != 4 || r.Grid() != g {
+		t.Error("accessors wrong")
+	}
+	if r.StorageOverhead() != 2.0 {
+		t.Error("overhead wrong")
+	}
+	g.Each(func(c grid.Coord) bool {
+		p, b := r.Replicas(c)
+		if p == b {
+			t.Fatalf("bucket %v replicas share disk %d", c, p)
+		}
+		if b != (p+1)%4 {
+			t.Fatalf("bucket %v backup %d, want %d", c, b, (p+1)%4)
+		}
+		return true
+	})
+}
+
+// bruteForce enumerates all replica assignments of a small query.
+func bruteForce(r *Replicated, rect grid.Rect, failed int) int {
+	var buckets []grid.Coord
+	grid.EachRect(rect, func(c grid.Coord) bool {
+		buckets = append(buckets, c.Clone())
+		return true
+	})
+	n := len(buckets)
+	best := n + 1
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		loads := make([]int, r.Disks())
+		ok := true
+		for i, c := range buckets {
+			p, b := r.Replicas(c)
+			d := p
+			if mask>>uint(i)&1 == 1 {
+				d = b
+			}
+			if d == failed {
+				ok = false
+				break
+			}
+			loads[d]++
+		}
+		if !ok {
+			continue
+		}
+		max := 0
+		for _, l := range loads {
+			if l > max {
+				max = l
+			}
+		}
+		if max < best {
+			best = max
+		}
+	}
+	return best
+}
+
+// The exact scheduler must match brute force on every small query.
+func TestResponseTimeMatchesBruteForce(t *testing.T) {
+	g := grid.MustNew(6, 6)
+	for _, base := range []string{"DM", "HCAM"} {
+		m, err := alloc.Build(base, g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewChained(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sides := range [][]int{{2, 2}, {3, 3}, {2, 5}, {1, 6}, {3, 4}} {
+			_, err := g.Placements(sides, func(q grid.Rect) bool {
+				got := r.ResponseTime(q)
+				want := bruteForce(r, q, -1)
+				if got != want {
+					t.Fatalf("%s %v at %v: scheduler %d, brute force %d", base, sides, q, got, want)
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestDegradedMatchesBruteForce(t *testing.T) {
+	g := grid.MustNew(6, 6)
+	m, _ := alloc.Build("DM", g, 4)
+	r, _ := NewChained(m)
+	q := g.MustRect(grid.Coord{1, 1}, grid.Coord{3, 4})
+	for failed := 0; failed < 4; failed++ {
+		got, err := r.ResponseTimeDegraded(q, failed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(r, q, failed)
+		if got != want {
+			t.Fatalf("failed=%d: scheduler %d, brute force %d", failed, got, want)
+		}
+	}
+	if _, err := r.ResponseTimeDegraded(q, 4); err == nil {
+		t.Error("invalid failed disk accepted")
+	}
+	if _, err := r.ResponseTimeDegraded(q, -1); err == nil {
+		t.Error("negative failed disk accepted")
+	}
+}
+
+// Replication can only help: replicated RT ≤ base RT on every query.
+func TestReplicationNeverHurts(t *testing.T) {
+	g := grid.MustNew(16, 16)
+	for _, name := range []string{"DM", "FX", "HCAM"} {
+		m, err := alloc.Build(name, g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewChained(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs, err := query.Placements(g, []int{3, 3}, 100, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range qs {
+			baseRT := cost.ResponseTime(m, q)
+			repRT := r.ResponseTime(q)
+			if repRT > baseRT {
+				t.Fatalf("%s on %v: replicated %d > base %d", name, q, repRT, baseRT)
+			}
+			if repRT < cost.OptimalRT(q.Volume(), 8) {
+				t.Fatalf("%s on %v: replicated %d below the information bound", name, q, repRT)
+			}
+		}
+	}
+}
+
+// Replication rescues DM's square-query weakness: on 2×2 squares over
+// 4 disks, chained DM is exactly optimal although plain DM never is.
+func TestChainedDMOptimalOnSquares(t *testing.T) {
+	g := grid.MustNew(12, 12)
+	dm, _ := alloc.NewDM(g, 4)
+	r, _ := NewChained(dm)
+	qs, err := query.Placements(g, []int{2, 2}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Evaluate("2×2", qs)
+	if res.Ratio != 1 {
+		t.Fatalf("chained DM ratio %.3f on 2×2 squares, want 1", res.Ratio)
+	}
+	plain := cost.Evaluate(dm, query.Workload{Name: "2×2", Queries: qs})
+	if plain.Ratio != 2 {
+		t.Fatalf("plain DM ratio %.3f, want 2 (sanity)", plain.Ratio)
+	}
+}
+
+func TestEvaluateEmptyWorkload(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	dm, _ := alloc.NewDM(g, 4)
+	r, _ := NewChained(dm)
+	res := r.Evaluate("empty", nil)
+	if res.Queries != 0 || res.Ratio != 1 {
+		t.Fatalf("empty workload result %+v", res)
+	}
+}
+
+// Degraded-mode RT is bounded: losing one of M disks costs at most ~2×
+// (the failed disk's load moves to its chain neighbour).
+func TestDegradedBound(t *testing.T) {
+	g := grid.MustNew(16, 16)
+	hcam, _ := alloc.NewHCAM(g, 8)
+	r, _ := NewChained(hcam)
+	q := g.MustRect(grid.Coord{2, 2}, grid.Coord{9, 9})
+	healthy := r.ResponseTime(q)
+	for failed := 0; failed < 8; failed++ {
+		deg, err := r.ResponseTimeDegraded(q, failed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if deg < healthy {
+			t.Fatalf("degraded RT %d below healthy %d", deg, healthy)
+		}
+		if deg > 2*healthy+1 {
+			t.Fatalf("degraded RT %d exceeds twice healthy %d", deg, healthy)
+		}
+	}
+}

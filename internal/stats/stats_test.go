@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.StdDev != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s.CI95() != 0 {
+		t.Error("CI95 of empty sample nonzero")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || !approx(s.Mean, 3.5) || s.StdDev != 0 || !approx(s.Min, 3.5) || !approx(s.Max, 3.5) {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !approx(s.Mean, 5) {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample sd with n−1: variance = 32/7
+	if !approx(s.StdDev, math.Sqrt(32.0/7.0)) {
+		t.Errorf("StdDev = %v", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 || s.N != 8 {
+		t.Errorf("extrema wrong: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	want := 1.96 * s.StdDev / math.Sqrt(5)
+	if !approx(s.CI95(), want) {
+		t.Errorf("CI95 = %v, want %v", s.CI95(), want)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !approx(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestMeanInts(t *testing.T) {
+	if MeanInts(nil) != 0 {
+		t.Error("MeanInts(nil) != 0")
+	}
+	if !approx(MeanInts([]int{1, 2}), 1.5) {
+		t.Error("MeanInts wrong")
+	}
+}
+
+func TestMaxInts(t *testing.T) {
+	if MaxInts(nil) != 0 {
+		t.Error("MaxInts(nil) != 0")
+	}
+	if MaxInts([]int{3, 9, 1}) != 9 {
+		t.Error("MaxInts wrong")
+	}
+	if MaxInts([]int{-3, -9}) != -3 {
+		t.Error("MaxInts negative wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-5, 1}, {200, 5}, {10, 1.4},
+	}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.p); !approx(got, tc.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if !approx(Ratio(6, 3), 2) {
+		t.Error("Ratio wrong")
+	}
+	if !approx(Ratio(0, 0), 1) {
+		t.Error("Ratio(0,0) != 1")
+	}
+	if !math.IsInf(Ratio(1, 0), 1) {
+		t.Error("Ratio(1,0) not +Inf")
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pa := math.Mod(math.Abs(a), 100)
+		pb := math.Mod(math.Abs(b), 100)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBasicRendering(t *testing.T) {
+	tb := New("Title", "a", "bbbb")
+	tb.AddRow("x", "y")
+	tb.AddRow("long", "z")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a") || !strings.Contains(lines[1], "bbbb") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Errorf("separator line = %q", lines[2])
+	}
+	// Column alignment: "y" and "z" start at the same offset.
+	yIdx := strings.Index(lines[3], "y")
+	zIdx := strings.Index(lines[4], "z")
+	if yIdx != zIdx {
+		t.Errorf("columns misaligned: y@%d z@%d\n%s", yIdx, zIdx, out)
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := New("", "h")
+	tb.AddRow("v")
+	out := tb.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Error("empty title produced leading newline")
+	}
+	if !strings.HasPrefix(out, "h") {
+		t.Errorf("output starts with %q", out[:1])
+	}
+}
+
+func TestShortAndLongRows(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("1")
+	tb.AddRow("1", "2", "3")
+	out := tb.String()
+	if !strings.Contains(out, "3") {
+		t.Error("extra column dropped")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("", "s", "f", "i", "o")
+	tb.AddRowf("str", 1.23456, 42, []int{1})
+	out := tb.String()
+	if !strings.Contains(out, "str") {
+		t.Error("string cell missing")
+	}
+	if !strings.Contains(out, "1.235") {
+		t.Errorf("float not rendered with 3 decimals: %s", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Error("int cell missing")
+	}
+	if !strings.Contains(out, "[1]") {
+		t.Error("fallback cell missing")
+	}
+}
+
+func TestNumRows(t *testing.T) {
+	tb := New("", "a")
+	if tb.NumRows() != 0 {
+		t.Error("fresh table has rows")
+	}
+	tb.AddRow("x")
+	tb.AddRow("y")
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	tb := New("", "Δ", "x")
+	tb.AddRow("αβγ", "1")
+	tb.AddRow("a", "2")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	i1 := strings.Index(lines[2], "1")
+	i2 := strings.Index(lines[3], "2")
+	// Byte offsets differ for multibyte runes, so compare rune offsets.
+	r1 := len([]rune(lines[2][:i1]))
+	r2 := len([]rune(lines[3][:i2]))
+	if r1 != r2 {
+		t.Errorf("unicode columns misaligned (%d vs %d):\n%s", r1, r2, out)
+	}
+}
+
+func TestHeaderlessTable(t *testing.T) {
+	tb := New("")
+	tb.AddRow("only", "data")
+	out := tb.String()
+	if strings.Contains(out, "-") {
+		t.Error("headerless table rendered a separator")
+	}
+	if !strings.Contains(out, "only") {
+		t.Error("data missing")
+	}
+}

@@ -1,0 +1,22 @@
+package decluster
+
+import (
+	"decluster/internal/replica"
+)
+
+// Replicated is a two-copy declustering: each bucket lives on a primary
+// and a backup disk (chained, Hsiao & DeWitt 1990) and each query reads
+// every bucket from whichever replica minimizes the busiest disk — an
+// exact min-makespan schedule. This is the replication extension the
+// reproduced paper flags as open.
+type Replicated = replica.Replicated
+
+// NewChained builds the chained replication of a base method: backup =
+// (primary + 1) mod M.
+func NewChained(base Method) (*Replicated, error) { return replica.NewChained(base) }
+
+// NewOffsetReplication builds a replication with backup = (primary +
+// offset) mod M; offset must not be ≡ 0 (mod M).
+func NewOffsetReplication(base Method, offset int) (*Replicated, error) {
+	return replica.NewOffset(base, offset)
+}

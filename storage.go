@@ -1,0 +1,77 @@
+package decluster
+
+import (
+	"decluster/internal/advisor"
+	"decluster/internal/datagen"
+	"decluster/internal/disksim"
+	"decluster/internal/gridfile"
+)
+
+// Record is a multi-attribute record with normalized values in [0, 1).
+type Record = datagen.Record
+
+// RecordGenerator produces synthetic record populations.
+type RecordGenerator = datagen.Generator
+
+// UniformRecords generates records with independently uniform
+// attributes.
+type UniformRecords = datagen.Uniform
+
+// ZipfRecords generates records skewed toward low attribute values.
+type ZipfRecords = datagen.Zipf
+
+// ClusteredRecords generates records from a Gaussian mixture.
+type ClusteredRecords = datagen.Clustered
+
+// CorrelatedRecords generates records whose later attributes track
+// attribute 0.
+type CorrelatedRecords = datagen.Correlated
+
+// GridFile is a populated multi-disk Cartesian product file.
+type GridFile = gridfile.File
+
+// GridFileConfig describes a grid file: the declustering method (which
+// fixes grid and disk count) and the page capacity.
+type GridFileConfig = gridfile.Config
+
+// AccessTrace is the per-disk page I/O footprint of one search.
+type AccessTrace = gridfile.Trace
+
+// SearchResultSet is the outcome of a grid-file search: records plus
+// the access trace.
+type SearchResultSet = gridfile.ResultSet
+
+// NewGridFile creates an empty grid file declustered by cfg.Method.
+func NewGridFile(cfg GridFileConfig) (*GridFile, error) { return gridfile.New(cfg) }
+
+// DiskModel holds physical disk parameters for the simulator.
+type DiskModel = disksim.Model
+
+// DiskSimulator replays access traces into wall-clock response times.
+type DiskSimulator = disksim.Simulator
+
+// NewDiskSimulator constructs a simulator under the given model.
+func NewDiskSimulator(m DiskModel) (*DiskSimulator, error) { return disksim.New(m) }
+
+// DiskModel1993 returns parameters typical of the study's era.
+func DiskModel1993() DiskModel { return disksim.Default1993() }
+
+// DiskModelModern returns parameters of a 2000s-era drive, for
+// ablation.
+func DiskModelModern() DiskModel { return disksim.Modern() }
+
+// WorkloadClass is one weighted component of an expected workload, for
+// the advisor.
+type WorkloadClass = advisor.WorkloadClass
+
+// Recommendation ranks candidate declustering methods on a workload
+// mix.
+type Recommendation = advisor.Recommendation
+
+// Recommend evaluates candidate methods (nil = the default set) over a
+// weighted workload mix and ranks them by weighted mean response time —
+// the paper's conclusion ("information about common queries … ought to
+// be used in deciding the declustering") as a tool.
+func Recommend(g *Grid, disks int, mix []WorkloadClass, candidates []string) (*Recommendation, error) {
+	return advisor.Recommend(g, disks, mix, candidates)
+}

@@ -1,0 +1,90 @@
+package decluster
+
+import (
+	"decluster/internal/gdmopt"
+	"decluster/internal/optimality"
+)
+
+// Violation records a range query on which an allocation misses the
+// optimal response time.
+type Violation = optimality.Violation
+
+// SearchOutcome is the tri-state result of the strict-optimality
+// search.
+type SearchOutcome = optimality.Outcome
+
+// Search outcomes.
+const (
+	// SearchFound: a strictly optimal allocation exists and was
+	// constructed.
+	SearchFound = optimality.Found
+	// SearchImpossible: exhaustion proved no strictly optimal
+	// allocation exists — for M > 5 this is the paper's theorem.
+	SearchImpossible = optimality.Impossible
+	// SearchUndecided: the node budget ran out first.
+	SearchUndecided = optimality.Undecided
+)
+
+// SearchResult reports the outcome of SearchStrictlyOptimal.
+type SearchResult = optimality.SearchResult
+
+// CheckStrictlyOptimal tests m against every range query on its grid
+// and returns the first violation, or nil when m is strictly optimal.
+// Intended for small grids; cost grows quickly with bucket count.
+func CheckStrictlyOptimal(m Method) *Violation { return optimality.Check(m) }
+
+// CheckWorkloadOptimal tests m against an explicit query set, returning
+// the first violation or nil.
+func CheckWorkloadOptimal(m Method, queries []Rect) *Violation {
+	return optimality.CheckWorkload(m, queries)
+}
+
+// SearchStrictlyOptimal performs a complete backtracking search for a
+// strictly optimal allocation of g onto the given number of disks.
+// budget bounds the search-tree size (0 = unlimited). A Found result
+// carries a verified allocation table; an Impossible result is a proof
+// by exhaustion. On square grids of side ≥ max(3, M) the outcomes are
+// Found for M ∈ {1, 2, 3, 5} and Impossible for M = 4 and every M ≥ 6
+// — the latter band is the reproduced paper's theorem.
+func SearchStrictlyOptimal(g *Grid, disks int, budget int64) SearchResult {
+	return optimality.SearchStrictlyOptimal(g, disks, budget)
+}
+
+// ConditionReport is one row of the paper's Table 1: a published
+// partial-match optimality condition and whether it empirically holds.
+type ConditionReport = optimality.ConditionReport
+
+// Table1 reproduces the paper's Table 1 on a configuration: each
+// method's published partial-match optimality condition, whether its
+// preconditions apply, and whether it held over every partial match
+// query in scope.
+func Table1(g *Grid, disks int) []ConditionReport { return optimality.Table1(g, disks) }
+
+// SearchWithShapes runs the strict-optimality search constrained to
+// range queries of the given shapes only; an Impossible outcome
+// identifies which query shapes alone rule out strict optimality.
+func SearchWithShapes(g *Grid, disks int, shapes [][]int, budget int64) (SearchResult, error) {
+	return optimality.SearchWithShapes(g, disks, shapes, budget)
+}
+
+// MinimalWitness returns an inclusion-minimal set of query shapes whose
+// placements alone prove that no strictly optimal allocation of g onto
+// the given disks exists — a compact, human-checkable core of the
+// impossibility theorem (e.g. shapes {2×3, 3×2} suffice for M = 7 on a
+// 7×7 grid).
+func MinimalWitness(g *Grid, disks int, budget int64) ([][]int, error) {
+	return optimality.MinimalWitness(g, disks, budget)
+}
+
+// GDMSearchResult reports the best generalized-disk-modulo coefficient
+// vector found for a workload.
+type GDMSearchResult = gdmopt.Result
+
+// OptimizeGDM searches GDM coefficient vectors (canonicalized; budget
+// bounds vectors evaluated, 0 = unlimited) for the one minimizing mean
+// response time on the workload. The search subsumes DM and the
+// diagonal schemes — on 2-D grids over 5 disks it rediscovers the
+// strictly optimal (1, 2) diagonal.
+func OptimizeGDM(g *Grid, disks int, w Workload, budget int) (*GDMSearchResult, error) {
+	return gdmopt.Search(g, disks, w, budget)
+}

@@ -1,0 +1,76 @@
+package decluster
+
+import (
+	"decluster/internal/cost"
+	"decluster/internal/query"
+)
+
+// Workload is a named set of queries evaluated together.
+type Workload = query.Workload
+
+// QueryKind classifies a query as range, partial-match or point.
+type QueryKind = query.Kind
+
+// Query kind values.
+const (
+	RangeQuery        = query.Range
+	PartialMatchQuery = query.PartialMatch
+	PointQuery        = query.Point
+)
+
+// ClassifyQuery returns the most specific kind describing r on g.
+func ClassifyQuery(g *Grid, r Rect) QueryKind { return query.Classify(g, r) }
+
+// Placements enumerates every position of a rectangle with the given
+// side lengths on g, sampling down to limit placements (limit > 0) with
+// the given seed.
+func Placements(g *Grid, sides []int, limit int, seed int64) ([]Rect, error) {
+	return query.Placements(g, sides, limit, seed)
+}
+
+// SizeSweep builds one workload per query area: all placements of the
+// most-square shape of that area.
+func SizeSweep(g *Grid, areas []int, limit int, seed int64) ([]Workload, error) {
+	return query.SizeSweep(g, areas, limit, seed)
+}
+
+// ShapeSweep builds one workload per shape of a fixed area on a
+// 2-attribute grid, ordered square to line.
+func ShapeSweep(g *Grid, area, limit int, seed int64) ([]Workload, error) {
+	return query.ShapeSweep(g, area, limit, seed)
+}
+
+// RandomRange generates n range queries with sides drawn uniformly from
+// [minSide, maxSide] and uniform placement.
+func RandomRange(g *Grid, minSide, maxSide, n int, seed int64) (Workload, error) {
+	return query.RandomRange(g, minSide, maxSide, n, seed)
+}
+
+// HotRegion generates n range queries concentrated (with probability
+// heat) in a hot sub-rectangle — the skewed query loci of interactive
+// workloads.
+func HotRegion(g *Grid, hot Rect, heat float64, minSide, maxSide, n int, seed int64) (Workload, error) {
+	return query.HotRegion(g, hot, heat, minSide, maxSide, n, seed)
+}
+
+// PartialMatch enumerates partial match queries for an
+// unspecified-attribute pattern (true = unspecified).
+func PartialMatch(g *Grid, unspecified []bool, limit int, seed int64) (Workload, error) {
+	return query.PartialMatchWorkload(g, unspecified, limit, seed)
+}
+
+// Points enumerates point queries (all attributes specified).
+func Points(g *Grid, limit int, seed int64) (Workload, error) {
+	return query.PointWorkload(g, limit, seed)
+}
+
+// Evaluate measures method m over workload w: mean response time, mean
+// optimal response time, their ratio, worst case and the fraction of
+// queries answered optimally.
+func Evaluate(m Method, w Workload) Result { return cost.Evaluate(m, w) }
+
+// EvaluateAll measures every method over the same workload, preserving
+// method order.
+func EvaluateAll(methods []Method, w Workload) []Result {
+	return cost.EvaluateAll(methods, w)
+}
