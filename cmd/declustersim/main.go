@@ -8,17 +8,21 @@
 //
 //	-experiment  which artifact to regenerate: all, table1, theorem,
 //	             size, shape, attrs, disks-small, disks-large, dbsize,
-//	             pm, endtoend (default all)
+//	             pm, endtoend, availability (default all)
 //	-metric      meanrt | ratio | fracopt | worst (default meanrt)
 //	-samples     query placements sampled per workload (default 2000)
 //	-seed        sampling seed (default 1)
 //	-exhaustive  disable sampling (exhaustive placements)
 //	-random      include the balanced-random baseline
+//	-fail-disks  availability: maximum simultaneously failed disks (default 2)
+//	-fail-prob   availability: transient read-error probability of the
+//	             end-to-end fault drill (default 0.3)
 //
 // Examples:
 //
 //	declustersim -experiment size -metric ratio
 //	declustersim -experiment theorem
+//	declustersim -experiment availability -fail-disks 3 -fail-prob 0.5 -seed 7
 //	declustersim -experiment all -samples 500
 package main
 
@@ -36,7 +40,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "artifact to regenerate (all, table1, theorem, size, shape, attrs, disks-small, disks-large, dbsize, pm, endtoend)")
+		experiment = flag.String("experiment", "all", "artifact to regenerate (all, table1, theorem, size, shape, attrs, disks-small, disks-large, dbsize, pm, endtoend, availability)")
 		metric     = flag.String("metric", "meanrt", "metric to print: meanrt, ratio, fracopt, worst")
 		samples    = flag.Int("samples", 2000, "query placements sampled per workload")
 		seed       = flag.Int64("seed", 1, "sampling seed")
@@ -44,6 +48,8 @@ func main() {
 		random     = flag.Bool("random", false, "include the balanced-random baseline")
 		csvOut     = flag.Bool("csv", false, "emit sweep experiments as CSV instead of tables")
 		plotOut    = flag.Bool("plot", false, "render sweep experiments as ASCII charts instead of tables")
+		failDisks  = flag.Int("fail-disks", 2, "availability experiment: maximum simultaneously failed disks")
+		failProb   = flag.Float64("fail-prob", 0.3, "availability experiment: transient read-error probability of the fault drill")
 	)
 	flag.Parse()
 
@@ -65,7 +71,11 @@ func main() {
 	if *plotOut {
 		mode = modePlot
 	}
-	if err := run(os.Stdout, *experiment, m, opt, mode); err != nil {
+	avail := experiments.AvailabilityConfig{
+		MaxFailed:     *failDisks,
+		TransientProb: *failProb,
+	}
+	if err := run(os.Stdout, *experiment, m, opt, avail, mode); err != nil {
 		fmt.Fprintln(os.Stderr, "declustersim:", err)
 		os.Exit(1)
 	}
@@ -91,7 +101,7 @@ func parseMetric(s string) (experiments.Metric, error) {
 var order = []string{
 	"table1", "theorem", "size", "shape", "attrs",
 	"disks-small", "disks-large", "dbsize", "pm", "endtoend",
-	"batch", "skew", "drift", "replication", "load", "witness",
+	"batch", "skew", "drift", "replication", "availability", "load", "witness",
 }
 
 // outputMode selects how sweep experiments are rendered.
@@ -105,10 +115,10 @@ const (
 
 // run executes one experiment (or all) and writes its artifact to w in
 // the chosen output mode.
-func run(w io.Writer, name string, metric experiments.Metric, opt experiments.Options, mode outputMode) error {
+func run(w io.Writer, name string, metric experiments.Metric, opt experiments.Options, avail experiments.AvailabilityConfig, mode outputMode) error {
 	if name == "all" {
 		for _, n := range order {
-			if err := run(w, n, metric, opt, mode); err != nil {
+			if err := run(w, n, metric, opt, avail, mode); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)
@@ -184,6 +194,13 @@ func run(w io.Writer, name string, metric experiments.Metric, opt experiments.Op
 			return err
 		}
 		fmt.Fprint(w, res.Table())
+	case "availability":
+		res, err := experiments.Availability(avail, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, res.Table())
+		fmt.Fprint(w, res.DrillReport())
 	case "load":
 		res, err := experiments.Load(experiments.LoadConfig{}, opt)
 		if err != nil {

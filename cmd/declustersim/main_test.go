@@ -31,14 +31,14 @@ func TestParseMetric(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "bogus", experiments.MeanRT, fastOpt(), modeTable); err == nil {
+	if err := run(&buf, "bogus", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, modeTable); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunSizeTable(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "size", experiments.Ratio, fastOpt(), modeTable); err != nil {
+	if err := run(&buf, "size", experiments.Ratio, fastOpt(), experiments.AvailabilityConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -51,7 +51,7 @@ func TestRunSizeTable(t *testing.T) {
 
 func TestRunSizeCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "size", experiments.Ratio, fastOpt(), modeCSV); err != nil {
+	if err := run(&buf, "size", experiments.Ratio, fastOpt(), experiments.AvailabilityConfig{}, modeCSV); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -65,7 +65,7 @@ func TestRunSizeCSV(t *testing.T) {
 
 func TestRunTheorem(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "theorem", experiments.MeanRT, fastOpt(), modeTable); err != nil {
+	if err := run(&buf, "theorem", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "paper theorem confirmed") {
@@ -75,7 +75,7 @@ func TestRunTheorem(t *testing.T) {
 
 func TestRunTable1(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "table1", experiments.MeanRT, fastOpt(), modeTable); err != nil {
+	if err := run(&buf, "table1", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "holds") {
@@ -86,7 +86,7 @@ func TestRunTable1(t *testing.T) {
 func TestRunEndToEnd(t *testing.T) {
 	var buf bytes.Buffer
 	opt := experiments.Options{Seed: 1, SampleLimit: 5}
-	if err := run(&buf, "endtoend", experiments.MeanRT, opt, modeTable); err != nil {
+	if err := run(&buf, "endtoend", experiments.MeanRT, opt, experiments.AvailabilityConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "E10") {
@@ -96,7 +96,7 @@ func TestRunEndToEnd(t *testing.T) {
 
 func TestRunPlotMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "size", experiments.Ratio, fastOpt(), modePlot); err != nil {
+	if err := run(&buf, "size", experiments.Ratio, fastOpt(), experiments.AvailabilityConfig{}, modePlot); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -108,7 +108,7 @@ func TestRunPlotMode(t *testing.T) {
 func TestRunPMShapeAttrs(t *testing.T) {
 	for _, name := range []string{"pm", "shape", "attrs", "dbsize"} {
 		var buf bytes.Buffer
-		if err := run(&buf, name, experiments.MeanRT, fastOpt(), modeTable); err != nil {
+		if err := run(&buf, name, experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, modeTable); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if buf.Len() == 0 {
@@ -126,11 +126,25 @@ func TestRunRemainingExperiments(t *testing.T) {
 		"disks-small", "disks-large", "batch", "skew", "drift", "replication", "load",
 	} {
 		var buf bytes.Buffer
-		if err := run(&buf, name, experiments.MeanRT, opt, modeTable); err != nil {
+		if err := run(&buf, name, experiments.MeanRT, opt, experiments.AvailabilityConfig{}, modeTable); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if buf.Len() == 0 {
 			t.Errorf("%s produced no output", name)
+		}
+	}
+}
+
+func TestRunAvailability(t *testing.T) {
+	var buf bytes.Buffer
+	avail := experiments.AvailabilityConfig{GridSide: 16, Disks: 8, MaxFailed: 2, FailTrials: 2}
+	if err := run(&buf, "availability", experiments.MeanRT, fastOpt(), avail, modeTable); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EA", "chain", "offset+", "fault drill", "unavail", "without replication"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("availability output missing %q:\n%s", want, out)
 		}
 	}
 }
@@ -140,7 +154,7 @@ func TestRunWitness(t *testing.T) {
 		t.Skip("witness extraction is seconds-scale")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "witness", experiments.MeanRT, fastOpt(), modeTable); err != nil {
+	if err := run(&buf, "witness", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -1,0 +1,150 @@
+package decluster_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	decluster "decluster"
+)
+
+// faultFixture builds a populated 16×16 HCAM grid file on 8 disks plus
+// the query rectangle the acceptance scenario reads.
+func faultFixture(t *testing.T) (*decluster.GridFile, decluster.Method, decluster.Rect) {
+	t.Helper()
+	g, err := decluster.NewGrid(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := decluster.NewHCAM(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := decluster.NewGridFile(decluster.GridFileConfig{Method: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InsertAll(decluster.UniformRecords{K: 2, Seed: 11}.Generate(3000)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := g.NewRect(decluster.Coord{2, 2}, decluster.Coord{9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, m, r
+}
+
+// The ISSUE acceptance scenario, run entirely through the facade:
+// seeded fail-stop of one disk, chained replication completes the
+// query correctly with bounded degraded load, while the unreplicated
+// executor returns a typed unavailability.
+func TestFacadeFaultInjection(t *testing.T) {
+	f, m, r := faultFixture(t)
+	ctx := context.Background()
+
+	healthy, err := decluster.ParallelRangeSearch(ctx, f, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj, err := decluster.NewFaultInjector(decluster.FaultConfig{
+		Seed:          42,
+		FailDisks:     []int{3},
+		TransientProb: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := decluster.NewChained(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := decluster.NewExecutor(f,
+		decluster.WithFaults(inj),
+		decluster.WithFailover(rep),
+		decluster.WithRetry(decluster.RetryPolicy{MaxAttempts: 12, BaseBackoff: time.Microsecond, MaxBackoff: 4 * time.Microsecond}),
+		decluster.WithQueryDeadline(time.Minute),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RangeSearch(ctx, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.Rerouted == 0 {
+		t.Errorf("degraded run not flagged: degraded=%v rerouted=%d", res.Degraded, res.Rerouted)
+	}
+	if res.Retries == 0 {
+		t.Error("no transient retries recorded at p=0.3")
+	}
+	if len(res.Records) != len(healthy.Records) {
+		t.Fatalf("degraded run returned %d records, healthy %d", len(res.Records), len(healthy.Records))
+	}
+	for i := range res.Records {
+		if res.Records[i].ID != healthy.Records[i].ID {
+			t.Fatalf("record %d diverges from the fault-free run", i)
+		}
+	}
+	if res.BucketsPerDisk[3] != 0 {
+		t.Errorf("failed disk 3 served %d buckets", res.BucketsPerDisk[3])
+	}
+	maxLoad := func(loads []int) int {
+		m := 0
+		for _, l := range loads {
+			if l > m {
+				m = l
+			}
+		}
+		return m
+	}
+	if d, h := maxLoad(res.BucketsPerDisk), maxLoad(healthy.BucketsPerDisk); d > 2*h {
+		t.Errorf("degraded busiest disk %d exceeds 2× fault-free %d", d, h)
+	}
+
+	// Without replication the same failure is a typed unavailability.
+	bare, err := decluster.NewExecutor(f, decluster.WithFaults(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.RangeSearch(ctx, r); !errors.Is(err, decluster.ErrUnavailable) {
+		t.Fatalf("unreplicated run: got %v, want ErrUnavailable", err)
+	} else {
+		var ue *decluster.UnavailableError
+		if !errors.As(err, &ue) || len(ue.Buckets) == 0 {
+			t.Errorf("unavailability lists no buckets: %v", err)
+		}
+	}
+}
+
+func TestFacadeDegradedCost(t *testing.T) {
+	_, m, r := faultFixture(t)
+	rt0, err := decluster.DegradedResponseTime(m, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := decluster.ResponseTime(m, r); rt0 != want {
+		t.Errorf("healthy degraded RT %d != ResponseTime %d", rt0, want)
+	}
+	if _, err := decluster.DegradedResponseTime(m, r, []int{2}); !errors.Is(err, decluster.ErrUnavailable) {
+		t.Errorf("unreplicated failure: got %v, want ErrUnavailable", err)
+	}
+	loads, unreachable, err := decluster.DegradedDiskLoads(m, r, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads[2] != 0 || len(unreachable) == 0 {
+		t.Errorf("degraded loads %v, unreachable %v", loads, unreachable)
+	}
+}
+
+func TestFacadeFaultDefaults(t *testing.T) {
+	p := decluster.DefaultRetry()
+	if p.MaxAttempts < 2 || p.BaseBackoff <= 0 || p.MaxBackoff < p.BaseBackoff {
+		t.Errorf("implausible default retry policy %+v", p)
+	}
+	if _, err := decluster.NewFaultInjector(decluster.FaultConfig{TransientProb: 1.5}); err == nil {
+		t.Error("probability 1.5 accepted")
+	}
+}

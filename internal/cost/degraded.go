@@ -1,0 +1,76 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+
+	"decluster/internal/alloc"
+	"decluster/internal/fault"
+	"decluster/internal/grid"
+)
+
+// DegradedDiskLoads returns, per disk, how many buckets of r the method
+// assigns to each *surviving* disk when the listed disks are fail-stop,
+// plus the row-major numbers of the buckets that became unreachable
+// (they lived on a failed disk and the method keeps no replica).
+// Failed disks report a load of zero.
+func DegradedDiskLoads(m alloc.Method, r grid.Rect, failed []int) (loads []int, unreachable []int, err error) {
+	fs, err := failedSet(failed, m.Disks())
+	if err != nil {
+		return nil, nil, err
+	}
+	g := m.Grid()
+	loads = make([]int, m.Disks())
+	grid.EachRect(r, func(c grid.Coord) bool {
+		d := m.DiskOf(c)
+		if fs[d] {
+			unreachable = append(unreachable, g.Linearize(c))
+			return true
+		}
+		loads[d]++
+		return true
+	})
+	sort.Ints(unreachable)
+	return loads, unreachable, nil
+}
+
+// DegradedResponseTime returns the parallel response time of query r
+// with the listed disks failed: the busiest surviving disk's bucket
+// count. When any bucket of the query lives only on a failed disk the
+// query cannot be answered correctly, and a *fault.UnavailableError
+// listing those buckets is returned instead of a wrong number.
+func DegradedResponseTime(m alloc.Method, r grid.Rect, failed []int) (int, error) {
+	loads, unreachable, err := DegradedDiskLoads(m, r, failed)
+	if err != nil {
+		return 0, err
+	}
+	if len(unreachable) > 0 {
+		fs, _ := failedSet(failed, m.Disks())
+		fd := make([]int, 0, len(fs))
+		for d := range fs {
+			fd = append(fd, d)
+		}
+		sort.Ints(fd)
+		return 0, &fault.UnavailableError{Buckets: unreachable, FailedDisks: fd}
+	}
+	max := 0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max, nil
+}
+
+// failedSet validates and dedups a failed-disk list against the disk
+// count.
+func failedSet(failed []int, disks int) (map[int]bool, error) {
+	fs := make(map[int]bool, len(failed))
+	for _, d := range failed {
+		if d < 0 || d >= disks {
+			return nil, fmt.Errorf("cost: failed disk %d outside [0,%d)", d, disks)
+		}
+		fs[d] = true
+	}
+	return fs, nil
+}

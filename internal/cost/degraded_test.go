@@ -1,0 +1,96 @@
+package cost
+
+import (
+	"errors"
+	"testing"
+
+	"decluster/internal/alloc"
+	"decluster/internal/fault"
+	"decluster/internal/grid"
+)
+
+func TestDegradedDiskLoads(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	m, _ := alloc.NewDM(g, 4)
+	r := g.FullRect()
+
+	loads, unreachable, err := DegradedDiskLoads(m, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unreachable) != 0 {
+		t.Fatal("healthy run reported unreachable buckets")
+	}
+	want := DiskLoads(m, r)
+	for d := range loads {
+		if loads[d] != want[d] {
+			t.Fatalf("healthy degraded loads %v != DiskLoads %v", loads, want)
+		}
+	}
+
+	loads, unreachable, err = DegradedDiskLoads(m, r, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loads[1] != 0 {
+		t.Errorf("failed disk reports load %d", loads[1])
+	}
+	if len(unreachable) != want[1] {
+		t.Errorf("%d unreachable buckets, want disk 1's %d", len(unreachable), want[1])
+	}
+	for _, b := range unreachable {
+		if d := m.DiskOf(g.Delinearize(b, nil)); d != 1 {
+			t.Errorf("bucket %d reported unreachable but lives on disk %d", b, d)
+		}
+	}
+}
+
+func TestDegradedResponseTime(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	m, _ := alloc.NewDM(g, 4)
+
+	// A 1×4 row query under DM touches every disk exactly once: failing
+	// any disk makes it unavailable.
+	row := g.MustRect(grid.Coord{0, 0}, grid.Coord{0, 3})
+	if _, err := DegradedResponseTime(m, row, []int{2}); !errors.Is(err, fault.ErrUnavailable) {
+		t.Fatalf("got %v, want ErrUnavailable", err)
+	}
+	var ue *fault.UnavailableError
+	_, err := DegradedResponseTime(m, row, []int{2})
+	if !errors.As(err, &ue) || len(ue.Buckets) != 1 || ue.FailedDisks[0] != 2 {
+		t.Fatalf("unavailability details wrong: %v", err)
+	}
+
+	// A single-bucket query off the failed disk still answers, at its
+	// healthy response time.
+	cell := g.MustRect(grid.Coord{0, 0}, grid.Coord{0, 0})
+	rt, err := DegradedResponseTime(m, cell, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != 1 {
+		t.Fatalf("degraded RT %d, want 1", rt)
+	}
+
+	// No failures: matches the healthy metric on any query.
+	q := g.MustRect(grid.Coord{1, 1}, grid.Coord{5, 6})
+	rt, err = DegradedResponseTime(m, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != ResponseTime(m, q) {
+		t.Fatalf("degraded RT %d != healthy %d with no failures", rt, ResponseTime(m, q))
+	}
+}
+
+func TestDegradedValidation(t *testing.T) {
+	g := grid.MustNew(4, 4)
+	m, _ := alloc.NewDM(g, 4)
+	r := g.FullRect()
+	if _, _, err := DegradedDiskLoads(m, r, []int{4}); err == nil {
+		t.Error("out-of-range failed disk accepted")
+	}
+	if _, err := DegradedResponseTime(m, r, []int{-1}); err == nil {
+		t.Error("negative failed disk accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package disksim
+
+import (
+	"sort"
+	"time"
+
+	"decluster/internal/fault"
+	"decluster/internal/gridfile"
+)
+
+// DegradedDiskTimes replays the trace under an injection scenario: a
+// fail-stop disk with pending accesses makes the trace unservable (a
+// *fault.UnavailableError listing its buckets), and straggler disks
+// have their completion times scaled by their latency multiplier. A nil
+// injector degenerates to DiskTimes.
+func (s *Simulator) DegradedDiskTimes(t gridfile.Trace, inj *fault.Injector) ([]time.Duration, error) {
+	if inj == nil {
+		return s.DiskTimes(t), nil
+	}
+	out := make([]time.Duration, len(t.PerDisk))
+	var lost []int
+	var downDisks []int
+	for d, accesses := range t.PerDisk {
+		if inj.DiskFailed(d) {
+			if len(accesses) > 0 {
+				for _, a := range accesses {
+					lost = append(lost, a.Bucket)
+				}
+				downDisks = append(downDisks, d)
+			}
+			continue
+		}
+		dt := s.serveDisk(accesses)
+		if f := inj.SlowFactor(d); f != 1 {
+			dt = time.Duration(float64(dt) * f)
+		}
+		out[d] = dt
+	}
+	if len(lost) > 0 {
+		sort.Ints(lost)
+		return nil, &fault.UnavailableError{Buckets: lost, FailedDisks: downDisks}
+	}
+	return out, nil
+}
+
+// DegradedResponseTime returns the query's parallel response time under
+// the injection scenario: the maximum surviving-disk completion time,
+// stragglers included. It errors like DegradedDiskTimes when a failed
+// disk holds part of the trace.
+func (s *Simulator) DegradedResponseTime(t gridfile.Trace, inj *fault.Injector) (time.Duration, error) {
+	times, err := s.DegradedDiskTimes(t, inj)
+	if err != nil {
+		return 0, err
+	}
+	var max time.Duration
+	for _, dt := range times {
+		if dt > max {
+			max = dt
+		}
+	}
+	return max, nil
+}

@@ -1,0 +1,85 @@
+package disksim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"decluster/internal/fault"
+	"decluster/internal/gridfile"
+)
+
+func degradedTrace() gridfile.Trace {
+	return gridfile.Trace{PerDisk: [][]gridfile.Access{
+		{{Bucket: 0, Pages: 2}, {Bucket: 1, Pages: 1}},
+		{{Bucket: 7, Pages: 3}},
+		{},
+	}}
+}
+
+func TestDegradedNilInjector(t *testing.T) {
+	s, _ := New(Default1993())
+	tr := degradedTrace()
+	times, err := s.DegradedDiskTimes(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.DiskTimes(tr)
+	for d := range times {
+		if times[d] != want[d] {
+			t.Fatalf("nil-injector times %v != DiskTimes %v", times, want)
+		}
+	}
+	rt, err := s.DegradedResponseTime(tr, nil)
+	if err != nil || rt != s.ResponseTime(tr) {
+		t.Fatalf("nil-injector RT %v (%v) != %v", rt, err, s.ResponseTime(tr))
+	}
+}
+
+func TestDegradedFailStop(t *testing.T) {
+	s, _ := New(Default1993())
+	tr := degradedTrace()
+	inj, _ := fault.New(fault.Config{FailDisks: []int{1}})
+	_, err := s.DegradedDiskTimes(tr, inj)
+	if !errors.Is(err, fault.ErrUnavailable) {
+		t.Fatalf("got %v, want ErrUnavailable", err)
+	}
+	var ue *fault.UnavailableError
+	if !errors.As(err, &ue) || len(ue.Buckets) != 1 || ue.Buckets[0] != 7 {
+		t.Fatalf("unavailability details wrong: %v", err)
+	}
+	// Failing an idle disk is harmless.
+	idle, _ := fault.New(fault.Config{FailDisks: []int{2}})
+	times, err := s.DegradedDiskTimes(tr, idle)
+	if err != nil {
+		t.Fatalf("idle failed disk errored: %v", err)
+	}
+	if times[2] != 0 {
+		t.Error("idle failed disk reports time")
+	}
+}
+
+func TestDegradedStraggler(t *testing.T) {
+	s, _ := New(Default1993())
+	tr := degradedTrace()
+	base := s.DiskTimes(tr)
+	inj, _ := fault.New(fault.Config{Stragglers: map[int]float64{0: 3}})
+	times, err := s.DegradedDiskTimes(tr, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times[0] != time.Duration(float64(base[0])*3) {
+		t.Errorf("straggler time %v, want 3× %v", times[0], base[0])
+	}
+	if times[1] != base[1] {
+		t.Errorf("healthy disk time changed: %v vs %v", times[1], base[1])
+	}
+	// A straggler can move the response time: it becomes the max.
+	rt, err := s.DegradedResponseTime(tr, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt < times[0] {
+		t.Errorf("RT %v below straggler completion %v", rt, times[0])
+	}
+}

@@ -4,19 +4,50 @@
 // package *models* time; this package actually parallelizes the work,
 // so library users get a drop-in concurrent scan whose speedup follows
 // the declustering quality the study measures.
+//
+// The executor is fault-aware: reads go through a pluggable
+// BucketReader that may return errors, transient errors are retried
+// with capped exponential backoff, a per-query deadline bounds total
+// latency, and — when a replica scheme is attached — buckets on
+// fail-stop disks are rerouted to their backups with the degraded load
+// rebalanced by the exact min-makespan schedule. Without replication, a
+// failed disk makes the affected queries return a typed
+// *fault.UnavailableError instead of silently wrong results.
 package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"decluster/internal/datagen"
+	"decluster/internal/fault"
 	"decluster/internal/grid"
 	"decluster/internal/gridfile"
+	"decluster/internal/replica"
 )
+
+// RetryPolicy bounds per-read retries of transient errors.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per bucket read,
+	// including the first (minimum 1; 0 selects 1).
+	MaxAttempts int
+	// BaseBackoff is the wait before the first retry; each further
+	// retry doubles it. Zero disables sleeping (retry immediately).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubled backoff (0 = uncapped).
+	MaxBackoff time.Duration
+}
+
+// DefaultRetry is a policy suited to the transient faults the injector
+// models: up to 5 attempts with 1ms → 8ms exponential backoff.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond}
+}
 
 // Executor runs searches over a grid file with per-disk parallelism.
 type Executor struct {
@@ -24,6 +55,16 @@ type Executor struct {
 	// maxParallel bounds concurrently running disk workers; 0 means one
 	// worker per disk.
 	maxParallel int
+	// reader serves bucket reads (default: the grid file itself).
+	reader BucketReader
+	// inj optionally injects faults into routing and reads.
+	inj *fault.Injector
+	// retry bounds transient-error retries.
+	retry RetryPolicy
+	// deadline bounds each query's wall-clock time (0 = none).
+	deadline time.Duration
+	// failover optionally reroutes buckets around failed disks.
+	failover *replica.Replicated
 }
 
 // Option configures an Executor.
@@ -33,6 +74,38 @@ type Option func(*Executor)
 // useful when simulating fewer I/O channels than disks.
 func WithMaxParallel(n int) Option {
 	return func(e *Executor) { e.maxParallel = n }
+}
+
+// WithBucketReader replaces the default grid-file reader. The reader
+// must be safe for concurrent use.
+func WithBucketReader(r BucketReader) Option {
+	return func(e *Executor) { e.reader = r }
+}
+
+// WithFaults attaches a fault injector: fail-stop disks affect routing
+// (failover or unavailability) and every read may transiently error
+// per the injector's probability.
+func WithFaults(inj *fault.Injector) Option {
+	return func(e *Executor) { e.inj = inj }
+}
+
+// WithRetry sets the transient-error retry policy (default: one
+// attempt, no retries).
+func WithRetry(p RetryPolicy) Option {
+	return func(e *Executor) { e.retry = p }
+}
+
+// WithDeadline bounds each query's wall-clock time; an exceeded
+// deadline returns context.DeadlineExceeded.
+func WithDeadline(d time.Duration) Option {
+	return func(e *Executor) { e.deadline = d }
+}
+
+// WithFailover attaches a replica scheme for degraded routing: buckets
+// whose primary disk is fail-stop are served from their backup, with
+// the whole query re-scheduled to minimize the busiest surviving disk.
+func WithFailover(r *replica.Replicated) Option {
+	return func(e *Executor) { e.failover = r }
 }
 
 // New constructs an executor over the file.
@@ -47,6 +120,28 @@ func New(f *gridfile.File, opts ...Option) (*Executor, error) {
 	if e.maxParallel < 0 {
 		return nil, fmt.Errorf("exec: negative parallelism %d", e.maxParallel)
 	}
+	if e.retry.MaxAttempts < 0 {
+		return nil, fmt.Errorf("exec: negative retry attempts %d", e.retry.MaxAttempts)
+	}
+	if e.retry.BaseBackoff < 0 || e.retry.MaxBackoff < 0 {
+		return nil, fmt.Errorf("exec: negative retry backoff")
+	}
+	if e.deadline < 0 {
+		return nil, fmt.Errorf("exec: negative deadline %v", e.deadline)
+	}
+	if e.failover != nil {
+		fg, g := e.failover.Grid(), f.Grid()
+		if e.failover.Disks() != f.Disks() || fg.Buckets() != g.Buckets() || fg.K() != g.K() {
+			return nil, fmt.Errorf("exec: failover replica on %v/%d disks does not match file %v/%d disks",
+				fg, e.failover.Disks(), g, f.Disks())
+		}
+	}
+	if e.reader == nil {
+		e.reader = fileReader{f: f}
+	}
+	if e.inj != nil {
+		e.reader = newFaultReader(e.reader, e.inj)
+	}
 	return e, nil
 }
 
@@ -57,26 +152,55 @@ type Result struct {
 	Records []datagen.Record
 	// BucketsPerDisk counts buckets each worker read.
 	BucketsPerDisk []int
+	// Retries counts transient read errors that were retried to
+	// success.
+	Retries int
+	// Rerouted counts buckets served from a backup replica because
+	// their primary disk was fail-stop.
+	Rerouted int
+	// Degraded reports whether any fail-stop disk affected routing.
+	Degraded bool
+}
+
+// bucketRecs is one bucket's payload as collected by a disk worker.
+type bucketRecs struct {
+	bucket int
+	recs   []datagen.Record
 }
 
 // RangeSearch reads every bucket of the cell rectangle r concurrently,
-// one worker per disk, honouring ctx cancellation. Results are merged
-// into deterministic order.
+// one worker per disk, honouring ctx cancellation and the configured
+// deadline. The first worker error cancels all siblings promptly.
+// Results are merged into deterministic order.
 func (e *Executor) RangeSearch(ctx context.Context, r grid.Rect) (*Result, error) {
 	g := e.file.Grid()
-	if len(r.Lo) != g.K() || !g.Contains(r.Lo) || !g.Contains(r.Hi) {
-		return nil, fmt.Errorf("exec: rect %v invalid for grid %v", r, g)
+	if len(r.Lo) != g.K() || len(r.Hi) != g.K() {
+		return nil, fmt.Errorf("exec: rect %v has %d..%d axes for %d-attribute grid %v",
+			r, len(r.Lo), len(r.Hi), g.K(), g)
+	}
+	for i := range r.Lo {
+		if r.Lo[i] > r.Hi[i] {
+			return nil, fmt.Errorf("exec: rect %v inverted on axis %d (Lo %d > Hi %d)", r, i, r.Lo[i], r.Hi[i])
+		}
+	}
+	if !g.Contains(r.Lo) || !g.Contains(r.Hi) {
+		return nil, fmt.Errorf("exec: rect %v outside grid %v", r, g)
 	}
 
-	// Partition the query's buckets by disk — the work list each disk
-	// worker scans.
-	method := e.file.Method()
-	perDisk := make([][]int, e.file.Disks())
-	grid.EachRect(r, func(c grid.Coord) bool {
-		d := method.DiskOf(c)
-		perDisk[d] = append(perDisk[d], g.Linearize(c))
-		return true
-	})
+	if e.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.deadline)
+		defer cancel()
+	}
+	// Derive a cancellable context so the first failing worker stops
+	// every sibling promptly instead of letting them scan to completion.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	perDisk, rerouted, degraded, err := e.route(r)
+	if err != nil {
+		return nil, err
+	}
 
 	limit := e.maxParallel
 	if limit == 0 || limit > len(perDisk) {
@@ -89,16 +213,18 @@ func (e *Executor) RangeSearch(ctx context.Context, r grid.Rect) (*Result, error
 		limit = 1
 	}
 
-	type diskResult struct {
-		disk    int
-		records []datagen.Record
-		buckets int
-	}
-	results := make([]diskResult, e.file.Disks())
+	results := make([][]bucketRecs, e.file.Disks())
+	retries := make([]int, e.file.Disks())
 	sem := make(chan struct{}, limit)
 	var wg sync.WaitGroup
 	var firstErr error
 	var errOnce sync.Once
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel() // stop sibling workers promptly
+		})
+	}
 
 	for d, buckets := range perDisk {
 		if len(buckets) == 0 {
@@ -111,24 +237,27 @@ func (e *Executor) RangeSearch(ctx context.Context, r grid.Rect) (*Result, error
 			case sem <- struct{}{}:
 				defer func() { <-sem }()
 			case <-ctx.Done():
-				errOnce.Do(func() { firstErr = ctx.Err() })
+				fail(ctx.Err())
 				return
 			}
-			var recs []datagen.Record
-			read := 0
+			var out []bucketRecs
 			for _, b := range buckets {
-				if ctx.Err() != nil {
-					errOnce.Do(func() { firstErr = ctx.Err() })
+				if err := ctx.Err(); err != nil {
+					fail(err)
 					return
 				}
-				n := e.file.BucketLen(b)
-				if n == 0 {
-					continue
+				if e.file.BucketLen(b) == 0 {
+					continue // the grid directory knows the bucket is empty
 				}
-				read++
-				recs = append(recs, e.readBucket(b)...)
+				recs, tries, err := e.readWithRetry(ctx, d, b)
+				retries[d] += tries
+				if err != nil {
+					fail(err)
+					return
+				}
+				out = append(out, bucketRecs{bucket: b, recs: recs})
 			}
-			results[d] = diskResult{disk: d, records: recs, buckets: read}
+			results[d] = out
 		}(d, buckets)
 	}
 	wg.Wait()
@@ -136,46 +265,130 @@ func (e *Executor) RangeSearch(ctx context.Context, r grid.Rect) (*Result, error
 		return nil, firstErr
 	}
 
-	out := &Result{BucketsPerDisk: make([]int, e.file.Disks())}
-	for _, dr := range results {
-		out.BucketsPerDisk[dr.disk] = dr.buckets
+	out := &Result{
+		BucketsPerDisk: make([]int, e.file.Disks()),
+		Rerouted:       rerouted,
+		Degraded:       degraded,
 	}
-	// Deterministic merge: records sorted by (bucket of origin,
-	// insertion order) — recover via stable sort on the origin bucket
-	// recorded during collection.
-	type tagged struct {
-		bucket int
-		rec    datagen.Record
+	var all []bucketRecs
+	for d, brs := range results {
+		out.BucketsPerDisk[d] = len(brs)
+		out.Retries += retries[d]
+		all = append(all, brs...)
 	}
-	var all []tagged
-	for _, dr := range results {
-		i := 0
-		for _, b := range perDisk[dr.disk] {
-			n := e.file.BucketLen(b)
-			for j := 0; j < n; j++ {
-				all = append(all, tagged{bucket: b, rec: dr.records[i]})
-				i++
-			}
-		}
-	}
-	sort.SliceStable(all, func(i, j int) bool { return all[i].bucket < all[j].bucket })
-	out.Records = make([]datagen.Record, len(all))
-	for i, t := range all {
-		out.Records[i] = t.rec
+	// Deterministic merge: records ordered by (bucket of origin,
+	// insertion order) regardless of worker scheduling.
+	sort.Slice(all, func(i, j int) bool { return all[i].bucket < all[j].bucket })
+	for _, br := range all {
+		out.Records = append(out.Records, br.recs...)
 	}
 	return out, nil
 }
 
-// readBucket snapshots a bucket's records through the public trace API.
-func (e *Executor) readBucket(b int) []datagen.Record {
+// route partitions the query's buckets into per-disk work lists. With
+// fail-stop disks present it either reroutes via the replica scheme's
+// min-makespan degraded assignment or — without replication — reports
+// the unreachable buckets as a typed *fault.UnavailableError.
+func (e *Executor) route(r grid.Rect) (perDisk [][]int, rerouted int, degraded bool, err error) {
 	g := e.file.Grid()
-	c := g.Delinearize(b, nil)
-	rs, err := e.file.CellRangeSearch(grid.Rect{Lo: c, Hi: c})
-	if err != nil {
-		// A linearized in-range bucket always yields a valid rect.
-		panic(fmt.Sprintf("exec: bucket %d: %v", b, err))
+	perDisk = make([][]int, e.file.Disks())
+	var failed map[int]bool
+	if e.inj != nil {
+		failed = e.inj.FailedSet()
 	}
-	return rs.Records
+
+	if len(failed) == 0 {
+		// Healthy path: primary routing straight off the method.
+		method := e.file.Method()
+		grid.EachRect(r, func(c grid.Coord) bool {
+			d := method.DiskOf(c)
+			perDisk[d] = append(perDisk[d], g.Linearize(c))
+			return true
+		})
+		return perDisk, 0, false, nil
+	}
+
+	if e.failover == nil {
+		// No replication: buckets on failed disks are unreachable, and
+		// partial answers would be silently wrong.
+		method := e.file.Method()
+		var unreachable []int
+		grid.EachRect(r, func(c grid.Coord) bool {
+			d := method.DiskOf(c)
+			b := g.Linearize(c)
+			if failed[d] {
+				unreachable = append(unreachable, b)
+				return true
+			}
+			perDisk[d] = append(perDisk[d], b)
+			return true
+		})
+		if len(unreachable) > 0 {
+			fd := make([]int, 0, len(failed))
+			for d := range failed {
+				fd = append(fd, d)
+			}
+			sort.Ints(fd)
+			return nil, 0, true, &fault.UnavailableError{Buckets: unreachable, FailedDisks: fd}
+		}
+		return perDisk, 0, true, nil
+	}
+
+	// Replica failover: schedule every bucket onto a surviving replica,
+	// minimizing the busiest disk (the degraded load is rebalanced, not
+	// just dumped on each chain neighbour).
+	fd := make([]int, 0, len(failed))
+	for d := range failed {
+		fd = append(fd, d)
+	}
+	sort.Ints(fd)
+	assign, err := e.failover.DegradedAssignment(r, fd)
+	if err != nil {
+		return nil, 0, true, err
+	}
+	grid.EachRect(r, func(c grid.Coord) bool {
+		b := g.Linearize(c)
+		d := assign[b]
+		perDisk[d] = append(perDisk[d], b)
+		if failed[e.failover.PrimaryOf(b)] {
+			rerouted++
+		}
+		return true
+	})
+	return perDisk, rerouted, true, nil
+}
+
+// readWithRetry reads one bucket, retrying transient errors per the
+// policy with capped exponential backoff. It returns the records, the
+// number of retries performed, and the terminal error if any.
+func (e *Executor) readWithRetry(ctx context.Context, disk, bucket int) ([]datagen.Record, int, error) {
+	max := e.retry.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	backoff := e.retry.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		recs, err := e.reader.ReadBucket(ctx, disk, bucket)
+		if err == nil {
+			return recs, attempt - 1, nil
+		}
+		if attempt >= max || !errors.Is(err, fault.ErrTransient) {
+			return nil, attempt - 1, fmt.Errorf("exec: disk %d bucket %d: %w", disk, bucket, err)
+		}
+		if backoff > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, attempt - 1, ctx.Err()
+			case <-t.C:
+			}
+			backoff *= 2
+			if e.retry.MaxBackoff > 0 && backoff > e.retry.MaxBackoff {
+				backoff = e.retry.MaxBackoff
+			}
+		}
+	}
 }
 
 // RangeSearchValues runs RangeSearch over the cell rectangle covering

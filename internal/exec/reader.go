@@ -1,0 +1,73 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"decluster/internal/datagen"
+	"decluster/internal/fault"
+	"decluster/internal/grid"
+	"decluster/internal/gridfile"
+)
+
+// BucketReader serves the records of one bucket from one disk. It is
+// the executor's pluggable I/O layer: the default implementation reads
+// the in-memory grid file, and wrappers can inject faults, add caching,
+// or fetch from remote storage. Implementations must be safe for
+// concurrent use — the executor calls ReadBucket from one goroutine per
+// disk.
+type BucketReader interface {
+	// ReadBucket returns the records of the row-major bucket b as served
+	// by disk d. A returned error matching fault.ErrTransient is
+	// retryable; any other error aborts the query.
+	ReadBucket(ctx context.Context, disk, bucket int) ([]datagen.Record, error)
+}
+
+// fileReader is the default BucketReader: it snapshots buckets from the
+// grid file through the public trace API. The disk argument is
+// irrelevant — every replica serves identical bytes.
+type fileReader struct {
+	f *gridfile.File
+}
+
+// ReadBucket reads bucket b from the grid file.
+func (r fileReader) ReadBucket(_ context.Context, _, b int) ([]datagen.Record, error) {
+	g := r.f.Grid()
+	c := g.Delinearize(b, nil)
+	rs, err := r.f.CellRangeSearch(grid.Rect{Lo: c, Hi: c})
+	if err != nil {
+		// A linearized in-range bucket always yields a valid rect.
+		return nil, fmt.Errorf("exec: bucket %d: %w", b, err)
+	}
+	return rs.Records, nil
+}
+
+// faultReader wraps a BucketReader with an injector: each read first
+// consults the injector, which may fail it (fail-stop disk) or make it
+// transiently error. Attempt numbers are tracked per bucket so retries
+// draw fresh, deterministic coins.
+type faultReader struct {
+	inner BucketReader
+	inj   *fault.Injector
+
+	mu       sync.Mutex
+	attempts map[int]int // bucket → reads issued so far
+}
+
+func newFaultReader(inner BucketReader, inj *fault.Injector) *faultReader {
+	return &faultReader{inner: inner, inj: inj, attempts: make(map[int]int)}
+}
+
+// ReadBucket consults the injector before delegating to the inner
+// reader.
+func (r *faultReader) ReadBucket(ctx context.Context, disk, bucket int) ([]datagen.Record, error) {
+	r.mu.Lock()
+	r.attempts[bucket]++
+	attempt := r.attempts[bucket]
+	r.mu.Unlock()
+	if err := r.inj.CheckRead(disk, bucket, attempt); err != nil {
+		return nil, err
+	}
+	return r.inner.ReadBucket(ctx, disk, bucket)
+}

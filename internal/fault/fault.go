@@ -1,0 +1,249 @@
+// Package fault implements deterministic, seeded fault injection for
+// the multi-disk execution stack. It models the three failure classes a
+// parallel I/O practitioner asks about first:
+//
+//   - fail-stop disks: a disk stops serving reads entirely;
+//   - transient read errors: an individual bucket read fails with a
+//     configurable probability but succeeds when retried;
+//   - stragglers: a disk keeps serving but at a latency multiple.
+//
+// All decisions are pure functions of (seed, disk, bucket, attempt), so
+// a run with a fixed seed injects exactly the same faults regardless of
+// goroutine scheduling — failures are reproducible, which makes the
+// degraded-mode experiments and the retry/failover tests deterministic.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sentinel errors for errors.Is classification. The concrete typed
+// errors below all match their sentinel.
+var (
+	// ErrDiskFailed classifies fail-stop disk errors.
+	ErrDiskFailed = errors.New("fault: disk failed")
+	// ErrTransient classifies retryable per-read errors.
+	ErrTransient = errors.New("fault: transient read error")
+	// ErrUnavailable classifies queries that cannot be answered
+	// correctly because buckets are unreachable on every replica.
+	ErrUnavailable = errors.New("fault: buckets unavailable")
+)
+
+// DiskFailedError reports a read against a fail-stop disk.
+type DiskFailedError struct {
+	Disk int
+}
+
+// Error describes the failure.
+func (e *DiskFailedError) Error() string {
+	return fmt.Sprintf("fault: disk %d is failed (fail-stop)", e.Disk)
+}
+
+// Is matches ErrDiskFailed.
+func (e *DiskFailedError) Is(target error) bool { return target == ErrDiskFailed }
+
+// TransientError reports a retryable read failure of one bucket.
+type TransientError struct {
+	Disk    int
+	Bucket  int
+	Attempt int // 1-based attempt number that failed
+}
+
+// Error describes the failure.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("fault: transient read error on disk %d bucket %d (attempt %d)", e.Disk, e.Bucket, e.Attempt)
+}
+
+// Is matches ErrTransient.
+func (e *TransientError) Is(target error) bool { return target == ErrTransient }
+
+// UnavailableError reports that a query cannot be answered: the listed
+// buckets live only on failed disks, so returning partial results would
+// be silently wrong. Callers detect it with
+// errors.Is(err, ErrUnavailable) or errors.As.
+type UnavailableError struct {
+	// Buckets are the unreachable row-major bucket numbers, ascending.
+	Buckets []int
+	// FailedDisks are the fail-stop disks responsible, ascending.
+	FailedDisks []int
+}
+
+// Error lists the unreachable buckets and the disks that took them down.
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("fault: %d bucket(s) unavailable (buckets %v on failed disks %v)",
+		len(e.Buckets), e.Buckets, e.FailedDisks)
+}
+
+// Is matches ErrUnavailable.
+func (e *UnavailableError) Is(target error) bool { return target == ErrUnavailable }
+
+// Config describes an injection scenario.
+type Config struct {
+	// Seed drives every probabilistic decision; runs with equal seeds
+	// inject identical faults.
+	Seed int64
+	// FailDisks lists fail-stop disks (duplicates allowed, order
+	// irrelevant). Disk numbers must be non-negative.
+	FailDisks []int
+	// TransientProb is the probability in [0, 1) that any single bucket
+	// read attempt fails with a TransientError.
+	TransientProb float64
+	// Stragglers maps disk → service-time latency multiplier (≥ 1).
+	Stragglers map[int]float64
+}
+
+// Injector injects the configured faults. It is safe for concurrent use
+// by the executor's disk workers; fail-stop state may be mutated
+// between queries with FailDisk/RecoverDisk.
+type Injector struct {
+	mu     sync.RWMutex
+	seed   int64
+	prob   float64
+	failed map[int]bool
+	slow   map[int]float64
+}
+
+// New validates the configuration and builds an injector.
+func New(cfg Config) (*Injector, error) {
+	if cfg.TransientProb < 0 || cfg.TransientProb >= 1 {
+		return nil, fmt.Errorf("fault: transient probability %v outside [0,1)", cfg.TransientProb)
+	}
+	in := &Injector{
+		seed:   cfg.Seed,
+		prob:   cfg.TransientProb,
+		failed: make(map[int]bool),
+		slow:   make(map[int]float64),
+	}
+	for _, d := range cfg.FailDisks {
+		if d < 0 {
+			return nil, fmt.Errorf("fault: negative disk %d in FailDisks", d)
+		}
+		in.failed[d] = true
+	}
+	for d, f := range cfg.Stragglers {
+		if d < 0 {
+			return nil, fmt.Errorf("fault: negative straggler disk %d", d)
+		}
+		if f < 1 {
+			return nil, fmt.Errorf("fault: straggler multiplier %v on disk %d below 1", f, d)
+		}
+		in.slow[d] = f
+	}
+	return in, nil
+}
+
+// Seed returns the injection seed.
+func (in *Injector) Seed() int64 { return in.seed }
+
+// TransientProb returns the per-read transient failure probability.
+func (in *Injector) TransientProb() float64 { return in.prob }
+
+// FailDisk marks disk d fail-stop.
+func (in *Injector) FailDisk(d int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.failed[d] = true
+}
+
+// RecoverDisk clears the fail-stop state of disk d.
+func (in *Injector) RecoverDisk(d int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.failed, d)
+}
+
+// DiskFailed reports whether disk d is fail-stop.
+func (in *Injector) DiskFailed(d int) bool {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.failed[d]
+}
+
+// FailedDisks returns the fail-stop disks in ascending order.
+func (in *Injector) FailedDisks() []int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	out := make([]int, 0, len(in.failed))
+	for d := range in.failed {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FailedSet returns a copy of the fail-stop disk set.
+func (in *Injector) FailedSet() map[int]bool {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	out := make(map[int]bool, len(in.failed))
+	for d := range in.failed {
+		out[d] = true
+	}
+	return out
+}
+
+// SlowFactor returns the latency multiplier of disk d (1 when the disk
+// is not a straggler).
+func (in *Injector) SlowFactor(d int) float64 {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if f, ok := in.slow[d]; ok {
+		return f
+	}
+	return 1
+}
+
+// SetSlowFactor marks disk d a straggler with the given latency
+// multiplier (≥ 1); 1 clears it.
+func (in *Injector) SetSlowFactor(d int, f float64) error {
+	if f < 1 {
+		return fmt.Errorf("fault: straggler multiplier %v below 1", f)
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if f == 1 {
+		delete(in.slow, d)
+	} else {
+		in.slow[d] = f
+	}
+	return nil
+}
+
+// CheckRead decides the fate of the attempt-th read (1-based) of bucket
+// b on disk d: nil for success, a *DiskFailedError when the disk is
+// fail-stop, or a *TransientError with probability TransientProb. The
+// transient decision is a pure hash of (seed, disk, bucket, attempt),
+// so a retried read draws a fresh, reproducible coin.
+func (in *Injector) CheckRead(disk, bucket, attempt int) error {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if in.failed[disk] {
+		return &DiskFailedError{Disk: disk}
+	}
+	if in.prob > 0 && coin(in.seed, disk, bucket, attempt) < in.prob {
+		return &TransientError{Disk: disk, Bucket: bucket, Attempt: attempt}
+	}
+	return nil
+}
+
+// coin returns a uniform pseudo-random float64 in [0, 1) deterministic
+// in its arguments, via two rounds of splitmix64 over the packed key.
+func coin(seed int64, disk, bucket, attempt int) float64 {
+	x := uint64(seed)
+	x = splitmix64(x ^ uint64(disk)*0x9e3779b97f4a7c15)
+	x = splitmix64(x ^ uint64(bucket)*0xbf58476d1ce4e5b9)
+	x = splitmix64(x ^ uint64(attempt)*0x94d049bb133111eb)
+	return float64(x>>11) / float64(1<<53)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a strong
+// 64-bit mixing function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,189 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{TransientProb: -0.1},
+		{TransientProb: 1.0},
+		{FailDisks: []int{-1}},
+		{Stragglers: map[int]float64{0: 0.5}},
+		{Stragglers: map[int]float64{-2: 2}},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	in, err := New(Config{Seed: 7, FailDisks: []int{3, 1, 3}, TransientProb: 0.25,
+		Stragglers: map[int]float64{2: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Seed() != 7 || in.TransientProb() != 0.25 {
+		t.Error("accessors wrong")
+	}
+	if got := in.FailedDisks(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("FailedDisks = %v, want [1 3]", got)
+	}
+	if in.SlowFactor(2) != 4 || in.SlowFactor(0) != 1 {
+		t.Error("slow factors wrong")
+	}
+}
+
+func TestFailStopLifecycle(t *testing.T) {
+	in, _ := New(Config{})
+	if in.DiskFailed(0) {
+		t.Fatal("fresh injector has failed disk")
+	}
+	in.FailDisk(2)
+	if !in.DiskFailed(2) {
+		t.Fatal("FailDisk did not stick")
+	}
+	err := in.CheckRead(2, 10, 1)
+	var dfe *DiskFailedError
+	if !errors.As(err, &dfe) || dfe.Disk != 2 {
+		t.Fatalf("CheckRead on failed disk = %v", err)
+	}
+	if !errors.Is(err, ErrDiskFailed) {
+		t.Error("DiskFailedError does not match ErrDiskFailed")
+	}
+	in.RecoverDisk(2)
+	if err := in.CheckRead(2, 10, 1); err != nil {
+		t.Fatalf("recovered disk still errors: %v", err)
+	}
+	set := in.FailedSet()
+	set[5] = true // mutating the copy must not affect the injector
+	if in.DiskFailed(5) {
+		t.Error("FailedSet returned live state")
+	}
+}
+
+func TestTransientDeterministic(t *testing.T) {
+	a, _ := New(Config{Seed: 42, TransientProb: 0.5})
+	b, _ := New(Config{Seed: 42, TransientProb: 0.5})
+	for disk := 0; disk < 4; disk++ {
+		for bucket := 0; bucket < 64; bucket++ {
+			for attempt := 1; attempt <= 4; attempt++ {
+				ea := a.CheckRead(disk, bucket, attempt)
+				eb := b.CheckRead(disk, bucket, attempt)
+				if (ea == nil) != (eb == nil) {
+					t.Fatalf("seed 42 disagrees at (%d,%d,%d)", disk, bucket, attempt)
+				}
+				if ea != nil && !errors.Is(ea, ErrTransient) {
+					t.Fatalf("transient error does not match sentinel: %v", ea)
+				}
+			}
+		}
+	}
+}
+
+func TestTransientRateAndRetryIndependence(t *testing.T) {
+	in, _ := New(Config{Seed: 1, TransientProb: 0.3})
+	fails, n := 0, 0
+	retrySucceeds := 0
+	firstFails := 0
+	for bucket := 0; bucket < 5000; bucket++ {
+		n++
+		if in.CheckRead(0, bucket, 1) != nil {
+			fails++
+			firstFails++
+			// A failed read must eventually succeed on retry — fresh
+			// coin per attempt.
+			for attempt := 2; attempt <= 10; attempt++ {
+				if in.CheckRead(0, bucket, attempt) == nil {
+					retrySucceeds++
+					break
+				}
+			}
+		}
+	}
+	rate := float64(fails) / float64(n)
+	if math.Abs(rate-0.3) > 0.03 {
+		t.Errorf("observed transient rate %.3f, want ≈ 0.30", rate)
+	}
+	if firstFails > 0 && retrySucceeds < firstFails*99/100 {
+		t.Errorf("only %d/%d failed reads recovered within 10 attempts", retrySucceeds, firstFails)
+	}
+}
+
+func TestUnavailableError(t *testing.T) {
+	err := error(&UnavailableError{Buckets: []int{3, 9}, FailedDisks: []int{1}})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Error("UnavailableError does not match ErrUnavailable")
+	}
+	var ue *UnavailableError
+	if !errors.As(err, &ue) || len(ue.Buckets) != 2 {
+		t.Error("errors.As failed")
+	}
+	msg := err.Error()
+	for _, want := range []string{"unavailable", "[3 9]", "[1]"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	in, _ := New(Config{Seed: 3, TransientProb: 0.1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				in.CheckRead(w, i, 1)
+				in.DiskFailed(w)
+				in.SlowFactor(w)
+			}
+		}(w)
+	}
+	in.FailDisk(3)
+	in.RecoverDisk(3)
+	if err := in.SetSlowFactor(1, 2.5); err != nil {
+		t.Error(err)
+	}
+	wg.Wait()
+	if in.SlowFactor(1) != 2.5 {
+		t.Error("SetSlowFactor lost")
+	}
+	if err := in.SetSlowFactor(1, 0.2); err == nil {
+		t.Error("sub-1 multiplier accepted")
+	}
+	if err := in.SetSlowFactor(1, 1); err != nil || in.SlowFactor(1) != 1 {
+		t.Error("multiplier 1 should clear the straggler")
+	}
+}
+
+func TestCoinUniform(t *testing.T) {
+	// Coarse uniformity: deciles of the coin over many keys.
+	var counts [10]int
+	n := 20000
+	for i := 0; i < n; i++ {
+		c := coin(9, i%7, i, 1+i%3)
+		if c < 0 || c >= 1 {
+			t.Fatalf("coin out of range: %v", c)
+		}
+		counts[int(c*10)]++
+	}
+	for d, c := range counts {
+		if math.Abs(float64(c)-float64(n)/10) > float64(n)/10*0.15 {
+			t.Errorf("decile %d count %d deviates from uniform %d", d, c, n/10)
+		}
+	}
+}
+
+func ExampleInjector_CheckRead() {
+	in, _ := New(Config{Seed: 1, FailDisks: []int{2}})
+	fmt.Println(in.CheckRead(2, 5, 1))
+	fmt.Println(in.CheckRead(0, 5, 1))
+	// Output:
+	// fault: disk 2 is failed (fail-stop)
+	// <nil>
+}

@@ -14,9 +14,11 @@ package replica
 
 import (
 	"fmt"
+	"sort"
 
 	"decluster/internal/alloc"
 	"decluster/internal/cost"
+	"decluster/internal/fault"
 	"decluster/internal/grid"
 )
 
@@ -82,15 +84,22 @@ func (r *Replicated) Replicas(c grid.Coord) (primary, backup int) {
 	return r.primary[b], r.backup[b]
 }
 
+// PrimaryOf returns the primary disk of the row-major bucket b.
+func (r *Replicated) PrimaryOf(b int) int { return r.primary[b] }
+
+// BackupOf returns the backup disk of the row-major bucket b.
+func (r *Replicated) BackupOf(b int) int { return r.backup[b] }
+
 // StorageOverhead returns the replication factor (2.0 — every bucket
 // stored twice). Provided for symmetry with cost reporting.
 func (r *Replicated) StorageOverhead() float64 { return 2.0 }
 
 // ResponseTime returns the exact optimal response time of the query
 // under free replica choice: the minimum over all bucket→replica
-// assignments of the busiest disk's bucket count. -1 disables no disk.
+// assignments of the busiest disk's bucket count.
 func (r *Replicated) ResponseTime(rect grid.Rect) int {
-	return r.responseTime(rect, -1)
+	rt, _ := r.responseTime(rect, nil)
+	return rt
 }
 
 // ResponseTimeDegraded returns the exact optimal response time with one
@@ -98,55 +107,154 @@ func (r *Replicated) ResponseTime(rect grid.Rect) int {
 // it, the rest scheduled freely. It returns an error when failed is not
 // a valid disk.
 func (r *Replicated) ResponseTimeDegraded(rect grid.Rect, failed int) (int, error) {
-	if failed < 0 || failed >= r.m {
-		return 0, fmt.Errorf("replica: failed disk %d outside [0,%d)", failed, r.m)
-	}
-	return r.responseTime(rect, failed), nil
+	return r.ResponseTimeDegradedSet(rect, []int{failed})
 }
 
-// responseTime solves the min-makespan replica assignment for the
-// query's buckets, optionally excluding a failed disk.
-func (r *Replicated) responseTime(rect grid.Rect, failed int) int {
-	// Gather each bucket's allowed disks.
+// ResponseTimeDegradedSet returns the exact optimal response time with
+// a set of disks failed simultaneously. It returns a
+// *fault.UnavailableError when some bucket of the query lost both of
+// its replicas, and a plain error when the failed set itself is
+// invalid (out-of-range disk, or every disk failed).
+func (r *Replicated) ResponseTimeDegradedSet(rect grid.Rect, failed []int) (int, error) {
+	fs, err := r.failedSet(failed)
+	if err != nil {
+		return 0, err
+	}
+	return r.responseTime(rect, fs)
+}
+
+// DegradedAssignment solves the min-makespan replica assignment of the
+// query's buckets with the given disks failed and returns the chosen
+// disk per row-major bucket number. Every bucket whose primary disk
+// failed resolves to its backup (and vice versa); buckets with both
+// replicas alive are placed to minimize the busiest disk. No bucket is
+// ever assigned to a failed disk. Errors are those of
+// ResponseTimeDegradedSet; a nil or empty failed set yields the
+// healthy optimal assignment.
+func (r *Replicated) DegradedAssignment(rect grid.Rect, failed []int) (map[int]int, error) {
+	fs, err := r.failedSet(failed)
+	if err != nil {
+		return nil, err
+	}
+	jobs, ids, err := r.gather(rect, fs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]int, len(jobs))
+	if len(jobs) == 0 {
+		return out, nil
+	}
+	q, err := r.makespan(jobs, len(fs))
+	if err != nil {
+		return nil, err
+	}
+	byDisk, ok := r.assign(jobs, q)
+	if !ok {
+		// makespan returned a feasible quota by construction.
+		panic(fmt.Sprintf("replica: optimal makespan %d infeasible", q))
+	}
+	for d, occupants := range byDisk {
+		for _, j := range occupants {
+			out[ids[j]] = d
+		}
+	}
+	return out, nil
+}
+
+// failedSet validates and dedups a failed-disk list.
+func (r *Replicated) failedSet(failed []int) (map[int]bool, error) {
+	fs := make(map[int]bool, len(failed))
+	for _, d := range failed {
+		if d < 0 || d >= r.m {
+			return nil, fmt.Errorf("replica: failed disk %d outside [0,%d)", d, r.m)
+		}
+		fs[d] = true
+	}
+	if len(fs) >= r.m {
+		return nil, fmt.Errorf("replica: all %d disks failed", r.m)
+	}
+	return fs, nil
+}
+
+// gather collects each query bucket's admissible disks under the failed
+// set, plus the bucket ids in visit order. Buckets that lost both
+// replicas make the query unavailable.
+func (r *Replicated) gather(rect grid.Rect, failed map[int]bool) ([]job, []int, error) {
 	var jobs []job
+	var ids []int
+	var lost []int
 	grid.EachRect(rect, func(c grid.Coord) bool {
 		idx := r.g.Linearize(c)
 		a, b := r.primary[idx], r.backup[idx]
-		if a == failed {
+		aOK, bOK := !failed[a], !failed[b]
+		switch {
+		case !aOK && !bOK:
+			lost = append(lost, idx)
+			return true
+		case !aOK:
 			a = b
-		}
-		if b == failed {
+		case !bOK:
 			b = a
 		}
 		jobs = append(jobs, job{a, b})
+		ids = append(ids, idx)
 		return true
 	})
-	n := len(jobs)
-	if n == 0 {
-		return 0
+	if len(lost) > 0 {
+		sort.Ints(lost)
+		fd := make([]int, 0, len(failed))
+		for d := range failed {
+			fd = append(fd, d)
+		}
+		sort.Ints(fd)
+		return nil, nil, &fault.UnavailableError{Buckets: lost, FailedDisks: fd}
 	}
-	// Binary search the makespan L; feasibility by max-flow: source →
-	// job (cap 1) → its disks → sink (cap L). With unit job capacities
-	// this is bipartite b-matching; a simple augmenting-path matcher
-	// with per-disk quotas suffices.
-	lo, hi := cost.OptimalRT(n, r.m), n
+	return jobs, ids, nil
+}
+
+// responseTime solves the min-makespan replica assignment for the
+// query's buckets, excluding the failed disks (nil = none).
+func (r *Replicated) responseTime(rect grid.Rect, failed map[int]bool) (int, error) {
+	jobs, _, err := r.gather(rect, failed)
+	if err != nil {
+		return 0, err
+	}
+	if len(jobs) == 0 {
+		return 0, nil
+	}
+	return r.makespan(jobs, len(failed))
+}
+
+// makespan binary-searches the optimal busiest-disk quota for the jobs,
+// with numFailed disks out of service. Feasibility by max-flow: source
+// → job (cap 1) → its disks → sink (cap L). With unit job capacities
+// this is bipartite b-matching; a simple augmenting-path matcher with
+// per-disk quotas suffices.
+func (r *Replicated) makespan(jobs []job, numFailed int) (int, error) {
+	n := len(jobs)
+	live := r.m - numFailed
+	if live < 1 {
+		return 0, fmt.Errorf("replica: no live disks")
+	}
+	lo, hi := cost.OptimalRT(n, live), n
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if r.feasible(jobs, mid) {
+		if _, ok := r.assign(jobs, mid); ok {
 			hi = mid
 		} else {
 			lo = mid + 1
 		}
 	}
-	return lo
+	return lo, nil
 }
 
-// feasible reports whether every job can be assigned to one of its two
-// disks with no disk exceeding quota q. Augmenting-path b-matching:
-// jobs are matched one at a time; a job may displace another job from a
-// full disk if that job can move to its alternative disk (chains of
+// assign attempts to place every job on one of its two disks with no
+// disk exceeding quota q, returning the per-disk occupant lists and
+// whether the placement succeeded. Augmenting-path b-matching: jobs are
+// matched one at a time; a job may displace another job from a full
+// disk if that job can move to its alternative disk (chains of
 // displacement are explored depth-first).
-func (r *Replicated) feasible(jobs []job, q int) bool {
+func (r *Replicated) assign(jobs []job, q int) ([][]int, bool) {
 	loads := make([]int, r.m)
 	// byDisk tracks which jobs sit on each disk for displacement.
 	byDisk := make([][]int, r.m)
@@ -195,10 +303,10 @@ func (r *Replicated) feasible(jobs []job, q int) bool {
 	for j := range jobs {
 		visited := make([]bool, r.m)
 		if !place(j, visited) {
-			return false
+			return nil, false
 		}
 	}
-	return true
+	return byDisk, true
 }
 
 // Evaluate measures the replicated scheme over a workload with the
