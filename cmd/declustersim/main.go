@@ -14,9 +14,11 @@
 //	-seed        sampling seed (default 1)
 //	-exhaustive  disable sampling (exhaustive placements)
 //	-random      include the balanced-random baseline
-//	-fail-disks  availability: maximum simultaneously failed disks (default 2)
+//	-fail-disks  availability: maximum simultaneously failed disks
+//	             (default 2; 0 disables the failure sweep)
 //	-fail-prob   availability: transient read-error probability of the
-//	             end-to-end fault drill (default 0.3)
+//	             end-to-end fault drill (default 0.3; 0 disables
+//	             transient errors)
 //
 // Examples:
 //
@@ -71,10 +73,33 @@ func main() {
 	if *plotOut {
 		mode = modePlot
 	}
+	if *failDisks < 0 {
+		fmt.Fprintln(os.Stderr, "declustersim: -fail-disks must be ≥ 0")
+		os.Exit(2)
+	}
+	if *failProb < 0 || *failProb >= 1 {
+		fmt.Fprintln(os.Stderr, "declustersim: -fail-prob must be in [0, 1)")
+		os.Exit(2)
+	}
 	avail := experiments.AvailabilityConfig{
 		MaxFailed:     *failDisks,
 		TransientProb: *failProb,
 	}
+	// Zero is meaningful for both flags (no failure sweep, no transient
+	// errors) but is also the config's selects-the-default value, so an
+	// explicitly passed 0 becomes the config's negative sentinel.
+	flag.Visit(func(fl *flag.Flag) {
+		switch fl.Name {
+		case "fail-disks":
+			if *failDisks == 0 {
+				avail.MaxFailed = -1
+			}
+		case "fail-prob":
+			if *failProb == 0 {
+				avail.TransientProb = -1
+			}
+		}
+	})
 	if err := run(os.Stdout, *experiment, m, opt, avail, mode); err != nil {
 		fmt.Fprintln(os.Stderr, "declustersim:", err)
 		os.Exit(1)

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"decluster/internal/alloc"
 	"decluster/internal/datagen"
 	"decluster/internal/fault"
 	"decluster/internal/grid"
@@ -135,14 +136,32 @@ func New(f *gridfile.File, opts ...Option) (*Executor, error) {
 			return nil, fmt.Errorf("exec: failover replica on %v/%d disks does not match file %v/%d disks",
 				fg, e.failover.Disks(), g, f.Disks())
 		}
+		// Shape alone is not enough: a replica built over a different
+		// allocation method routes buckets to the wrong disks, skewing
+		// Rerouted counts and degraded-load accounting even when a
+		// disk-agnostic reader happens to return correct records.
+		for b, d := range alloc.Table(f.Method()) {
+			if e.failover.PrimaryOf(b) != d {
+				return nil, fmt.Errorf("exec: failover replica allocation differs from file method %s at bucket %d (primary %d, file disk %d)",
+					f.Method().Name(), b, e.failover.PrimaryOf(b), d)
+			}
+		}
 	}
 	if e.reader == nil {
 		e.reader = fileReader{f: f}
 	}
-	if e.inj != nil {
-		e.reader = newFaultReader(e.reader, e.inj)
-	}
 	return e, nil
+}
+
+// queryReader returns the BucketReader one query should read through:
+// the configured reader, wrapped — per query, so attempt counters start
+// fresh and one query's injected faults are independent of every other
+// query past or concurrent — in the fault injector when present.
+func (e *Executor) queryReader() BucketReader {
+	if e.inj == nil {
+		return e.reader
+	}
+	return newFaultReader(e.reader, e.inj)
 }
 
 // Result is the outcome of a parallel search.
@@ -213,6 +232,7 @@ func (e *Executor) RangeSearch(ctx context.Context, r grid.Rect) (*Result, error
 		limit = 1
 	}
 
+	reader := e.queryReader()
 	results := make([][]bucketRecs, e.file.Disks())
 	retries := make([]int, e.file.Disks())
 	sem := make(chan struct{}, limit)
@@ -249,7 +269,7 @@ func (e *Executor) RangeSearch(ctx context.Context, r grid.Rect) (*Result, error
 				if e.file.BucketLen(b) == 0 {
 					continue // the grid directory knows the bucket is empty
 				}
-				recs, tries, err := e.readWithRetry(ctx, d, b)
+				recs, tries, err := e.readWithRetry(ctx, reader, d, b)
 				retries[d] += tries
 				if err != nil {
 					fail(err)
@@ -358,17 +378,18 @@ func (e *Executor) route(r grid.Rect) (perDisk [][]int, rerouted int, degraded b
 	return perDisk, rerouted, true, nil
 }
 
-// readWithRetry reads one bucket, retrying transient errors per the
-// policy with capped exponential backoff. It returns the records, the
-// number of retries performed, and the terminal error if any.
-func (e *Executor) readWithRetry(ctx context.Context, disk, bucket int) ([]datagen.Record, int, error) {
+// readWithRetry reads one bucket through the query's reader, retrying
+// transient errors per the policy with capped exponential backoff. It
+// returns the records, the number of retries performed, and the
+// terminal error if any.
+func (e *Executor) readWithRetry(ctx context.Context, reader BucketReader, disk, bucket int) ([]datagen.Record, int, error) {
 	max := e.retry.MaxAttempts
 	if max < 1 {
 		max = 1
 	}
 	backoff := e.retry.BaseBackoff
 	for attempt := 1; ; attempt++ {
-		recs, err := e.reader.ReadBucket(ctx, disk, bucket)
+		recs, err := reader.ReadBucket(ctx, disk, bucket)
 		if err == nil {
 			return recs, attempt - 1, nil
 		}

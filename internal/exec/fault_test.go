@@ -295,6 +295,47 @@ func TestTransientRetriesDeterministic(t *testing.T) {
 	}
 }
 
+// Fault-injection attempt counters are scoped per query, so a query's
+// injected fault sequence (and hence its retry count) is independent of
+// whatever queries ran before it on the same Executor.
+func TestTransientFaultsIndependentOfQueryHistory(t *testing.T) {
+	f := newLoadedFile(t, 4, 2000)
+	ctx := context.Background()
+	qA := f.Grid().MustRect(grid.Coord{0, 0}, grid.Coord{7, 7})
+	qB := f.Grid().MustRect(grid.Coord{4, 4}, grid.Coord{11, 11}) // overlaps qA's buckets
+	newExec := func() *Executor {
+		t.Helper()
+		inj, err := fault.New(fault.Config{Seed: 77, TransientProb: 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(f, WithFaults(inj), WithRetry(RetryPolicy{MaxAttempts: 10}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	want, err := newExec().RangeSearch(ctx, qB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Retries == 0 {
+		t.Fatal("no retries recorded at 40% transient probability")
+	}
+	warmed := newExec()
+	if _, err := warmed.RangeSearch(ctx, qA); err != nil {
+		t.Fatal(err)
+	}
+	got, err := warmed.RangeSearch(ctx, qB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Retries != want.Retries {
+		t.Fatalf("query history changed the fault sequence: %d retries after a prior query, %d on a fresh executor",
+			got.Retries, want.Retries)
+	}
+}
+
 // Exhausted retries surface the transient error.
 func TestTransientRetriesExhausted(t *testing.T) {
 	f := newLoadedFile(t, 4, 2000)
@@ -359,6 +400,18 @@ func TestFaultOptionValidation(t *testing.T) {
 	orep, _ := replica.NewChained(om)
 	if _, err := New(f, WithFailover(orep)); err == nil {
 		t.Error("mismatched failover replica accepted")
+	}
+	// Same grid shape and disk count but a different allocation method:
+	// shape checks pass, so the per-bucket primary table must catch it.
+	dm, _ := alloc.NewDM(f.Grid(), f.Disks()) // file uses HCAM
+	dmrep, _ := replica.NewChained(dm)
+	if _, err := New(f, WithFailover(dmrep)); err == nil {
+		t.Error("failover replica over a different allocation method accepted")
+	}
+	// The matching replica stays accepted.
+	rep, _ := replica.NewChained(f.Method())
+	if _, err := New(f, WithFailover(rep)); err != nil {
+		t.Errorf("matching failover replica rejected: %v", err)
 	}
 }
 

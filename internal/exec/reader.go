@@ -46,7 +46,10 @@ func (r fileReader) ReadBucket(_ context.Context, _, b int) ([]datagen.Record, e
 // faultReader wraps a BucketReader with an injector: each read first
 // consults the injector, which may fail it (fail-stop disk) or make it
 // transiently error. Attempt numbers are tracked per bucket so retries
-// draw fresh, deterministic coins.
+// draw fresh, deterministic coins. The executor creates one faultReader
+// per query, so a query's fault sequence is a pure function of the seed
+// and its own reads — independent of previously executed queries and of
+// concurrent queries on the same Executor.
 type faultReader struct {
 	inner BucketReader
 	inj   *fault.Injector

@@ -34,7 +34,8 @@ type AvailabilityConfig struct {
 	// QuerySides is the query shape studied (default 4×4).
 	QuerySides []int
 	// MaxFailed is the largest number of simultaneously failed disks
-	// swept (default 2; clamped to Disks-1).
+	// swept (default 2; clamped to Disks-1). Zero selects the default;
+	// pass a negative value for an explicit 0, i.e. no failure sweep.
 	MaxFailed int
 	// Offset is the backup offset of the offset-replication variant
 	// (default Disks/2).
@@ -43,7 +44,8 @@ type AvailabilityConfig struct {
 	// count (default 3).
 	FailTrials int
 	// TransientProb is the per-read transient error probability of the
-	// end-to-end fault drill (default 0.3).
+	// end-to-end fault drill (default 0.3). Zero selects the default;
+	// pass a negative value for an explicit 0, i.e. no transient errors.
 	TransientProb float64
 }
 
@@ -57,7 +59,10 @@ func (c AvailabilityConfig) withDefaults() AvailabilityConfig {
 	if len(c.QuerySides) == 0 {
 		c.QuerySides = []int{4, 4}
 	}
-	if c.MaxFailed <= 0 {
+	switch {
+	case c.MaxFailed < 0: // explicitly no failure sweep
+		c.MaxFailed = 0
+	case c.MaxFailed == 0:
 		c.MaxFailed = 2
 	}
 	if c.MaxFailed > c.Disks-1 {
@@ -69,7 +74,10 @@ func (c AvailabilityConfig) withDefaults() AvailabilityConfig {
 	if c.FailTrials == 0 {
 		c.FailTrials = 3
 	}
-	if c.TransientProb == 0 {
+	switch {
+	case c.TransientProb < 0: // explicitly fault-free reads
+		c.TransientProb = 0
+	case c.TransientProb == 0:
 		c.TransientProb = 0.3
 	}
 	return c

@@ -14,8 +14,16 @@ func TestAvailabilityDefaults(t *testing.T) {
 	if clamped.MaxFailed != 3 {
 		t.Errorf("MaxFailed not clamped to Disks-1: %d", clamped.MaxFailed)
 	}
-	if neg := (AvailabilityConfig{MaxFailed: -3}).withDefaults(); neg.MaxFailed != 2 {
-		t.Errorf("negative MaxFailed not defaulted: %d", neg.MaxFailed)
+	// Negative values are the explicit-zero sentinel (the zero value
+	// selects the default, so a plain 0 cannot express "none").
+	if neg := (AvailabilityConfig{MaxFailed: -3}).withDefaults(); neg.MaxFailed != 0 {
+		t.Errorf("negative MaxFailed not treated as explicit 0: %d", neg.MaxFailed)
+	}
+	if neg := (AvailabilityConfig{TransientProb: -1}).withDefaults(); neg.TransientProb != 0 {
+		t.Errorf("negative TransientProb not treated as explicit 0: %v", neg.TransientProb)
+	}
+	if cfg.TransientProb != 0.3 {
+		t.Errorf("TransientProb default wrong: %v", cfg.TransientProb)
 	}
 }
 

@@ -276,7 +276,11 @@ func (r *Replicated) assign(jobs []job, q int) ([][]int, bool) {
 				continue
 			}
 			visited[d] = true
-			for i, occ := range byDisk[d] {
+			// Iterate a snapshot: a failed attempt below swap-removes and
+			// re-appends inside byDisk[d], which would skip the swapped-in
+			// occupant and retry the removed one if ranged over live.
+			occs := append([]int(nil), byDisk[d]...)
+			for _, occ := range occs {
 				other := jobs[occ].a
 				if other == d {
 					other = jobs[occ].b
@@ -284,7 +288,10 @@ func (r *Replicated) assign(jobs []job, q int) ([][]int, bool) {
 				if other == d {
 					continue // occupant has no alternative
 				}
-				// Temporarily remove the occupant and try to re-place it.
+				// Temporarily remove the occupant — at its current index,
+				// which earlier failed attempts may have shifted — and try
+				// to re-place it.
+				i := indexOf(byDisk[d], occ)
 				byDisk[d][i] = byDisk[d][len(byDisk[d])-1]
 				byDisk[d] = byDisk[d][:len(byDisk[d])-1]
 				loads[d]--
@@ -307,6 +314,16 @@ func (r *Replicated) assign(jobs []job, q int) ([][]int, bool) {
 		}
 	}
 	return byDisk, true
+}
+
+// indexOf returns the position of x in xs; xs must contain x.
+func indexOf(xs []int, x int) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	panic("replica: occupant vanished from its disk list")
 }
 
 // Evaluate measures the replicated scheme over a workload with the
