@@ -15,6 +15,7 @@ package decluster_test
 import (
 	"context"
 	"testing"
+	"time"
 
 	"decluster"
 	"decluster/internal/alloc"
@@ -490,6 +491,68 @@ func BenchmarkGridFileRangeSearch(b *testing.B) {
 		if _, err := f.RangeSearch([]float64{0.2, 0.2}, []float64{0.7, 0.7}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRangeSearch measures one executor range search — the
+// scheduler-free baseline BenchmarkServeSoak layers policies onto.
+func BenchmarkRangeSearch(b *testing.B) {
+	g := grid.MustNew(64, 64)
+	m, _ := alloc.NewHCAM(g, 16)
+	f, _ := decluster.NewGridFile(decluster.GridFileConfig{Method: m})
+	if err := f.InsertAll(decluster.UniformRecords{K: 2, Seed: 1}.Generate(50000)); err != nil {
+		b.Fatal(err)
+	}
+	e, err := decluster.NewExecutor(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := g.MustRect(decluster.Coord{8, 8}, decluster.Coord{55, 55})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RangeSearch(ctx, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeSoak measures the serving layer under concurrent load:
+// parallel clients pushing queries through admission control, health
+// observation, and hedging against a replicated file. The overhead vs
+// BenchmarkRangeSearch is the price of the overload policies.
+func BenchmarkServeSoak(b *testing.B) {
+	g := grid.MustNew(64, 64)
+	m, _ := alloc.NewHCAM(g, 16)
+	f, _ := decluster.NewGridFile(decluster.GridFileConfig{Method: m})
+	if err := f.InsertAll(decluster.UniformRecords{K: 2, Seed: 1}.Generate(50000)); err != nil {
+		b.Fatal(err)
+	}
+	rep, err := decluster.NewOffsetReplication(m, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := decluster.Serve(f,
+		decluster.WithServeFailover(rep),
+		decluster.WithHedging(decluster.HedgeConfig{After: time.Millisecond}),
+		decluster.WithAdmission(decluster.AdmissionConfig{MaxQueue: 1024}),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := g.MustRect(decluster.Coord{8, 8}, decluster.Coord{55, 55})
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := s.Search(ctx, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	if _, err := s.Close(); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -8,7 +8,8 @@
 //
 //	-experiment  which artifact to regenerate: all, table1, theorem,
 //	             size, shape, attrs, disks-small, disks-large, dbsize,
-//	             pm, endtoend, availability (default all)
+//	             pm, endtoend, availability, chaos (default all;
+//	             chaos is excluded from all — it is a wall-clock soak)
 //	-metric      meanrt | ratio | fracopt | worst (default meanrt)
 //	-samples     query placements sampled per workload (default 2000)
 //	-seed        sampling seed (default 1)
@@ -19,12 +20,20 @@
 //	-fail-prob   availability: transient read-error probability of the
 //	             end-to-end fault drill (default 0.3; 0 disables
 //	             transient errors)
+//	-soak        chaos: soak duration per method × scheme cell; passing
+//	             it implies -experiment chaos (default 300ms)
+//	-qps         chaos: total target arrival rate (default 0 =
+//	             closed-loop clients)
+//	-clients     chaos: concurrent query clients (default 12)
+//	-hedge-after chaos: hedged-read delay (default 2.5× the simulated
+//	             base read latency)
 //
 // Examples:
 //
 //	declustersim -experiment size -metric ratio
 //	declustersim -experiment theorem
 //	declustersim -experiment availability -fail-disks 3 -fail-prob 0.5 -seed 7
+//	declustersim -soak 1s -clients 16 -hedge-after 600us
 //	declustersim -experiment all -samples 500
 package main
 
@@ -42,7 +51,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "artifact to regenerate (all, table1, theorem, size, shape, attrs, disks-small, disks-large, dbsize, pm, endtoend, availability)")
+		experiment = flag.String("experiment", "all", "artifact to regenerate (all, table1, theorem, size, shape, attrs, disks-small, disks-large, dbsize, pm, endtoend, availability, chaos)")
 		metric     = flag.String("metric", "meanrt", "metric to print: meanrt, ratio, fracopt, worst")
 		samples    = flag.Int("samples", 2000, "query placements sampled per workload")
 		seed       = flag.Int64("seed", 1, "sampling seed")
@@ -52,6 +61,10 @@ func main() {
 		plotOut    = flag.Bool("plot", false, "render sweep experiments as ASCII charts instead of tables")
 		failDisks  = flag.Int("fail-disks", 2, "availability experiment: maximum simultaneously failed disks")
 		failProb   = flag.Float64("fail-prob", 0.3, "availability experiment: transient read-error probability of the fault drill")
+		soak       = flag.Duration("soak", 0, "chaos experiment: soak duration per cell (implies -experiment chaos)")
+		qps        = flag.Float64("qps", 0, "chaos experiment: total target arrival rate (0 = closed-loop)")
+		clients    = flag.Int("clients", 0, "chaos experiment: concurrent query clients (default 12)")
+		hedgeAfter = flag.Duration("hedge-after", 0, "chaos experiment: hedged-read delay (default 2.5× base latency)")
 	)
 	flag.Parse()
 
@@ -100,7 +113,31 @@ func main() {
 			}
 		}
 	})
-	if err := run(os.Stdout, *experiment, m, opt, avail, mode); err != nil {
+	if *soak < 0 || *qps < 0 || *clients < 0 || *hedgeAfter < 0 {
+		fmt.Fprintln(os.Stderr, "declustersim: -soak, -qps, -clients, and -hedge-after must be ≥ 0")
+		os.Exit(2)
+	}
+	chaos := experiments.ChaosConfig{
+		Duration:   *soak,
+		QPS:        *qps,
+		Clients:    *clients,
+		HedgeAfter: *hedgeAfter,
+	}
+	name := *experiment
+	// -soak alone is enough to ask for the chaos soak; don't make the
+	// user also spell -experiment chaos.
+	if *soak > 0 && name == "all" {
+		expSet := false
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "experiment" {
+				expSet = true
+			}
+		})
+		if !expSet {
+			name = "chaos"
+		}
+	}
+	if err := run(os.Stdout, name, m, opt, avail, chaos, mode); err != nil {
 		fmt.Fprintln(os.Stderr, "declustersim:", err)
 		os.Exit(1)
 	}
@@ -139,11 +176,13 @@ const (
 )
 
 // run executes one experiment (or all) and writes its artifact to w in
-// the chosen output mode.
-func run(w io.Writer, name string, metric experiments.Metric, opt experiments.Options, avail experiments.AvailabilityConfig, mode outputMode) error {
+// the chosen output mode. The chaos soak is deliberately not part of
+// "all": it burns wall-clock time by design and its numbers vary run to
+// run, while everything in order is fast and deterministic.
+func run(w io.Writer, name string, metric experiments.Metric, opt experiments.Options, avail experiments.AvailabilityConfig, chaos experiments.ChaosConfig, mode outputMode) error {
 	if name == "all" {
 		for _, n := range order {
-			if err := run(w, n, metric, opt, avail, mode); err != nil {
+			if err := run(w, n, metric, opt, avail, chaos, mode); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)
@@ -232,10 +271,17 @@ func run(w io.Writer, name string, metric experiments.Metric, opt experiments.Op
 			return err
 		}
 		fmt.Fprint(w, res.Table())
+	case "chaos":
+		res, err := experiments.Chaos(chaos, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, res.Table())
+		fmt.Fprint(w, res.HedgeReport())
 	case "witness":
 		return printWitnesses(w)
 	default:
-		return fmt.Errorf("unknown experiment %q (try: all, %s)", name, strings.Join(order, ", "))
+		return fmt.Errorf("unknown experiment %q (try: all, %s, chaos)", name, strings.Join(order, ", "))
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"decluster/internal/experiments"
 )
@@ -31,14 +32,14 @@ func TestParseMetric(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "bogus", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, modeTable); err == nil {
+	if err := run(&buf, "bogus", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeTable); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunSizeTable(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "size", experiments.Ratio, fastOpt(), experiments.AvailabilityConfig{}, modeTable); err != nil {
+	if err := run(&buf, "size", experiments.Ratio, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -51,7 +52,7 @@ func TestRunSizeTable(t *testing.T) {
 
 func TestRunSizeCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "size", experiments.Ratio, fastOpt(), experiments.AvailabilityConfig{}, modeCSV); err != nil {
+	if err := run(&buf, "size", experiments.Ratio, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeCSV); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -65,7 +66,7 @@ func TestRunSizeCSV(t *testing.T) {
 
 func TestRunTheorem(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "theorem", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, modeTable); err != nil {
+	if err := run(&buf, "theorem", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "paper theorem confirmed") {
@@ -75,7 +76,7 @@ func TestRunTheorem(t *testing.T) {
 
 func TestRunTable1(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "table1", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, modeTable); err != nil {
+	if err := run(&buf, "table1", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "holds") {
@@ -86,7 +87,7 @@ func TestRunTable1(t *testing.T) {
 func TestRunEndToEnd(t *testing.T) {
 	var buf bytes.Buffer
 	opt := experiments.Options{Seed: 1, SampleLimit: 5}
-	if err := run(&buf, "endtoend", experiments.MeanRT, opt, experiments.AvailabilityConfig{}, modeTable); err != nil {
+	if err := run(&buf, "endtoend", experiments.MeanRT, opt, experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "E10") {
@@ -96,7 +97,7 @@ func TestRunEndToEnd(t *testing.T) {
 
 func TestRunPlotMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "size", experiments.Ratio, fastOpt(), experiments.AvailabilityConfig{}, modePlot); err != nil {
+	if err := run(&buf, "size", experiments.Ratio, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modePlot); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -108,7 +109,7 @@ func TestRunPlotMode(t *testing.T) {
 func TestRunPMShapeAttrs(t *testing.T) {
 	for _, name := range []string{"pm", "shape", "attrs", "dbsize"} {
 		var buf bytes.Buffer
-		if err := run(&buf, name, experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, modeTable); err != nil {
+		if err := run(&buf, name, experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeTable); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if buf.Len() == 0 {
@@ -126,7 +127,7 @@ func TestRunRemainingExperiments(t *testing.T) {
 		"disks-small", "disks-large", "batch", "skew", "drift", "replication", "load",
 	} {
 		var buf bytes.Buffer
-		if err := run(&buf, name, experiments.MeanRT, opt, experiments.AvailabilityConfig{}, modeTable); err != nil {
+		if err := run(&buf, name, experiments.MeanRT, opt, experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeTable); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if buf.Len() == 0 {
@@ -138,7 +139,7 @@ func TestRunRemainingExperiments(t *testing.T) {
 func TestRunAvailability(t *testing.T) {
 	var buf bytes.Buffer
 	avail := experiments.AvailabilityConfig{GridSide: 16, Disks: 8, MaxFailed: 2, FailTrials: 2}
-	if err := run(&buf, "availability", experiments.MeanRT, fastOpt(), avail, modeTable); err != nil {
+	if err := run(&buf, "availability", experiments.MeanRT, fastOpt(), avail, experiments.ChaosConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -149,12 +150,38 @@ func TestRunAvailability(t *testing.T) {
 	}
 }
 
+func TestRunChaos(t *testing.T) {
+	var buf bytes.Buffer
+	chaos := experiments.ChaosConfig{
+		GridSide: 8, Disks: 4, Records: 512, Clients: 6,
+		Duration: 60 * time.Millisecond, BaseLatency: 50 * time.Microsecond,
+		Offset: 2, Methods: []string{"HCAM"},
+	}
+	if err := run(&buf, "chaos", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, chaos, modeTable); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EC", "goodput", "p999", "+hedge", "hedging effect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChaosNotInAll(t *testing.T) {
+	for _, n := range order {
+		if n == "chaos" {
+			t.Error("chaos must not run as part of -experiment all")
+		}
+	}
+}
+
 func TestRunWitness(t *testing.T) {
 	if testing.Short() {
 		t.Skip("witness extraction is seconds-scale")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "witness", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, modeTable); err != nil {
+	if err := run(&buf, "witness", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

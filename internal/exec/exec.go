@@ -66,6 +66,12 @@ type Executor struct {
 	deadline time.Duration
 	// failover optionally reroutes buckets around failed disks.
 	failover *replica.Replicated
+	// avoid optionally names extra disks to route around (e.g. disks a
+	// circuit breaker holds open); consulted once per query.
+	avoid func() []int
+	// wrap optionally wraps each query's reader, outermost — after the
+	// fault layer, so the wrapper observes injected errors.
+	wrap func(BucketReader) BucketReader
 }
 
 // Option configures an Executor.
@@ -107,6 +113,28 @@ func WithDeadline(d time.Duration) Option {
 // the whole query re-scheduled to minimize the busiest surviving disk.
 func WithFailover(r *replica.Replicated) Option {
 	return func(e *Executor) { e.failover = r }
+}
+
+// WithAvoid registers a callback naming extra disks the router should
+// treat as out of service *when a failover replica scheme can route
+// around them* — the hook a circuit breaker uses to steer queries away
+// from a sick-but-alive disk. The callback is consulted once per query.
+// Unlike fail-stop disks, avoided disks are advisory: if avoiding them
+// would leave some bucket with no replica (or no failover scheme is
+// attached), the query falls back to reading them anyway rather than
+// failing.
+func WithAvoid(fn func() []int) Option {
+	return func(e *Executor) { e.avoid = fn }
+}
+
+// WithReadWrapper wraps each query's bucket reader with fn. The wrapper
+// is applied outermost — outside the per-query fault-injection layer —
+// so it observes every read the query issues, including injected
+// errors, which is what a health tracker or hedging layer needs. fn is
+// called once per query and must return a reader safe for concurrent
+// use by that query's disk workers.
+func WithReadWrapper(fn func(BucketReader) BucketReader) Option {
+	return func(e *Executor) { e.wrap = fn }
 }
 
 // New constructs an executor over the file.
@@ -156,12 +184,18 @@ func New(f *gridfile.File, opts ...Option) (*Executor, error) {
 // queryReader returns the BucketReader one query should read through:
 // the configured reader, wrapped — per query, so attempt counters start
 // fresh and one query's injected faults are independent of every other
-// query past or concurrent — in the fault injector when present.
+// query past or concurrent — in the fault injector when present, and
+// finally in the WithReadWrapper hook, outermost, so observers and
+// hedgers see injected faults too.
 func (e *Executor) queryReader() BucketReader {
-	if e.inj == nil {
-		return e.reader
+	r := e.reader
+	if e.inj != nil {
+		r = newFaultReader(r, e.inj)
 	}
-	return newFaultReader(e.reader, e.inj)
+	if e.wrap != nil {
+		r = e.wrap(r)
+	}
+	return r
 }
 
 // Result is the outcome of a parallel search.
@@ -308,7 +342,10 @@ func (e *Executor) RangeSearch(ctx context.Context, r grid.Rect) (*Result, error
 // route partitions the query's buckets into per-disk work lists. With
 // fail-stop disks present it either reroutes via the replica scheme's
 // min-makespan degraded assignment or — without replication — reports
-// the unreachable buckets as a typed *fault.UnavailableError.
+// the unreachable buckets as a typed *fault.UnavailableError. Disks
+// named by the WithAvoid hook are additionally routed around when the
+// failover scheme permits, falling back to reading them when it does
+// not: avoidance is advisory, fail-stop is not.
 func (e *Executor) route(r grid.Rect) (perDisk [][]int, rerouted int, degraded bool, err error) {
 	g := e.file.Grid()
 	perDisk = make([][]int, e.file.Disks())
@@ -317,7 +354,24 @@ func (e *Executor) route(r grid.Rect) (perDisk [][]int, rerouted int, degraded b
 		failed = e.inj.FailedSet()
 	}
 
-	if len(failed) == 0 {
+	// The avoid set extends the failed set for routing purposes; it only
+	// matters when a failover scheme exists to route around its disks.
+	avoid := failed
+	if e.avoid != nil && e.failover != nil {
+		if extra := e.avoid(); len(extra) > 0 {
+			avoid = make(map[int]bool, len(failed)+len(extra))
+			for d := range failed {
+				avoid[d] = true
+			}
+			for _, d := range extra {
+				if d >= 0 && d < e.file.Disks() {
+					avoid[d] = true
+				}
+			}
+		}
+	}
+
+	if len(avoid) == 0 {
 		// Healthy path: primary routing straight off the method.
 		method := e.file.Method()
 		grid.EachRect(r, func(c grid.Coord) bool {
@@ -354,28 +408,53 @@ func (e *Executor) route(r grid.Rect) (perDisk [][]int, rerouted int, degraded b
 		return perDisk, 0, true, nil
 	}
 
-	// Replica failover: schedule every bucket onto a surviving replica,
+	// Replica failover: schedule every bucket onto a live replica,
 	// minimizing the busiest disk (the degraded load is rebalanced, not
-	// just dumped on each chain neighbour).
-	fd := make([]int, 0, len(failed))
-	for d := range failed {
-		fd = append(fd, d)
+	// just dumped on each chain neighbour). First try routing around the
+	// whole avoid set; if that is infeasible (some bucket has both
+	// replicas merely *avoided*, or every disk is avoided), retry with
+	// just the truly failed disks — a breaker-open disk is still
+	// readable, so avoidance must never turn an answerable query into an
+	// unavailable one.
+	degraded = len(failed) > 0
+	assign, err := e.failover.DegradedAssignment(r, setToSlice(avoid))
+	if err != nil && len(avoid) > len(failed) {
+		avoid = failed
+		if len(failed) == 0 {
+			// Nothing actually failed: plain primary routing.
+			method := e.file.Method()
+			grid.EachRect(r, func(c grid.Coord) bool {
+				d := method.DiskOf(c)
+				perDisk[d] = append(perDisk[d], g.Linearize(c))
+				return true
+			})
+			return perDisk, 0, false, nil
+		}
+		assign, err = e.failover.DegradedAssignment(r, setToSlice(failed))
 	}
-	sort.Ints(fd)
-	assign, err := e.failover.DegradedAssignment(r, fd)
 	if err != nil {
-		return nil, 0, true, err
+		return nil, 0, degraded, err
 	}
 	grid.EachRect(r, func(c grid.Coord) bool {
 		b := g.Linearize(c)
 		d := assign[b]
 		perDisk[d] = append(perDisk[d], b)
-		if failed[e.failover.PrimaryOf(b)] {
+		if avoid[e.failover.PrimaryOf(b)] {
 			rerouted++
 		}
 		return true
 	})
-	return perDisk, rerouted, true, nil
+	return perDisk, rerouted, degraded, nil
+}
+
+// setToSlice returns the set's members in ascending order.
+func setToSlice(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // readWithRetry reads one bucket through the query's reader, retrying

@@ -1,0 +1,168 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"decluster/internal/datagen"
+	"decluster/internal/fault"
+	"decluster/internal/replica"
+)
+
+// Satellite of the serving PR: WithAvoid must steer a query away from a
+// named disk when the failover scheme can route around it — without
+// marking the result degraded, since nothing actually failed.
+func TestWithAvoidRoutesAroundDisk(t *testing.T) {
+	f := newLoadedFile(t, 4, 2000)
+	rep, err := replica.NewChained(f.Method())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sick = 1
+	e, err := New(f, WithFailover(rep), WithAvoid(func() []int { return []int{sick} }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := New(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := f.Grid().FullRect()
+	want, err := plain.RangeSearch(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.RangeSearch(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BucketsPerDisk[sick] != 0 {
+		t.Errorf("avoided disk %d still served %d buckets", sick, got.BucketsPerDisk[sick])
+	}
+	if got.Rerouted == 0 {
+		t.Error("no buckets reported rerouted off the avoided disk")
+	}
+	if got.Degraded {
+		t.Error("avoid-only routing reported Degraded")
+	}
+	if len(got.Records) != len(want.Records) {
+		t.Fatalf("avoided run returned %d records, want %d", len(got.Records), len(want.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i].ID != want.Records[i].ID {
+			t.Fatalf("record %d differs under avoidance", i)
+		}
+	}
+}
+
+// Avoidance is advisory: when routing around the avoid set is
+// infeasible (here: every disk avoided), the query must fall back to
+// reading the avoided disks instead of failing.
+func TestWithAvoidFallsBackWhenInfeasible(t *testing.T) {
+	f := newLoadedFile(t, 4, 1000)
+	rep, err := replica.NewChained(f.Method())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(f, WithFailover(rep), WithAvoid(func() []int { return []int{0, 1, 2, 3} }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RangeSearch(context.Background(), f.Grid().FullRect())
+	if err != nil {
+		t.Fatalf("all-disks avoid set failed the query: %v", err)
+	}
+	if res.Degraded {
+		t.Error("fallback run reported Degraded")
+	}
+	// With true failures present the fallback keeps routing around them
+	// even when the extra avoided disks are infeasible to avoid.
+	inj, err := fault.New(fault.Config{FailDisks: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New(f, WithFailover(rep), WithFaults(inj),
+		WithAvoid(func() []int { return []int{0, 1, 3} }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := e2.RangeSearch(context.Background(), f.Grid().FullRect())
+	if err != nil {
+		t.Fatalf("fallback with real failure errored: %v", err)
+	}
+	if res2.BucketsPerDisk[2] != 0 {
+		t.Errorf("fail-stop disk 2 served %d buckets via fallback", res2.BucketsPerDisk[2])
+	}
+	if !res2.Degraded {
+		t.Error("real failure not reported Degraded")
+	}
+}
+
+// countingWrapper records every read outcome it observes.
+type countingWrapper struct {
+	inner   BucketReader
+	reads   *atomic.Int64
+	errs    *atomic.Int64
+	wrapped *atomic.Int64 // wrapper instances created (one per query)
+}
+
+func (w *countingWrapper) ReadBucket(ctx context.Context, disk, bucket int) ([]datagen.Record, error) {
+	recs, err := w.inner.ReadBucket(ctx, disk, bucket)
+	w.reads.Add(1)
+	if err != nil {
+		w.errs.Add(1)
+	}
+	return recs, err
+}
+
+// WithReadWrapper must sit outside the fault-injection layer — the
+// wrapper has to observe injected transient errors, not just the reads
+// that survive them — and must be instantiated once per query.
+func TestWithReadWrapperObservesInjectedFaults(t *testing.T) {
+	f := newLoadedFile(t, 4, 2000)
+	inj, err := fault.New(fault.Config{Seed: 11, TransientProb: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads, errs, wrapped atomic.Int64
+	e, err := New(f,
+		WithFaults(inj),
+		WithRetry(RetryPolicy{MaxAttempts: 12}),
+		WithReadWrapper(func(inner BucketReader) BucketReader {
+			wrapped.Add(1)
+			return &countingWrapper{inner: inner, reads: &reads, errs: &errs, wrapped: &wrapped}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const queries = 3
+	var wg sync.WaitGroup
+	for i := 0; i < queries; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := e.RangeSearch(ctx, f.Grid().FullRect())
+			if err != nil {
+				t.Errorf("wrapped query failed: %v", err)
+				return
+			}
+			if res.Retries == 0 {
+				t.Error("p=0.3 over 256 buckets produced no retries")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := wrapped.Load(); got != queries {
+		t.Errorf("wrapper instantiated %d times, want once per query (%d)", got, queries)
+	}
+	if errs.Load() == 0 {
+		t.Error("wrapper observed no injected errors — it is not outermost")
+	}
+	if reads.Load() <= errs.Load() {
+		t.Error("wrapper observed no successful reads")
+	}
+}

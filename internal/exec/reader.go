@@ -24,6 +24,12 @@ type BucketReader interface {
 	ReadBucket(ctx context.Context, disk, bucket int) ([]datagen.Record, error)
 }
 
+// NewFileReader returns the default grid-file BucketReader — the one an
+// Executor uses when no WithBucketReader option is given — so callers
+// composing their own reader stacks (latency simulation, caching,
+// health observation) can wrap the same base layer.
+func NewFileReader(f *gridfile.File) BucketReader { return fileReader{f: f} }
+
 // fileReader is the default BucketReader: it snapshots buckets from the
 // grid file through the public trace API. The disk argument is
 // irrelevant — every replica serves identical bytes.

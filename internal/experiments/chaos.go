@@ -1,0 +1,495 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decluster/internal/alloc"
+	"decluster/internal/datagen"
+	"decluster/internal/exec"
+	"decluster/internal/fault"
+	"decluster/internal/grid"
+	"decluster/internal/gridfile"
+	"decluster/internal/replica"
+	"decluster/internal/serve"
+	"decluster/internal/table"
+)
+
+// ChaosConfig parameterizes Experiment C (EC): a sustained multi-client
+// soak through the serving scheduler while a chaos driver flips disks
+// failed/recovered and ramps the transient-error probability mid-run.
+// It reports goodput, shed rate, unavailability, and latency
+// percentiles per declustering method × replication scheme, with and
+// without hedged reads — the paper's response-time story re-told as a
+// tail-latency story under overload and fault storms.
+type ChaosConfig struct {
+	// GridSide is the partitions per attribute of the 2-D grid
+	// (default 16).
+	GridSide int
+	// Disks is M (default 8).
+	Disks int
+	// Records populates the grid file (default 4096).
+	Records int
+	// Clients is the number of concurrent query issuers (default 12).
+	Clients int
+	// QPS is the total target arrival rate across clients; 0 runs
+	// closed-loop (each client issues its next query as soon as the
+	// previous one resolves).
+	QPS float64
+	// Duration is the soak length per table cell (default 1s).
+	Duration time.Duration
+	// BaseLatency is the simulated healthy per-bucket read service time
+	// (default 2ms). Keep it well above the platform's sleep
+	// granularity (~1ms on coarse-tick kernels), or every read inflates
+	// to the timer floor and the hedge delay loses its meaning.
+	BaseLatency time.Duration
+	// HedgeAfter is the hedged-read delay for the +hedge schemes
+	// (default 2.5 × BaseLatency).
+	HedgeAfter time.Duration
+	// StragglerFactor is the latency multiplier of the straggler disk,
+	// present for the whole run (default 8; disk 0 straggles).
+	StragglerFactor float64
+	// TransientBase and TransientPeak are the per-read transient error
+	// probabilities outside and inside the mid-run fault storm
+	// (defaults 0.02 and 0.25).
+	TransientBase, TransientPeak float64
+	// Offset is the backup offset of the offset-replication schemes
+	// (default Disks/2).
+	Offset int
+	// QueryDeadline bounds each query end to end, queueing included
+	// (default 250 × BaseLatency).
+	QueryDeadline time.Duration
+	// MaxInFlight and MaxQueue are the admission bounds (defaults
+	// Clients/2 and Clients/4, both at least 2) — deliberately below
+	// Clients so overload sheds rather than queueing without bound.
+	MaxInFlight, MaxQueue int
+	// Methods optionally restricts the method set by name (all paper
+	// methods when empty).
+	Methods []string
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.GridSide == 0 {
+		c.GridSide = 16
+	}
+	if c.Disks == 0 {
+		c.Disks = 8
+	}
+	if c.Records == 0 {
+		c.Records = 4096
+	}
+	if c.Clients == 0 {
+		c.Clients = 12
+	}
+	if c.Duration == 0 {
+		c.Duration = time.Second
+	}
+	if c.BaseLatency == 0 {
+		c.BaseLatency = 2 * time.Millisecond
+	}
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = 5 * c.BaseLatency / 2
+	}
+	if c.StragglerFactor == 0 {
+		c.StragglerFactor = 8
+	}
+	if c.TransientBase == 0 {
+		c.TransientBase = 0.02
+	}
+	if c.TransientPeak == 0 {
+		c.TransientPeak = 0.25
+	}
+	if c.Offset == 0 {
+		c.Offset = c.Disks / 2
+	}
+	if c.QueryDeadline == 0 {
+		c.QueryDeadline = 500 * c.BaseLatency
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = max(2, c.Clients/2)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = max(2, c.Clients/4)
+	}
+	return c
+}
+
+// ChaosCell is one (method, scheme) soak outcome.
+type ChaosCell struct {
+	Method string
+	Scheme string // "none", "chain", "offset+k", each optionally "+hedge"
+	Hedged bool
+
+	Issued      uint64 // queries submitted
+	Completed   uint64 // queries answered correctly
+	Shed        uint64 // rejected/evicted/expired by admission control
+	Unavailable uint64 // typed unavailability (buckets unreachable)
+	Failed      uint64 // other failures (deadline overruns, fault storms)
+
+	GoodputQPS       float64 // Completed / Duration
+	P50, P99, P999   time.Duration
+	HedgesIssued     uint64
+	HedgesWon        uint64
+	BreakerTrips     uint64
+	DegradedAnswered uint64 // completed queries that ran degraded
+}
+
+// ChaosResult is the regenerated soak table.
+type ChaosResult struct {
+	Disks, Clients  int
+	QPS             float64
+	Duration        time.Duration
+	BaseLatency     time.Duration
+	HedgeAfter      time.Duration
+	StragglerDisk   int
+	StragglerFactor float64
+	FailedDisk      int
+	Offset          int
+	Cells           []ChaosCell
+}
+
+// Chaos runs Experiment C: for every method × scheme it drives the
+// configured client load through a serve.Scheduler for Duration while
+// the chaos driver (a) fails a disk at ¼ of the run and recovers it at
+// ½, and (b) ramps the transient probability to its peak for the third
+// quarter. A straggler disk is present throughout, which is what the
+// +hedge schemes neutralize.
+func Chaos(cfg ChaosConfig, opt Options) (*ChaosResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Disks < 2 {
+		return nil, fmt.Errorf("experiments: chaos needs ≥ 2 disks, got %d", cfg.Disks)
+	}
+	g, err := grid.New(cfg.GridSide, cfg.GridSide)
+	if err != nil {
+		return nil, err
+	}
+	methods, err := opt.methods(g, cfg.Disks)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Methods) > 0 {
+		var keep []alloc.Method
+		for _, m := range methods {
+			for _, want := range cfg.Methods {
+				if strings.EqualFold(lineName(m), want) || strings.EqualFold(m.Name(), want) {
+					keep = append(keep, m)
+					break
+				}
+			}
+		}
+		if len(keep) == 0 {
+			return nil, fmt.Errorf("experiments: no method matches filter %v", cfg.Methods)
+		}
+		methods = keep
+	}
+
+	res := &ChaosResult{
+		Disks: cfg.Disks, Clients: cfg.Clients, QPS: cfg.QPS,
+		Duration: cfg.Duration, BaseLatency: cfg.BaseLatency,
+		HedgeAfter: cfg.HedgeAfter, StragglerDisk: 0,
+		StragglerFactor: cfg.StragglerFactor, FailedDisk: 1,
+		Offset: cfg.Offset,
+	}
+	for _, m := range methods {
+		f, err := gridfile.New(gridfile.Config{Method: m})
+		if err != nil {
+			return nil, err
+		}
+		if err := f.InsertAll(datagen.Uniform{K: 2, Seed: opt.seed()}.Generate(cfg.Records)); err != nil {
+			return nil, err
+		}
+		chain, err := replica.NewChained(m)
+		if err != nil {
+			return nil, err
+		}
+		offset, err := replica.NewOffset(m, cfg.Offset)
+		if err != nil {
+			return nil, err
+		}
+		schemes := []struct {
+			name   string
+			rep    *replica.Replicated
+			hedged bool
+		}{
+			{"none", nil, false},
+			{"chain", chain, false},
+			{"chain+hedge", chain, true},
+			{fmt.Sprintf("offset+%d", cfg.Offset), offset, false},
+			{fmt.Sprintf("offset+%d+hedge", cfg.Offset), offset, true},
+		}
+		for _, sc := range schemes {
+			cell, err := runChaosCell(f, sc.rep, sc.hedged, cfg, opt.seed())
+			if err != nil {
+				return nil, err
+			}
+			cell.Method = lineName(m)
+			cell.Scheme = sc.name
+			res.Cells = append(res.Cells, *cell)
+		}
+	}
+	return res, nil
+}
+
+// runChaosCell soaks one scheduler configuration.
+func runChaosCell(f *gridfile.File, rep *replica.Replicated, hedged bool, cfg ChaosConfig, seed int64) (*ChaosCell, error) {
+	inj, err := fault.New(fault.Config{
+		Seed:          seed,
+		TransientProb: cfg.TransientBase,
+		Stragglers:    map[int]float64{0: cfg.StragglerFactor},
+	})
+	if err != nil {
+		return nil, err
+	}
+	opts := []serve.Option{
+		serve.WithFaults(inj),
+		serve.WithRetry(exec.RetryPolicy{MaxAttempts: 8, BaseBackoff: 50 * time.Microsecond, MaxBackoff: time.Millisecond}),
+		serve.WithBaseLatency(cfg.BaseLatency),
+		serve.WithAdmission(serve.AdmissionConfig{
+			MaxInFlight: cfg.MaxInFlight, MaxQueue: cfg.MaxQueue, DropExpired: true,
+		}),
+		// Breakers trip on error runs only: the straggler is the hedge
+		// schemes' job, so the latency threshold stays disabled to keep
+		// the hedged/unhedged comparison clean.
+		serve.WithBreaker(serve.BreakerConfig{
+			ErrorThreshold: 6,
+			Cooldown:       cfg.Duration / 10,
+		}),
+		serve.WithDrainTimeout(5 * time.Second),
+	}
+	if rep != nil {
+		opts = append(opts, serve.WithFailover(rep))
+	}
+	if hedged {
+		opts = append(opts, serve.WithHedging(serve.HedgeConfig{After: cfg.HedgeAfter, OnError: true}))
+	}
+	s, err := serve.New(f, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	g := f.Grid()
+	cell := &ChaosCell{Hedged: hedged}
+	var issued, completed, shed, unavailable, failed, degraded atomic.Uint64
+	var latMu sync.Mutex
+	var lats []time.Duration
+
+	ctx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	end := time.Now().Add(cfg.Duration)
+
+	// Chaos driver: fail disk 1 for the second quarter of the run, then
+	// ramp the transient probability to its peak for the third quarter.
+	var chaosWG sync.WaitGroup
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		step := cfg.Duration / 4
+		t := time.NewTimer(step)
+		defer t.Stop()
+		for phase := 1; phase <= 3; phase++ {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			switch phase {
+			case 1:
+				inj.FlipDisks([]int{1}, nil)
+			case 2:
+				inj.FlipDisks(nil, []int{1})
+				inj.SetTransientProb(cfg.TransientPeak)
+			case 3:
+				inj.SetTransientProb(cfg.TransientBase)
+			}
+			t.Reset(step)
+		}
+	}()
+
+	var interval time.Duration
+	if cfg.QPS > 0 {
+		interval = time.Duration(float64(time.Second) * float64(cfg.Clients) / cfg.QPS)
+	}
+	// Closed-loop clients back off briefly after a shed instead of
+	// hammering the admission gate in a hot loop — fast-reject only
+	// helps if rejected clients actually yield.
+	shedBackoff := 10 * cfg.BaseLatency
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*1031 + int64(c)))
+			for time.Now().Before(end) {
+				w := 1 + rng.Intn(max(1, g.Dim(0)/2))
+				h := 1 + rng.Intn(max(1, g.Dim(1)/2))
+				x, y := rng.Intn(g.Dim(0)-w+1), rng.Intn(g.Dim(1)-h+1)
+				q := g.MustRect(grid.Coord{x, y}, grid.Coord{x + w - 1, y + h - 1})
+
+				issued.Add(1)
+				qctx, cancel := context.WithTimeout(ctx, cfg.QueryDeadline)
+				start := time.Now()
+				// Uniform priority: the percentile columns compare hedging
+				// and replication, so priority starvation must not pollute
+				// the tail (eviction is exercised by the serve tests).
+				res, err := s.Do(qctx, serve.Query{Rect: q})
+				elapsed := time.Since(start)
+				cancel()
+				switch {
+				case err == nil:
+					completed.Add(1)
+					if res.Degraded {
+						degraded.Add(1)
+					}
+					latMu.Lock()
+					lats = append(lats, elapsed)
+					latMu.Unlock()
+				case errors.Is(err, serve.ErrOverloaded):
+					shed.Add(1)
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(shedBackoff):
+					}
+				case errors.Is(err, fault.ErrUnavailable):
+					// Unreplicated routing rejects instantly while a disk is
+					// down; back off like a shed client would.
+					unavailable.Add(1)
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(shedBackoff):
+					}
+				case errors.Is(err, serve.ErrClosed):
+					return
+				default:
+					failed.Add(1)
+				}
+				if interval > 0 {
+					pause := interval - elapsed
+					if pause > 0 {
+						select {
+						case <-ctx.Done():
+							return
+						case <-time.After(pause):
+						}
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	cancelRun()
+	chaosWG.Wait()
+	snap, err := s.Close()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: chaos drain: %w", err)
+	}
+
+	cell.Issued = issued.Load()
+	cell.Completed = completed.Load()
+	cell.Shed = shed.Load()
+	cell.Unavailable = unavailable.Load()
+	cell.Failed = failed.Load()
+	cell.DegradedAnswered = degraded.Load()
+	cell.GoodputQPS = float64(cell.Completed) / cfg.Duration.Seconds()
+	cell.HedgesIssued = snap.Stats.HedgesIssued
+	cell.HedgesWon = snap.Stats.HedgesWon
+	cell.BreakerTrips = snap.Stats.BreakerTrips
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	cell.P50 = percentileDur(lats, 0.50)
+	cell.P99 = percentileDur(lats, 0.99)
+	cell.P999 = percentileDur(lats, 0.999)
+	return cell, nil
+}
+
+// percentileDur reads the p-quantile of ascending-sorted latencies
+// (nearest-rank; 0 when empty).
+func percentileDur(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Table renders the soak: one row per method × scheme.
+func (r *ChaosResult) Table() *table.Table {
+	load := "closed-loop"
+	if r.QPS > 0 {
+		load = fmt.Sprintf("%.0f qps", r.QPS)
+	}
+	t := table.New(
+		fmt.Sprintf("EC — chaos soak, %d clients (%s) × %v, M=%d, straggler d%d×%g, d%d fails mid-run",
+			r.Clients, load, r.Duration, r.Disks, r.StragglerDisk, r.StragglerFactor, r.FailedDisk),
+		"method", "scheme", "goodput qps", "shed%", "unavail%", "fail%",
+		"p50", "p99", "p999", "hedges won", "trips")
+	for _, c := range r.Cells {
+		t.AddRowf(c.Method, c.Scheme,
+			fmt.Sprintf("%.0f", c.GoodputQPS),
+			pct(c.Shed, c.Issued), pct(c.Unavailable, c.Issued), pct(c.Failed, c.Issued),
+			durMS(c.P50), durMS(c.P99), durMS(c.P999),
+			fmt.Sprintf("%d/%d", c.HedgesWon, c.HedgesIssued),
+			fmt.Sprintf("%d", c.BreakerTrips))
+	}
+	return t
+}
+
+// HedgeReport summarizes the hedging effect: per method × replication
+// scheme, the p99 with hedging off versus on.
+func (r *ChaosResult) HedgeReport() string {
+	type key struct{ method, base string }
+	off := map[key]ChaosCell{}
+	on := map[key]ChaosCell{}
+	for _, c := range r.Cells {
+		if c.Scheme == "none" {
+			continue
+		}
+		base := strings.TrimSuffix(c.Scheme, "+hedge")
+		k := key{c.Method, base}
+		if c.Hedged {
+			on[k] = c
+		} else {
+			off[k] = c
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "hedging effect under a ×%g straggler (p99, hedge off → on):\n", r.StragglerFactor)
+	for _, c := range r.Cells {
+		if c.Hedged || c.Scheme == "none" {
+			continue
+		}
+		k := key{c.Method, c.Scheme}
+		h, ok := on[k]
+		if !ok {
+			continue
+		}
+		verdict := "improved"
+		if h.P99 >= c.P99 {
+			verdict = "no win"
+		}
+		fmt.Fprintf(&b, "  %-6s %-10s %8s → %-8s (%s; %d/%d hedges won)\n",
+			k.method, k.base, durMS(c.P99), durMS(h.P99), verdict, h.HedgesWon, h.HedgesIssued)
+	}
+	return b.String()
+}
+
+func pct(n, total uint64) string {
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(total))
+}
+
+func durMS(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}

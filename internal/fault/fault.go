@@ -96,8 +96,21 @@ type Config struct {
 }
 
 // Injector injects the configured faults. It is safe for concurrent use
-// by the executor's disk workers; fail-stop state may be mutated
-// between queries with FailDisk/RecoverDisk.
+// by the executor's disk workers, and its mutable state — the fail-stop
+// set, straggler multipliers, and transient probability — may be
+// changed at any time, including while queries are in flight.
+//
+// Locking contract: every mutation (FailDisk, RecoverDisk, FlipDisks,
+// SetSlowFactor, SetTransientProb) takes the single injector write
+// lock, and every observation (CheckRead, DiskFailed, FailedSet,
+// Snapshot, …) takes the read lock, so each call sees a consistent
+// state. FlipDisks applies its whole fail+recover batch under one
+// critical section: no concurrent reader ever observes the batch half
+// applied, which is what lets a chaos driver swap failures between
+// disks without transiently exposing both (or neither) as failed.
+// Sequencing between *separate* calls is whatever the goroutine
+// schedule says — callers that need a multi-call protocol must
+// serialize those calls themselves.
 type Injector struct {
 	mu     sync.RWMutex
 	seed   int64
@@ -139,7 +152,24 @@ func New(cfg Config) (*Injector, error) {
 func (in *Injector) Seed() int64 { return in.seed }
 
 // TransientProb returns the per-read transient failure probability.
-func (in *Injector) TransientProb() float64 { return in.prob }
+func (in *Injector) TransientProb() float64 {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.prob
+}
+
+// SetTransientProb changes the per-read transient failure probability,
+// e.g. to ramp fault pressure mid-run during a chaos drill. It rejects
+// probabilities outside [0, 1).
+func (in *Injector) SetTransientProb(p float64) error {
+	if p < 0 || p >= 1 {
+		return fmt.Errorf("fault: transient probability %v outside [0,1)", p)
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.prob = p
+	return nil
+}
 
 // FailDisk marks disk d fail-stop.
 func (in *Injector) FailDisk(d int) {
@@ -153,6 +183,71 @@ func (in *Injector) RecoverDisk(d int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	delete(in.failed, d)
+}
+
+// FlipDisks atomically applies a batch of fail-stop transitions: every
+// disk in fail is marked failed and every disk in recover is cleared,
+// under a single critical section. Recoveries are applied after
+// failures, so a disk listed in both ends up recovered. Concurrent
+// readers (CheckRead, FailedSet, Snapshot) see either the state before
+// the whole batch or after it — never a partial application — which
+// makes mid-flight fail/recover swaps during a soak run race-safe.
+func (in *Injector) FlipDisks(fail, recover []int) error {
+	for _, d := range fail {
+		if d < 0 {
+			return fmt.Errorf("fault: negative disk %d in fail batch", d)
+		}
+	}
+	for _, d := range recover {
+		if d < 0 {
+			return fmt.Errorf("fault: negative disk %d in recover batch", d)
+		}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, d := range fail {
+		in.failed[d] = true
+	}
+	for _, d := range recover {
+		delete(in.failed, d)
+	}
+	return nil
+}
+
+// Snapshot is a consistent copy of the injector's mutable state.
+type Snapshot struct {
+	// Seed is the (immutable) injection seed.
+	Seed int64
+	// TransientProb is the current per-read transient probability.
+	TransientProb float64
+	// FailedDisks lists the fail-stop disks, ascending.
+	FailedDisks []int
+	// Stragglers maps disk → latency multiplier for every disk whose
+	// multiplier exceeds 1.
+	Stragglers map[int]float64
+}
+
+// Snapshot returns a point-in-time copy of the injector state, taken
+// under one read lock so the failed set, straggler map, and transient
+// probability are mutually consistent even while a chaos driver is
+// flipping them.
+func (in *Injector) Snapshot() Snapshot {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	s := Snapshot{
+		Seed:          in.seed,
+		TransientProb: in.prob,
+		FailedDisks:   make([]int, 0, len(in.failed)),
+		Stragglers:    make(map[int]float64, len(in.slow)),
+	}
+	for d := range in.failed {
+		s.FailedDisks = append(s.FailedDisks, d)
+	}
+	sort.Ints(s.FailedDisks)
+	for d, f := range in.slow {
+		s.Stragglers[d] = f
+	}
+	return s
 }
 
 // DiskFailed reports whether disk d is fail-stop.

@@ -161,6 +161,133 @@ func TestConcurrentUse(t *testing.T) {
 	}
 }
 
+func TestSetTransientProb(t *testing.T) {
+	in, _ := New(Config{Seed: 1, TransientProb: 0.2})
+	for _, bad := range []float64{-0.1, 1.0, 1.5} {
+		if err := in.SetTransientProb(bad); err == nil {
+			t.Errorf("SetTransientProb(%v) accepted", bad)
+		}
+	}
+	if in.TransientProb() != 0.2 {
+		t.Error("rejected probability mutated state")
+	}
+	if err := in.SetTransientProb(0); err != nil {
+		t.Fatal(err)
+	}
+	for bucket := 0; bucket < 1000; bucket++ {
+		if in.CheckRead(0, bucket, 1) != nil {
+			t.Fatal("probability 0 still injects transient errors")
+		}
+	}
+	if err := in.SetTransientProb(0.9); err != nil {
+		t.Fatal(err)
+	}
+	fails := 0
+	for bucket := 0; bucket < 1000; bucket++ {
+		if in.CheckRead(0, bucket, 1) != nil {
+			fails++
+		}
+	}
+	if fails < 800 {
+		t.Errorf("ramped probability 0.9 injected only %d/1000 errors", fails)
+	}
+}
+
+func TestFlipDisksAtomic(t *testing.T) {
+	in, _ := New(Config{FailDisks: []int{0}})
+	if err := in.FlipDisks([]int{-1}, nil); err == nil {
+		t.Error("negative fail disk accepted")
+	}
+	if err := in.FlipDisks(nil, []int{-1}); err == nil {
+		t.Error("negative recover disk accepted")
+	}
+	// Invariant: exactly one of disks {0, 1} is failed at all times.
+	// Each flip atomically swaps which one; a concurrent Snapshot or
+	// FailedSet must never observe both or neither.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := in.Snapshot()
+				if len(s.FailedDisks) != 1 {
+					t.Errorf("snapshot saw half-applied flip: failed %v", s.FailedDisks)
+					return
+				}
+				set := in.FailedSet()
+				if len(set) != 1 {
+					t.Errorf("FailedSet saw half-applied flip: %v", set)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		if err := in.FlipDisks([]int{1}, []int{0}); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.FlipDisks([]int{0}, []int{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// A disk in both batches ends up recovered (recoveries apply last).
+	if err := in.FlipDisks([]int{5}, []int{5}); err != nil {
+		t.Fatal(err)
+	}
+	if in.DiskFailed(5) {
+		t.Error("disk in both fail and recover batches stayed failed")
+	}
+}
+
+func TestSnapshotConsistency(t *testing.T) {
+	in, _ := New(Config{Seed: 9, TransientProb: 0.1,
+		FailDisks: []int{4, 2}, Stragglers: map[int]float64{1: 3}})
+	s := in.Snapshot()
+	if s.Seed != 9 || s.TransientProb != 0.1 {
+		t.Errorf("snapshot scalars wrong: %+v", s)
+	}
+	if len(s.FailedDisks) != 2 || s.FailedDisks[0] != 2 || s.FailedDisks[1] != 4 {
+		t.Errorf("snapshot failed disks = %v, want [2 4]", s.FailedDisks)
+	}
+	if s.Stragglers[1] != 3 {
+		t.Errorf("snapshot stragglers = %v", s.Stragglers)
+	}
+	// The snapshot is a copy: mutating it must not affect the injector.
+	s.Stragglers[7] = 2
+	s.FailedDisks[0] = 99
+	if in.SlowFactor(7) != 1 || in.DiskFailed(99) {
+		t.Error("Snapshot returned live state")
+	}
+	// Concurrent mutation against snapshots under the race detector.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			in.Snapshot()
+			in.TransientProb()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			in.FlipDisks([]int{i % 8}, []int{(i + 1) % 8})
+			in.SetTransientProb(float64(i%9) / 10)
+			in.SetSlowFactor(i%8, 1+float64(i%3))
+		}
+	}()
+	wg.Wait()
+}
+
 func TestCoinUniform(t *testing.T) {
 	// Coarse uniformity: deciles of the coin over many keys.
 	var counts [10]int
