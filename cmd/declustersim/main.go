@@ -8,8 +8,9 @@
 //
 //	-experiment  which artifact to regenerate: all, table1, theorem,
 //	             size, shape, attrs, disks-small, disks-large, dbsize,
-//	             pm, endtoend, availability, chaos (default all;
-//	             chaos is excluded from all — it is a wall-clock soak)
+//	             pm, endtoend, availability, chaos, recovery (default
+//	             all; chaos and recovery are excluded from all — both
+//	             are wall-clock soaks)
 //	-metric      meanrt | ratio | fracopt | worst (default meanrt)
 //	-samples     query placements sampled per workload (default 2000)
 //	-seed        sampling seed (default 1)
@@ -27,6 +28,11 @@
 //	-clients     chaos: concurrent query clients (default 12)
 //	-hedge-after chaos: hedged-read delay (default 2.5× the simulated
 //	             base read latency)
+//	-rebuild-rate recovery: comma-separated rebuild throttles in
+//	             pages/sec, one table cell each per replication scheme;
+//	             0 means unthrottled (default 50,200,1600)
+//	-corrupt-prob recovery: per-page silent-corruption probability of
+//	             the seeded rot plan (default 0.02)
 //
 // Examples:
 //
@@ -34,6 +40,7 @@
 //	declustersim -experiment theorem
 //	declustersim -experiment availability -fail-disks 3 -fail-prob 0.5 -seed 7
 //	declustersim -soak 1s -clients 16 -hedge-after 600us
+//	declustersim -experiment recovery -rebuild-rate 200,800 -corrupt-prob 0.05
 //	declustersim -experiment all -samples 500
 package main
 
@@ -42,6 +49,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"decluster/internal/experiments"
@@ -51,20 +59,22 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "artifact to regenerate (all, table1, theorem, size, shape, attrs, disks-small, disks-large, dbsize, pm, endtoend, availability, chaos)")
-		metric     = flag.String("metric", "meanrt", "metric to print: meanrt, ratio, fracopt, worst")
-		samples    = flag.Int("samples", 2000, "query placements sampled per workload")
-		seed       = flag.Int64("seed", 1, "sampling seed")
-		exhaustive = flag.Bool("exhaustive", false, "disable sampling")
-		random     = flag.Bool("random", false, "include the balanced-random baseline")
-		csvOut     = flag.Bool("csv", false, "emit sweep experiments as CSV instead of tables")
-		plotOut    = flag.Bool("plot", false, "render sweep experiments as ASCII charts instead of tables")
-		failDisks  = flag.Int("fail-disks", 2, "availability experiment: maximum simultaneously failed disks")
-		failProb   = flag.Float64("fail-prob", 0.3, "availability experiment: transient read-error probability of the fault drill")
-		soak       = flag.Duration("soak", 0, "chaos experiment: soak duration per cell (implies -experiment chaos)")
-		qps        = flag.Float64("qps", 0, "chaos experiment: total target arrival rate (0 = closed-loop)")
-		clients    = flag.Int("clients", 0, "chaos experiment: concurrent query clients (default 12)")
-		hedgeAfter = flag.Duration("hedge-after", 0, "chaos experiment: hedged-read delay (default 2.5× base latency)")
+		experiment  = flag.String("experiment", "all", "artifact to regenerate (all, table1, theorem, size, shape, attrs, disks-small, disks-large, dbsize, pm, endtoend, availability, chaos, recovery)")
+		metric      = flag.String("metric", "meanrt", "metric to print: meanrt, ratio, fracopt, worst")
+		samples     = flag.Int("samples", 2000, "query placements sampled per workload")
+		seed        = flag.Int64("seed", 1, "sampling seed")
+		exhaustive  = flag.Bool("exhaustive", false, "disable sampling")
+		random      = flag.Bool("random", false, "include the balanced-random baseline")
+		csvOut      = flag.Bool("csv", false, "emit sweep experiments as CSV instead of tables")
+		plotOut     = flag.Bool("plot", false, "render sweep experiments as ASCII charts instead of tables")
+		failDisks   = flag.Int("fail-disks", 2, "availability experiment: maximum simultaneously failed disks")
+		failProb    = flag.Float64("fail-prob", 0.3, "availability experiment: transient read-error probability of the fault drill")
+		soak        = flag.Duration("soak", 0, "chaos experiment: soak duration per cell (implies -experiment chaos)")
+		qps         = flag.Float64("qps", 0, "chaos experiment: total target arrival rate (0 = closed-loop)")
+		clients     = flag.Int("clients", 0, "chaos experiment: concurrent query clients (default 12)")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "chaos experiment: hedged-read delay (default 2.5× base latency)")
+		rebuildRate = flag.String("rebuild-rate", "", "recovery experiment: comma-separated rebuild throttles in pages/sec (0 = unthrottled; default 50,200,1600)")
+		corruptProb = flag.Float64("corrupt-prob", 0, "recovery experiment: per-page silent-corruption probability (default 0.02)")
 	)
 	flag.Parse()
 
@@ -123,6 +133,19 @@ func main() {
 		Clients:    *clients,
 		HedgeAfter: *hedgeAfter,
 	}
+	if *corruptProb < 0 || *corruptProb >= 1 {
+		fmt.Fprintln(os.Stderr, "declustersim: -corrupt-prob must be in [0, 1)")
+		os.Exit(2)
+	}
+	rates, err := parseRates(*rebuildRate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "declustersim:", err)
+		os.Exit(2)
+	}
+	recovery := experiments.RecoveryConfig{
+		RebuildRates: rates,
+		CorruptProb:  *corruptProb,
+	}
 	name := *experiment
 	// -soak alone is enough to ask for the chaos soak; don't make the
 	// user also spell -experiment chaos.
@@ -137,7 +160,7 @@ func main() {
 			name = "chaos"
 		}
 	}
-	if err := run(os.Stdout, name, m, opt, avail, chaos, mode); err != nil {
+	if err := run(os.Stdout, name, m, opt, avail, chaos, recovery, mode); err != nil {
 		fmt.Fprintln(os.Stderr, "declustersim:", err)
 		os.Exit(1)
 	}
@@ -158,6 +181,26 @@ func parseMetric(s string) (experiments.Metric, error) {
 	}
 }
 
+// parseRates parses the -rebuild-rate list ("100,400,1600"); empty
+// means the recovery experiment's defaults.
+func parseRates(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-rebuild-rate: %q is not a number", part)
+		}
+		if r < 0 {
+			return nil, fmt.Errorf("-rebuild-rate: %v must be ≥ 0 (0 = unthrottled)", r)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
+}
+
 // runners maps experiment names to their execution, in the paper's
 // presentation order.
 var order = []string{
@@ -176,13 +219,14 @@ const (
 )
 
 // run executes one experiment (or all) and writes its artifact to w in
-// the chosen output mode. The chaos soak is deliberately not part of
-// "all": it burns wall-clock time by design and its numbers vary run to
-// run, while everything in order is fast and deterministic.
-func run(w io.Writer, name string, metric experiments.Metric, opt experiments.Options, avail experiments.AvailabilityConfig, chaos experiments.ChaosConfig, mode outputMode) error {
+// the chosen output mode. The chaos and recovery soaks are deliberately
+// not part of "all": they burn wall-clock time by design and their
+// numbers vary run to run, while everything in order is fast and
+// deterministic.
+func run(w io.Writer, name string, metric experiments.Metric, opt experiments.Options, avail experiments.AvailabilityConfig, chaos experiments.ChaosConfig, recovery experiments.RecoveryConfig, mode outputMode) error {
 	if name == "all" {
 		for _, n := range order {
-			if err := run(w, n, metric, opt, avail, chaos, mode); err != nil {
+			if err := run(w, n, metric, opt, avail, chaos, recovery, mode); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)
@@ -278,10 +322,17 @@ func run(w io.Writer, name string, metric experiments.Metric, opt experiments.Op
 		}
 		fmt.Fprint(w, res.Table())
 		fmt.Fprint(w, res.HedgeReport())
+	case "recovery":
+		res, err := experiments.Recovery(recovery, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, res.Table())
+		fmt.Fprint(w, res.ThrottleReport())
 	case "witness":
 		return printWitnesses(w)
 	default:
-		return fmt.Errorf("unknown experiment %q (try: all, %s, chaos)", name, strings.Join(order, ", "))
+		return fmt.Errorf("unknown experiment %q (try: all, %s, chaos, recovery)", name, strings.Join(order, ", "))
 	}
 	return nil
 }

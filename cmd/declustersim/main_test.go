@@ -32,14 +32,14 @@ func TestParseMetric(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "bogus", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeTable); err == nil {
+	if err := run(&buf, "bogus", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, experiments.RecoveryConfig{}, modeTable); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunSizeTable(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "size", experiments.Ratio, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeTable); err != nil {
+	if err := run(&buf, "size", experiments.Ratio, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, experiments.RecoveryConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -52,7 +52,7 @@ func TestRunSizeTable(t *testing.T) {
 
 func TestRunSizeCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "size", experiments.Ratio, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeCSV); err != nil {
+	if err := run(&buf, "size", experiments.Ratio, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, experiments.RecoveryConfig{}, modeCSV); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -66,7 +66,7 @@ func TestRunSizeCSV(t *testing.T) {
 
 func TestRunTheorem(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "theorem", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeTable); err != nil {
+	if err := run(&buf, "theorem", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, experiments.RecoveryConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "paper theorem confirmed") {
@@ -76,7 +76,7 @@ func TestRunTheorem(t *testing.T) {
 
 func TestRunTable1(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "table1", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeTable); err != nil {
+	if err := run(&buf, "table1", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, experiments.RecoveryConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "holds") {
@@ -87,7 +87,7 @@ func TestRunTable1(t *testing.T) {
 func TestRunEndToEnd(t *testing.T) {
 	var buf bytes.Buffer
 	opt := experiments.Options{Seed: 1, SampleLimit: 5}
-	if err := run(&buf, "endtoend", experiments.MeanRT, opt, experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeTable); err != nil {
+	if err := run(&buf, "endtoend", experiments.MeanRT, opt, experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, experiments.RecoveryConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "E10") {
@@ -97,7 +97,7 @@ func TestRunEndToEnd(t *testing.T) {
 
 func TestRunPlotMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "size", experiments.Ratio, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modePlot); err != nil {
+	if err := run(&buf, "size", experiments.Ratio, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, experiments.RecoveryConfig{}, modePlot); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -109,7 +109,7 @@ func TestRunPlotMode(t *testing.T) {
 func TestRunPMShapeAttrs(t *testing.T) {
 	for _, name := range []string{"pm", "shape", "attrs", "dbsize"} {
 		var buf bytes.Buffer
-		if err := run(&buf, name, experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeTable); err != nil {
+		if err := run(&buf, name, experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, experiments.RecoveryConfig{}, modeTable); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if buf.Len() == 0 {
@@ -127,7 +127,7 @@ func TestRunRemainingExperiments(t *testing.T) {
 		"disks-small", "disks-large", "batch", "skew", "drift", "replication", "load",
 	} {
 		var buf bytes.Buffer
-		if err := run(&buf, name, experiments.MeanRT, opt, experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeTable); err != nil {
+		if err := run(&buf, name, experiments.MeanRT, opt, experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, experiments.RecoveryConfig{}, modeTable); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if buf.Len() == 0 {
@@ -139,7 +139,7 @@ func TestRunRemainingExperiments(t *testing.T) {
 func TestRunAvailability(t *testing.T) {
 	var buf bytes.Buffer
 	avail := experiments.AvailabilityConfig{GridSide: 16, Disks: 8, MaxFailed: 2, FailTrials: 2}
-	if err := run(&buf, "availability", experiments.MeanRT, fastOpt(), avail, experiments.ChaosConfig{}, modeTable); err != nil {
+	if err := run(&buf, "availability", experiments.MeanRT, fastOpt(), avail, experiments.ChaosConfig{}, experiments.RecoveryConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -157,7 +157,7 @@ func TestRunChaos(t *testing.T) {
 		Duration: 60 * time.Millisecond, BaseLatency: 50 * time.Microsecond,
 		Offset: 2, Methods: []string{"HCAM"},
 	}
-	if err := run(&buf, "chaos", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, chaos, modeTable); err != nil {
+	if err := run(&buf, "chaos", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, chaos, experiments.RecoveryConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -176,12 +176,55 @@ func TestChaosNotInAll(t *testing.T) {
 	}
 }
 
+func TestRunRecovery(t *testing.T) {
+	var buf bytes.Buffer
+	recovery := experiments.RecoveryConfig{
+		GridSide: 8, Disks: 4, Records: 512, PageCapacity: 4, Clients: 4,
+		Steady: 30 * time.Millisecond, Cooldown: 20 * time.Millisecond,
+		BaseLatency: 50 * time.Microsecond, CorruptProb: 0.05,
+		RebuildRates: []float64{0}, Offset: 2, Methods: []string{"HCAM"},
+	}
+	if err := run(&buf, "recovery", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, recovery, modeTable); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ER", "MTTR", "chain", "offset+2", "trade-off"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("recovery output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRecoveryNotInAll(t *testing.T) {
+	for _, n := range order {
+		if n == "recovery" {
+			t.Error("recovery must not run as part of -experiment all")
+		}
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	rates, err := parseRates(" 100, 400,1600 ")
+	if err != nil || len(rates) != 3 || rates[0] != 100 || rates[2] != 1600 {
+		t.Errorf("parseRates = %v, %v", rates, err)
+	}
+	if got, err := parseRates(""); err != nil || got != nil {
+		t.Errorf("empty parseRates = %v, %v", got, err)
+	}
+	if _, err := parseRates("fast"); err == nil {
+		t.Error("non-numeric rate accepted")
+	}
+	if _, err := parseRates("-5"); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
 func TestRunWitness(t *testing.T) {
 	if testing.Short() {
 		t.Skip("witness extraction is seconds-scale")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "witness", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, modeTable); err != nil {
+	if err := run(&buf, "witness", experiments.MeanRT, fastOpt(), experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, experiments.RecoveryConfig{}, modeTable); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

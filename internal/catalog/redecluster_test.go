@@ -1,0 +1,170 @@
+package catalog
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"decluster/internal/datagen"
+	"decluster/internal/exec"
+	"decluster/internal/fault"
+	"decluster/internal/grid"
+)
+
+// sortedIDs flattens a record slice to sorted IDs for set comparison.
+func sortedIDs(recs []datagen.Record) []int {
+	ids := make([]int, len(recs))
+	for i, r := range recs {
+		ids[i] = r.ID
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Redecluster is a physical reorganization only: every range and
+// partial-match answer must be identical before and after, even when
+// queries run through a fault-injected executor that is retrying
+// transient read errors against the migrated file.
+func TestRedeclusterDifferential(t *testing.T) {
+	c, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := grid.MustNew(16, 16)
+	if _, err := c.Create("orders", g, "DM", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("orders", (datagen.Uniform{K: 2, Seed: 41}).Generate(4000)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fixed workload: value-range queries, partial matches, and exact
+	// cell rectangles for the fault-injected executor path.
+	rng := rand.New(rand.NewSource(19))
+	type rangeQ struct{ lo, hi []float64 }
+	var ranges []rangeQ
+	for i := 0; i < 25; i++ {
+		lo := []float64{rng.Float64(), rng.Float64()}
+		hi := []float64{lo[0] + rng.Float64()*(1-lo[0]), lo[1] + rng.Float64()*(1-lo[1])}
+		ranges = append(ranges, rangeQ{lo, hi})
+	}
+	type pmQ struct {
+		vals      []float64
+		specified []bool
+	}
+	var pms []pmQ
+	for i := 0; i < 25; i++ {
+		pms = append(pms, pmQ{
+			vals:      []float64{rng.Float64(), rng.Float64()},
+			specified: []bool{i%2 == 0, i%2 == 1},
+		})
+	}
+	var rects []grid.Rect
+	for i := 0; i < 25; i++ {
+		a0, b0 := rng.Intn(16), rng.Intn(16)
+		a1, b1 := rng.Intn(16), rng.Intn(16)
+		if a0 > b0 {
+			a0, b0 = b0, a0
+		}
+		if a1 > b1 {
+			a1, b1 = b1, a1
+		}
+		rects = append(rects, grid.Rect{Lo: grid.Coord{a0, a1}, Hi: grid.Coord{b0, b1}})
+	}
+
+	// snapshot answers the whole workload against the relation's current
+	// physical layout — plain searches plus the transient-fault executor.
+	snapshot := func() (rangeIDs, pmIDs, faultIDs [][]int) {
+		t.Helper()
+		rel, err := c.Get("orders")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range ranges {
+			res, err := c.RangeSearch("orders", q.lo, q.hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rangeIDs = append(rangeIDs, sortedIDs(res.Records))
+		}
+		for _, q := range pms {
+			res, err := rel.File().PartialMatchSearch(q.vals, q.specified)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pmIDs = append(pmIDs, sortedIDs(res.Records))
+		}
+		inj, err := fault.New(fault.Config{Seed: 7, TransientProb: 0.15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := exec.New(rel.File(), exec.WithFaults(inj), exec.WithRetry(exec.DefaultRetry()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		for _, r := range rects {
+			res, err := e.RangeSearch(ctx, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			faultIDs = append(faultIDs, sortedIDs(res.Records))
+		}
+		return rangeIDs, pmIDs, faultIDs
+	}
+
+	beforeRange, beforePM, beforeFault := snapshot()
+
+	moved, err := c.Redecluster("orders", "HCAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("DM → HCAM on a populated 16×16 file moved no buckets")
+	}
+	rel, _ := c.Get("orders")
+	if rel.Method().Name() != "HCAM" {
+		t.Fatalf("relation method = %q after redecluster", rel.Method().Name())
+	}
+
+	afterRange, afterPM, afterFault := snapshot()
+	for i := range beforeRange {
+		if !sameIDs(beforeRange[i], afterRange[i]) {
+			t.Errorf("range query %d answers differ after redecluster", i)
+		}
+	}
+	for i := range beforePM {
+		if !sameIDs(beforePM[i], afterPM[i]) {
+			t.Errorf("partial-match query %d answers differ after redecluster", i)
+		}
+	}
+	for i := range beforeFault {
+		if !sameIDs(beforeFault[i], afterFault[i]) {
+			t.Errorf("fault-injected rect query %d answers differ after redecluster", i)
+		}
+	}
+
+	// Round-trip back to DM must also preserve every answer.
+	if _, err := c.Redecluster("orders", "DM"); err != nil {
+		t.Fatal(err)
+	}
+	backRange, _, _ := snapshot()
+	for i := range beforeRange {
+		if !sameIDs(beforeRange[i], backRange[i]) {
+			t.Errorf("range query %d answers differ after round-trip redecluster", i)
+		}
+	}
+}

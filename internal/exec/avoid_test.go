@@ -1,0 +1,137 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"decluster/internal/datagen"
+	"decluster/internal/fault"
+	"decluster/internal/replica"
+)
+
+// Satellite of the repair PR: the infeasible-fallback path of WithAvoid
+// with a *partial* avoid set. Under chained replication on 4 disks a
+// bucket whose primary is disk 1 has its backup on disk 2, so avoiding
+// {1, 2} leaves that bucket with no un-avoided replica even though two
+// healthy disks remain. The router must notice the infeasibility and
+// fall back to mandatory-failures-only routing rather than failing the
+// query.
+func TestWithAvoidPartialSetInfeasible(t *testing.T) {
+	f := newLoadedFile(t, 4, 2000)
+	rep, err := replica.NewChained(f.Method())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := f.Grid().FullRect()
+	plain, err := New(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.RangeSearch(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No real failures: the fallback abandons avoidance entirely and
+	// routes every bucket to its primary.
+	e, err := New(f, WithFailover(rep), WithAvoid(func() []int { return []int{1, 2} }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RangeSearch(ctx, q)
+	if err != nil {
+		t.Fatalf("partial infeasible avoid set failed the query: %v", err)
+	}
+	if res.Degraded {
+		t.Error("avoid-only fallback reported Degraded")
+	}
+	if res.Rerouted != 0 {
+		t.Errorf("primary-routing fallback reported %d rerouted buckets", res.Rerouted)
+	}
+	for d := 1; d <= 2; d++ {
+		if res.BucketsPerDisk[d] == 0 {
+			t.Errorf("fallback did not read avoided disk %d (its buckets are unreachable elsewhere)", d)
+		}
+	}
+	if len(res.Records) != len(want.Records) {
+		t.Fatalf("fallback returned %d records, want %d", len(res.Records), len(want.Records))
+	}
+	for i := range res.Records {
+		if res.Records[i].ID != want.Records[i].ID {
+			t.Fatalf("record %d differs under infeasible partial avoidance", i)
+		}
+	}
+
+	// With a real failure alongside the infeasible avoid set, the
+	// fallback must still route around the failed disk — mandatory
+	// failures survive the retry even when advisory avoidance cannot.
+	inj, err := fault.New(fault.Config{FailDisks: []int{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New(f, WithFailover(rep), WithFaults(inj),
+		WithAvoid(func() []int { return []int{1, 2} }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := e2.RangeSearch(ctx, q)
+	if err != nil {
+		t.Fatalf("fallback with real failure errored: %v", err)
+	}
+	if res2.BucketsPerDisk[3] != 0 {
+		t.Errorf("fail-stop disk 3 served %d buckets", res2.BucketsPerDisk[3])
+	}
+	if !res2.Degraded {
+		t.Error("real failure not reported Degraded")
+	}
+	if len(res2.Records) != len(want.Records) {
+		t.Fatalf("degraded fallback returned %d records, want %d", len(res2.Records), len(want.Records))
+	}
+}
+
+// taggingReader appends its tag to a shared order slice on each read,
+// recording which wrapper layer ran first.
+type taggingReader struct {
+	inner BucketReader
+	tag   string
+	mu    *sync.Mutex
+	order *[]string
+}
+
+func (r taggingReader) ReadBucket(ctx context.Context, disk, bucket int) ([]datagen.Record, error) {
+	r.mu.Lock()
+	*r.order = append(*r.order, r.tag)
+	r.mu.Unlock()
+	return r.inner.ReadBucket(ctx, disk, bucket)
+}
+
+// Multiple WithReadWrapper options compose, later options outermost: a
+// read enters the last-added wrapper first.
+func TestWithReadWrapperComposes(t *testing.T) {
+	f := newLoadedFile(t, 4, 200)
+	var mu sync.Mutex
+	var order []string
+	e, err := New(f, WithMaxParallel(1),
+		WithReadWrapper(func(inner BucketReader) BucketReader {
+			return taggingReader{inner: inner, tag: "inner", mu: &mu, order: &order}
+		}),
+		WithReadWrapper(func(inner BucketReader) BucketReader {
+			return taggingReader{inner: inner, tag: "outer", mu: &mu, order: &order}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RangeSearch(context.Background(), f.Grid().FullRect()); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) < 2 || len(order)%2 != 0 {
+		t.Fatalf("tag trace has %d entries, want an even number ≥ 2", len(order))
+	}
+	for i := 0; i < len(order); i += 2 {
+		if order[i] != "outer" || order[i+1] != "inner" {
+			t.Fatalf("wrapper order at read %d = [%s %s], want [outer inner]", i/2, order[i], order[i+1])
+		}
+	}
+}

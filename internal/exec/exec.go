@@ -69,9 +69,10 @@ type Executor struct {
 	// avoid optionally names extra disks to route around (e.g. disks a
 	// circuit breaker holds open); consulted once per query.
 	avoid func() []int
-	// wrap optionally wraps each query's reader, outermost — after the
-	// fault layer, so the wrapper observes injected errors.
-	wrap func(BucketReader) BucketReader
+	// wraps optionally wrap each query's reader, applied in option
+	// order with later wrappers outermost — all after the fault layer,
+	// so every wrapper observes injected errors.
+	wraps []func(BucketReader) BucketReader
 }
 
 // Option configures an Executor.
@@ -127,14 +128,17 @@ func WithAvoid(fn func() []int) Option {
 	return func(e *Executor) { e.avoid = fn }
 }
 
-// WithReadWrapper wraps each query's bucket reader with fn. The wrapper
-// is applied outermost — outside the per-query fault-injection layer —
-// so it observes every read the query issues, including injected
-// errors, which is what a health tracker or hedging layer needs. fn is
-// called once per query and must return a reader safe for concurrent
-// use by that query's disk workers.
+// WithReadWrapper wraps each query's bucket reader with fn, applied
+// outside the per-query fault-injection layer so it observes every read
+// the query issues, including injected errors — which is what a health
+// tracker, hedging layer, or read-repairer needs. The option composes:
+// given several wrappers, each is applied in option order with later
+// wrappers outermost (a health observer added after a read-repairer
+// sees the repaired, error-free reads). fn is called once per query and
+// must return a reader safe for concurrent use by that query's disk
+// workers.
 func WithReadWrapper(fn func(BucketReader) BucketReader) Option {
-	return func(e *Executor) { e.wrap = fn }
+	return func(e *Executor) { e.wraps = append(e.wraps, fn) }
 }
 
 // New constructs an executor over the file.
@@ -185,15 +189,15 @@ func New(f *gridfile.File, opts ...Option) (*Executor, error) {
 // the configured reader, wrapped — per query, so attempt counters start
 // fresh and one query's injected faults are independent of every other
 // query past or concurrent — in the fault injector when present, and
-// finally in the WithReadWrapper hook, outermost, so observers and
-// hedgers see injected faults too.
+// finally in the WithReadWrapper hooks, in option order with later
+// wrappers outermost, so observers and hedgers see injected faults too.
 func (e *Executor) queryReader() BucketReader {
 	r := e.reader
 	if e.inj != nil {
 		r = newFaultReader(r, e.inj)
 	}
-	if e.wrap != nil {
-		r = e.wrap(r)
+	for _, wrap := range e.wraps {
+		r = wrap(r)
 	}
 	return r
 }

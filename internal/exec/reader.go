@@ -49,6 +49,31 @@ func (r fileReader) ReadBucket(_ context.Context, _, b int) ([]datagen.Record, e
 	return rs.Records, nil
 }
 
+// NewStoreReader returns a BucketReader over a checksummed physical
+// store: unlike the grid-file reader, the disk argument matters — each
+// read verifies the page checksums of *that disk's* copy, so a
+// corrupted copy surfaces as an error matching gridfile.ErrCorrupt
+// while its sibling replica still serves clean bytes. Reads of empty
+// buckets short-circuit to nil without touching the store (the grid
+// directory knows they hold no pages), mirroring the executor's
+// skip-empty behavior. Pair it with a read-repair wrapper (package
+// repair) to fix corruption inline, or let errors propagate to fail the
+// query.
+func NewStoreReader(s *gridfile.Store) BucketReader { return storeReader{s: s} }
+
+// storeReader serves verified reads from a gridfile.Store.
+type storeReader struct {
+	s *gridfile.Store
+}
+
+// ReadBucket reads and verifies disk d's copy of bucket b.
+func (r storeReader) ReadBucket(_ context.Context, d, b int) ([]datagen.Record, error) {
+	if r.s.BucketPages(b) == 0 {
+		return nil, nil
+	}
+	return r.s.ReadVerified(d, b)
+}
+
 // faultReader wraps a BucketReader with an injector: each read first
 // consults the injector, which may fail it (fail-stop disk) or make it
 // transiently error. Attempt numbers are tracked per bucket so retries

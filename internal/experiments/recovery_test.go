@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastRecovery keeps the corruption → scrub → fail → rebuild lifecycle
+// short enough for the unit-test suite.
+func fastRecovery() RecoveryConfig {
+	return RecoveryConfig{
+		GridSide:     8,
+		Disks:        4,
+		Records:      768,
+		PageCapacity: 4,
+		Clients:      4,
+		Steady:       30 * time.Millisecond,
+		Cooldown:     20 * time.Millisecond,
+		BaseLatency:  50 * time.Microsecond,
+		CorruptProb:  0.05,
+		RebuildRates: []float64{2000, 0}, // throttled, then wide open
+		Offset:       2,
+		Methods:      []string{"HCAM"},
+	}
+}
+
+func TestRecoveryStructure(t *testing.T) {
+	cfg := fastRecovery()
+	res, err := Recovery(cfg, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(cfg.RebuildRates); len(res.Cells) != want {
+		t.Fatalf("want %d cells (2 schemes × %d rates), got %d",
+			want, len(cfg.RebuildRates), len(res.Cells))
+	}
+	for i, c := range res.Cells {
+		if c.Method != "HCAM" {
+			t.Errorf("cell %d method = %q, want HCAM", i, c.Method)
+		}
+		if c.Scheme != "chain" && c.Scheme != "offset+2" {
+			t.Errorf("cell %d scheme = %q", i, c.Scheme)
+		}
+		if c.CorruptSeeded == 0 {
+			t.Errorf("cell %d seeded no corruption at p=%.2f", i, cfg.CorruptProb)
+		}
+		if c.ScrubRepaired == 0 && c.ReadRepairs == 0 {
+			t.Errorf("cell %d fixed nothing despite %d corrupt pages", i, c.CorruptSeeded)
+		}
+		if c.BucketsRebuilt == 0 || c.PagesRebuilt == 0 {
+			t.Errorf("cell %d rebuilt nothing: %+v", i, c)
+		}
+		if c.MTTR <= 0 {
+			t.Errorf("cell %d MTTR = %v", i, c.MTTR)
+		}
+		if c.Completed == 0 {
+			t.Errorf("cell %d completed no foreground queries", i)
+		}
+		if c.SteadyP50 > c.SteadyP99 || c.RebuildP50 > c.RebuildP99 {
+			t.Errorf("cell %d percentiles out of order: %+v", i, c)
+		}
+	}
+
+	out := res.Table().String()
+	for _, want := range []string{"ER", "HCAM", "chain", "offset+2", "MTTR", "rebuild p50/p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	rep := res.ThrottleReport()
+	if !strings.Contains(rep, "trade-off") || !strings.Contains(rep, "MTTR") {
+		t.Errorf("throttle report incomplete:\n%s", rep)
+	}
+}
+
+func TestRecoveryValidation(t *testing.T) {
+	cfg := fastRecovery()
+	cfg.Disks = 1
+	if _, err := Recovery(cfg, Options{Seed: 1}); err == nil {
+		t.Error("1-disk recovery accepted")
+	}
+	cfg = fastRecovery()
+	cfg.FailDisk = 99
+	if _, err := Recovery(cfg, Options{Seed: 1}); err == nil {
+		t.Error("out-of-range fail disk accepted")
+	}
+	cfg = fastRecovery()
+	cfg.Methods = []string{"no-such-method"}
+	if _, err := Recovery(cfg, Options{Seed: 1}); err == nil {
+		t.Error("unknown method filter accepted")
+	}
+}

@@ -1,16 +1,23 @@
 // Package fault implements deterministic, seeded fault injection for
-// the multi-disk execution stack. It models the three failure classes a
+// the multi-disk execution stack. It models the failure classes a
 // parallel I/O practitioner asks about first:
 //
-//   - fail-stop disks: a disk stops serving reads entirely;
+//   - fail-stop disks: a disk stops serving reads entirely — either
+//     transiently (RecoverDisk brings it back) or permanently
+//     (FailPermanent: the disk and its data are gone until a rebuild
+//     engine reconstructs it and calls ReplaceDisk);
 //   - transient read errors: an individual bucket read fails with a
 //     configurable probability but succeeds when retried;
-//   - stragglers: a disk keeps serving but at a latency multiple.
+//   - stragglers: a disk keeps serving but at a latency multiple;
+//   - silent corruption: a per-page probability that a stored page's
+//     bytes rot in place — surfaced only when a checksum-verifying
+//     store reads the page (see gridfile.Store and package repair).
 //
-// All decisions are pure functions of (seed, disk, bucket, attempt), so
-// a run with a fixed seed injects exactly the same faults regardless of
-// goroutine scheduling — failures are reproducible, which makes the
-// degraded-mode experiments and the retry/failover tests deterministic.
+// All decisions are pure functions of (seed, disk, bucket, attempt) —
+// or (seed, disk, bucket, page) for corruption — so a run with a fixed
+// seed injects exactly the same faults regardless of goroutine
+// scheduling: failures are reproducible, which makes the degraded-mode
+// and recovery experiments and the retry/failover tests deterministic.
 package fault
 
 import (
@@ -91,6 +98,12 @@ type Config struct {
 	// TransientProb is the probability in [0, 1) that any single bucket
 	// read attempt fails with a TransientError.
 	TransientProb float64
+	// CorruptProb is the probability in [0, 1) that any single stored
+	// page is silently corrupted by the seeded corruption plan
+	// (PageCorrupt). Corruption is a property of stored bytes, not of
+	// reads: it is applied to a checksummed store once (e.g. by
+	// repair.SeedCorruption) and persists until repaired.
+	CorruptProb float64
 	// Stragglers maps disk → service-time latency multiplier (≥ 1).
 	Stragglers map[int]float64
 }
@@ -112,11 +125,13 @@ type Config struct {
 // schedule says — callers that need a multi-call protocol must
 // serialize those calls themselves.
 type Injector struct {
-	mu     sync.RWMutex
-	seed   int64
-	prob   float64
-	failed map[int]bool
-	slow   map[int]float64
+	mu        sync.RWMutex
+	seed      int64
+	prob      float64
+	corrupt   float64
+	failed    map[int]bool
+	permanent map[int]bool
+	slow      map[int]float64
 }
 
 // New validates the configuration and builds an injector.
@@ -124,11 +139,16 @@ func New(cfg Config) (*Injector, error) {
 	if cfg.TransientProb < 0 || cfg.TransientProb >= 1 {
 		return nil, fmt.Errorf("fault: transient probability %v outside [0,1)", cfg.TransientProb)
 	}
+	if cfg.CorruptProb < 0 || cfg.CorruptProb >= 1 {
+		return nil, fmt.Errorf("fault: corruption probability %v outside [0,1)", cfg.CorruptProb)
+	}
 	in := &Injector{
-		seed:   cfg.Seed,
-		prob:   cfg.TransientProb,
-		failed: make(map[int]bool),
-		slow:   make(map[int]float64),
+		seed:      cfg.Seed,
+		prob:      cfg.TransientProb,
+		corrupt:   cfg.CorruptProb,
+		failed:    make(map[int]bool),
+		permanent: make(map[int]bool),
+		slow:      make(map[int]float64),
 	}
 	for _, d := range cfg.FailDisks {
 		if d < 0 {
@@ -171,17 +191,94 @@ func (in *Injector) SetTransientProb(p float64) error {
 	return nil
 }
 
-// FailDisk marks disk d fail-stop.
+// CorruptProb returns the per-page corruption probability.
+func (in *Injector) CorruptProb() float64 {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.corrupt
+}
+
+// SetCorruptProb changes the per-page corruption probability. It
+// rejects probabilities outside [0, 1).
+func (in *Injector) SetCorruptProb(p float64) error {
+	if p < 0 || p >= 1 {
+		return fmt.Errorf("fault: corruption probability %v outside [0,1)", p)
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.corrupt = p
+	return nil
+}
+
+// PageCorrupt reports whether the seeded corruption plan rots page p of
+// bucket b's copy on disk d: a pure hash of (seed, disk, bucket, page)
+// against CorruptProb, independent of the transient-read coin stream.
+// Callers (repair.SeedCorruption) apply the plan to a checksummed store
+// once; the rot then persists until a scrubber or read-repair fixes it.
+func (in *Injector) PageCorrupt(disk, bucket, page int) bool {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.corrupt > 0 && corruptCoin(in.seed, disk, bucket, page) < in.corrupt
+}
+
+// FailDisk marks disk d fail-stop (transiently: RecoverDisk undoes it).
 func (in *Injector) FailDisk(d int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.failed[d] = true
 }
 
-// RecoverDisk clears the fail-stop state of disk d.
+// FailPermanent marks disk d fail-stop permanently: the disk and the
+// data it held are gone. Unlike a transient fail-stop, a permanent
+// failure is not cleared by RecoverDisk (or a FlipDisks recover batch);
+// only ReplaceDisk — called by a rebuild engine once the replacement
+// disk holds reconstructed copies — returns it to service.
+func (in *Injector) FailPermanent(d int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.failed[d] = true
+	in.permanent[d] = true
+}
+
+// PermanentlyFailed reports whether disk d is permanently failed.
+func (in *Injector) PermanentlyFailed(d int) bool {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.permanent[d]
+}
+
+// PermanentDisks returns the permanently failed disks, ascending.
+func (in *Injector) PermanentDisks() []int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	out := make([]int, 0, len(in.permanent))
+	for d := range in.permanent {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ReplaceDisk clears both the fail-stop and the permanent state of disk
+// d — the rebuild engine's "replacement disk is populated and serving"
+// transition. It is also safe on transiently failed disks, where it
+// behaves like RecoverDisk.
+func (in *Injector) ReplaceDisk(d int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.failed, d)
+	delete(in.permanent, d)
+}
+
+// RecoverDisk clears the transient fail-stop state of disk d.
+// Permanently failed disks stay failed: their data is gone, so only a
+// rebuild (ReplaceDisk) may return them to service.
 func (in *Injector) RecoverDisk(d int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	if in.permanent[d] {
+		return
+	}
 	delete(in.failed, d)
 }
 
@@ -209,6 +306,9 @@ func (in *Injector) FlipDisks(fail, recover []int) error {
 		in.failed[d] = true
 	}
 	for _, d := range recover {
+		if in.permanent[d] {
+			continue // permanent failures outlive recover batches
+		}
 		delete(in.failed, d)
 	}
 	return nil
@@ -220,8 +320,13 @@ type Snapshot struct {
 	Seed int64
 	// TransientProb is the current per-read transient probability.
 	TransientProb float64
-	// FailedDisks lists the fail-stop disks, ascending.
+	// CorruptProb is the current per-page corruption probability.
+	CorruptProb float64
+	// FailedDisks lists the fail-stop disks, ascending (permanent
+	// failures included).
 	FailedDisks []int
+	// PermanentDisks lists the permanently failed disks, ascending.
+	PermanentDisks []int
 	// Stragglers maps disk → latency multiplier for every disk whose
 	// multiplier exceeds 1.
 	Stragglers map[int]float64
@@ -235,15 +340,21 @@ func (in *Injector) Snapshot() Snapshot {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
 	s := Snapshot{
-		Seed:          in.seed,
-		TransientProb: in.prob,
-		FailedDisks:   make([]int, 0, len(in.failed)),
-		Stragglers:    make(map[int]float64, len(in.slow)),
+		Seed:           in.seed,
+		TransientProb:  in.prob,
+		CorruptProb:    in.corrupt,
+		FailedDisks:    make([]int, 0, len(in.failed)),
+		PermanentDisks: make([]int, 0, len(in.permanent)),
+		Stragglers:     make(map[int]float64, len(in.slow)),
 	}
 	for d := range in.failed {
 		s.FailedDisks = append(s.FailedDisks, d)
 	}
 	sort.Ints(s.FailedDisks)
+	for d := range in.permanent {
+		s.PermanentDisks = append(s.PermanentDisks, d)
+	}
+	sort.Ints(s.PermanentDisks)
 	for d, f := range in.slow {
 		s.Stragglers[d] = f
 	}
@@ -331,6 +442,17 @@ func coin(seed int64, disk, bucket, attempt int) float64 {
 	x = splitmix64(x ^ uint64(disk)*0x9e3779b97f4a7c15)
 	x = splitmix64(x ^ uint64(bucket)*0xbf58476d1ce4e5b9)
 	x = splitmix64(x ^ uint64(attempt)*0x94d049bb133111eb)
+	return float64(x>>11) / float64(1<<53)
+}
+
+// corruptCoin is coin for the corruption plan, domain-separated from
+// the transient-read stream so the two fault classes draw independent
+// randomness from one seed.
+func corruptCoin(seed int64, disk, bucket, page int) float64 {
+	x := splitmix64(uint64(seed) ^ 0xc0a2b7e1d94f3358)
+	x = splitmix64(x ^ uint64(disk)*0x9e3779b97f4a7c15)
+	x = splitmix64(x ^ uint64(bucket)*0xbf58476d1ce4e5b9)
+	x = splitmix64(x ^ uint64(page)*0x94d049bb133111eb)
 	return float64(x>>11) / float64(1<<53)
 }
 

@@ -288,6 +288,106 @@ func TestSnapshotConsistency(t *testing.T) {
 	wg.Wait()
 }
 
+func TestPermanentFailureLifecycle(t *testing.T) {
+	in, _ := New(Config{})
+	in.FailPermanent(2)
+	if !in.DiskFailed(2) || !in.PermanentlyFailed(2) {
+		t.Fatal("FailPermanent did not stick")
+	}
+	// RecoverDisk and FlipDisks recover batches must not resurrect it.
+	in.RecoverDisk(2)
+	if !in.DiskFailed(2) {
+		t.Error("RecoverDisk cleared a permanent failure")
+	}
+	if err := in.FlipDisks(nil, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	if !in.DiskFailed(2) {
+		t.Error("FlipDisks recover batch cleared a permanent failure")
+	}
+	in.FailPermanent(5)
+	if got := in.PermanentDisks(); len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Errorf("PermanentDisks = %v, want [2 5]", got)
+	}
+	s := in.Snapshot()
+	if len(s.PermanentDisks) != 2 || len(s.FailedDisks) != 2 {
+		t.Errorf("snapshot permanent/failed = %v / %v", s.PermanentDisks, s.FailedDisks)
+	}
+	// Only ReplaceDisk returns a rebuilt disk to service.
+	in.ReplaceDisk(2)
+	if in.DiskFailed(2) || in.PermanentlyFailed(2) {
+		t.Error("ReplaceDisk did not clear permanent state")
+	}
+	// ReplaceDisk on a transient failure behaves like RecoverDisk.
+	in.FailDisk(7)
+	in.ReplaceDisk(7)
+	if in.DiskFailed(7) {
+		t.Error("ReplaceDisk left transient failure in place")
+	}
+}
+
+func TestCorruptionPlan(t *testing.T) {
+	if _, err := New(Config{CorruptProb: -0.1}); err == nil {
+		t.Error("negative corruption probability accepted")
+	}
+	if _, err := New(Config{CorruptProb: 1.0}); err == nil {
+		t.Error("corruption probability 1 accepted")
+	}
+	in, err := New(Config{Seed: 11, CorruptProb: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.CorruptProb() != 0.2 {
+		t.Error("CorruptProb accessor wrong")
+	}
+	// Deterministic: two injectors with the same seed agree page by page.
+	twin, _ := New(Config{Seed: 11, CorruptProb: 0.2})
+	hits, n := 0, 0
+	for disk := 0; disk < 4; disk++ {
+		for bucket := 0; bucket < 100; bucket++ {
+			for page := 0; page < 5; page++ {
+				n++
+				a, b := in.PageCorrupt(disk, bucket, page), twin.PageCorrupt(disk, bucket, page)
+				if a != b {
+					t.Fatalf("corruption plan disagrees at (%d,%d,%d)", disk, bucket, page)
+				}
+				if a {
+					hits++
+				}
+			}
+		}
+	}
+	rate := float64(hits) / float64(n)
+	if math.Abs(rate-0.2) > 0.03 {
+		t.Errorf("observed corruption rate %.3f, want ≈ 0.20", rate)
+	}
+	// Decorrelated from the transient stream: the corruption plan and
+	// the attempt-1 transient coins over the same keys must not agree
+	// suspiciously often (independent 0.2-coins agree ≈ 68%).
+	agree := 0
+	for bucket := 0; bucket < 2000; bucket++ {
+		c := in.PageCorrupt(0, bucket, 1)
+		tr := coin(11, 0, bucket, 1) < 0.2
+		if c == tr {
+			agree++
+		}
+	}
+	if agree > 1600 || agree < 800 {
+		t.Errorf("corruption and transient streams correlate: %d/2000 agreements", agree)
+	}
+	if err := in.SetCorruptProb(1.5); err == nil {
+		t.Error("SetCorruptProb(1.5) accepted")
+	}
+	if err := in.SetCorruptProb(0); err != nil {
+		t.Fatal(err)
+	}
+	for bucket := 0; bucket < 500; bucket++ {
+		if in.PageCorrupt(0, bucket, 0) {
+			t.Fatal("probability 0 still corrupts pages")
+		}
+	}
+}
+
 func TestCoinUniform(t *testing.T) {
 	// Coarse uniformity: deciles of the coin over many keys.
 	var counts [10]int

@@ -1,0 +1,193 @@
+package repair
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"decluster/internal/exec"
+	"decluster/internal/fault"
+	"decluster/internal/grid"
+	"decluster/internal/serve"
+)
+
+// randRect draws a random cell rectangle of the 8×8 grid.
+func randRect(rng *rand.Rand, g *grid.Grid) grid.Rect {
+	lo := make(grid.Coord, g.K())
+	hi := make(grid.Coord, g.K())
+	for i := 0; i < g.K(); i++ {
+		a, b := rng.Intn(g.Dim(i)), rng.Intn(g.Dim(i))
+		if a > b {
+			a, b = b, a
+		}
+		lo[i], hi[i] = a, b
+	}
+	return grid.Rect{Lo: lo, Hi: hi}
+}
+
+// The PR's acceptance test: seeded corruption plus one permanent disk
+// failure; inline read-repair, a scrub pass, and a throttled rebuild
+// run concurrently with foreground queries. The system must converge to
+// every bucket holding two verified-clean replicas, with every answer —
+// during the degraded window and after — equal to the fault-free run,
+// bucket for bucket.
+func TestDifferentialCorruptionAndRebuild(t *testing.T) {
+	f, rep, store := fixture(t, 8, 4096)
+	g := f.Grid()
+
+	// Fault-free baseline answers over a fixed query workload.
+	plain, err := exec.New(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(33))
+	const nQueries = 40
+	rects := make([]grid.Rect, nQueries)
+	baseline := make([][]int, nQueries)
+	for i := range rects {
+		rects[i] = randRect(rng, g)
+		res, err := plain.RangeSearch(ctx, rects[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]int, len(res.Records))
+		for j, r := range res.Records {
+			ids[j] = r.ID
+		}
+		baseline[i] = ids
+	}
+
+	// Seed corruption and transient read noise.
+	inj, err := fault.New(fault.Config{Seed: 77, TransientProb: 0.02, CorruptProb: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := SeedCorruption(store, inj); n == 0 {
+		t.Fatal("p=0.05 corrupted nothing")
+	}
+
+	var tr Tracker
+	rr := NewReadRepairer(store, &tr, inj)
+	sched, err := serve.New(f,
+		serve.WithBucketReader(exec.NewStoreReader(store)),
+		serve.WithFaults(inj),
+		serve.WithFailover(rep),
+		serve.WithRetry(exec.DefaultRetry()),
+		serve.WithReadWrapper(rr.Wrap),
+		serve.WithAdmission(serve.AdmissionConfig{MaxInFlight: 16, MaxQueue: 256}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// check runs the whole workload through the scheduler and compares
+	// against the fault-free baseline.
+	check := func(phase string) {
+		t.Helper()
+		var wg sync.WaitGroup
+		for i := range rects {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				res, err := sched.Search(ctx, rects[i])
+				if err != nil {
+					t.Errorf("%s: query %d failed: %v", phase, i, err)
+					return
+				}
+				if len(res.Records) != len(baseline[i]) {
+					t.Errorf("%s: query %d returned %d records, want %d",
+						phase, i, len(res.Records), len(baseline[i]))
+					return
+				}
+				for j, r := range res.Records {
+					if r.ID != baseline[i][j] {
+						t.Errorf("%s: query %d record %d differs", phase, i, j)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	// Phase 1: corrupt store, reads repaired inline.
+	check("corrupt")
+	if rr.Repairs() == 0 {
+		t.Error("foreground queries over a corrupt store performed no read-repairs")
+	}
+
+	// Phase 2: scrub sweeps the residue clean.
+	sc, err := NewScrubber(store, ScrubConfig{Tracker: &tr, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srep, err := sc.RunOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.Unrepairable != 0 {
+		t.Fatalf("scrub left %d unrepairable copies", srep.Unrepairable)
+	}
+	if len(store.VerifyAll()) != 0 {
+		t.Fatal("store still corrupt after read-repair + scrub")
+	}
+
+	// Phase 3: permanent disk loss; foreground queries run concurrently
+	// with the throttled rebuild and must stay correct throughout.
+	const lost = 3
+	inj.FailPermanent(lost)
+	store.DropDisk(lost)
+	rb, err := NewRebuilder(store, sched, inj, RebuildConfig{PagesPerSec: 0, Tracker: &tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rebuildErr error
+	var rrep *RebuildReport
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rrep, rebuildErr = rb.Rebuild(ctx, lost)
+	}()
+	check("degraded")
+	<-done
+	if rebuildErr != nil {
+		t.Fatalf("rebuild failed: %v", rebuildErr)
+	}
+	if rrep.Buckets == 0 || rrep.Elapsed <= 0 {
+		t.Errorf("rebuild report = %+v", rrep)
+	}
+
+	// Convergence: two verified-clean replicas of every bucket, disk back
+	// in service, answers identical to fault-free.
+	for d := 0; d < store.Disks(); d++ {
+		if missing := store.MissingOn(d); len(missing) != 0 {
+			t.Errorf("disk %d still missing buckets %v", d, missing)
+		}
+	}
+	for b := 0; b < g.Buckets(); b++ {
+		if store.BucketPages(b) == 0 {
+			continue
+		}
+		clean := 0
+		for _, d := range store.Holders(b) {
+			if _, err := store.ReadVerified(d, b); err == nil {
+				clean++
+			}
+		}
+		if clean != 2 {
+			t.Errorf("bucket %d has %d verified-clean replicas, want 2", b, clean)
+		}
+	}
+	if inj.DiskFailed(lost) {
+		t.Error("rebuilt disk still failed")
+	}
+	if tr.Get(lost) != StateHealthy {
+		t.Errorf("tracker state of rebuilt disk = %v", tr.Get(lost))
+	}
+	check("recovered")
+	if _, err := sched.Close(); err != nil {
+		t.Errorf("drain failed: %v", err)
+	}
+}

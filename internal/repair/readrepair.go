@@ -1,0 +1,86 @@
+package repair
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"decluster/internal/datagen"
+	"decluster/internal/exec"
+	"decluster/internal/fault"
+	"decluster/internal/gridfile"
+)
+
+// ReadRepairer turns foreground checksum mismatches into inline
+// repairs: wrapped around a store-backed reader (exec.NewStoreReader),
+// it catches a read's *gridfile.CorruptError, serves the records from a
+// clean sibling replica, writes the clean bytes back over the rotten
+// copy, and returns them to the query — which therefore succeeds. Only
+// reads with no clean live sibling still fail.
+//
+// Attach it per executor with exec.WithReadWrapper(rr.Wrap) or per
+// scheduler with serve.WithReadWrapper(rr.Wrap); one ReadRepairer may
+// serve any number of concurrent queries.
+type ReadRepairer struct {
+	store   *gridfile.Store
+	tracker *Tracker        // optional
+	faults  *fault.Injector // optional: failed disks are not repair sources
+
+	repairs  atomic.Int64
+	failures atomic.Int64
+}
+
+// NewReadRepairer builds a read-repairer over the store. tracker and
+// inj may be nil.
+func NewReadRepairer(s *gridfile.Store, tracker *Tracker, inj *fault.Injector) *ReadRepairer {
+	return &ReadRepairer{store: s, tracker: tracker, faults: inj}
+}
+
+// Repairs returns the number of successful inline repairs.
+func (rr *ReadRepairer) Repairs() int64 { return rr.repairs.Load() }
+
+// Failures returns the number of corrupt reads no clean sibling could
+// repair (the read's error was passed through).
+func (rr *ReadRepairer) Failures() int64 { return rr.failures.Load() }
+
+// Wrap returns inner with inline read-repair. The signature matches
+// exec.WithReadWrapper and serve.WithReadWrapper.
+func (rr *ReadRepairer) Wrap(inner exec.BucketReader) exec.BucketReader {
+	return &repairingReader{rr: rr, inner: inner}
+}
+
+// repairingReader is the per-query wrapped reader.
+type repairingReader struct {
+	rr    *ReadRepairer
+	inner exec.BucketReader
+}
+
+// ReadBucket delegates, repairing a corrupt read from a sibling copy.
+func (r *repairingReader) ReadBucket(ctx context.Context, disk, bucket int) ([]datagen.Record, error) {
+	recs, err := r.inner.ReadBucket(ctx, disk, bucket)
+	var ce *gridfile.CorruptError
+	if err == nil || !errors.As(err, &ce) {
+		return recs, err
+	}
+	rr := r.rr
+	if rr.tracker != nil {
+		rr.tracker.Suspect(ce.Disk)
+	}
+	for _, src := range rr.store.Holders(ce.Bucket) {
+		if src == ce.Disk || !rr.store.HasCopy(src, ce.Bucket) {
+			continue
+		}
+		if rr.faults != nil && rr.faults.DiskFailed(src) {
+			continue
+		}
+		clean, cerr := rr.store.ReadVerified(src, ce.Bucket)
+		if cerr != nil {
+			continue // that sibling is corrupt or missing too
+		}
+		rr.store.Repair(ce.Disk, ce.Bucket, clean)
+		rr.repairs.Add(1)
+		return clean, nil
+	}
+	rr.failures.Add(1)
+	return nil, err
+}

@@ -1,0 +1,149 @@
+package repair
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"time"
+
+	"decluster/internal/fault"
+	"decluster/internal/gridfile"
+)
+
+// ScrubConfig tunes a Scrubber.
+type ScrubConfig struct {
+	// PagesPerSec throttles the sweep's verify I/O (0 = unthrottled).
+	PagesPerSec float64
+	// Burst is the throttle's token headroom (default: one second of
+	// PagesPerSec).
+	Burst float64
+	// Tracker optionally records per-disk repair states as the sweep
+	// finds (and clears) corruption.
+	Tracker *Tracker
+	// Faults optionally names fail-stop disks: their copies are skipped
+	// (a failed disk serves no reads, scrub or otherwise) and they are
+	// never used as repair sources.
+	Faults *fault.Injector
+}
+
+// ScrubReport summarizes one sweep.
+type ScrubReport struct {
+	// PagesScanned counts pages whose checksum was verified.
+	PagesScanned int
+	// CorruptFound counts copies that failed verification.
+	CorruptFound int
+	// Repaired counts corrupt copies rewritten from a clean sibling.
+	Repaired int
+	// Unrepairable counts corrupt copies with no clean live sibling to
+	// repair from.
+	Unrepairable int
+	// SkippedDisks lists fail-stop disks whose copies were not scanned,
+	// ascending.
+	SkippedDisks []int
+	// Elapsed is the sweep's wall-clock time.
+	Elapsed time.Duration
+}
+
+// Scrubber sweeps the store's bucket copies, verifying checksums and
+// repairing corrupt copies from clean siblings. One sweep is RunOnce;
+// callers loop it (or run it under a ticker) for continuous scrubbing.
+type Scrubber struct {
+	store *gridfile.Store
+	cfg   ScrubConfig
+	tb    *tokenBucket
+}
+
+// NewScrubber builds a scrubber over the store.
+func NewScrubber(s *gridfile.Store, cfg ScrubConfig) (*Scrubber, error) {
+	tb, err := newTokenBucket(cfg.PagesPerSec, cfg.Burst)
+	if err != nil {
+		return nil, err
+	}
+	return &Scrubber{store: s, cfg: cfg, tb: tb}, nil
+}
+
+// RunOnce sweeps every stored copy once. It verifies page checksums,
+// repairs corrupt copies from a clean live sibling, and updates the
+// tracker: a disk with corruption found goes suspect; a previously
+// suspect disk whose sweep comes back clean returns to healthy. The
+// sweep honours ctx (an ended context aborts with the partial report).
+func (sc *Scrubber) RunOnce(ctx context.Context) (*ScrubReport, error) {
+	start := time.Now()
+	rep := &ScrubReport{}
+	skipped := map[int]bool{}
+	dirty := map[int]bool{}   // disks with corruption found this sweep
+	scanned := map[int]bool{} // disks with at least one copy verified
+	for b := 0; b < sc.store.Grid().Buckets(); b++ {
+		pages := sc.store.BucketPages(b)
+		if pages == 0 {
+			continue
+		}
+		for _, d := range sc.store.Holders(b) {
+			if !sc.store.HasCopy(d, b) {
+				continue // dropped disk: the rebuilder's job, not ours
+			}
+			if sc.cfg.Faults != nil && sc.cfg.Faults.DiskFailed(d) {
+				skipped[d] = true
+				continue
+			}
+			if err := sc.tb.take(ctx, float64(pages)); err != nil {
+				rep.Elapsed = time.Since(start)
+				return rep, err
+			}
+			rep.PagesScanned += pages
+			scanned[d] = true
+			if _, err := sc.store.ReadVerified(d, b); err != nil {
+				if !errors.Is(err, gridfile.ErrCorrupt) {
+					rep.Elapsed = time.Since(start)
+					return rep, err
+				}
+				rep.CorruptFound++
+				dirty[d] = true
+				if sc.cfg.Tracker != nil {
+					sc.cfg.Tracker.Suspect(d)
+				}
+				if sc.repairFrom(d, b) {
+					rep.Repaired++
+				} else {
+					rep.Unrepairable++
+				}
+			}
+		}
+	}
+	for d := range skipped {
+		rep.SkippedDisks = append(rep.SkippedDisks, d)
+	}
+	sort.Ints(rep.SkippedDisks)
+	if sc.cfg.Tracker != nil {
+		// A fully clean sweep of a suspect disk clears the suspicion;
+		// repaired-this-sweep disks stay suspect until the next sweep
+		// confirms them clean.
+		for d := range scanned {
+			if !dirty[d] && sc.cfg.Tracker.Get(d) == StateSuspect {
+				sc.cfg.Tracker.Set(d, StateHealthy)
+			}
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// repairFrom rewrites disk d's corrupt copy of bucket b from a clean,
+// live sibling copy, reporting success.
+func (sc *Scrubber) repairFrom(d, b int) bool {
+	for _, src := range sc.store.Holders(b) {
+		if src == d || !sc.store.HasCopy(src, b) {
+			continue
+		}
+		if sc.cfg.Faults != nil && sc.cfg.Faults.DiskFailed(src) {
+			continue
+		}
+		recs, err := sc.store.ReadVerified(src, b)
+		if err != nil {
+			continue // sibling is corrupt too; keep looking
+		}
+		sc.store.Repair(d, b, recs)
+		return true
+	}
+	return false
+}

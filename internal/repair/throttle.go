@@ -1,0 +1,68 @@
+package repair
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// tokenBucket paces page I/O: take(n) blocks until n tokens are
+// available, where tokens accrue at rate per second up to burst. A nil
+// bucket never blocks (unthrottled). Debt-based: a take larger than the
+// current balance sleeps exactly the refill time of the shortfall, so
+// pacing is smooth even when bucket sizes vary.
+type tokenBucket struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket builds a bucket; rate 0 returns nil (unthrottled).
+func newTokenBucket(rate, burst float64) (*tokenBucket, error) {
+	if rate < 0 {
+		return nil, fmt.Errorf("repair: negative throttle rate %v", rate)
+	}
+	if rate == 0 {
+		return nil, nil
+	}
+	if burst <= 0 {
+		burst = rate // one second of headroom by default
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}, nil
+}
+
+// take blocks until n tokens are available or ctx ends.
+func (tb *tokenBucket) take(ctx context.Context, n float64) error {
+	if tb == nil || n <= 0 {
+		return nil
+	}
+	tb.mu.Lock()
+	now := time.Now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.last = now
+	tb.tokens -= n
+	debt := -tb.tokens
+	tb.mu.Unlock()
+	if debt <= 0 {
+		return nil
+	}
+	wait := time.Duration(debt / tb.rate * float64(time.Second))
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -172,6 +172,11 @@ type Scheduler struct {
 	seq      uint64
 	closed   bool
 	drained  chan struct{}
+
+	// warnings collects configuration adjustments New made (e.g. a
+	// base latency clamped up to the host timer floor); immutable after
+	// New.
+	warnings []string
 }
 
 // config collects the options of New.
@@ -188,6 +193,7 @@ type config struct {
 	brk         BreakerConfig
 	hedge       HedgeConfig
 	drain       time.Duration
+	wraps       []func(exec.BucketReader) exec.BucketReader
 }
 
 // Option configures a Scheduler.
@@ -218,7 +224,25 @@ func WithBucketReader(r exec.BucketReader) Option { return func(c *config) { c.r
 // WithBaseLatency inserts a simulated per-read service time of d ×
 // the injector's straggler multiplier beneath the fault layer, giving
 // soak experiments a realistic latency surface over the in-memory file.
+//
+// The host timer cannot fire faster than its measured floor (see
+// TimerFloor), so a d below it would silently inflate every read to
+// the floor anyway. New makes that explicit instead: it clamps such a
+// d up to the floor and records a warning retrievable from
+// Scheduler.Warnings(). Negative d is rejected by New.
 func WithBaseLatency(d time.Duration) Option { return func(c *config) { c.baseLatency = d } }
+
+// WithReadWrapper wraps each query's bucket reader with fn — the
+// scheduler-level counterpart of exec.WithReadWrapper, used e.g. by the
+// repair package to attach inline read-repair. Wrappers are applied in
+// option order *inside* the scheduler's own observation/hedging layer,
+// so disk health and hedging observe the wrapper's repaired (or still
+// failing) reads rather than the raw ones. fn is called once per query
+// and must return a reader safe for concurrent use by that query's
+// disk workers.
+func WithReadWrapper(fn func(exec.BucketReader) exec.BucketReader) Option {
+	return func(c *config) { c.wraps = append(c.wraps, fn) }
+}
 
 // WithAdmission sets the admission-control bounds and drop policy.
 func WithAdmission(a AdmissionConfig) Option { return func(c *config) { c.adm = a } }
@@ -277,7 +301,16 @@ func New(f *gridfile.File, opts ...Option) (*Scheduler, error) {
 	if reader == nil {
 		reader = exec.NewFileReader(f)
 	}
+	if c.baseLatency < 0 {
+		return nil, fmt.Errorf("serve: negative base latency %v", c.baseLatency)
+	}
 	if c.baseLatency > 0 {
+		if floor := TimerFloor(); c.baseLatency < floor {
+			s.warnings = append(s.warnings, fmt.Sprintf(
+				"serve: base latency %v is below the host timer floor %v and was clamped to it; "+
+					"reads could never have completed faster", c.baseLatency, floor))
+			c.baseLatency = floor
+		}
 		reader, err = NewLatencyReader(reader, c.baseLatency, c.inj)
 		if err != nil {
 			return nil, err
@@ -286,10 +319,16 @@ func New(f *gridfile.File, opts ...Option) (*Scheduler, error) {
 	execOpts := []exec.Option{
 		exec.WithBucketReader(reader),
 		exec.WithAvoid(s.health.OpenDisks),
-		exec.WithReadWrapper(func(inner exec.BucketReader) exec.BucketReader {
-			return &servedReader{s: s, inner: inner}
-		}),
 	}
+	// User wrappers first, then the scheduler's observation/hedging
+	// wrapper: exec applies later wrappers outermost, so servedReader
+	// stays the outermost layer and observes wrapped reads.
+	for _, wrap := range c.wraps {
+		execOpts = append(execOpts, exec.WithReadWrapper(wrap))
+	}
+	execOpts = append(execOpts, exec.WithReadWrapper(func(inner exec.BucketReader) exec.BucketReader {
+		return &servedReader{s: s, inner: inner}
+	}))
 	if c.inj != nil {
 		execOpts = append(execOpts, exec.WithFaults(c.inj))
 	}
@@ -504,6 +543,43 @@ func (s *Scheduler) Stats() Stats {
 
 // HealthSnapshot copies every disk's current health and breaker state.
 func (s *Scheduler) HealthSnapshot() []DiskHealth { return s.health.Snapshot() }
+
+// Warnings returns the configuration adjustments New made — currently
+// only a WithBaseLatency value clamped up to the host timer floor. The
+// slice is a copy; an empty result means the configuration was applied
+// verbatim.
+func (s *Scheduler) Warnings() []string {
+	return append([]string(nil), s.warnings...)
+}
+
+var (
+	timerFloorOnce sync.Once
+	timerFloor     time.Duration
+)
+
+// TimerFloor reports the host's measured timer granularity: the
+// shortest wall-clock delay a 1µs Go timer actually achieves, measured
+// once per process (minimum of a few probes, so a loaded machine does
+// not inflate it). A simulated base latency below this floor is
+// unachievable — the timer rounds it up — so New clamps WithBaseLatency
+// values to it and records a warning.
+func TimerFloor() time.Duration {
+	timerFloorOnce.Do(func() {
+		timerFloor = time.Duration(1<<63 - 1)
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			t := time.NewTimer(time.Microsecond)
+			<-t.C
+			if d := time.Since(start); d < timerFloor {
+				timerFloor = d
+			}
+		}
+		if timerFloor < time.Microsecond {
+			timerFloor = time.Microsecond
+		}
+	})
+	return timerFloor
+}
 
 // snapshot builds the Close report.
 func (s *Scheduler) snapshot() *Snapshot {

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"decluster/internal/datagen"
+	"decluster/internal/exec"
+)
+
+// Satellite of the repair PR: a WithBaseLatency below the host timer
+// floor is clamped up to the floor with a recorded warning instead of
+// silently inflating every read.
+func TestBaseLatencyTimerFloorClamp(t *testing.T) {
+	floor := TimerFloor()
+	if floor < time.Microsecond {
+		t.Fatalf("TimerFloor = %v, below its own 1µs lower bound", floor)
+	}
+	if again := TimerFloor(); again != floor {
+		t.Fatalf("TimerFloor not stable: %v then %v", floor, again)
+	}
+
+	f := newLoadedFile(t, 4, 512)
+	// A 1ns base latency is below any real timer floor.
+	s, err := New(f, WithBaseLatency(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	warns := s.Warnings()
+	if len(warns) != 1 || !strings.Contains(warns[0], "timer floor") {
+		t.Errorf("Warnings() = %v, want one timer-floor clamp warning", warns)
+	}
+	// The returned slice is a copy.
+	warns[0] = "mutated"
+	if got := s.Warnings(); len(got) != 1 && got[0] == "mutated" {
+		t.Error("Warnings returned live state")
+	}
+
+	// A base latency comfortably above the floor passes verbatim.
+	s2, err := New(f, WithBaseLatency(floor*10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Warnings(); len(got) != 0 {
+		t.Errorf("above-floor latency produced warnings: %v", got)
+	}
+
+	// Negative base latency is rejected outright.
+	if _, err := New(f, WithBaseLatency(-time.Millisecond)); err == nil {
+		t.Error("negative base latency accepted")
+	}
+}
+
+// countReader counts reads passing through a serve-level wrapper.
+type countReader struct {
+	inner exec.BucketReader
+	n     *atomic.Int64
+}
+
+func (r countReader) ReadBucket(ctx context.Context, disk, bucket int) ([]datagen.Record, error) {
+	r.n.Add(1)
+	return r.inner.ReadBucket(ctx, disk, bucket)
+}
+
+// serve.WithReadWrapper attaches a per-query wrapper inside the
+// scheduler's observation layer.
+func TestServeWithReadWrapper(t *testing.T) {
+	f := newLoadedFile(t, 4, 512)
+	var n atomic.Int64
+	s, err := New(f, WithReadWrapper(func(inner exec.BucketReader) exec.BucketReader {
+		return countReader{inner: inner, n: &n}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Search(context.Background(), f.Grid().FullRect()); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() == 0 {
+		t.Error("serve-level read wrapper observed no reads")
+	}
+}

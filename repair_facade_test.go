@@ -1,0 +1,140 @@
+package decluster_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	decluster "decluster"
+)
+
+// The full durability lifecycle through the facade: a checksummed
+// two-copy store suffers seeded silent corruption and a permanent disk
+// loss; read-repair, a scrub sweep, and a background rebuild restore
+// two verified-clean replicas of every bucket while the scheduler keeps
+// answering correctly.
+func TestFacadeRepairLifecycle(t *testing.T) {
+	f, m, r := faultFixture(t)
+	ctx := context.Background()
+
+	rep, err := decluster.NewChained(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := decluster.NewReplicaStore(f, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := decluster.NewFaultInjector(decluster.FaultConfig{Seed: 9, CorruptProb: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := decluster.SeedCorruption(store, inj); n == 0 {
+		t.Fatal("seeded no corruption at p=0.05")
+	}
+
+	// Healthy baseline for the workload.
+	plain, err := decluster.NewExecutor(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := plain.RangeSearch(ctx, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A raw verified read of a corrupt page classifies via errors.Is.
+	var sawCorrupt bool
+	for b := 0; b < f.Grid().Buckets() && !sawCorrupt; b++ {
+		for _, d := range store.Holders(b) {
+			if _, err := store.ReadVerified(d, b); errors.Is(err, decluster.ErrCorruptPage) {
+				var ce *decluster.CorruptPageError
+				if !errors.As(err, &ce) {
+					t.Fatalf("corrupt read error %v is not a CorruptPageError", err)
+				}
+				sawCorrupt = true
+				break
+			}
+		}
+	}
+	if !sawCorrupt {
+		t.Fatal("no corrupt page observable through ReadVerified")
+	}
+
+	var tracker decluster.RepairTracker
+	rr := decluster.NewReadRepairer(store, &tracker, inj)
+	sched, err := decluster.Serve(f,
+		decluster.WithServeReader(decluster.StoreReader(store)),
+		decluster.WithServeFaults(inj),
+		decluster.WithServeFailover(rep),
+		decluster.WithReadRepair(rr),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(phase string) {
+		t.Helper()
+		res, err := sched.Search(ctx, r)
+		if err != nil {
+			t.Fatalf("%s: %v", phase, err)
+		}
+		if len(res.Records) != len(base.Records) {
+			t.Fatalf("%s: %d records, want %d", phase, len(res.Records), len(base.Records))
+		}
+	}
+	check("corrupt")
+
+	// Scrub the residue, then lose a disk for good and rebuild it.
+	srep, err := decluster.Scrub(ctx, store, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.Unrepairable != 0 {
+		t.Fatalf("scrub left %d unrepairable copies", srep.Unrepairable)
+	}
+	if bad := store.VerifyAll(); len(bad) != 0 {
+		t.Fatalf("%d corrupt pages survived scrub", len(bad))
+	}
+
+	const lost = 2
+	inj.FailPermanent(lost)
+	rrep, err := decluster.Rebuild(ctx, store, sched, inj, lost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrep.Buckets == 0 || rrep.Elapsed <= 0 {
+		t.Fatalf("rebuild report = %+v", rrep)
+	}
+	if missing := store.MissingOn(lost); len(missing) != 0 {
+		t.Fatalf("disk %d still missing %d buckets", lost, len(missing))
+	}
+	if inj.DiskFailed(lost) {
+		t.Fatal("rebuilt disk still out of service")
+	}
+	check("recovered")
+	if _, err := sched.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Facade surface sanity: warning accessor, timer floor, and the
+// background-priority constant.
+func TestFacadeRepairSurface(t *testing.T) {
+	if decluster.TimerFloor() <= 0 {
+		t.Error("timer floor must be positive")
+	}
+	if decluster.RebuildBackgroundPriority >= 0 {
+		t.Error("background rebuild priority must rank below foreground 0")
+	}
+	f, _, _ := faultFixture(t)
+	sched, err := decluster.Serve(f, decluster.WithSimulatedLatency(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	warns := decluster.ServeWarnings(sched)
+	if len(warns) != 1 {
+		t.Fatalf("1ns base latency produced %d warnings, want 1 (clamp)", len(warns))
+	}
+}
