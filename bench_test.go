@@ -517,6 +517,44 @@ func BenchmarkRangeSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkObsOverhead prices the observability layer on the executor
+// hot path: the exact BenchmarkRangeSearch workload run through two
+// executors over the same grid file, one with no sink ("off") and one
+// with a live sink counting every disk read and attempt ("on"). The
+// acceptance bar is <5% overhead on ns/op; scripts/bench_json.sh
+// renders the comparison into BENCH_PR4.json and CI runs a one-shot
+// smoke of both sub-benchmarks.
+func BenchmarkObsOverhead(b *testing.B) {
+	g := grid.MustNew(64, 64)
+	m, _ := alloc.NewHCAM(g, 16)
+	f, _ := decluster.NewGridFile(decluster.GridFileConfig{Method: m})
+	if err := f.InsertAll(decluster.UniformRecords{K: 2, Seed: 1}.Generate(50000)); err != nil {
+		b.Fatal(err)
+	}
+	r := g.MustRect(decluster.Coord{8, 8}, decluster.Coord{55, 55})
+	ctx := context.Background()
+	for _, mode := range []struct {
+		name string
+		opts []decluster.ExecOption
+	}{
+		{"off", nil},
+		{"on", []decluster.ExecOption{decluster.WithExecObserver(decluster.NewSink())}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			e, err := decluster.NewExecutor(f, mode.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.RangeSearch(ctx, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkServeSoak measures the serving layer under concurrent load:
 // parallel clients pushing queries through admission control, health
 // observation, and hedging against a replicated file. The overhead vs

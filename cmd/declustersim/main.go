@@ -33,6 +33,14 @@
 //	             0 means unthrottled (default 50,200,1600)
 //	-corrupt-prob recovery: per-page silent-corruption probability of
 //	             the seeded rot plan (default 0.02)
+//	-metrics     dump the observability registry after the run as
+//	             "table" or "csv" (the chaos and recovery soaks are the
+//	             instrumented experiments)
+//	-trace-slowest record per-query lifecycle traces and print the N
+//	             slowest span trees after the run
+//	-http        serve live metrics (/metrics JSON, /metrics.txt,
+//	             /metrics.csv, /traces) and /debug/pprof on this
+//	             address while the run executes
 //
 // Examples:
 //
@@ -40,6 +48,7 @@
 //	declustersim -experiment theorem
 //	declustersim -experiment availability -fail-disks 3 -fail-prob 0.5 -seed 7
 //	declustersim -soak 1s -clients 16 -hedge-after 600us
+//	declustersim -soak 1s -metrics table -trace-slowest 3 -http :8080
 //	declustersim -experiment recovery -rebuild-rate 200,800 -corrupt-prob 0.05
 //	declustersim -experiment all -samples 500
 package main
@@ -48,12 +57,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"decluster/internal/experiments"
 	"decluster/internal/grid"
+	"decluster/internal/obs"
 	"decluster/internal/optimality"
 )
 
@@ -75,6 +87,9 @@ func main() {
 		hedgeAfter  = flag.Duration("hedge-after", 0, "chaos experiment: hedged-read delay (default 2.5× base latency)")
 		rebuildRate = flag.String("rebuild-rate", "", "recovery experiment: comma-separated rebuild throttles in pages/sec (0 = unthrottled; default 50,200,1600)")
 		corruptProb = flag.Float64("corrupt-prob", 0, "recovery experiment: per-page silent-corruption probability (default 0.02)")
+		metricsOut  = flag.String("metrics", "", "dump the observability registry after the run: table or csv (chaos and recovery)")
+		traceSlow   = flag.Int("trace-slowest", 0, "record per-query traces and print the N slowest span trees after the run")
+		httpAddr    = flag.String("http", "", "serve live metrics, traces, and pprof on this address (e.g. :8080) while the run executes")
 	)
 	flag.Parse()
 
@@ -146,6 +161,32 @@ func main() {
 		RebuildRates: rates,
 		CorruptProb:  *corruptProb,
 	}
+	if *metricsOut != "" && *metricsOut != "table" && *metricsOut != "csv" {
+		fmt.Fprintf(os.Stderr, "declustersim: -metrics must be table or csv, got %q\n", *metricsOut)
+		os.Exit(2)
+	}
+	if *traceSlow < 0 {
+		fmt.Fprintln(os.Stderr, "declustersim: -trace-slowest must be ≥ 0")
+		os.Exit(2)
+	}
+	var sink *obs.Sink
+	if *metricsOut != "" || *traceSlow > 0 || *httpAddr != "" {
+		sink = obs.NewSink()
+		if *traceSlow > 0 {
+			sink.EnableTracing(*traceSlow)
+		}
+		chaos.Obs = sink
+		recovery.Obs = sink
+	}
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "declustersim:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "declustersim: observability on http://%s/metrics (live for the run)\n", ln.Addr())
+		go http.Serve(ln, sink.Handler())
+	}
 	name := *experiment
 	// -soak alone is enough to ask for the chaos soak; don't make the
 	// user also spell -experiment chaos.
@@ -164,6 +205,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "declustersim:", err)
 		os.Exit(1)
 	}
+	if err := dumpObs(os.Stdout, sink, *metricsOut, *traceSlow); err != nil {
+		fmt.Fprintln(os.Stderr, "declustersim:", err)
+		os.Exit(1)
+	}
+}
+
+// dumpObs writes the end-of-run observability artifacts: the metric
+// registry in the requested format, then the slowest recorded traces as
+// span trees. A nil sink no-ops (observability was never requested).
+func dumpObs(w io.Writer, sink *obs.Sink, metricsMode string, traceN int) error {
+	if sink == nil {
+		return nil
+	}
+	switch metricsMode {
+	case "table":
+		fmt.Fprintln(w, "\n== metrics ==")
+		if err := sink.Registry().WriteTable(w); err != nil {
+			return err
+		}
+	case "csv":
+		if err := sink.Registry().WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	if traceN > 0 {
+		traces := sink.SlowestTraces()
+		fmt.Fprintf(w, "\n== slowest %d traces ==\n", len(traces))
+		for _, tr := range traces {
+			if err := tr.RenderTree(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func parseMetric(s string) (experiments.Metric, error) {

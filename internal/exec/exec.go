@@ -29,6 +29,7 @@ import (
 	"decluster/internal/fault"
 	"decluster/internal/grid"
 	"decluster/internal/gridfile"
+	"decluster/internal/obs"
 	"decluster/internal/replica"
 )
 
@@ -73,6 +74,83 @@ type Executor struct {
 	// order with later wrappers outermost — all after the fault layer,
 	// so every wrapper observes injected errors.
 	wraps []func(BucketReader) BucketReader
+	// obs optionally receives metrics and traces; metrics is its
+	// pre-resolved handle struct, nil when disabled, so the hot path
+	// pays one pointer comparison per site.
+	obs     *obs.Sink
+	metrics *execMetrics
+}
+
+// execMetrics holds the executor's pre-resolved metric handles. Every
+// counter the conservation test sums is registered here at
+// construction — not lazily — so the metric name set is deterministic
+// regardless of which events fire.
+type execMetrics struct {
+	queries, queriesOK, queriesErr *obs.Counter
+	degraded, rerouted             *obs.Counter
+	// Read accounting, exact by construction:
+	//   attempts == attemptsOK + attemptsErr + retried
+	//   calls    == callsOK + callsErr + cancelled
+	calls, callsOK, callsErr, cancelled *obs.Counter
+	attempts, attemptsOK, attemptsErr   *obs.Counter
+	retried                             *obs.Counter
+	diskAttempts                        *obs.CounterFamily
+	diskLatency                         *obs.HistogramFamily
+}
+
+// newExecMetrics registers the executor's metric set for disks disks.
+func newExecMetrics(r *obs.Registry, disks int) *execMetrics {
+	if r == nil {
+		return nil
+	}
+	return &execMetrics{
+		queries:      r.Counter("exec.queries"),
+		queriesOK:    r.Counter("exec.queries.ok"),
+		queriesErr:   r.Counter("exec.queries.err"),
+		degraded:     r.Counter("exec.queries.degraded"),
+		rerouted:     r.Counter("exec.buckets.rerouted"),
+		calls:        r.Counter("exec.read.calls"),
+		callsOK:      r.Counter("exec.read.calls.ok"),
+		callsErr:     r.Counter("exec.read.calls.err"),
+		cancelled:    r.Counter("exec.read.calls.cancelled"),
+		attempts:     r.Counter("exec.read.attempts"),
+		attemptsOK:   r.Counter("exec.read.attempts.ok"),
+		attemptsErr:  r.Counter("exec.read.attempts.err"),
+		retried:      r.Counter("exec.read.attempts.retried"),
+		diskAttempts: r.CounterFamily("exec.disk.read.attempts", "disk", disks),
+		diskLatency:  r.HistogramFamily("exec.disk.read.latency", "disk", disks),
+	}
+}
+
+// readTally accumulates one disk worker's hot-path counter deltas as
+// plain integers so the read loop pays no contended atomics — sixteen
+// workers hammering the same shared counters serialize on cache lines
+// and cost ~20% of a range search. The worker flushes once when it
+// finishes, before the query completes, so every post-query read of
+// the registry still sees exact conservation; only a mid-query scrape
+// can observe the deltas in flight (already true of any multi-counter
+// update).
+type readTally struct {
+	calls, callsOK, callsErr, cancelled uint64
+	attempts, attemptsOK, attemptsErr   uint64
+	retried                             uint64
+}
+
+// flush folds one worker's tally into the shared counters: eight
+// atomic adds per worker per query instead of five per bucket read.
+func (m *execMetrics) flush(disk int, t *readTally) {
+	if m == nil || t == nil {
+		return
+	}
+	m.calls.Add(t.calls)
+	m.callsOK.Add(t.callsOK)
+	m.callsErr.Add(t.callsErr)
+	m.cancelled.Add(t.cancelled)
+	m.attempts.Add(t.attempts)
+	m.attemptsOK.Add(t.attemptsOK)
+	m.attemptsErr.Add(t.attemptsErr)
+	m.retried.Add(t.retried)
+	m.diskAttempts.At(disk).Add(t.attempts)
 }
 
 // Option configures an Executor.
@@ -128,6 +206,15 @@ func WithAvoid(fn func() []int) Option {
 	return func(e *Executor) { e.avoid = fn }
 }
 
+// WithObserver attaches an observability sink: the executor registers
+// per-disk read counters and latency histograms in its registry and —
+// when the sink traces and the caller put a query span in the context —
+// records per-disk and per-attempt read spans. A nil sink disables
+// everything at the cost of one branch per instrumented site.
+func WithObserver(s *obs.Sink) Option {
+	return func(e *Executor) { e.obs = s }
+}
+
 // WithReadWrapper wraps each query's bucket reader with fn, applied
 // outside the per-query fault-injection layer so it observes every read
 // the query issues, including injected errors — which is what a health
@@ -181,6 +268,9 @@ func New(f *gridfile.File, opts ...Option) (*Executor, error) {
 	}
 	if e.reader == nil {
 		e.reader = fileReader{f: f}
+	}
+	if e.obs != nil {
+		e.metrics = newExecMetrics(e.obs.Registry(), f.Disks())
 	}
 	return e, nil
 }
@@ -244,6 +334,17 @@ func (e *Executor) RangeSearch(ctx context.Context, r grid.Rect) (*Result, error
 		return nil, fmt.Errorf("exec: rect %v outside grid %v", r, g)
 	}
 
+	// Past validation every query ends in exactly one of queriesOK /
+	// queriesErr, so exec.queries == exec.queries.ok + exec.queries.err.
+	m := e.metrics
+	if m != nil {
+		m.queries.Inc()
+	}
+	var qsp *obs.Span
+	if e.obs.Tracing() {
+		qsp = obs.SpanFromContext(ctx)
+	}
+
 	if e.deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.deadline)
@@ -256,6 +357,9 @@ func (e *Executor) RangeSearch(ctx context.Context, r grid.Rect) (*Result, error
 
 	perDisk, rerouted, degraded, err := e.route(r)
 	if err != nil {
+		if m != nil {
+			m.queriesErr.Inc()
+		}
 		return nil, err
 	}
 
@@ -291,25 +395,38 @@ func (e *Executor) RangeSearch(ctx context.Context, r grid.Rect) (*Result, error
 		wg.Add(1)
 		go func(d int, buckets []int) {
 			defer wg.Done()
+			var dsp *obs.Span
+			if qsp != nil {
+				dsp = qsp.Child(fmt.Sprintf("disk %d", d))
+				defer dsp.Finish()
+			}
+			var tally *readTally
+			if m != nil {
+				tally = new(readTally)
+				defer m.flush(d, tally)
+			}
 			select {
 			case sem <- struct{}{}:
 				defer func() { <-sem }()
 			case <-ctx.Done():
+				dsp.FinishErr(ctx.Err())
 				fail(ctx.Err())
 				return
 			}
 			var out []bucketRecs
 			for _, b := range buckets {
 				if err := ctx.Err(); err != nil {
+					dsp.FinishErr(err)
 					fail(err)
 					return
 				}
 				if e.file.BucketLen(b) == 0 {
 					continue // the grid directory knows the bucket is empty
 				}
-				recs, tries, err := e.readWithRetry(ctx, reader, d, b)
+				recs, tries, err := e.readWithRetry(ctx, reader, dsp, tally, d, b)
 				retries[d] += tries
 				if err != nil {
+					dsp.FinishErr(err)
 					fail(err)
 					return
 				}
@@ -320,7 +437,17 @@ func (e *Executor) RangeSearch(ctx context.Context, r grid.Rect) (*Result, error
 	}
 	wg.Wait()
 	if firstErr != nil {
+		if m != nil {
+			m.queriesErr.Inc()
+		}
 		return nil, firstErr
+	}
+	if m != nil {
+		m.queriesOK.Inc()
+		if degraded {
+			m.degraded.Inc()
+		}
+		m.rerouted.Add(uint64(rerouted))
 	}
 
 	out := &Result{
@@ -464,28 +591,68 @@ func setToSlice(set map[int]bool) []int {
 // readWithRetry reads one bucket through the query's reader, retrying
 // transient errors per the policy with capped exponential backoff. It
 // returns the records, the number of retries performed, and the
-// terminal error if any.
-func (e *Executor) readWithRetry(ctx context.Context, reader BucketReader, disk, bucket int) ([]datagen.Record, int, error) {
+// terminal error if any. dsp, when non-nil, is the disk span attempt
+// spans hang off; the attempt span also rides the context so reader
+// wrappers (hedging, read-repair) can attach their own children. t,
+// when non-nil, receives the counter deltas as plain adds (the worker
+// flushes it); only the per-disk latency histogram — private to this
+// worker's disk — is touched per read.
+func (e *Executor) readWithRetry(ctx context.Context, reader BucketReader, dsp *obs.Span, t *readTally, disk, bucket int) ([]datagen.Record, int, error) {
 	max := e.retry.MaxAttempts
 	if max < 1 {
 		max = 1
 	}
+	var lat *obs.Histogram
+	if t != nil {
+		t.calls++
+		lat = e.metrics.diskLatency.At(disk)
+	}
 	backoff := e.retry.BaseBackoff
 	for attempt := 1; ; attempt++ {
-		recs, err := reader.ReadBucket(ctx, disk, bucket)
+		rctx := ctx
+		var asp *obs.Span
+		if dsp != nil {
+			asp = dsp.Child(fmt.Sprintf("read b%d attempt %d", bucket, attempt))
+			rctx = obs.ContextWithSpan(ctx, asp)
+		}
+		var start time.Time
+		if t != nil {
+			start = time.Now()
+			t.attempts++
+		}
+		recs, err := reader.ReadBucket(rctx, disk, bucket)
+		if t != nil {
+			lat.Observe(time.Since(start))
+		}
 		if err == nil {
+			asp.Finish()
+			if t != nil {
+				t.attemptsOK++
+				t.callsOK++
+			}
 			return recs, attempt - 1, nil
 		}
+		asp.FinishErr(err)
 		if attempt >= max || !errors.Is(err, fault.ErrTransient) {
+			if t != nil {
+				t.attemptsErr++
+				t.callsErr++
+			}
 			return nil, attempt - 1, fmt.Errorf("exec: disk %d bucket %d: %w", disk, bucket, err)
 		}
+		if t != nil {
+			t.retried++
+		}
 		if backoff > 0 {
-			t := time.NewTimer(backoff)
+			timer := time.NewTimer(backoff)
 			select {
 			case <-ctx.Done():
-				t.Stop()
+				timer.Stop()
+				if t != nil {
+					t.cancelled++
+				}
 				return nil, attempt - 1, ctx.Err()
-			case <-t.C:
+			case <-timer.C:
 			}
 			backoff *= 2
 			if e.retry.MaxBackoff > 0 && backoff > e.retry.MaxBackoff {

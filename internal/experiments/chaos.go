@@ -17,6 +17,7 @@ import (
 	"decluster/internal/fault"
 	"decluster/internal/grid"
 	"decluster/internal/gridfile"
+	"decluster/internal/obs"
 	"decluster/internal/replica"
 	"decluster/internal/serve"
 	"decluster/internal/table"
@@ -73,6 +74,10 @@ type ChaosConfig struct {
 	// Methods optionally restricts the method set by name (all paper
 	// methods when empty).
 	Methods []string
+	// Obs optionally receives the soak's serving metrics and (when the
+	// sink traces) per-query span trees. All cells share the sink, so
+	// its counters aggregate across every method × scheme.
+	Obs *obs.Sink
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -247,6 +252,9 @@ func runChaosCell(f *gridfile.File, rep *replica.Replicated, hedged bool, cfg Ch
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Obs != nil {
+		inj.AttachObserver(cfg.Obs)
+	}
 	opts := []serve.Option{
 		serve.WithFaults(inj),
 		serve.WithRetry(exec.RetryPolicy{MaxAttempts: 8, BaseBackoff: 50 * time.Microsecond, MaxBackoff: time.Millisecond}),
@@ -268,6 +276,9 @@ func runChaosCell(f *gridfile.File, rep *replica.Replicated, hedged bool, cfg Ch
 	}
 	if hedged {
 		opts = append(opts, serve.WithHedging(serve.HedgeConfig{After: cfg.HedgeAfter, OnError: true}))
+	}
+	if cfg.Obs != nil {
+		opts = append(opts, serve.WithObserver(cfg.Obs))
 	}
 	s, err := serve.New(f, opts...)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"decluster/internal/fault"
 	"decluster/internal/grid"
 	"decluster/internal/gridfile"
+	"decluster/internal/obs"
 	"decluster/internal/repair"
 	"decluster/internal/replica"
 	"decluster/internal/serve"
@@ -78,6 +79,10 @@ type RecoveryConfig struct {
 	// (default HCAM only: ER varies the replication scheme and throttle,
 	// not the allocation).
 	Methods []string
+	// Obs optionally receives the run's serving, fault, and repair
+	// metrics (scrub, read-repair, rebuild, quarantines) and — when the
+	// sink traces — per-query span trees. All cells share the sink.
+	Obs *obs.Sink
 }
 
 func (c RecoveryConfig) withDefaults() RecoveryConfig {
@@ -272,7 +277,7 @@ func runRecoveryCell(m alloc.Method, rep *replica.Replicated, rate float64, cfg 
 
 	var tracker repair.Tracker
 	rr := repair.NewReadRepairer(store, &tracker, inj)
-	s, err := serve.New(f,
+	opts := []serve.Option{
 		serve.WithBucketReader(exec.NewStoreReader(store)),
 		serve.WithFaults(inj),
 		serve.WithFailover(rep),
@@ -282,13 +287,20 @@ func runRecoveryCell(m alloc.Method, rep *replica.Replicated, rate float64, cfg 
 		serve.WithAdmission(serve.AdmissionConfig{
 			MaxInFlight: cfg.MaxInFlight, MaxQueue: cfg.MaxQueue, DropExpired: true,
 		}),
-		serve.WithDrainTimeout(10*time.Second),
-	)
+		serve.WithDrainTimeout(10 * time.Second),
+	}
+	if cfg.Obs != nil {
+		inj.AttachObserver(cfg.Obs)
+		tracker.AttachObserver(cfg.Obs)
+		rr.Observe(cfg.Obs)
+		opts = append(opts, serve.WithObserver(cfg.Obs))
+	}
+	s, err := serve.New(f, opts...)
 	if err != nil {
 		return nil, err
 	}
 
-	sc, err := repair.NewScrubber(store, repair.ScrubConfig{Tracker: &tracker, Faults: inj})
+	sc, err := repair.NewScrubber(store, repair.ScrubConfig{Tracker: &tracker, Faults: inj, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -379,6 +391,7 @@ func runRecoveryCell(m alloc.Method, rep *replica.Replicated, rate float64, cfg 
 	// contend with foreground admission instead of idling sequentially.
 	rb, err := repair.NewRebuilder(store, s, inj, repair.RebuildConfig{
 		PagesPerSec: rate, Burst: rate / 10, Parallel: 4, Tracker: &tracker,
+		Obs: cfg.Obs,
 	})
 	if err != nil {
 		cancelRun()

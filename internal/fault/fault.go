@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"decluster/internal/obs"
 )
 
 // Sentinel errors for errors.Is classification. The concrete typed
@@ -132,6 +134,33 @@ type Injector struct {
 	failed    map[int]bool
 	permanent map[int]bool
 	slow      map[int]float64
+	// Injected-event counters by class; nil (no-op) until
+	// AttachObserver. Written under mu, incremented under RLock — the
+	// counters themselves are atomic.
+	obsFailstop, obsTransient  *obs.Counter
+	obsFailures, obsRecoveries *obs.Counter
+}
+
+// AttachObserver registers injected-event counters in the sink's
+// registry and starts counting:
+//
+//	fault.injected.failstop    reads refused because the disk is fail-stop
+//	fault.injected.transient   reads failed with a transient error
+//	fault.disk.failures        healthy → fail-stop disk transitions
+//	fault.disk.recoveries      fail-stop → healthy disk transitions
+//
+// A nil sink (or nil injector) is a no-op.
+func (in *Injector) AttachObserver(s *obs.Sink) {
+	if in == nil || s == nil {
+		return
+	}
+	r := s.Registry()
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.obsFailstop = r.Counter("fault.injected.failstop")
+	in.obsTransient = r.Counter("fault.injected.transient")
+	in.obsFailures = r.Counter("fault.disk.failures")
+	in.obsRecoveries = r.Counter("fault.disk.recoveries")
 }
 
 // New validates the configuration and builds an injector.
@@ -225,6 +254,9 @@ func (in *Injector) PageCorrupt(disk, bucket, page int) bool {
 func (in *Injector) FailDisk(d int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	if !in.failed[d] {
+		in.obsFailures.Inc()
+	}
 	in.failed[d] = true
 }
 
@@ -236,6 +268,9 @@ func (in *Injector) FailDisk(d int) {
 func (in *Injector) FailPermanent(d int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	if !in.failed[d] {
+		in.obsFailures.Inc()
+	}
 	in.failed[d] = true
 	in.permanent[d] = true
 }
@@ -266,6 +301,9 @@ func (in *Injector) PermanentDisks() []int {
 func (in *Injector) ReplaceDisk(d int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	if in.failed[d] {
+		in.obsRecoveries.Inc()
+	}
 	delete(in.failed, d)
 	delete(in.permanent, d)
 }
@@ -278,6 +316,9 @@ func (in *Injector) RecoverDisk(d int) {
 	defer in.mu.Unlock()
 	if in.permanent[d] {
 		return
+	}
+	if in.failed[d] {
+		in.obsRecoveries.Inc()
 	}
 	delete(in.failed, d)
 }
@@ -303,11 +344,17 @@ func (in *Injector) FlipDisks(fail, recover []int) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	for _, d := range fail {
+		if !in.failed[d] {
+			in.obsFailures.Inc()
+		}
 		in.failed[d] = true
 	}
 	for _, d := range recover {
 		if in.permanent[d] {
 			continue // permanent failures outlive recover batches
+		}
+		if in.failed[d] {
+			in.obsRecoveries.Inc()
 		}
 		delete(in.failed, d)
 	}
@@ -427,9 +474,11 @@ func (in *Injector) CheckRead(disk, bucket, attempt int) error {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
 	if in.failed[disk] {
+		in.obsFailstop.Inc()
 		return &DiskFailedError{Disk: disk}
 	}
 	if in.prob > 0 && coin(in.seed, disk, bucket, attempt) < in.prob {
+		in.obsTransient.Inc()
 		return &TransientError{Disk: disk, Bucket: bucket, Attempt: attempt}
 	}
 	return nil

@@ -25,6 +25,70 @@ func FuzzLinearizeRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzEachRect checks rect iteration on fuzzed rectangles: every
+// visited coordinate lies inside the rect, the order is strictly
+// row-major (lexicographic), the visit count matches Volume with the
+// corners first and last, and early stop halts exactly where asked.
+func FuzzEachRect(f *testing.F) {
+	f.Add(uint8(8), uint8(8), uint8(1), uint8(2), uint8(3), uint8(4), uint16(0))
+	f.Add(uint8(1), uint8(1), uint8(0), uint8(0), uint8(0), uint8(0), uint16(1))
+	f.Add(uint8(16), uint8(16), uint8(15), uint8(15), uint8(9), uint8(9), uint16(7))
+	f.Add(uint8(5), uint8(9), uint8(4), uint8(0), uint8(0), uint8(8), uint16(3))
+	f.Fuzz(func(t *testing.T, d0, d1, x0, y0, w, h uint8, stop uint16) {
+		dims := []int{int(d0%16) + 1, int(d1%16) + 1}
+		g, err := New(dims...)
+		if err != nil {
+			t.Fatalf("valid dims rejected: %v", err)
+		}
+		lo := Coord{int(x0) % dims[0], int(y0) % dims[1]}
+		hi := Coord{lo[0] + int(w)%(dims[0]-lo[0]), lo[1] + int(h)%(dims[1]-lo[1])}
+		r, err := g.NewRect(lo, hi)
+		if err != nil {
+			t.Fatalf("constructed rect %v..%v rejected: %v", lo, hi, err)
+		}
+
+		var prev Coord
+		count := 0
+		EachRect(r, func(c Coord) bool {
+			if !r.Contains(c) || !g.Contains(c) {
+				t.Fatalf("visited %v outside rect %v", c, r)
+			}
+			if prev != nil && !lexLess(prev, c) {
+				t.Fatalf("order not strictly row-major: %v then %v", prev, c)
+			}
+			if count == 0 && (c[0] != r.Lo[0] || c[1] != r.Lo[1]) {
+				t.Fatalf("first visit %v, want %v", c, r.Lo)
+			}
+			prev = c.Clone()
+			count++
+			return true
+		})
+		if count != r.Volume() {
+			t.Fatalf("visited %d coords, want Volume %d", count, r.Volume())
+		}
+		if prev[0] != r.Hi[0] || prev[1] != r.Hi[1] {
+			t.Fatalf("last visit %v, want %v", prev, r.Hi)
+		}
+
+		limit := int(stop)%count + 1
+		n := 0
+		EachRect(r, func(Coord) bool { n++; return n < limit })
+		if n != limit {
+			t.Fatalf("early stop visited %d, want %d", n, limit)
+		}
+	})
+}
+
+// lexLess reports a < b lexicographically (equal-length coords).
+func lexLess(a, b Coord) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
 // FuzzPlacements checks that every placement of a fuzzed shape stays in
 // bounds and the count matches the closed form.
 func FuzzPlacements(f *testing.F) {

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	s := NewSink()
+	s.EnableTracing(2)
+	s.Registry().Counter("serve.queries.issued").Add(7)
+	s.Registry().Histogram("serve.query.latency").Observe(3 * time.Millisecond)
+	s.Registry().CounterFamily("exec.disk.read.attempts", "disk", 2).At(1).Add(4)
+	s.Registry().HistogramFamily("exec.disk.read.latency", "disk", 2).At(0).Observe(time.Millisecond)
+	cannedTrace(s, "query <0,0>..<1,1>", 5*time.Millisecond)
+	h := s.Handler()
+
+	code, body := get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, body)
+	}
+	if snap["serve.queries.issued"] != float64(7) {
+		t.Errorf("issued = %v", snap["serve.queries.issued"])
+	}
+	hist, ok := snap["serve.query.latency"].(map[string]any)
+	if !ok || hist["count"] != float64(1) {
+		t.Errorf("latency snapshot = %v", snap["serve.query.latency"])
+	}
+	fam, ok := snap["exec.disk.read.attempts"].(map[string]any)
+	if !ok || fam["disk1"] != float64(4) {
+		t.Errorf("family snapshot = %v", snap["exec.disk.read.attempts"])
+	}
+
+	if code, body = get(t, h, "/metrics.txt"); code != http.StatusOK || !strings.Contains(body, "serve.queries.issued") {
+		t.Errorf("/metrics.txt = %d:\n%s", code, body)
+	}
+	if code, body = get(t, h, "/metrics.csv"); code != http.StatusOK || !strings.HasPrefix(body, "kind,name,label,field,value\n") {
+		t.Errorf("/metrics.csv = %d:\n%s", code, body)
+	}
+	if code, body = get(t, h, "/traces"); code != http.StatusOK || !strings.Contains(body, "query <0,0>..<1,1>") {
+		t.Errorf("/traces = %d:\n%s", code, body)
+	}
+	if code, _ = get(t, h, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+// A nil sink's handler still serves every endpoint with empty
+// documents — the CLI wires -http unconditionally.
+func TestHandlerNilSink(t *testing.T) {
+	var s *Sink
+	h := s.Handler()
+	code, body := get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if strings.TrimSpace(body) != "{}" {
+		t.Errorf("/metrics body = %q, want empty object", body)
+	}
+	if code, _ := get(t, h, "/metrics.txt"); code != http.StatusOK {
+		t.Errorf("/metrics.txt status %d", code)
+	}
+	if code, body := get(t, h, "/traces"); code != http.StatusOK || body != "" {
+		t.Errorf("/traces = %d %q", code, body)
+	}
+}

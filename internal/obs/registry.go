@@ -1,0 +1,452 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket latency histogram over int64 nanosecond
+// observations. Bucket b counts observations v with bounds[b-1] < v ≤
+// bounds[b]; an implicit overflow bucket catches everything above the
+// last bound. Count, sum, min, and max are tracked exactly; quantiles
+// are estimated by linear interpolation inside the covering bucket
+// using the same rank convention as stats.Percentile, and are clamped
+// into [Min, Max] so the edge cases (empty → 0, p ≤ 0 → min, p ≥ 100 →
+// max, single sample → that sample) agree with package stats exactly.
+type Histogram struct {
+	bounds []int64 // ascending upper bounds, ns
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+// DefaultLatencyBounds is a 1-2-5 exponential ladder from 1µs to 10s —
+// wide enough for simulated disk reads and whole-query latencies alike.
+func DefaultLatencyBounds() []time.Duration {
+	var out []time.Duration
+	for decade := time.Microsecond; decade <= time.Second; decade *= 10 {
+		out = append(out, decade, 2*decade, 5*decade)
+	}
+	return append(out, 10*time.Second)
+}
+
+func newHistogram(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBounds()
+	}
+	h := &Histogram{
+		bounds: make([]int64, len(bounds)),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	for i, b := range bounds {
+		h.bounds[i] = int64(b)
+	}
+	sort.Slice(h.bounds, func(i, j int) bool { return h.bounds[i] < h.bounds[j] })
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	v := int64(d)
+	// Binary search for the first bound ≥ v; the overflow bucket is
+	// len(bounds).
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.min.Load())
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() time.Duration {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(n))
+}
+
+// Percentile estimates the p-th percentile (0 ≤ p ≤ 100). Conventions
+// match stats.Percentile: an empty histogram returns 0, p is clamped
+// into [0, 100] (p ≤ 0 → Min, p ≥ 100 → Max), and a NaN p returns 0.
+// The estimate interpolates linearly inside the bucket covering the
+// rank p/100·(n−1) and is clamped into [Min, Max], so it can differ
+// from the exact sample percentile by at most the covering bucket's
+// width.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 || math.IsNaN(p) {
+		return 0
+	}
+	if p <= 0 {
+		return h.Min()
+	}
+	if p >= 100 {
+		return h.Max()
+	}
+	rank := p / 100 * float64(n-1)
+	var cum uint64
+	for b := range h.counts {
+		c := h.counts[b].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) > rank {
+			// The rank falls in bucket b: interpolate by position.
+			frac := (rank - float64(cum)) / float64(c)
+			lo, hi := h.bucketEdges(b)
+			v := float64(lo) + frac*float64(hi-lo)
+			return h.clamp(time.Duration(v))
+		}
+		cum += c
+	}
+	return h.Max()
+}
+
+// bucketEdges returns bucket b's value range, tightened by the observed
+// min/max so sparse histograms interpolate inside real data.
+func (h *Histogram) bucketEdges(b int) (lo, hi int64) {
+	if b == 0 {
+		lo = h.min.Load()
+	} else {
+		lo = h.bounds[b-1]
+	}
+	if b == len(h.bounds) {
+		hi = h.max.Load()
+	} else {
+		hi = h.bounds[b]
+	}
+	if mn := h.min.Load(); lo < mn {
+		lo = mn
+	}
+	if mx := h.max.Load(); hi > mx {
+		hi = mx
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+func (h *Histogram) clamp(d time.Duration) time.Duration {
+	if mn := time.Duration(h.min.Load()); d < mn {
+		return mn
+	}
+	if mx := time.Duration(h.max.Load()); d > mx {
+		return mx
+	}
+	return d
+}
+
+// CounterFamily is a fixed-size family of counters labeled by a small
+// integer — one per disk, in this codebase.
+type CounterFamily struct {
+	label string
+	cs    []Counter
+}
+
+// At returns the counter of label value i (nil when out of range or
+// the family is nil, keeping call sites branch-free).
+func (f *CounterFamily) At(i int) *Counter {
+	if f == nil || i < 0 || i >= len(f.cs) {
+		return nil
+	}
+	return &f.cs[i]
+}
+
+// Len returns the family size.
+func (f *CounterFamily) Len() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.cs)
+}
+
+// Sum totals the family's counters.
+func (f *CounterFamily) Sum() uint64 {
+	if f == nil {
+		return 0
+	}
+	var s uint64
+	for i := range f.cs {
+		s += f.cs[i].Value()
+	}
+	return s
+}
+
+// HistogramFamily is a fixed-size family of histograms labeled by a
+// small integer.
+type HistogramFamily struct {
+	label string
+	hs    []*Histogram
+}
+
+// At returns the histogram of label value i (nil when out of range).
+func (f *HistogramFamily) At(i int) *Histogram {
+	if f == nil || i < 0 || i >= len(f.hs) {
+		return nil
+	}
+	return f.hs[i]
+}
+
+// Len returns the family size.
+func (f *HistogramFamily) Len() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.hs)
+}
+
+// Count totals the family's observation counts.
+func (f *HistogramFamily) Count() uint64 {
+	if f == nil {
+		return 0
+	}
+	var s uint64
+	for _, h := range f.hs {
+		s += h.Count()
+	}
+	return s
+}
+
+// Registry holds named metrics. Get-or-create accessors are safe for
+// concurrent use; instrumented code resolves handles once at
+// construction and then touches only the atomics.
+type Registry struct {
+	mu    sync.Mutex
+	cs    map[string]*Counter
+	gs    map[string]*Gauge
+	hs    map[string]*Histogram
+	cfams map[string]*CounterFamily
+	hfams map[string]*HistogramFamily
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		cs:    make(map[string]*Counter),
+		gs:    make(map[string]*Gauge),
+		hs:    make(map[string]*Histogram),
+		cfams: make(map[string]*CounterFamily),
+		hfams: make(map[string]*HistogramFamily),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns nil (a valid no-op counter).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.cs[name]
+	if !ok {
+		c = &Counter{}
+		r.cs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gs[name]
+	if !ok {
+		g = &Gauge{}
+		r.gs[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (DefaultLatencyBounds when bounds is
+// empty). Later calls ignore bounds.
+func (r *Registry) Histogram(name string, bounds ...time.Duration) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hs[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hs[name] = h
+	}
+	return h
+}
+
+// CounterFamily returns the named counter family of n members labeled
+// label+index, creating it on first use. Later calls ignore label and
+// n; asking for a larger n than the existing family panics, since a
+// too-small family would silently drop per-disk counts.
+func (r *Registry) CounterFamily(name, label string, n int) *CounterFamily {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.cfams[name]
+	if !ok {
+		f = &CounterFamily{label: label, cs: make([]Counter, n)}
+		r.cfams[name] = f
+	} else if n > len(f.cs) {
+		panic(fmt.Sprintf("obs: counter family %q has %d members; %d requested", name, len(f.cs), n))
+	}
+	return f
+}
+
+// HistogramFamily returns the named histogram family of n members,
+// creating it on first use with the given bounds.
+func (r *Registry) HistogramFamily(name, label string, n int, bounds ...time.Duration) *HistogramFamily {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.hfams[name]
+	if !ok {
+		f = &HistogramFamily{label: label, hs: make([]*Histogram, n)}
+		for i := range f.hs {
+			f.hs[i] = newHistogram(bounds)
+		}
+		r.hfams[name] = f
+	} else if n > len(f.hs) {
+		panic(fmt.Sprintf("obs: histogram family %q has %d members; %d requested", name, len(f.hs), n))
+	}
+	return f
+}
+
+// names returns the sorted metric names of one kind, for deterministic
+// dumps.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

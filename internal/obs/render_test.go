@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from this run's output")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch (re-run with -update if the change is intended)\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestRenderTreeGolden pins the span-tree renderer on a canned query
+// lifecycle: every interval is set explicitly, so the output is
+// byte-for-byte deterministic.
+func TestRenderTreeGolden(t *testing.T) {
+	s := NewSink()
+	s.EnableTracing(1)
+	ms := func(f float64) time.Duration { return time.Duration(f * float64(time.Millisecond)) }
+	tr := s.StartTrace("query <3,4>..<9,9> prio 0")
+	tr.Root().SetInterval(0, ms(12.40))
+
+	admit := tr.Root().Child("admit")
+	admit.SetInterval(ms(0.01), ms(0.22))
+	ex := tr.Root().Child("exec")
+	ex.SetInterval(ms(0.25), ms(12.36))
+
+	d0 := ex.Child("disk 0")
+	d0.SetInterval(ms(0.30), ms(12.10))
+	a1 := d0.Child("read b17 attempt 1")
+	a1.mu.Lock()
+	a1.start, a1.end = ms(0.31), ms(3.05) // left unfinished on purpose
+	a1.mu.Unlock()
+	a2 := d0.Child("read b17 attempt 2")
+	a2.SetInterval(ms(3.10), ms(12.05))
+	hedge := a2.Child("hedge d4")
+	hedge.SetInterval(ms(8.10), ms(12.00))
+
+	d3 := ex.Child("disk 3")
+	d3.SetInterval(ms(0.30), ms(2.40))
+	a3 := d3.Child("read b41 attempt 1")
+	a3.SetInterval(ms(0.32), ms(2.35))
+	a3.mu.Lock()
+	a3.errmsg = errors.New("fault: disk 3 unavailable").Error()
+	a3.mu.Unlock()
+	rrsp := a3.Child("read-repair d3 b41")
+	rrsp.SetInterval(ms(1.10), ms(2.30))
+
+	s.FinishTrace(tr)
+
+	var buf bytes.Buffer
+	if err := tr.RenderTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"├─", "└─", "│", "(unfinished)", "[fault: disk 3 unavailable]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	checkGolden(t, "trace_tree.golden", out)
+}
+
+// TestWriteTableGolden and TestWriteCSVGolden pin the dump formats on a
+// hand-built registry with known values — exact, no normalization.
+func buildDumpRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("serve.queries.issued").Add(42)
+	r.Counter("serve.queries.completed").Add(40)
+	r.Gauge("serve.queue.depth").Set(3)
+	h := r.Histogram("serve.query.latency")
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 8 * time.Millisecond} {
+		h.Observe(d)
+	}
+	f := r.CounterFamily("exec.disk.read.attempts", "disk", 3)
+	f.At(0).Add(10)
+	f.At(1).Add(20)
+	f.At(2).Add(12)
+	hf := r.HistogramFamily("exec.disk.read.latency", "disk", 2)
+	hf.At(0).Observe(3 * time.Millisecond)
+	hf.At(1).Observe(5 * time.Millisecond)
+	return r
+}
+
+func TestWriteTableGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildDumpRegistry().WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "registry_table.golden", buf.String())
+}
+
+func TestWriteCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildDumpRegistry().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "kind,name,label,field,value\n") {
+		t.Fatalf("CSV header wrong: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	checkGolden(t, "registry_csv.golden", out)
+}
+
+func TestRenderTreeNilTrace(t *testing.T) {
+	var tr *Trace
+	var buf bytes.Buffer
+	if err := tr.RenderTree(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil trace rendered %q, err %v", buf.String(), err)
+	}
+}

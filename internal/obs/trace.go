@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one interval in a query's lifecycle tree. Spans carry their
+// start and end as monotonic offsets from the owning trace's epoch, a
+// terse name ("admit", "disk 3", "read b17 attempt 2", "hedge d5"), an
+// optional error string, and child spans. All methods are safe for
+// concurrent use and no-op on a nil receiver, so instrumented code
+// holds spans unconditionally.
+type Span struct {
+	tr *Trace
+
+	mu       sync.Mutex
+	name     string
+	start    time.Duration
+	end      time.Duration
+	ended    bool
+	errmsg   string
+	children []*Span
+}
+
+// Trace is one query's span tree. The epoch is captured with Go's
+// monotonic clock at StartTrace, so span offsets are immune to
+// wall-clock steps.
+type Trace struct {
+	id    uint64
+	name  string
+	epoch time.Time
+
+	mu    sync.Mutex
+	root  *Span
+	done  bool
+	total time.Duration
+}
+
+func newTrace(id uint64, name string) *Trace {
+	t := &Trace{id: id, name: name, epoch: time.Now()}
+	t.root = &Span{tr: t, name: name}
+	return t
+}
+
+// ID returns the trace's sink-unique id (0 for nil).
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// Name returns the trace name ("" for nil).
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Root returns the root span (nil for a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// now returns the monotonic offset since the trace epoch.
+func (t *Trace) now() time.Duration { return time.Since(t.epoch) }
+
+// Finish closes the root span (if still open) and freezes the trace's
+// total duration. Idempotent.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.root.Finish()
+	t.mu.Lock()
+	if !t.done {
+		t.done = true
+		t.root.mu.Lock()
+		t.total = t.root.end - t.root.start
+		t.root.mu.Unlock()
+	}
+	t.mu.Unlock()
+}
+
+// Total returns the root span's duration (frozen at Finish; 0 before).
+func (t *Trace) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Child starts a child span of s named name, beginning now. It returns
+// nil when s is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, start: s.tr.now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Finish ends the span now. Idempotent; the first call wins.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = s.tr.now()
+	}
+	s.mu.Unlock()
+}
+
+// FinishErr ends the span now, recording err's message when non-nil.
+func (s *Span) FinishErr(err error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = s.tr.now()
+		if err != nil {
+			s.errmsg = err.Error()
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Annotate appends ": msg" context to the span name — outcome labels
+// like "shed" or "won" — without the cost model of a key-value bag.
+func (s *Span) Annotate(msg string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.name += ": " + msg
+	s.mu.Unlock()
+}
+
+// SetInterval overrides the span's timing — exported for canned traces
+// in renderer tests and goldens; production spans are timed by
+// Child/Finish.
+func (s *Span) SetInterval(start, end time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.start, s.end, s.ended = start, end, true
+	s.mu.Unlock()
+}
+
+// snapshot copies the span subtree under its locks, for rendering.
+type spanSnap struct {
+	name     string
+	start    time.Duration
+	end      time.Duration
+	ended    bool
+	errmsg   string
+	children []spanSnap
+}
+
+func (s *Span) snap() spanSnap {
+	s.mu.Lock()
+	out := spanSnap{
+		name: s.name, start: s.start, end: s.end,
+		ended: s.ended, errmsg: s.errmsg,
+		children: make([]spanSnap, 0, len(s.children)),
+	}
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		out.children = append(out.children, c.snap())
+	}
+	sort.SliceStable(out.children, func(i, j int) bool {
+		return out.children[i].start < out.children[j].start
+	})
+	return out
+}
+
+// spanCtxKey keys the active span in a context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the active span. Passing a
+// nil span returns ctx unchanged, so the disabled path allocates
+// nothing.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the active span, or nil when none is set.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// TraceBuffer retains the slowest N finished traces offered to it — the
+// end-of-run "why were these slow" exhibit. Safe for concurrent use.
+type TraceBuffer struct {
+	mu  sync.Mutex
+	cap int
+	ts  []*Trace // ascending by Total; index 0 is the fastest retained
+}
+
+// NewTraceBuffer returns a buffer keeping the slowest n traces (n ≥ 1).
+func NewTraceBuffer(n int) *TraceBuffer {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceBuffer{cap: n}
+}
+
+// Offer inserts t if it ranks among the slowest retained traces.
+func (b *TraceBuffer) Offer(t *Trace) {
+	if b == nil || t == nil {
+		return
+	}
+	total := t.Total()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.ts) == b.cap && total <= b.ts[0].Total() {
+		return
+	}
+	i := sort.Search(len(b.ts), func(i int) bool { return b.ts[i].Total() >= total })
+	b.ts = append(b.ts, nil)
+	copy(b.ts[i+1:], b.ts[i:])
+	b.ts[i] = t
+	if len(b.ts) > b.cap {
+		b.ts = b.ts[1:]
+	}
+}
+
+// Slowest returns the retained traces, slowest first.
+func (b *TraceBuffer) Slowest() []*Trace {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*Trace, len(b.ts))
+	for i, t := range b.ts {
+		out[len(b.ts)-1-i] = t
+	}
+	return out
+}

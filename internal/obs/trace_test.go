@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilSink(t *testing.T) {
+	var s *Sink
+	if s.Registry() != nil {
+		t.Error("nil sink has a registry")
+	}
+	if s.Tracing() {
+		t.Error("nil sink traces")
+	}
+	s.EnableTracing(5)
+	if tr := s.StartTrace("q"); tr != nil {
+		t.Error("nil sink started a trace")
+	}
+	s.FinishTrace(nil)
+	if s.SlowestTraces() != nil {
+		t.Error("nil sink retained traces")
+	}
+}
+
+func TestSinkTracingToggle(t *testing.T) {
+	s := NewSink()
+	if s.Tracing() {
+		t.Error("fresh sink traces")
+	}
+	if tr := s.StartTrace("q"); tr != nil {
+		t.Error("non-tracing sink started a trace")
+	}
+	s.EnableTracing(2)
+	if !s.Tracing() {
+		t.Error("EnableTracing did not enable")
+	}
+	tr := s.StartTrace("q")
+	if tr == nil {
+		t.Fatal("tracing sink returned nil trace")
+	}
+	if tr.ID() == 0 || tr.Name() != "q" {
+		t.Errorf("trace id/name = %d/%q", tr.ID(), tr.Name())
+	}
+}
+
+func TestSpanTreeLifecycle(t *testing.T) {
+	s := NewSink()
+	s.EnableTracing(4)
+	tr := s.StartTrace("query")
+	admit := tr.Root().Child("admit")
+	admit.Finish()
+	ex := tr.Root().Child("exec")
+	d0 := ex.Child("disk 0")
+	d0.FinishErr(errors.New("boom"))
+	d1 := ex.Child("disk 1")
+	d1.Finish()
+	ex.Finish()
+	tr.Root().Annotate("degraded")
+	s.FinishTrace(tr)
+
+	if tr.Total() <= 0 {
+		t.Errorf("Total = %v, want > 0", tr.Total())
+	}
+	snap := tr.Root().snap()
+	if !strings.Contains(snap.name, "degraded") {
+		t.Errorf("annotation missing from root name %q", snap.name)
+	}
+	if len(snap.children) != 2 || snap.children[0].name != "admit" || snap.children[1].name != "exec" {
+		t.Fatalf("root children = %+v", snap.children)
+	}
+	execSnap := snap.children[1]
+	if len(execSnap.children) != 2 {
+		t.Fatalf("exec children = %+v", execSnap.children)
+	}
+	if execSnap.children[0].errmsg != "boom" {
+		t.Errorf("disk 0 errmsg = %q", execSnap.children[0].errmsg)
+	}
+	got := s.SlowestTraces()
+	if len(got) != 1 || got[0] != tr {
+		t.Errorf("SlowestTraces = %v", got)
+	}
+}
+
+func TestNilSpanSafety(t *testing.T) {
+	var sp *Span
+	if sp.Child("x") != nil {
+		t.Error("nil span spawned a child")
+	}
+	sp.Finish()
+	sp.FinishErr(errors.New("e"))
+	sp.Annotate("a")
+	sp.SetInterval(0, time.Second)
+	var tr *Trace
+	if tr.Root() != nil || tr.Total() != 0 || tr.ID() != 0 || tr.Name() != "" {
+		t.Error("nil trace has state")
+	}
+	tr.Finish()
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	s := NewSink()
+	s.EnableTracing(1)
+	tr := s.StartTrace("q")
+	tr.Root().SetInterval(0, 10*time.Millisecond)
+	tr.Finish()
+	total := tr.Total()
+	if total != 10*time.Millisecond {
+		t.Fatalf("Total = %v, want 10ms", total)
+	}
+	time.Sleep(time.Millisecond)
+	tr.Finish() // second Finish must not re-freeze
+	if tr.Total() != total {
+		t.Errorf("Total changed on second Finish: %v", tr.Total())
+	}
+}
+
+func TestContextSpanPropagation(t *testing.T) {
+	ctx := context.Background()
+	if SpanFromContext(ctx) != nil {
+		t.Error("empty context has a span")
+	}
+	if ContextWithSpan(ctx, nil) != ctx {
+		t.Error("nil span changed the context")
+	}
+	s := NewSink()
+	s.EnableTracing(1)
+	tr := s.StartTrace("q")
+	sp := tr.Root().Child("read")
+	ctx2 := ContextWithSpan(ctx, sp)
+	if SpanFromContext(ctx2) != sp {
+		t.Error("span did not round-trip through context")
+	}
+}
+
+// cannedTrace builds a finished trace whose total is exactly d.
+func cannedTrace(s *Sink, name string, d time.Duration) *Trace {
+	tr := s.StartTrace(name)
+	tr.Root().SetInterval(0, d)
+	s.FinishTrace(tr)
+	return tr
+}
+
+func TestTraceBufferKeepsSlowest(t *testing.T) {
+	s := NewSink()
+	s.EnableTracing(3)
+	durs := []time.Duration{5, 1, 9, 3, 7, 2, 8}
+	for i, d := range durs {
+		cannedTrace(s, strings.Repeat("q", i+1), d*time.Millisecond)
+	}
+	got := s.SlowestTraces()
+	if len(got) != 3 {
+		t.Fatalf("retained %d traces, want 3", len(got))
+	}
+	wants := []time.Duration{9, 8, 7}
+	for i, want := range wants {
+		if got[i].Total() != want*time.Millisecond {
+			t.Errorf("slowest[%d].Total = %v, want %vms", i, got[i].Total(), want)
+		}
+	}
+}
+
+func TestTraceBufferMinimumOne(t *testing.T) {
+	b := NewTraceBuffer(0)
+	b.Offer(nil) // no-op
+	s := NewSink()
+	s.EnableTracing(1)
+	fast := cannedTrace(s, "fast", time.Millisecond)
+	slow := cannedTrace(s, "slow", time.Second)
+	b.Offer(fast)
+	b.Offer(slow)
+	b.Offer(fast)
+	got := b.Slowest()
+	if len(got) != 1 || got[0] != slow {
+		t.Errorf("Slowest = %v", got)
+	}
+	var nb *TraceBuffer
+	nb.Offer(slow)
+	if nb.Slowest() != nil {
+		t.Error("nil buffer retained traces")
+	}
+}

@@ -3,12 +3,14 @@ package repair
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 
 	"decluster/internal/datagen"
 	"decluster/internal/exec"
 	"decluster/internal/fault"
 	"decluster/internal/gridfile"
+	"decluster/internal/obs"
 )
 
 // ReadRepairer turns foreground checksum mismatches into inline
@@ -28,6 +30,27 @@ type ReadRepairer struct {
 
 	repairs  atomic.Int64
 	failures atomic.Int64
+
+	// obsRepairs / obsFailures mirror the atomics into a sink's
+	// registry; nil (no-op) until Observe. obsSink gates trace spans.
+	obsSink     *obs.Sink
+	obsRepairs  *obs.Counter
+	obsFailures *obs.Counter
+}
+
+// Observe registers the read-repairer's counters
+// (repair.readrepair.repaired / repair.readrepair.failed) in the
+// sink's registry and — when the sink traces — records a span per
+// inline repair under the read's attempt span. Call it before serving
+// traffic; a nil sink is a no-op.
+func (rr *ReadRepairer) Observe(s *obs.Sink) {
+	if rr == nil || s == nil {
+		return
+	}
+	r := s.Registry()
+	rr.obsSink = s
+	rr.obsRepairs = r.Counter("repair.readrepair.repaired")
+	rr.obsFailures = r.Counter("repair.readrepair.failed")
 }
 
 // NewReadRepairer builds a read-repairer over the store. tracker and
@@ -66,6 +89,12 @@ func (r *repairingReader) ReadBucket(ctx context.Context, disk, bucket int) ([]d
 	if rr.tracker != nil {
 		rr.tracker.Suspect(ce.Disk)
 	}
+	// Repair is the cold path, so span bookkeeping here costs the hot
+	// path nothing.
+	var sp *obs.Span
+	if rr.obsSink.Tracing() {
+		sp = obs.SpanFromContext(ctx).Child(fmt.Sprintf("read-repair d%d b%d", ce.Disk, ce.Bucket))
+	}
 	for _, src := range rr.store.Holders(ce.Bucket) {
 		if src == ce.Disk || !rr.store.HasCopy(src, ce.Bucket) {
 			continue
@@ -79,8 +108,12 @@ func (r *repairingReader) ReadBucket(ctx context.Context, disk, bucket int) ([]d
 		}
 		rr.store.Repair(ce.Disk, ce.Bucket, clean)
 		rr.repairs.Add(1)
+		rr.obsRepairs.Inc()
+		sp.Finish()
 		return clean, nil
 	}
 	rr.failures.Add(1)
+	rr.obsFailures.Inc()
+	sp.FinishErr(err)
 	return nil, err
 }

@@ -11,6 +11,7 @@ import (
 	"decluster/internal/fault"
 	"decluster/internal/grid"
 	"decluster/internal/gridfile"
+	"decluster/internal/obs"
 	"decluster/internal/serve"
 )
 
@@ -42,6 +43,15 @@ type RebuildConfig struct {
 	// Tracker optionally records the disk's rebuilding → healthy
 	// transitions.
 	Tracker *Tracker
+	// Obs optionally receives rebuild metrics (bucket/page/shed
+	// counters and throttle tokens) in its registry.
+	Obs *obs.Sink
+}
+
+// rebuildMetrics holds the rebuilder's pre-resolved counters (nil when
+// observation is disabled).
+type rebuildMetrics struct {
+	rebuilds, buckets, pages, sheds *obs.Counter
 }
 
 // RebuildReport summarizes one disk rebuild.
@@ -69,6 +79,7 @@ type Rebuilder struct {
 	inj   *fault.Injector
 	cfg   RebuildConfig
 	tb    *tokenBucket
+	m     *rebuildMetrics
 }
 
 // NewRebuilder builds a rebuild engine. sched may be nil (direct store
@@ -99,7 +110,20 @@ func NewRebuilder(store *gridfile.Store, sched *serve.Scheduler, inj *fault.Inje
 	if err != nil {
 		return nil, err
 	}
-	return &Rebuilder{store: store, sched: sched, inj: inj, cfg: cfg, tb: tb}, nil
+	r := &Rebuilder{store: store, sched: sched, inj: inj, cfg: cfg, tb: tb}
+	if cfg.Obs != nil {
+		reg := cfg.Obs.Registry()
+		r.m = &rebuildMetrics{
+			rebuilds: reg.Counter("repair.rebuild.completed"),
+			buckets:  reg.Counter("repair.rebuild.buckets"),
+			pages:    reg.Counter("repair.rebuild.pages"),
+			sheds:    reg.Counter("repair.rebuild.sheds"),
+		}
+		if tb != nil {
+			tb.taken = reg.Counter("repair.rebuild.throttle.tokens")
+		}
+	}
+	return r, nil
 }
 
 // Rebuild reconstructs disk's lost bucket copies and returns it to
@@ -151,6 +175,9 @@ func (r *Rebuilder) Rebuild(ctx context.Context, disk int) (*RebuildReport, erro
 				mu.Lock()
 				rep.Sheds += sheds
 				mu.Unlock()
+				if r.m != nil {
+					r.m.sheds.Add(uint64(sheds))
+				}
 				if err != nil {
 					r.fail(&mu, &firstErr, cancel,
 						fmt.Errorf("repair: rebuild of disk %d stalled at bucket %d: %w", disk, b, err))
@@ -164,6 +191,10 @@ func (r *Rebuilder) Rebuild(ctx context.Context, disk int) (*RebuildReport, erro
 				rep.Buckets++
 				rep.Pages += pages
 				mu.Unlock()
+				if r.m != nil {
+					r.m.buckets.Inc()
+					r.m.pages.Add(uint64(pages))
+				}
 			}
 		}()
 	}
@@ -182,6 +213,9 @@ func (r *Rebuilder) Rebuild(ctx context.Context, disk int) (*RebuildReport, erro
 	r.inj.ReplaceDisk(disk)
 	if r.cfg.Tracker != nil {
 		r.cfg.Tracker.Set(disk, StateHealthy)
+	}
+	if r.m != nil {
+		r.m.rebuilds.Inc()
 	}
 	rep.Elapsed = time.Since(start)
 	return rep, nil

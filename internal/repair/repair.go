@@ -36,6 +36,7 @@ import (
 
 	"decluster/internal/fault"
 	"decluster/internal/gridfile"
+	"decluster/internal/obs"
 )
 
 // State is one disk's position in the repair lifecycle.
@@ -71,6 +72,22 @@ func (s State) String() string {
 type Tracker struct {
 	mu     sync.Mutex
 	states map[int]State
+	// quarantines counts healthy → suspect transitions; nil (no-op)
+	// until AttachObserver.
+	quarantines *obs.Counter
+}
+
+// AttachObserver registers the tracker's quarantine counter
+// (repair.quarantines: disks newly marked suspect) in the sink's
+// registry. A nil sink is a no-op.
+func (t *Tracker) AttachObserver(s *obs.Sink) {
+	if t == nil || s == nil {
+		return
+	}
+	c := s.Registry().Counter("repair.quarantines")
+	t.mu.Lock()
+	t.quarantines = c
+	t.mu.Unlock()
 }
 
 // Get returns disk d's state (StateHealthy when never reported).
@@ -102,7 +119,11 @@ func (t *Tracker) Suspect(d int) {
 	if t.states == nil {
 		t.states = make(map[int]State)
 	}
-	if t.states[d] != StateRebuilding {
+	switch t.states[d] {
+	case StateRebuilding: // a mid-rebuild mismatch must not demote the state
+	case StateSuspect: // already quarantined
+	default:
+		t.quarantines.Inc()
 		t.states[d] = StateSuspect
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"decluster/internal/fault"
 	"decluster/internal/gridfile"
+	"decluster/internal/obs"
 )
 
 // ScrubConfig tunes a Scrubber.
@@ -24,6 +25,15 @@ type ScrubConfig struct {
 	// (a failed disk serves no reads, scrub or otherwise) and they are
 	// never used as repair sources.
 	Faults *fault.Injector
+	// Obs optionally receives scrub metrics (sweep/page/corruption
+	// counters and throttle tokens) in its registry.
+	Obs *obs.Sink
+}
+
+// scrubMetrics holds the scrubber's pre-resolved counters (nil when
+// observation is disabled).
+type scrubMetrics struct {
+	sweeps, pages, corrupt, repaired, unrepairable *obs.Counter
 }
 
 // ScrubReport summarizes one sweep.
@@ -51,6 +61,7 @@ type Scrubber struct {
 	store *gridfile.Store
 	cfg   ScrubConfig
 	tb    *tokenBucket
+	m     *scrubMetrics
 }
 
 // NewScrubber builds a scrubber over the store.
@@ -59,7 +70,21 @@ func NewScrubber(s *gridfile.Store, cfg ScrubConfig) (*Scrubber, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Scrubber{store: s, cfg: cfg, tb: tb}, nil
+	sc := &Scrubber{store: s, cfg: cfg, tb: tb}
+	if cfg.Obs != nil {
+		r := cfg.Obs.Registry()
+		sc.m = &scrubMetrics{
+			sweeps:       r.Counter("repair.scrub.sweeps"),
+			pages:        r.Counter("repair.scrub.pages"),
+			corrupt:      r.Counter("repair.scrub.corrupt"),
+			repaired:     r.Counter("repair.scrub.repaired"),
+			unrepairable: r.Counter("repair.scrub.unrepairable"),
+		}
+		if tb != nil {
+			tb.taken = r.Counter("repair.scrub.throttle.tokens")
+		}
+	}
+	return sc, nil
 }
 
 // RunOnce sweeps every stored copy once. It verifies page checksums,
@@ -91,6 +116,9 @@ func (sc *Scrubber) RunOnce(ctx context.Context) (*ScrubReport, error) {
 				return rep, err
 			}
 			rep.PagesScanned += pages
+			if sc.m != nil {
+				sc.m.pages.Add(uint64(pages))
+			}
 			scanned[d] = true
 			if _, err := sc.store.ReadVerified(d, b); err != nil {
 				if !errors.Is(err, gridfile.ErrCorrupt) {
@@ -99,13 +127,22 @@ func (sc *Scrubber) RunOnce(ctx context.Context) (*ScrubReport, error) {
 				}
 				rep.CorruptFound++
 				dirty[d] = true
+				if sc.m != nil {
+					sc.m.corrupt.Inc()
+				}
 				if sc.cfg.Tracker != nil {
 					sc.cfg.Tracker.Suspect(d)
 				}
 				if sc.repairFrom(d, b) {
 					rep.Repaired++
+					if sc.m != nil {
+						sc.m.repaired.Inc()
+					}
 				} else {
 					rep.Unrepairable++
+					if sc.m != nil {
+						sc.m.unrepairable.Inc()
+					}
 				}
 			}
 		}
@@ -123,6 +160,9 @@ func (sc *Scrubber) RunOnce(ctx context.Context) (*ScrubReport, error) {
 				sc.cfg.Tracker.Set(d, StateHealthy)
 			}
 		}
+	}
+	if sc.m != nil {
+		sc.m.sweeps.Inc()
 	}
 	rep.Elapsed = time.Since(start)
 	return rep, nil

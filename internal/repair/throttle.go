@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"decluster/internal/obs"
 )
 
 // tokenBucket paces page I/O: take(n) blocks until n tokens are
@@ -15,6 +17,9 @@ import (
 type tokenBucket struct {
 	rate  float64 // tokens per second
 	burst float64
+	// taken counts tokens granted; nil (no-op) until the owner
+	// attaches an observer.
+	taken *obs.Counter
 
 	mu     sync.Mutex
 	tokens float64
@@ -53,6 +58,7 @@ func (tb *tokenBucket) take(ctx context.Context, n float64) error {
 	tb.tokens -= n
 	debt := -tb.tokens
 	tb.mu.Unlock()
+	tb.taken.Add(uint64(n))
 	if debt <= 0 {
 		return nil
 	}

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"decluster/internal/obs"
 )
 
 // BreakerState is one of the three classic circuit-breaker states.
@@ -122,6 +124,14 @@ type health struct {
 	cfg   BreakerConfig
 	disks []*diskTracker
 	trips atomic.Uint64
+	// Breaker state-transition counters; nil (no-op) until attachObs,
+	// which runs before any traffic.
+	opened, halfOpened, reclosed *obs.Counter
+}
+
+// attachObs installs the breaker transition counters.
+func (h *health) attachObs(opened, halfOpened, reclosed *obs.Counter) {
+	h.opened, h.halfOpened, h.reclosed = opened, halfOpened, reclosed
 }
 
 func newHealth(cfg BreakerConfig, disks int) (*health, error) {
@@ -198,6 +208,7 @@ func (h *health) Observe(d int, lat time.Duration, err error) {
 			t.state = BreakerClosed
 			t.ewma = 0
 			t.samples = 0
+			h.reclosed.Inc()
 		}
 	}
 }
@@ -209,6 +220,7 @@ func (h *health) tripLocked(t *diskTracker) {
 	t.probes = 0
 	t.trips++
 	h.trips.Add(1)
+	h.opened.Inc()
 }
 
 // tickLocked advances open → half-open once the cooldown elapses.
@@ -217,6 +229,7 @@ func (h *health) tickLocked(t *diskTracker) {
 		t.state = BreakerHalfOpen
 		t.probes = 0
 		t.consecErrs = 0
+		h.halfOpened.Inc()
 	}
 }
 

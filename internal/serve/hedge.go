@@ -9,6 +9,7 @@ import (
 	"decluster/internal/datagen"
 	"decluster/internal/exec"
 	"decluster/internal/fault"
+	"decluster/internal/obs"
 )
 
 // HedgeConfig tunes speculative backup reads.
@@ -56,40 +57,67 @@ func (r *servedReader) ReadBucket(ctx context.Context, disk, bucket int) ([]data
 		return r.observe(ctx, disk, bucket)
 	}
 
+	// The hedge race hangs its leg spans off the executor's attempt
+	// span, which rides the context.
+	var asp *obs.Span
+	if s.obs.Tracing() {
+		asp = obs.SpanFromContext(ctx)
+	}
+	hedgeSpan := func() *obs.Span {
+		if asp == nil {
+			return nil
+		}
+		return asp.Child(fmt.Sprintf("hedge d%d", alt))
+	}
+
 	// Race the primary leg against a delayed hedge leg. The loser is
 	// cancelled; its context error is not charged against its disk.
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make(chan readRes, 2)
-	launch := func(d int) {
+	pending := 0
+	launch := func(d int, sp *obs.Span) {
+		pending++
 		go func() {
 			recs, err := r.observe(cctx, d, bucket)
+			sp.FinishErr(err)
 			results <- readRes{recs: recs, err: err, disk: d}
 		}()
 	}
-	launch(disk)
+	// drain cancels and then waits out the losing legs, so every leg's
+	// health and metric observations land before the read returns —
+	// the conservation invariants count on that. Cancelled legs return
+	// promptly: every reader layer below selects on its context.
+	drain := func() {
+		cancel()
+		for pending > 0 {
+			<-results
+			pending--
+		}
+	}
+	launch(disk, nil)
 
 	timer := time.NewTimer(s.hedge.After)
 	defer timer.Stop()
 	hedged := false
 	var firstErr error
-	pending := 1
 	for {
 		select {
 		case <-timer.C:
 			if !hedged {
 				hedged = true
-				pending++
 				s.stats.HedgesIssued.Add(1)
-				launch(alt)
+				s.metrics.hedgesIssued.Inc()
+				launch(alt, hedgeSpan())
 			}
 		case res := <-results:
 			pending--
 			if res.err == nil {
 				if hedged && res.disk == alt {
 					s.stats.HedgesWon.Add(1)
+					s.metrics.hedgesWon.Inc()
 				}
-				cancel() // stop the losing leg promptly
+				drain() // stop and collect the losing leg
 				return res.recs, nil
 			}
 			// Prefer reporting a retryable error class: if one leg hit a
@@ -105,15 +133,16 @@ func (r *servedReader) ReadBucket(ctx context.Context, disk, bucket int) ([]data
 				// The primary failed outright; spend the hedge now
 				// rather than waiting out the timer.
 				hedged = true
-				pending++
 				s.stats.HedgesIssued.Add(1)
-				launch(alt)
+				s.metrics.hedgesIssued.Inc()
+				launch(alt, hedgeSpan())
 				continue
 			}
 			if pending == 0 {
 				return nil, firstErr
 			}
 		case <-ctx.Done():
+			drain()
 			return nil, ctx.Err()
 		}
 	}
@@ -124,7 +153,13 @@ func (r *servedReader) ReadBucket(ctx context.Context, disk, bucket int) ([]data
 func (r *servedReader) observe(ctx context.Context, disk, bucket int) ([]datagen.Record, error) {
 	start := time.Now()
 	recs, err := r.inner.ReadBucket(ctx, disk, bucket)
-	r.s.health.Observe(disk, time.Since(start), err)
+	elapsed := time.Since(start)
+	r.s.health.Observe(disk, elapsed, err)
+	m := &r.s.metrics
+	m.legs.Inc()
+	if m.legLatency != nil {
+		m.legLatency.Observe(elapsed)
+	}
 	return recs, err
 }
 

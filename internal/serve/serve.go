@@ -44,6 +44,7 @@ import (
 	"decluster/internal/fault"
 	"decluster/internal/grid"
 	"decluster/internal/gridfile"
+	"decluster/internal/obs"
 	"decluster/internal/replica"
 )
 
@@ -165,6 +166,11 @@ type Scheduler struct {
 	adm    AdmissionConfig
 	drain  time.Duration
 	stats  counters
+	// obs optionally receives metrics and traces; metrics is its
+	// pre-resolved handle set (zero value = disabled, every handle a
+	// nil-safe no-op).
+	obs     *obs.Sink
+	metrics serveMetrics
 
 	mu       sync.Mutex
 	waiters  waitq
@@ -194,6 +200,7 @@ type config struct {
 	hedge       HedgeConfig
 	drain       time.Duration
 	wraps       []func(exec.BucketReader) exec.BucketReader
+	obs         *obs.Sink
 }
 
 // Option configures a Scheduler.
@@ -258,6 +265,14 @@ func WithHedging(h HedgeConfig) Option { return func(c *config) { c.hedge = h } 
 // (default 5s).
 func WithDrainTimeout(d time.Duration) Option { return func(c *config) { c.drain = d } }
 
+// WithObserver attaches an observability sink: the scheduler mirrors
+// its admission/outcome/hedge/breaker counters into the sink's
+// registry, records queue-wait and query-latency histograms, passes
+// the sink down to the executor for per-disk read metrics, and — when
+// the sink has tracing enabled — records a full lifecycle span tree
+// per query. A nil sink disables all of it for one branch per site.
+func WithObserver(s *obs.Sink) Option { return func(c *config) { c.obs = s } }
+
 // New builds a scheduler over the grid file.
 func New(f *gridfile.File, opts ...Option) (*Scheduler, error) {
 	if f == nil {
@@ -295,6 +310,11 @@ func New(f *gridfile.File, opts ...Option) (*Scheduler, error) {
 		adm:     adm,
 		drain:   c.drain,
 		drained: make(chan struct{}),
+	}
+	if c.obs != nil {
+		s.obs = c.obs
+		s.metrics = newServeMetrics(c.obs.Registry())
+		h.attachObs(s.metrics.breakerOpened, s.metrics.breakerHalfOpened, s.metrics.breakerClosed)
 	}
 
 	reader := c.reader
@@ -344,6 +364,9 @@ func New(f *gridfile.File, opts ...Option) (*Scheduler, error) {
 	if c.maxParallel > 0 {
 		execOpts = append(execOpts, exec.WithMaxParallel(c.maxParallel))
 	}
+	if c.obs != nil {
+		execOpts = append(execOpts, exec.WithObserver(c.obs))
+	}
 	s.ex, err = exec.New(f, execOpts...)
 	if err != nil {
 		return nil, err
@@ -361,19 +384,45 @@ func (s *Scheduler) Search(ctx context.Context, r grid.Rect) (*exec.Result, erro
 // ctx.Err() when the caller gave up first), and a draining scheduler
 // returns ErrClosed.
 func (s *Scheduler) Do(ctx context.Context, q Query) (*exec.Result, error) {
+	m := &s.metrics
+	m.issued.Inc()
+	var start time.Time
+	if m.queryLatency != nil {
+		start = time.Now()
+	}
+	var tr *obs.Trace
+	if s.obs.Tracing() {
+		tr = s.obs.StartTrace(fmt.Sprintf("query %v prio %d", q.Rect, q.Priority))
+		defer s.obs.FinishTrace(tr)
+	}
+	asp := tr.Root().Child("admit")
 	if err := s.admit(ctx, q.Priority); err != nil {
+		asp.FinishErr(err)
+		tr.Root().Annotate("shed")
 		return nil, err
 	}
+	asp.Finish()
 	s.stats.Admitted.Add(1)
+	m.admitted.Inc()
 	defer s.release()
-	res, err := s.ex.RangeSearch(ctx, q.Rect)
+	esp := tr.Root().Child("exec")
+	res, err := s.ex.RangeSearch(obs.ContextWithSpan(ctx, esp), q.Rect)
+	esp.FinishErr(err)
 	switch {
 	case err == nil:
 		s.stats.Completed.Add(1)
+		m.completed.Inc()
+		if m.queryLatency != nil {
+			m.queryLatency.Observe(time.Since(start))
+		}
 	case errors.Is(err, fault.ErrUnavailable):
 		s.stats.Unavailable.Add(1)
+		m.unavailable.Inc()
+		tr.Root().Annotate("unavailable")
 	default:
 		s.stats.Failed.Add(1)
+		m.failed.Inc()
+		tr.Root().Annotate("failed")
 	}
 	return res, err
 }
@@ -382,17 +431,21 @@ func (s *Scheduler) Do(ctx context.Context, q Query) (*exec.Result, error) {
 // its context ends. On nil return the caller owns one slot and must
 // release() it.
 func (s *Scheduler) admit(ctx context.Context, prio int) error {
+	m := &s.metrics
 	if err := ctx.Err(); err != nil {
 		s.stats.Abandoned.Add(1)
+		m.abandoned.Inc()
 		return err
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		m.closedShed.Inc()
 		return ErrClosed
 	}
 	if s.inFlight < s.adm.MaxInFlight && len(s.waiters) == 0 {
 		s.inFlight++
+		m.inFlight.Set(int64(s.inFlight))
 		s.mu.Unlock()
 		return nil
 	}
@@ -402,28 +455,40 @@ func (s *Scheduler) admit(ctx context.Context, prio int) error {
 			qlen, inflight := len(s.waiters), s.inFlight
 			s.mu.Unlock()
 			s.stats.Rejected.Add(1)
+			m.rejected.Inc()
 			return &OverloadedError{QueueLen: qlen, InFlight: inflight}
 		}
 		s.decideLocked(victim, &OverloadedError{
 			QueueLen: len(s.waiters), InFlight: s.inFlight, Evicted: true,
 		})
 		s.stats.Evicted.Add(1)
+		m.evicted.Inc()
 	}
 	w := &waiter{prio: prio, seq: s.seq, ctx: ctx, outcome: make(chan error, 1)}
 	s.seq++
 	heap.Push(&s.waiters, w)
+	m.queueDepth.Set(int64(len(s.waiters)))
 	s.mu.Unlock()
+	var qstart time.Time
+	if m.queueWait != nil {
+		qstart = time.Now()
+	}
 
 	select {
 	case err := <-w.outcome:
+		if err == nil && m.queueWait != nil {
+			m.queueWait.Observe(time.Since(qstart))
+		}
 		return err
 	case <-ctx.Done():
 		s.mu.Lock()
 		if !w.decided {
 			heap.Remove(&s.waiters, w.idx)
 			w.decided = true
+			m.queueDepth.Set(int64(len(s.waiters)))
 			s.mu.Unlock()
 			s.stats.Abandoned.Add(1)
+			m.abandoned.Inc()
 			return ctx.Err()
 		}
 		s.mu.Unlock()
@@ -433,6 +498,7 @@ func (s *Scheduler) admit(ctx context.Context, prio int) error {
 		if err == nil {
 			s.release()
 			s.stats.Abandoned.Add(1)
+			m.abandoned.Inc()
 			return ctx.Err()
 		}
 		return err
@@ -457,12 +523,15 @@ func (s *Scheduler) dispatchLocked() {
 		w.decided = true
 		if s.adm.DropExpired && w.ctx.Err() != nil {
 			s.stats.Expired.Add(1)
+			s.metrics.expired.Inc()
 			w.outcome <- w.ctx.Err()
 			continue
 		}
 		s.inFlight++
 		w.outcome <- nil
 	}
+	s.metrics.queueDepth.Set(int64(len(s.waiters)))
+	s.metrics.inFlight.Set(int64(s.inFlight))
 	if s.closed && s.inFlight == 0 {
 		select {
 		case <-s.drained:
@@ -477,6 +546,7 @@ func (s *Scheduler) dispatchLocked() {
 func (s *Scheduler) decideLocked(w *waiter, err error) {
 	heap.Remove(&s.waiters, w.idx)
 	w.decided = true
+	s.metrics.queueDepth.Set(int64(len(s.waiters)))
 	w.outcome <- err
 }
 
@@ -507,8 +577,10 @@ func (s *Scheduler) Close() (*Snapshot, error) {
 	for len(s.waiters) > 0 {
 		w := heap.Pop(&s.waiters).(*waiter)
 		w.decided = true
+		s.metrics.closedShed.Inc()
 		w.outcome <- ErrClosed
 	}
+	s.metrics.queueDepth.Set(0)
 	if s.inFlight == 0 {
 		close(s.drained)
 	}

@@ -102,9 +102,12 @@ func MaxInts(xs []int) int {
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
 // linear interpolation between order statistics. It returns 0 for an
-// empty sample and clamps p into range.
+// empty sample or a NaN p, and clamps p into range: p ≤ 0 yields the
+// minimum, p ≥ 100 the maximum, and a single-sample percentile is that
+// sample for every p. obs.Histogram.Percentile follows the same
+// conventions, so registry summaries and experiment tables agree.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	if len(xs) == 0 || math.IsNaN(p) {
 		return 0
 	}
 	sorted := make([]float64, len(xs))

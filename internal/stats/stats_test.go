@@ -97,6 +97,37 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileEdgeCases pins the conventions shared with
+// obs.Histogram.Percentile: empty → 0, NaN p → 0 (this used to index
+// with int(Floor(NaN)) and panic), p ≤ 0 → min, p ≥ 100 → max, and a
+// single sample answers every p with itself.
+func TestPercentileEdgeCases(t *testing.T) {
+	single := []float64{7}
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"empty", nil, 50, 0},
+		{"empty slice", []float64{}, 0, 0},
+		{"nan p", []float64{1, 2, 3}, math.NaN(), 0},
+		{"nan p empty", nil, math.NaN(), 0},
+		{"single p0", single, 0, 7},
+		{"single p50", single, 50, 7},
+		{"single p100", single, 100, 7},
+		{"single negative p", single, -10, 7},
+		{"single p beyond 100", single, 200, 7},
+		{"pair p100", []float64{1, 9}, 100, 9},
+		{"pair p99 interpolates", []float64{0, 100}, 99, 99},
+	}
+	for _, tc := range cases {
+		if got := Percentile(tc.xs, tc.p); !approx(got, tc.want) {
+			t.Errorf("%s: Percentile(%v, %v) = %v, want %v", tc.name, tc.xs, tc.p, got, tc.want)
+		}
+	}
+}
+
 func TestPercentileDoesNotMutate(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	Percentile(xs, 50)

@@ -1,0 +1,43 @@
+package decluster
+
+import (
+	"decluster/internal/exec"
+	"decluster/internal/obs"
+	"decluster/internal/serve"
+)
+
+// Sink is the process-wide observability hub: a metrics registry plus
+// an optional query-trace recorder. One sink is shared by every layer
+// that observes — scheduler, executor, fault injector, scrubber,
+// rebuilder, and read-repairer — so their counters land in one
+// namespace and conserve exactly (see the conservation soak test).
+// All methods are safe on a nil *Sink, which disables observation at
+// the cost of one branch per instrumented site.
+type Sink = obs.Sink
+
+// MetricsRegistry holds named counters, gauges, latency histograms,
+// and per-disk labeled families. Render with WriteTable or WriteCSV,
+// or serve live via Sink.Handler.
+type MetricsRegistry = obs.Registry
+
+// QueryTrace is one query's span tree — admit, dispatch, per-disk read
+// attempts, hedge legs, read-repair — rendered with RenderTree.
+type QueryTrace = obs.Trace
+
+// NewSink constructs an observability sink with an empty registry and
+// tracing disabled; call EnableTracing(n) to retain the n slowest
+// query traces.
+func NewSink() *Sink { return obs.NewSink() }
+
+// WithServeObserver attaches a sink to a serving scheduler: admission,
+// outcome, hedge, and breaker counters, queue-depth and in-flight
+// gauges, query/leg latency histograms, and (when tracing is enabled)
+// per-query span trees. The scheduler forwards the sink to its
+// executor.
+func WithServeObserver(s *Sink) ServeOption { return serve.WithObserver(s) }
+
+// WithExecObserver attaches a sink to a bare executor: per-disk read
+// counters and latency histograms, attempt/retry/call classifications,
+// and per-attempt spans under a traced query. Schedulers built with
+// WithServeObserver wire this automatically.
+func WithExecObserver(s *Sink) ExecOption { return exec.WithObserver(s) }

@@ -1,0 +1,86 @@
+package decluster_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	decluster "decluster"
+)
+
+// The observability layer through the facade: one sink observes a bare
+// executor and a full scheduler, the registry renders, and tracing
+// retains the slowest queries.
+func TestFacadeObservability(t *testing.T) {
+	f, m, r := faultFixture(t)
+	ctx := context.Background()
+
+	sink := decluster.NewSink()
+	sink.EnableTracing(2)
+
+	e, err := decluster.NewExecutor(f, decluster.WithExecObserver(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RangeSearch(ctx, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := sink.Registry()
+	if got := reg.Counter("exec.queries.ok").Value(); got != 1 {
+		t.Fatalf("exec.queries.ok = %d, want 1", got)
+	}
+	if got := reg.Counter("exec.read.attempts").Value(); got == 0 {
+		t.Fatal("no read attempts recorded")
+	}
+	if got := reg.CounterFamily("exec.disk.read.attempts", "disk", 1).Sum(); got != reg.Counter("exec.read.attempts").Value() {
+		t.Fatalf("disk family sum %d != attempts", got)
+	}
+
+	rep, err := decluster.NewChained(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := decluster.Serve(f,
+		decluster.WithServeFailover(rep),
+		decluster.WithServeObserver(sink),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Search(ctx, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(res.Records) {
+		t.Fatalf("served %d records, executor %d", len(got.Records), len(res.Records))
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c := reg.Counter("serve.queries.completed").Value(); c != 1 {
+		t.Fatalf("serve.queries.completed = %d, want 1", c)
+	}
+
+	var table strings.Builder
+	if err := reg.WriteTable(&table); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"exec.read.attempts", "serve.query.latency", "exec.disk.read.latency{disk0}"} {
+		if !strings.Contains(table.String(), want) {
+			t.Errorf("table dump missing %q:\n%s", want, table.String())
+		}
+	}
+
+	traces := sink.SlowestTraces()
+	if len(traces) != 1 {
+		t.Fatalf("retained %d traces, want 1 (only the scheduler traces)", len(traces))
+	}
+	var tree strings.Builder
+	if err := traces[0].RenderTree(&tree); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tree.String(), "disk ") {
+		t.Errorf("trace tree has no disk span:\n%s", tree.String())
+	}
+}

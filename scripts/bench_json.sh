@@ -1,0 +1,48 @@
+#!/bin/sh
+# bench_json.sh — render the observability-overhead benchmark into a
+# small JSON report.
+#
+# Runs BenchmarkRangeSearch (the uninstrumented executor baseline) and
+# BenchmarkObsOverhead/{off,on} (the same workload through an executor
+# without and with a live metrics sink), then emits per-run ns/op
+# samples, means, and the on-vs-off overhead percentage. The PR-4
+# acceptance bar is overhead_pct < 5.
+#
+# Usage: scripts/bench_json.sh [count] > BENCH_PR4.json
+set -eu
+count="${1:-5}"
+cd "$(dirname "$0")/.."
+
+go test -run '^$' -bench '^BenchmarkObsOverhead$|^BenchmarkRangeSearch$' \
+	-benchtime=2s -count="$count" . |
+	awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+	/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		sub(/^Benchmark/, "", name)
+		vals[name] = vals[name] sep[name] $3
+		sep[name] = ", "
+		sum[name] += $3
+		n[name]++
+	}
+	function mean(k) { return n[k] ? sum[k] / n[k] : 0 }
+	function series(k) {
+		printf "    \"%s\": {\"ns_per_op\": [%s], \"mean_ns_per_op\": %.0f}", k, vals[k], mean(k)
+	}
+	END {
+		off = mean("ObsOverhead/off"); on = mean("ObsOverhead/on")
+		printf "{\n"
+		printf "  \"benchmark\": \"BenchmarkObsOverhead\",\n"
+		printf "  \"date\": \"%s\",\n", date
+		printf "  \"cpu\": \"%s\",\n", cpu
+		printf "  \"count\": %d,\n", n["ObsOverhead/off"]
+		printf "  \"results\": {\n"
+		series("RangeSearch"); printf ",\n"
+		series("ObsOverhead/off"); printf ",\n"
+		series("ObsOverhead/on"); printf "\n"
+		printf "  },\n"
+		printf "  \"overhead_pct\": %.2f,\n", off ? (on / off - 1) * 100 : 0
+		printf "  \"bar_pct\": 5\n"
+		printf "}\n"
+	}'
