@@ -639,6 +639,71 @@ func BenchmarkEvaluateWorkload(b *testing.B) {
 	}
 }
 
+// --- Response-time kernels ------------------------------------------
+
+// BenchmarkKernelResponseTime prices the three response-time kernels on
+// the Figure-5(b) large-query regime (64×64 grid, M=32, sides drawn
+// from 16..48 ⇒ up to ~2300 buckets per query): the naive per-bucket
+// walk, the table-walk Evaluator, and the summed-area PrefixEvaluator.
+// Kernel construction happens outside the timer — the build-once,
+// query-millions trade is the point. The PR-5 acceptance bar is
+// prefix ≥ 5× walk (scripts/bench_json.sh pr5 renders the comparison
+// into BENCH_PR5.json).
+func BenchmarkKernelResponseTime(b *testing.B) {
+	g := grid.MustNew(64, 64)
+	m, _ := alloc.NewHCAM(g, 32)
+	w, err := query.RandomRange(g, 16, 48, 500, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = cost.Evaluate(m, w)
+		}
+	})
+	b.Run("walk", func(b *testing.B) {
+		e := cost.NewEvaluator(m)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = e.Evaluate(w)
+		}
+	})
+	b.Run("prefix", func(b *testing.B) {
+		e, err := cost.NewPrefixEvaluator(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = e.Evaluate(w)
+		}
+	})
+}
+
+// BenchmarkKernelSweepDisksLarge regenerates the Figure-5(b) disks
+// sweep end to end through the sweep engine under each kernel,
+// including workload generation, method construction, and (for the
+// prefix kernel) table builds — the honest whole-experiment speedup
+// rather than the per-query one.
+func BenchmarkKernelSweepDisksLarge(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		kernel cost.Kernel
+	}{
+		{"walk", cost.KernelWalk},
+		{"prefix", cost.KernelPrefix},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			opt := experiments.Options{Seed: 1, SampleLimit: 300, Kernel: tc.kernel}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.DisksLarge(benchDisksCfg(), opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEvaluateWorkloadFast measures the table-materializing fast
 // path the experiment harness uses; compare against
 // BenchmarkEvaluateWorkload for the speedup.

@@ -14,8 +14,15 @@
 //	-metric      meanrt | ratio | fracopt | worst (default meanrt)
 //	-samples     query placements sampled per workload (default 2000)
 //	-seed        sampling seed (default 1)
-//	-exhaustive  disable sampling (exhaustive placements)
+//	-exhaustive  disable sampling (exhaustive placements); experiments
+//	             that cannot honour it (open-ended query bands) say so
+//	             in a printed warning
 //	-random      include the balanced-random baseline
+//	-parallel    sweep-engine workers (default 0 = every CPU; results
+//	             are byte-identical at any setting)
+//	-kernel      response-time kernel: auto, walk, or prefix (default
+//	             auto — prefix summed-area tables when they fit the
+//	             memory budget, table walk otherwise)
 //	-fail-disks  availability: maximum simultaneously failed disks
 //	             (default 2; 0 disables the failure sweep)
 //	-fail-prob   availability: transient read-error probability of the
@@ -63,6 +70,7 @@ import (
 	"strconv"
 	"strings"
 
+	"decluster/internal/cost"
 	"decluster/internal/experiments"
 	"decluster/internal/grid"
 	"decluster/internal/obs"
@@ -77,6 +85,8 @@ func main() {
 		seed        = flag.Int64("seed", 1, "sampling seed")
 		exhaustive  = flag.Bool("exhaustive", false, "disable sampling")
 		random      = flag.Bool("random", false, "include the balanced-random baseline")
+		parallel    = flag.Int("parallel", 0, "sweep-engine workers (0 = every CPU)")
+		kernelName  = flag.String("kernel", "auto", "response-time kernel: auto, walk, prefix")
 		csvOut      = flag.Bool("csv", false, "emit sweep experiments as CSV instead of tables")
 		plotOut     = flag.Bool("plot", false, "render sweep experiments as ASCII charts instead of tables")
 		failDisks   = flag.Int("fail-disks", 2, "availability experiment: maximum simultaneously failed disks")
@@ -98,11 +108,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *parallel < 0 {
+		fmt.Fprintln(os.Stderr, "declustersim: -parallel must be ≥ 0")
+		os.Exit(2)
+	}
+	kernel, err := cost.ParseKernel(*kernelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "declustersim:", err)
+		os.Exit(2)
+	}
 	opt := experiments.Options{
 		Seed:          *seed,
 		SampleLimit:   *samples,
 		Exhaustive:    *exhaustive,
 		IncludeRandom: *random,
+		Parallel:      *parallel,
+		Kernel:        kernel,
 	}
 	mode := modeTable
 	if *csvOut {
@@ -442,6 +463,16 @@ func printWitnesses(w io.Writer) error {
 func printExperiment(w io.Writer, e *experiments.Experiment, err error, metric experiments.Metric, mode outputMode) error {
 	if err != nil {
 		return err
+	}
+	// Warnings travel with the artifact on every output mode (CSV
+	// warnings go to stderr so the data stream stays parseable): data
+	// that deviates from what was asked must say so.
+	warnTo := w
+	if mode == modeCSV {
+		warnTo = os.Stderr
+	}
+	for _, warn := range e.Warnings {
+		fmt.Fprintf(warnTo, "warning: %s: %s\n", e.ID, warn)
 	}
 	switch mode {
 	case modeCSV:

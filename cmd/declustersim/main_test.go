@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"decluster/internal/cost"
 	"decluster/internal/experiments"
 )
 
@@ -230,5 +231,39 @@ func TestRunWitness(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "M=7") || !strings.Contains(out, "unsatisfiable") {
 		t.Errorf("witness output malformed:\n%s", out)
+	}
+}
+
+// -parallel and -kernel flow into the sweep engine; every combination
+// must print the same table, and an exhaustive disk sweep must carry
+// its substitution warning into the artifact.
+func TestRunParallelKernelIdentical(t *testing.T) {
+	var want string
+	for _, opt := range []experiments.Options{
+		{Seed: 1, SampleLimit: 50, Parallel: 1, Kernel: cost.KernelWalk},
+		{Seed: 1, SampleLimit: 50, Parallel: 8, Kernel: cost.KernelPrefix},
+		{Seed: 1, SampleLimit: 50, Parallel: 3, Kernel: cost.KernelAuto},
+	} {
+		var buf bytes.Buffer
+		if err := run(&buf, "disks-large", experiments.MeanRT, opt, experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, experiments.RecoveryConfig{}, modeTable); err != nil {
+			t.Fatal(err)
+		}
+		if want == "" {
+			want = buf.String()
+		} else if buf.String() != want {
+			t.Fatalf("output differs for %+v", opt)
+		}
+	}
+}
+
+func TestRunExhaustiveDisksWarns(t *testing.T) {
+	var buf bytes.Buffer
+	opt := experiments.Options{Seed: 1, Exhaustive: true}
+	if err := run(&buf, "disks-small", experiments.MeanRT, opt, experiments.AvailabilityConfig{}, experiments.ChaosConfig{}, experiments.RecoveryConfig{}, modeTable); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "warning: E6") || !strings.Contains(out, "sampled 2000") {
+		t.Errorf("exhaustive disks output missing warning: %q", out[:120])
 	}
 }

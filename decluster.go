@@ -108,6 +108,54 @@ func LoadHistogram(m Method) []int { return alloc.LoadHistogram(m) }
 // one.
 func IsBalanced(m Method) bool { return alloc.IsBalanced(m) }
 
+// Evaluator is the table-walk response-time kernel: the allocation
+// materializes into a flat table once, and each query walks its
+// buckets. Not safe for concurrent use; create one per goroutine.
+type Evaluator = cost.Evaluator
+
+// PrefixEvaluator is the summed-area response-time kernel: per-disk
+// k-dimensional prefix tables answer any rectangle in O(M·2^k) bucket
+// lookups regardless of its volume. Not safe for concurrent use; Clone
+// shares the immutable tables across goroutines.
+type PrefixEvaluator = cost.PrefixEvaluator
+
+// EvalKernel selects how response times are computed: KernelAuto,
+// KernelWalk, or KernelPrefix.
+type EvalKernel = cost.Kernel
+
+// RTEvaluator is the interface every response-time kernel satisfies.
+type RTEvaluator = cost.RTEvaluator
+
+// Kernel choices for NewKernelEvaluator.
+const (
+	// KernelAuto picks prefix tables when they fit the memory budget,
+	// the table walk otherwise.
+	KernelAuto = cost.KernelAuto
+	// KernelWalk forces the table-walk Evaluator.
+	KernelWalk = cost.KernelWalk
+	// KernelPrefix forces the summed-area PrefixEvaluator.
+	KernelPrefix = cost.KernelPrefix
+)
+
+// NewEvaluator materializes the table-walk kernel for m.
+func NewEvaluator(m Method) *Evaluator { return cost.NewEvaluator(m) }
+
+// NewPrefixEvaluator materializes the summed-area kernel for m.
+func NewPrefixEvaluator(m Method) (*PrefixEvaluator, error) { return cost.NewPrefixEvaluator(m) }
+
+// NewKernelEvaluator builds the chosen kernel for m; tableBudget caps
+// prefix-table memory under KernelAuto (≤ 0 = cost.DefaultTableBudget).
+func NewKernelEvaluator(m Method, k EvalKernel, tableBudget int64) (RTEvaluator, error) {
+	return cost.NewKernelEvaluator(m, k, tableBudget)
+}
+
+// ParseKernel parses a kernel name: auto, walk, or prefix.
+func ParseKernel(s string) (EvalKernel, error) { return cost.ParseKernel(s) }
+
+// PrefixTableBytes estimates the memory of a PrefixEvaluator's tables
+// for the grid and disk count — the quantity KernelAuto budgets.
+func PrefixTableBytes(g *Grid, disks int) int64 { return cost.PrefixTableBytes(g, disks) }
+
 // ResponseTime returns the parallel response time of query r under
 // method m, in bucket accesses: the maximum per-disk load.
 func ResponseTime(m Method, r Rect) int { return cost.ResponseTime(m, r) }

@@ -151,3 +151,34 @@ func TestFacadeCatalogRoundTrip(t *testing.T) {
 		t.Errorf("Names = %v", got)
 	}
 }
+
+func TestFacadeKernels(t *testing.T) {
+	g, _ := decluster.NewGrid(16, 16)
+	m, _ := decluster.NewHCAM(g, 4)
+	w, err := decluster.RandomRange(g, 2, 6, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk := decluster.NewEvaluator(m)
+	prefix, err := decluster.NewPrefixEvaluator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if walk.Evaluate(w) != prefix.Evaluate(w) {
+		t.Error("facade kernels disagree")
+	}
+	k, err := decluster.ParseKernel("prefix")
+	if err != nil || k != decluster.KernelPrefix {
+		t.Errorf("ParseKernel = %v, %v", k, err)
+	}
+	e, err := decluster.NewKernelEvaluator(m, decluster.KernelAuto, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ResponseTime(g.MustRect(decluster.Coord{1, 1}, decluster.Coord{4, 4})) != decluster.ResponseTime(m, g.MustRect(decluster.Coord{1, 1}, decluster.Coord{4, 4})) {
+		t.Error("kernel evaluator disagrees with reference")
+	}
+	if decluster.PrefixTableBytes(g, 4) != 17*17*4*4 {
+		t.Errorf("PrefixTableBytes = %d", decluster.PrefixTableBytes(g, 4))
+	}
+}

@@ -38,8 +38,14 @@ func ResponseTime(m alloc.Method, r grid.Rect) int {
 
 // OptimalRT returns the information-theoretic lower bound ⌈volume/M⌉ on
 // the response time of any allocation for a query of the given volume.
+// The ceiling is computed divide-first so a volume near math.MaxInt
+// (e.g. a saturated Rect.Volume) cannot wrap the addition.
 func OptimalRT(volume, disks int) int {
-	return (volume + disks - 1) / disks
+	q := volume / disks
+	if volume%disks != 0 {
+		q++
+	}
+	return q
 }
 
 // IsOptimalFor reports whether method m achieves the optimal response
@@ -64,22 +70,32 @@ type Result struct {
 
 // Evaluate measures method m over workload w.
 func Evaluate(m alloc.Method, w query.Workload) Result {
-	res := Result{Method: m.Name(), Workload: w.Name, Queries: len(w.Queries)}
+	return aggregate(m.Name(), m.Disks(), w, func(q grid.Rect) int {
+		return ResponseTime(m, q)
+	})
+}
+
+// aggregate folds per-query response times into a Result. Every kernel
+// (the naive walk above, Evaluator, PrefixEvaluator) funnels through
+// this one loop so their Results are bit-identical: same integer sums,
+// same float divisions, in the same order.
+func aggregate(method string, disks int, w query.Workload, rt func(grid.Rect) int) Result {
+	res := Result{Method: method, Workload: w.Name, Queries: len(w.Queries)}
 	if len(w.Queries) == 0 {
 		res.Ratio = 1
 		return res
 	}
 	sumRT, sumOpt, optimalCount := 0, 0, 0
 	for _, q := range w.Queries {
-		rt := ResponseTime(m, q)
-		opt := OptimalRT(q.Volume(), m.Disks())
-		sumRT += rt
+		t := rt(q)
+		opt := OptimalRT(q.Volume(), disks)
+		sumRT += t
 		sumOpt += opt
-		if rt == opt {
+		if t == opt {
 			optimalCount++
 		}
-		if rt > res.WorstRT {
-			res.WorstRT = rt
+		if t > res.WorstRT {
+			res.WorstRT = t
 		}
 	}
 	n := float64(len(w.Queries))

@@ -203,3 +203,22 @@ func TestQuickRatioAtLeastOne(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestOptimalRTNoOverflow(t *testing.T) {
+	// volume + disks - 1 wraps when volume is near math.MaxInt (the
+	// saturated Rect.Volume feeds exactly that); the divide-first form
+	// must stay exact.
+	cases := []struct {
+		vol, disks, want int
+	}{
+		{math.MaxInt, 1, math.MaxInt},
+		{math.MaxInt, 2, math.MaxInt/2 + 1},
+		{math.MaxInt - 1, math.MaxInt, 1},
+		{math.MaxInt, math.MaxInt, 1},
+	}
+	for _, tc := range cases {
+		if got := OptimalRT(tc.vol, tc.disks); got != tc.want {
+			t.Errorf("OptimalRT(%d,%d) = %d, want %d", tc.vol, tc.disks, got, tc.want)
+		}
+	}
+}

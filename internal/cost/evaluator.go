@@ -4,7 +4,6 @@ import (
 	"decluster/internal/alloc"
 	"decluster/internal/grid"
 	"decluster/internal/query"
-	"decluster/internal/stats"
 )
 
 // Evaluator amortizes the per-query overheads of evaluating one method
@@ -94,28 +93,5 @@ func (e *Evaluator) ResponseTime(r grid.Rect) int {
 // Evaluate measures the method over a workload with the same aggregates
 // as the package-level Evaluate.
 func (e *Evaluator) Evaluate(w query.Workload) Result {
-	res := Result{Method: e.method.Name(), Workload: w.Name, Queries: len(w.Queries)}
-	if len(w.Queries) == 0 {
-		res.Ratio = 1
-		return res
-	}
-	sumRT, sumOpt, optimalCount := 0, 0, 0
-	for _, q := range w.Queries {
-		rt := e.ResponseTime(q)
-		opt := OptimalRT(q.Volume(), e.disks)
-		sumRT += rt
-		sumOpt += opt
-		if rt == opt {
-			optimalCount++
-		}
-		if rt > res.WorstRT {
-			res.WorstRT = rt
-		}
-	}
-	n := float64(len(w.Queries))
-	res.MeanRT = float64(sumRT) / n
-	res.MeanOpt = float64(sumOpt) / n
-	res.Ratio = stats.Ratio(res.MeanRT, res.MeanOpt)
-	res.FracOptimal = float64(optimalCount) / n
-	return res
+	return aggregate(e.method.Name(), e.disks, w, e.ResponseTime)
 }

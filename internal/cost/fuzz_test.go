@@ -1,0 +1,81 @@
+package cost
+
+import (
+	"testing"
+
+	"decluster/internal/alloc"
+	"decluster/internal/grid"
+)
+
+// FuzzResponseTimeKernels is the differential proof obligation of the
+// prefix kernel: on arbitrary grids, methods, and rectangles, the naive
+// per-bucket walk (ResponseTime), the table-walk Evaluator, and the
+// summed-area PrefixEvaluator must return the same response time —
+// bit-identical, not approximately. The seed corpus pins 2-D, 3-D,
+// clamped-corner, and full-grid cases; CI replays it on every run.
+func FuzzResponseTimeKernels(f *testing.F) {
+	f.Add(uint8(8), uint8(8), uint8(0), uint8(0), uint8(4), uint8(1), uint8(1), uint8(5), uint8(6), int64(1))
+	f.Add(uint8(16), uint8(16), uint8(0), uint8(3), uint8(8), uint8(0), uint8(0), uint8(15), uint8(15), int64(2))
+	f.Add(uint8(5), uint8(7), uint8(3), uint8(2), uint8(5), uint8(4), uint8(6), uint8(9), uint8(9), int64(3))
+	f.Add(uint8(12), uint8(3), uint8(4), uint8(1), uint8(7), uint8(11), uint8(2), uint8(0), uint8(0), int64(4))
+	f.Fuzz(func(t *testing.T, d0, d1, d2, sel, disks, lo0, lo1, s0, s1 uint8, seed int64) {
+		dims := []int{int(d0)%16 + 1, int(d1)%16 + 1}
+		if d2%4 != 0 {
+			dims = append(dims, int(d2)%6+1)
+		}
+		g, err := grid.New(dims...)
+		if err != nil {
+			t.Skip()
+		}
+		m, err := buildFuzzMethod(g, sel, int(disks)%12+1, seed)
+		if err != nil {
+			t.Skip() // structural precondition (e.g. ECC needs powers of two)
+		}
+		r := fuzzRect(g, lo0, lo1, s0, s1)
+
+		naive := ResponseTime(m, r)
+		walk := NewEvaluator(m).ResponseTime(r)
+		pe, err := NewPrefixEvaluator(m)
+		if err != nil {
+			t.Fatalf("prefix build failed on fuzz-scale grid %v: %v", g, err)
+		}
+		prefix := pe.ResponseTime(r)
+		if naive != walk || walk != prefix {
+			t.Fatalf("%s on %v grid, %v: naive %d, walk %d, prefix %d",
+				m.Name(), g, r, naive, walk, prefix)
+		}
+	})
+}
+
+// buildFuzzMethod maps a selector byte onto the method set, covering
+// every allocation family the experiments sweep.
+func buildFuzzMethod(g *grid.Grid, sel uint8, disks int, seed int64) (alloc.Method, error) {
+	switch sel % 5 {
+	case 0:
+		return alloc.NewDM(g, disks)
+	case 1:
+		return alloc.NewFXAuto(g, disks)
+	case 2:
+		return alloc.NewHCAM(g, disks)
+	case 3:
+		return alloc.NewECC(g, disks)
+	default:
+		return alloc.NewRandom(g, disks, seed)
+	}
+}
+
+// fuzzRect decodes corner/side bytes into a valid rectangle of g,
+// wrapping the low corner into range and clamping sides to fit. Axes
+// beyond the second reuse the byte pair.
+func fuzzRect(g *grid.Grid, lo0, lo1, s0, s1 uint8) grid.Rect {
+	los := []uint8{lo0, lo1, lo0 ^ s1}
+	ss := []uint8{s0, s1, s0 ^ lo1}
+	lo := make(grid.Coord, g.K())
+	hi := make(grid.Coord, g.K())
+	for i := 0; i < g.K(); i++ {
+		d := g.Dim(i)
+		lo[i] = int(los[i]) % d
+		hi[i] = lo[i] + int(ss[i])%(d-lo[i])
+	}
+	return grid.Rect{Lo: lo, Hi: hi}
+}

@@ -1,0 +1,98 @@
+package cost
+
+import (
+	"fmt"
+	"strings"
+
+	"decluster/internal/alloc"
+	"decluster/internal/grid"
+	"decluster/internal/query"
+)
+
+// Kernel selects how response times are computed.
+type Kernel int
+
+const (
+	// KernelAuto picks the prefix kernel when its tables fit the memory
+	// budget and the table walk otherwise.
+	KernelAuto Kernel = iota
+	// KernelWalk forces the table-walk Evaluator (O(volume) per query).
+	KernelWalk
+	// KernelPrefix forces the summed-area PrefixEvaluator (O(M·2^k) per
+	// query); NewKernelEvaluator errors if the tables cannot be built.
+	KernelPrefix
+)
+
+// String names the kernel as ParseKernel spells it.
+func (k Kernel) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelWalk:
+		return "walk"
+	case KernelPrefix:
+		return "prefix"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// ParseKernel parses a kernel name: auto, walk, or prefix.
+func ParseKernel(s string) (Kernel, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "auto", "":
+		return KernelAuto, nil
+	case "walk":
+		return KernelWalk, nil
+	case "prefix":
+		return KernelPrefix, nil
+	default:
+		return 0, fmt.Errorf("cost: unknown kernel %q (auto, walk, prefix)", s)
+	}
+}
+
+// DefaultTableBudget bounds the prefix tables KernelAuto will build per
+// evaluator: 256 MiB, far above every experiment in the harness (the
+// Figure-5 sweeps need ~0.5 MiB) yet low enough that a parallel sweep
+// cannot accidentally commit the machine's memory to tables.
+const DefaultTableBudget int64 = 256 << 20
+
+// RTEvaluator is the interface every response-time kernel satisfies;
+// instances are not safe for concurrent use — one per goroutine.
+type RTEvaluator interface {
+	// Method returns the evaluated method.
+	Method() alloc.Method
+	// ResponseTime returns the parallel response time of the query in
+	// bucket accesses.
+	ResponseTime(r grid.Rect) int
+	// Evaluate measures the method over a workload; all kernels return
+	// bit-identical Results.
+	Evaluate(w query.Workload) Result
+}
+
+// NewKernelEvaluator builds the chosen kernel for m. tableBudget caps
+// the prefix tables' memory under KernelAuto (≤ 0 selects
+// DefaultTableBudget; KernelPrefix ignores the budget and fails only
+// when the tables are unrepresentable).
+func NewKernelEvaluator(m alloc.Method, k Kernel, tableBudget int64) (RTEvaluator, error) {
+	switch k {
+	case KernelWalk:
+		return NewEvaluator(m), nil
+	case KernelPrefix:
+		return NewPrefixEvaluator(m)
+	case KernelAuto:
+		if tableBudget <= 0 {
+			tableBudget = DefaultTableBudget
+		}
+		if PrefixTableBytes(m.Grid(), m.Disks()) <= tableBudget {
+			if e, err := NewPrefixEvaluator(m); err == nil {
+				return e, nil
+			}
+			// Unrepresentable tables despite a generous budget: the
+			// walk always works.
+		}
+		return NewEvaluator(m), nil
+	default:
+		return nil, fmt.Errorf("cost: unknown kernel %v", k)
+	}
+}

@@ -1,0 +1,219 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"decluster/internal/alloc"
+	"decluster/internal/grid"
+	"decluster/internal/query"
+)
+
+// PrefixEvaluator answers response-time queries from per-disk
+// summed-area tables instead of walking buckets. For each disk d the
+// table stores the k-dimensional exclusive prefix sum of the indicator
+// [diskOf(c) = d] over the allocation, so the number of buckets of any
+// axis-aligned rectangle assigned to d is an inclusion–exclusion sum of
+// 2^k table entries, and ResponseTime costs O(M·2^k) regardless of the
+// rectangle's volume. The walk kernel (Evaluator) is O(volume); on the
+// large-query disk sweeps (sides up to 48 ⇒ ~2300 buckets per query)
+// the prefix kernel replaces thousands of bucket probes with a handful
+// of adds. Construction is O(k·M·buckets): a build-once, query-millions
+// trade.
+//
+// Layout: one flat []int32 indexed cell-major over the padded grid
+// (d_i + 1 entries per axis, so every corner lookup is branchless) with
+// the M per-disk counts contiguous per cell — the 2^k corner reads each
+// stream M adjacent values. See DESIGN.md §13 for the math.
+//
+// Like Evaluator, a PrefixEvaluator is not safe for concurrent use
+// (shared scratch); create one per goroutine, or Clone one to share the
+// immutable tables across goroutines for free.
+type PrefixEvaluator struct {
+	method alloc.Method
+	g      *grid.Grid
+	disks  int
+	k      int
+	sat    []int32 // padded-cell-major, disks entries per cell
+	// pstrides are the padded grid's row-major strides, pre-multiplied
+	// by disks so corner offsets index sat directly.
+	pstrides []int
+	loads    []int // scratch, len disks
+}
+
+// PrefixTableBytes returns the memory footprint of a PrefixEvaluator's
+// tables for the given grid and disk count — disks × ∏(d_i+1) int32
+// counters — or math.MaxInt64 if the product itself overflows. Kernel
+// selection compares this against the memory budget.
+func PrefixTableBytes(g *grid.Grid, disks int) int64 {
+	cells := int64(1)
+	for i := 0; i < g.K(); i++ {
+		d := int64(g.Dim(i)) + 1
+		if cells > math.MaxInt64/d {
+			return math.MaxInt64
+		}
+		cells *= d
+	}
+	per := int64(disks) * 4
+	if cells > math.MaxInt64/per {
+		return math.MaxInt64
+	}
+	return cells * per
+}
+
+// NewPrefixEvaluator materializes the per-disk summed-area tables of
+// the method's allocation. It returns an error when the tables cannot
+// be represented: more buckets than an int32 counter can count, or a
+// padded table so large its length overflows an int.
+func NewPrefixEvaluator(m alloc.Method) (*PrefixEvaluator, error) {
+	g := m.Grid()
+	disks := m.Disks()
+	if int64(g.Buckets()) > math.MaxInt32 {
+		return nil, fmt.Errorf("cost: prefix kernel: %d buckets exceed int32 counters", g.Buckets())
+	}
+	bytes := PrefixTableBytes(g, disks)
+	if bytes == math.MaxInt64 || bytes/4 > math.MaxInt-1 {
+		return nil, fmt.Errorf("cost: prefix kernel: table for grid %v × %d disks overflows", g, disks)
+	}
+	k := g.K()
+	paddedDims := make([]int, k)
+	cells := 1
+	for i := 0; i < k; i++ {
+		paddedDims[i] = g.Dim(i) + 1
+		cells *= paddedDims[i]
+	}
+	// Cell strides of the padded grid (row-major, last axis fastest).
+	cellStrides := make([]int, k)
+	stride := 1
+	for i := k - 1; i >= 0; i-- {
+		cellStrides[i] = stride
+		stride *= paddedDims[i]
+	}
+	e := &PrefixEvaluator{
+		method:   m,
+		g:        g,
+		disks:    disks,
+		k:        k,
+		sat:      make([]int32, cells*disks),
+		pstrides: make([]int, k),
+		loads:    make([]int, disks),
+	}
+	for i := range cellStrides {
+		e.pstrides[i] = cellStrides[i] * disks
+	}
+
+	// Scatter the allocation: bucket c contributes 1 to its own padded
+	// cell c+1 (exclusive prefix: S[x] counts cells strictly below x on
+	// every axis).
+	g.Each(func(c grid.Coord) bool {
+		off := 0
+		for i, v := range c {
+			off += (v + 1) * e.pstrides[i]
+		}
+		e.sat[off+m.DiskOf(c)]++
+		return true
+	})
+
+	// Run a prefix pass along each axis in turn; after all k passes
+	// S[x] holds the box sum over [0,x) per disk.
+	for axis := 0; axis < k; axis++ {
+		axisStride := cellStrides[axis]
+		// Walk cells in linear order; a cell at linear index p has
+		// coordinate (p/axisStride)%paddedDims[axis] on this axis, and
+		// accumulates from its predecessor along the axis when > 0.
+		for p := 0; p < cells; p++ {
+			if (p/axisStride)%paddedDims[axis] == 0 {
+				continue
+			}
+			dst := p * disks
+			src := dst - e.pstrides[axis]
+			for d := 0; d < disks; d++ {
+				e.sat[dst+d] += e.sat[src+d]
+			}
+		}
+	}
+	return e, nil
+}
+
+// Method returns the evaluated method.
+func (e *PrefixEvaluator) Method() alloc.Method { return e.method }
+
+// TableBytes returns the memory held by the summed-area tables.
+func (e *PrefixEvaluator) TableBytes() int64 { return int64(len(e.sat)) * 4 }
+
+// Clone returns an independent evaluator sharing the immutable
+// summed-area tables — the cheap way to hand one per goroutine.
+func (e *PrefixEvaluator) Clone() *PrefixEvaluator {
+	cp := *e
+	cp.loads = make([]int, e.disks)
+	return &cp
+}
+
+// DiskLoads writes the per-disk bucket counts of r into the returned
+// slice (reused across calls; clone to retain).
+func (e *PrefixEvaluator) DiskLoads(r grid.Rect) []int {
+	e.rectLoads(r)
+	return e.loads
+}
+
+// ResponseTime returns the parallel response time of the query in
+// bucket accesses: the maximum per-disk load, by inclusion–exclusion
+// over the 2^k corners of r.
+func (e *PrefixEvaluator) ResponseTime(r grid.Rect) int {
+	e.rectLoads(r)
+	max := 0
+	for _, v := range e.loads {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// rectLoads fills e.loads with the per-disk counts of r. Corner with
+// subset T of axes taken at Lo (exclusive low edge) contributes with
+// sign (-1)^|T|; corners with any Lo coordinate of 0 hit the all-zero
+// boundary plane and are skipped outright.
+func (e *PrefixEvaluator) rectLoads(r grid.Rect) {
+	loads := e.loads
+	for i := range loads {
+		loads[i] = 0
+	}
+	disks := e.disks
+	for mask := 0; mask < 1<<uint(e.k); mask++ {
+		off := 0
+		neg := false
+		skip := false
+		for i := 0; i < e.k; i++ {
+			if mask>>uint(i)&1 == 1 {
+				if r.Lo[i] == 0 {
+					skip = true
+					break
+				}
+				off += r.Lo[i] * e.pstrides[i]
+				neg = !neg
+			} else {
+				off += (r.Hi[i] + 1) * e.pstrides[i]
+			}
+		}
+		if skip {
+			continue
+		}
+		if neg {
+			for d := 0; d < disks; d++ {
+				loads[d] -= int(e.sat[off+d])
+			}
+		} else {
+			for d := 0; d < disks; d++ {
+				loads[d] += int(e.sat[off+d])
+			}
+		}
+	}
+}
+
+// Evaluate measures the method over a workload with the same aggregates
+// — bit-identical, via the shared fold — as Evaluate and
+// Evaluator.Evaluate.
+func (e *PrefixEvaluator) Evaluate(w query.Workload) Result {
+	return aggregate(e.method.Name(), e.disks, w, e.ResponseTime)
+}

@@ -1,0 +1,233 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"decluster/internal/alloc"
+	"decluster/internal/grid"
+	"decluster/internal/query"
+)
+
+// eachRectOf enumerates every axis-aligned rectangle of a small grid.
+func eachRectOf(g *grid.Grid, fn func(r grid.Rect)) {
+	g.Each(func(lo grid.Coord) bool {
+		loC := lo.Clone()
+		g.Each(func(hi grid.Coord) bool {
+			for i := range loC {
+				if hi[i] < loC[i] {
+					return true
+				}
+			}
+			fn(grid.Rect{Lo: loC, Hi: hi.Clone()})
+			return true
+		})
+		return true
+	})
+}
+
+// The prefix kernel must agree with the reference walk on every
+// rectangle of every method — exhaustively on small grids.
+func TestPrefixMatchesReferenceExhaustive(t *testing.T) {
+	for _, dims := range [][]int{{8, 8}, {5, 7}, {4, 4, 4}, {3, 4, 2, 3}} {
+		g := grid.MustNew(dims...)
+		for _, m := range alloc.PaperSet(g, 5) {
+			e, err := NewPrefixEvaluator(m)
+			if err != nil {
+				t.Fatalf("%v %s: %v", dims, m.Name(), err)
+			}
+			if e.Method() != m {
+				t.Fatal("Method accessor wrong")
+			}
+			eachRectOf(g, func(r grid.Rect) {
+				if got, want := e.ResponseTime(r), ResponseTime(m, r); got != want {
+					t.Fatalf("%s on %v grid, %v: prefix %d, reference %d", m.Name(), g, r, got, want)
+				}
+			})
+		}
+	}
+}
+
+// Per-disk loads, not just their max, must match the reference.
+func TestPrefixDiskLoadsMatchReference(t *testing.T) {
+	g := grid.MustNew(9, 6)
+	m, _ := alloc.NewHCAM(g, 4)
+	e, err := NewPrefixEvaluator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eachRectOf(g, func(r grid.Rect) {
+		got := e.DiskLoads(r)
+		want := DiskLoads(m, r)
+		for d := range want {
+			if got[d] != want[d] {
+				t.Fatalf("%v: loads %v, reference %v", r, got, want)
+			}
+		}
+	})
+}
+
+// Evaluate must be bit-identical across the three kernels: same integer
+// sums, same float divisions.
+func TestPrefixEvaluateBitIdentical(t *testing.T) {
+	g := grid.MustNew(32, 32)
+	w, err := query.RandomRange(g, 3, 20, 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range alloc.PaperSet(g, 8) {
+		pe, err := NewPrefixEvaluator(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive := Evaluate(m, w)
+		walk := NewEvaluator(m).Evaluate(w)
+		prefix := pe.Evaluate(w)
+		if naive != walk || walk != prefix {
+			t.Fatalf("%s: kernels disagree\nnaive  %+v\nwalk   %+v\nprefix %+v", m.Name(), naive, walk, prefix)
+		}
+	}
+}
+
+func TestPrefixEmptyWorkload(t *testing.T) {
+	g := grid.MustNew(4, 4)
+	m, _ := alloc.NewDM(g, 2)
+	e, err := NewPrefixEvaluator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Evaluate(query.Workload{Name: "empty"})
+	if res.Queries != 0 || res.Ratio != 1 {
+		t.Fatalf("empty workload result %+v", res)
+	}
+}
+
+// Clone shares tables but not scratch: concurrent clones must stay
+// correct (run under -race).
+func TestPrefixCloneConcurrent(t *testing.T) {
+	g := grid.MustNew(16, 16)
+	m, _ := alloc.NewHCAM(g, 8)
+	base, err := NewPrefixEvaluator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(seed int64) {
+			e := base.Clone()
+			rng := rand.New(rand.NewSource(seed))
+			for trial := 0; trial < 200; trial++ {
+				lo0, lo1 := rng.Intn(16), rng.Intn(16)
+				r := g.MustRect(grid.Coord{lo0, lo1},
+					grid.Coord{lo0 + rng.Intn(16-lo0), lo1 + rng.Intn(16-lo1)})
+				if got, want := e.ResponseTime(r), ResponseTime(m, r); got != want {
+					done <- errMismatch(m.Name(), r, got, want)
+					return
+				}
+			}
+			done <- nil
+		}(int64(i + 1))
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func errMismatch(name string, r grid.Rect, got, want int) error {
+	return &mismatchError{name: name, r: r, got: got, want: want}
+}
+
+type mismatchError struct {
+	name      string
+	r         grid.Rect
+	got, want int
+}
+
+func (e *mismatchError) Error() string {
+	return e.name + " on " + e.r.String() + ": clone disagrees with reference"
+}
+
+func TestPrefixTableBytes(t *testing.T) {
+	g := grid.MustNew(64, 64)
+	// 65×65 cells × 32 disks × 4 bytes.
+	if got, want := PrefixTableBytes(g, 32), int64(65*65*32*4); got != want {
+		t.Errorf("PrefixTableBytes = %d, want %d", got, want)
+	}
+	e, err := NewPrefixEvaluator(mustHCAM(t, g, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TableBytes() != PrefixTableBytes(g, 32) {
+		t.Errorf("TableBytes %d != estimate %d", e.TableBytes(), PrefixTableBytes(g, 32))
+	}
+}
+
+func mustHCAM(t *testing.T, g *grid.Grid, m int) alloc.Method {
+	t.Helper()
+	h, err := alloc.NewHCAM(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestKernelSelection(t *testing.T) {
+	g := grid.MustNew(16, 16)
+	m, _ := alloc.NewDM(g, 4)
+
+	if _, err := ParseKernel("bogus"); err == nil {
+		t.Error("ParseKernel accepted bogus")
+	}
+	for _, tc := range []struct {
+		in   string
+		want Kernel
+	}{{"auto", KernelAuto}, {"walk", KernelWalk}, {"PREFIX", KernelPrefix}, {"", KernelAuto}} {
+		k, err := ParseKernel(tc.in)
+		if err != nil || k != tc.want {
+			t.Errorf("ParseKernel(%q) = %v, %v; want %v", tc.in, k, err, tc.want)
+		}
+	}
+	for _, k := range []Kernel{KernelAuto, KernelWalk, KernelPrefix} {
+		if k.String() == "" {
+			t.Error("empty kernel name")
+		}
+	}
+
+	// Forced kernels produce their concrete types.
+	e, err := NewKernelEvaluator(m, KernelWalk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*Evaluator); !ok {
+		t.Errorf("KernelWalk built %T", e)
+	}
+	e, err = NewKernelEvaluator(m, KernelPrefix, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*PrefixEvaluator); !ok {
+		t.Errorf("KernelPrefix built %T", e)
+	}
+
+	// Auto honours the budget: generous → prefix, starved → walk.
+	e, err = NewKernelEvaluator(m, KernelAuto, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*PrefixEvaluator); !ok {
+		t.Errorf("KernelAuto with default budget built %T, want prefix", e)
+	}
+	e, err = NewKernelEvaluator(m, KernelAuto, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*Evaluator); !ok {
+		t.Errorf("KernelAuto with 16-byte budget built %T, want walk", e)
+	}
+
+	if _, err := NewKernelEvaluator(m, Kernel(99), 0); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}

@@ -59,11 +59,15 @@ func Attributes(cfg AttrsConfig, opt Options) (*Experiment, error) {
 	if err != nil {
 		return nil, err
 	}
+	rows, err := evaluateGrid(methods, workloads, opt)
+	if err != nil {
+		return nil, err
+	}
 	return &Experiment{
 		ID:      "E5",
 		Title:   "Experiment 3: effect of the number of attributes",
 		XLabel:  "query volume",
 		Methods: methodNames(methods),
-		Rows:    evaluateRows(methods, workloads),
+		Rows:    rows,
 	}, nil
 }

@@ -23,17 +23,10 @@ func (e *Experiment) WriteCSV(w io.Writer, metric Metric) error {
 		cells := make([]string, 0, len(header))
 		cells = append(cells, row.Label)
 		for _, r := range row.Results {
-			switch v := metric.value(r).(type) {
-			case float64:
-				cells = append(cells, strconv.FormatFloat(v, 'f', 6, 64))
-			case int:
-				cells = append(cells, strconv.Itoa(v))
-			default:
-				cells = append(cells, fmt.Sprintf("%v", v))
-			}
+			cells = append(cells, csvCell(metric.value(r)))
 		}
 		if metric == MeanRT && len(row.Results) > 0 {
-			cells = append(cells, strconv.FormatFloat(row.Results[0].MeanOpt, 'f', 6, 64))
+			cells = append(cells, csvCell(row.Results[0].MeanOpt))
 		}
 		if err := cw.Write(cells); err != nil {
 			return fmt.Errorf("experiments: csv row: %w", err)
@@ -41,4 +34,20 @@ func (e *Experiment) WriteCSV(w io.Writer, metric Metric) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// csvCell renders one metric value. Non-finite floats take the stable
+// tokens of renderValue ("inf", "-inf", "nan") rather than
+// FormatFloat's "+Inf" spellings.
+func csvCell(v interface{}) string {
+	switch x := renderValue(v).(type) {
+	case float64:
+		return strconv.FormatFloat(x, 'f', 6, 64)
+	case int:
+		return strconv.Itoa(x)
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", x)
+	}
 }

@@ -67,7 +67,11 @@ func DatabaseSize(cfg DBSizeConfig, opt Options) (*Experiment, error) {
 			Name:    fmt.Sprintf("%d×%d buckets", side, side),
 			Queries: qs,
 		}
-		rows = append(rows, evaluateRows(methods, []query.Workload{w})...)
+		rs, err := evaluateGrid(methods, []query.Workload{w}, opt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rs...)
 	}
 	return &Experiment{
 		ID:      "E8",

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"decluster/internal/alloc"
 	"decluster/internal/cost"
 	"decluster/internal/grid"
 	"decluster/internal/query"
@@ -50,46 +51,60 @@ func (c DisksConfig) withDefaults() DisksConfig {
 // other experiments the x axis is M, so each row rebuilds the method
 // set; the FX/ExFX pair collapses onto one "FX" line per the paper's
 // selection rule, and methods inapplicable at some M leave a gap
-// (zero-query result) to keep columns aligned.
+// (zero-query result) to keep columns aligned. All (M, method) cells
+// fan across the sweep engine's worker pool.
 func disksSweep(id, title string, band [2]int, cfg DisksConfig, opt Options) (*Experiment, error) {
 	g, err := grid.New(cfg.GridSide, cfg.GridSide)
 	if err != nil {
 		return nil, err
 	}
+	var warnings []string
 	n := opt.limit()
 	if n == 0 {
-		n = 2000 // the band is open-ended; exhaustive enumeration is undefined
+		// The band is open-ended, so "every placement" is undefined —
+		// sampling is forced. Before PR 5 this silently replaced an
+		// explicit -exhaustive with sampled data; now the run says so.
+		n = 2000
+		warnings = append(warnings,
+			fmt.Sprintf("exhaustive mode is undefined for the open-ended query band [%d..%d]; sampled %d placements instead", band[0], band[1], n))
 	}
 	w, err := query.RandomRange(g, band[0], band[1], n, opt.seed())
 	if err != nil {
 		return nil, err
 	}
 
-	// Column set: union of line names across all M.
+	// Column set: union of line names across all M; and one evaluation
+	// cell per applicable (M, method) pair.
 	var colSet []string
 	seen := map[string]bool{}
-	for _, m := range cfg.Disks {
+	perRow := make([][]alloc.Method, len(cfg.Disks))
+	var cells []evalCell
+	cellIdx := make([][]int, len(cfg.Disks))
+	for row, m := range cfg.Disks {
 		methods, err := opt.methods(g, m)
 		if err != nil {
 			return nil, err
 		}
+		perRow[row] = methods
 		for _, mm := range methods {
 			if name := lineName(mm); !seen[name] {
 				seen[name] = true
 				colSet = append(colSet, name)
 			}
+			cellIdx[row] = append(cellIdx[row], len(cells))
+			cells = append(cells, evalCell{method: mm, w: w})
 		}
+	}
+	evaluated, err := opt.evaluateCells(cells)
+	if err != nil {
+		return nil, err
 	}
 
 	rows := make([]Row, 0, len(cfg.Disks))
-	for _, m := range cfg.Disks {
-		methods, err := opt.methods(g, m)
-		if err != nil {
-			return nil, err
-		}
+	for row, m := range cfg.Disks {
 		byName := map[string]cost.Result{}
-		for i, res := range cost.EvaluateAll(methods, w) {
-			byName[lineName(methods[i])] = res
+		for i, mm := range perRow[row] {
+			byName[lineName(mm)] = evaluated[cellIdx[row][i]]
 		}
 		results := make([]cost.Result, len(colSet))
 		for i, name := range colSet {
@@ -102,11 +117,12 @@ func disksSweep(id, title string, band [2]int, cfg DisksConfig, opt Options) (*E
 		rows = append(rows, Row{Label: fmt.Sprintf("M=%d", m), Results: results})
 	}
 	return &Experiment{
-		ID:      id,
-		Title:   title,
-		XLabel:  "disks",
-		Methods: colSet,
-		Rows:    rows,
+		ID:       id,
+		Title:    title,
+		XLabel:   "disks",
+		Methods:  colSet,
+		Rows:     rows,
+		Warnings: warnings,
 	}, nil
 }
 

@@ -15,12 +15,12 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"decluster/internal/alloc"
 	"decluster/internal/cost"
 	"decluster/internal/grid"
 	"decluster/internal/plot"
-	"decluster/internal/query"
 	"decluster/internal/table"
 )
 
@@ -38,6 +38,17 @@ type Options struct {
 	// IncludeRandom adds the balanced-random baseline allocation to the
 	// method set.
 	IncludeRandom bool
+	// Parallel bounds the sweep engine's worker pool (default: every
+	// available CPU; 1 serializes). Results are byte-identical at any
+	// setting.
+	Parallel int
+	// Kernel selects the response-time kernel per evaluation cell
+	// (default cost.KernelAuto: prefix tables when they fit TableBudget,
+	// table walk otherwise).
+	Kernel cost.Kernel
+	// TableBudget caps one evaluator's prefix-table memory under the
+	// auto kernel (≤ 0 selects cost.DefaultTableBudget).
+	TableBudget int64
 }
 
 // seed returns the sampling seed.
@@ -96,6 +107,10 @@ type Experiment struct {
 	Methods []string
 	// Rows holds the sweep, in x order.
 	Rows []Row
+	// Warnings records ways the run deviated from what was asked —
+	// e.g. an -exhaustive request the experiment cannot honour — so
+	// surprising data always arrives with its caveat attached.
+	Warnings []string
 }
 
 // Metric selects which aggregate a rendering reports.
@@ -128,6 +143,29 @@ func (m Metric) String() string {
 	}
 }
 
+// renderValue formats a metric value for the table and CSV renderers.
+// Non-finite floats — stats.Ratio returns +Inf against a zero optimum —
+// render as the stable lowercase tokens "inf", "-inf", and "nan"
+// instead of Go's locale-looking "+Inf"/"NaN", so downstream parsers
+// and the golden files see one representation forever. Finite values
+// pass through for the renderer's own numeric formatting.
+func renderValue(v interface{}) interface{} {
+	f, ok := v.(float64)
+	if !ok {
+		return v
+	}
+	switch {
+	case math.IsInf(f, 1):
+		return "inf"
+	case math.IsInf(f, -1):
+		return "-inf"
+	case math.IsNaN(f):
+		return "nan"
+	default:
+		return v
+	}
+}
+
 // value extracts the metric from a result.
 func (m Metric) value(r cost.Result) interface{} {
 	switch m {
@@ -157,10 +195,10 @@ func (e *Experiment) Table(metric Metric) *table.Table {
 		cells := make([]interface{}, 0, len(headers))
 		cells = append(cells, row.Label)
 		for _, r := range row.Results {
-			cells = append(cells, metric.value(r))
+			cells = append(cells, renderValue(metric.value(r)))
 		}
 		if metric == MeanRT && len(row.Results) > 0 {
-			cells = append(cells, row.Results[0].MeanOpt)
+			cells = append(cells, renderValue(row.Results[0].MeanOpt))
 		}
 		t.AddRowf(cells...)
 	}
@@ -170,7 +208,10 @@ func (e *Experiment) Table(metric Metric) *table.Table {
 // Chart renders the experiment as an ASCII line chart of the chosen
 // metric — the terminal rendition of the paper's figure. Gap rows
 // (methods inapplicable at a sweep point, zero queries) break the
-// series; they are drawn at the metric's zero.
+// series; they are drawn at the metric's zero, and non-finite values
+// (a Ratio against a zero optimum is +Inf) are drawn the same way —
+// plot.Series rejects them outright, and a single +Inf would flatten
+// every finite line to nothing anyway.
 func (e *Experiment) Chart(metric Metric) *plot.Chart {
 	labels := make([]string, len(e.Rows))
 	for i, row := range e.Rows {
@@ -182,7 +223,9 @@ func (e *Experiment) Chart(metric Metric) *plot.Chart {
 		for i, row := range e.Rows {
 			switch v := metric.value(row.Results[col]).(type) {
 			case float64:
-				ys[i] = v
+				if !math.IsInf(v, 0) && !math.IsNaN(v) {
+					ys[i] = v
+				}
 			case int:
 				ys[i] = float64(v)
 			}
@@ -195,15 +238,6 @@ func (e *Experiment) Chart(metric Metric) *plot.Chart {
 	return c
 }
 
-// evaluateRows runs the method set over each workload, producing one
-// row per workload.
-func evaluateRows(methods []alloc.Method, workloads []query.Workload) []Row {
-	rows := make([]Row, len(workloads))
-	for i, w := range workloads {
-		rows[i] = Row{Label: w.Name, Results: cost.EvaluateAll(methods, w)}
-	}
-	return rows
-}
 
 // lineName returns the plot-line label for a method. The paper draws
 // FX and ExFX as a single curve chosen by its selection rule, so both

@@ -68,11 +68,15 @@ func PartialMatch(cfg PMConfig, opt Options) (*Experiment, error) {
 			workloads = append(workloads, w)
 		}
 	}
+	rows, err := evaluateGrid(methods, workloads, opt)
+	if err != nil {
+		return nil, err
+	}
 	return &Experiment{
 		ID:      "E9",
 		Title:   "Partial match queries by unspecified pattern",
 		XLabel:  "pattern (s=specified, *=unspecified)",
 		Methods: methodNames(methods),
-		Rows:    evaluateRows(methods, workloads),
+		Rows:    rows,
 	}, nil
 }

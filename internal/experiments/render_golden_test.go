@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"decluster/internal/cost"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from this run's output")
+
+// infExperiment hand-builds a sweep containing the pathological ratio
+// values the render layer must stabilize: +Inf (zero-volume optimum),
+// NaN, and an ordinary finite ratio, plus a gap row.
+func infExperiment() *Experiment {
+	return &Experiment{
+		ID:     "EX",
+		Title:  "non-finite rendering",
+		XLabel: "case",
+		Methods: []string{
+			"DM", "HCAM",
+		},
+		Rows: []Row{
+			{Label: "finite", Results: []cost.Result{
+				{Method: "DM", MeanRT: 3, MeanOpt: 2, Ratio: 1.5},
+				{Method: "HCAM", MeanRT: 2, MeanOpt: 2, Ratio: 1},
+			}},
+			{Label: "zero-opt", Results: []cost.Result{
+				{Method: "DM", MeanRT: 3, MeanOpt: 0, Ratio: math.Inf(1)},
+				{Method: "HCAM", MeanRT: 0, MeanOpt: 0, Ratio: math.NaN()},
+			}},
+			{Label: "gap", Results: []cost.Result{
+				{Method: "DM"},
+				{Method: "HCAM"},
+			}},
+		},
+	}
+}
+
+// The +Inf a zero-volume optimum produces must reach renderers as the
+// stable token "inf" — never Go's "+Inf" — in both the text table and
+// the CSV, and must not panic the chart.
+func TestRenderNonFiniteGolden(t *testing.T) {
+	e := infExperiment()
+	var out strings.Builder
+	out.WriteString(e.Table(Ratio).String())
+	out.WriteString("\n")
+	var csv bytes.Buffer
+	if err := e.WriteCSV(&csv, Ratio); err != nil {
+		t.Fatal(err)
+	}
+	out.Write(csv.Bytes())
+
+	got := out.String()
+	if strings.Contains(got, "+Inf") || strings.Contains(got, "NaN") {
+		t.Fatalf("renderers leaked Go float spellings:\n%s", got)
+	}
+
+	path := filepath.Join("testdata", "render_nonfinite.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("rendering mismatch (re-run with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// The chart path previously panicked on +Inf (plot.Series rejects
+// non-finite values); it must now draw those points at the gap level.
+func TestRenderNonFiniteChart(t *testing.T) {
+	c := infExperiment().Chart(Ratio)
+	if s := c.String(); s == "" {
+		t.Fatal("empty chart")
+	}
+}

@@ -53,11 +53,15 @@ func QueryShape(cfg ShapeConfig, opt Options) (*Experiment, error) {
 	if err != nil {
 		return nil, err
 	}
+	rows, err := evaluateGrid(methods, workloads, opt)
+	if err != nil {
+		return nil, err
+	}
 	return &Experiment{
 		ID:      "E4",
 		Title:   "Experiment 2: effect of query shape",
 		XLabel:  "shape (rows×cols)",
 		Methods: methodNames(methods),
-		Rows:    evaluateRows(methods, workloads),
+		Rows:    rows,
 	}, nil
 }

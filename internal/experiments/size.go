@@ -54,11 +54,15 @@ func QuerySize(cfg SizeConfig, opt Options) (*Experiment, error) {
 	if err != nil {
 		return nil, err
 	}
+	rows, err := evaluateGrid(methods, workloads, opt)
+	if err != nil {
+		return nil, err
+	}
 	return &Experiment{
 		ID:      "E3",
 		Title:   "Experiment 1: effect of query size",
 		XLabel:  "query area",
 		Methods: methodNames(methods),
-		Rows:    evaluateRows(methods, workloads),
+		Rows:    rows,
 	}, nil
 }

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"decluster/internal/alloc"
+	"decluster/internal/cost"
+	"decluster/internal/query"
+)
+
+// The sweep engine fans (method, workload) evaluation cells across a
+// bounded worker pool. Every experiment sweep — rows × methods, or the
+// disk sweeps' (M, method) grid — flattens into cells, runs here, and
+// reassembles by index, so result ordering is deterministic regardless
+// of completion order and the parallel path produces byte-identical
+// experiment tables to a -parallel 1 run. Each cell builds its own
+// kernel evaluator inside the worker goroutine, honouring the
+// per-goroutine contract of cost.Evaluator/PrefixEvaluator; the kernel
+// choice (walk vs prefix tables, Options.Kernel) is per cell, so a cell
+// whose prefix tables would bust the budget falls back to the walk
+// without affecting its neighbours.
+
+// evalCell is one unit of sweep work: one method over one workload.
+type evalCell struct {
+	method alloc.Method
+	w      query.Workload
+}
+
+// evaluateCells runs the cells on Options.Parallel workers and returns
+// one Result per cell, aligned to the input order. The first kernel
+// construction error aborts the sweep (remaining queued cells are
+// drained unevaluated).
+func (o Options) evaluateCells(cells []evalCell) ([]cost.Result, error) {
+	out := make([]cost.Result, len(cells))
+	par := o.parallel()
+	if par > len(cells) {
+		par = len(cells)
+	}
+	if par < 1 {
+		par = 1
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < par; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					continue
+				}
+				c := cells[idx]
+				ev, err := cost.NewKernelEvaluator(c.method, o.Kernel, o.TableBudget)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[idx] = ev.Evaluate(c.w)
+			}
+		}()
+	}
+	for i := range cells {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// evaluateGrid evaluates every method over every workload through the
+// sweep engine: one row per workload, one column per method, both in
+// input order.
+func evaluateGrid(methods []alloc.Method, workloads []query.Workload, opt Options) ([]Row, error) {
+	cells := make([]evalCell, 0, len(methods)*len(workloads))
+	for _, w := range workloads {
+		for _, m := range methods {
+			cells = append(cells, evalCell{method: m, w: w})
+		}
+	}
+	res, err := opt.evaluateCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, len(workloads))
+	for i, w := range workloads {
+		rows[i] = Row{Label: w.Name, Results: res[i*len(methods) : (i+1)*len(methods) : (i+1)*len(methods)]}
+	}
+	return rows, nil
+}
+
+// parallel returns the worker-pool size: Options.Parallel when ≥ 1,
+// else every available CPU.
+func (o Options) parallel() int {
+	if o.Parallel >= 1 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"decluster/internal/cost"
+)
+
+// The parallel sweep must produce byte-identical experiment tables to
+// the serial path for the same seed — same Results, same ordering,
+// regardless of worker count or completion order.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	cfg := DisksConfig{Disks: []int{4, 8, 16}}
+	serial, err := DisksLarge(cfg, Options{Seed: 3, SampleLimit: 200, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 7, 32} {
+		parallel, err := DisksLarge(cfg, Options{Seed: 3, SampleLimit: 200, Parallel: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("parallel=%d sweep differs from serial:\nserial   %+v\nparallel %+v", par, serial, parallel)
+		}
+		if serial.Table(MeanRT).String() != parallel.Table(MeanRT).String() {
+			t.Fatalf("parallel=%d rendered table differs from serial", par)
+		}
+	}
+}
+
+// Walk and prefix kernels must yield identical sweeps: the kernel is a
+// performance choice, never a results choice.
+func TestSweepKernelsAgree(t *testing.T) {
+	for _, build := range []func(Options) (*Experiment, error){
+		func(o Options) (*Experiment, error) {
+			return DisksSmall(DisksConfig{Disks: []int{4, 8}}, o)
+		},
+		func(o Options) (*Experiment, error) {
+			return QuerySize(SizeConfig{Areas: []int{4, 64}}, o)
+		},
+	} {
+		walk, err := build(Options{Seed: 5, SampleLimit: 150, Kernel: cost.KernelWalk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix, err := build(Options{Seed: 5, SampleLimit: 150, Kernel: cost.KernelPrefix})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(walk, prefix) {
+			t.Fatalf("kernels disagree:\nwalk   %+v\nprefix %+v", walk, prefix)
+		}
+	}
+}
+
+// An auto kernel starved of table memory must fall back to the walk and
+// still agree.
+func TestSweepAutoKernelBudgetFallback(t *testing.T) {
+	opt := Options{Seed: 5, SampleLimit: 100}
+	starved := opt
+	starved.TableBudget = 1 // nothing fits: every cell walks
+	a, err := DisksSmall(DisksConfig{Disks: []int{4, 8}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DisksSmall(DisksConfig{Disks: []int{4, 8}}, starved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("budget fallback changed sweep results")
+	}
+}
+
+// An explicitly exhaustive disk sweep cannot be honoured (the band is
+// open-ended); the experiment must say so instead of silently handing
+// back sampled data — and the data must equal the sampled run it
+// actually performed.
+func TestSweepExhaustiveDisksWarns(t *testing.T) {
+	cfg := DisksConfig{Disks: []int{4, 8}}
+	ex, err := DisksLarge(cfg, Options{Seed: 2, Exhaustive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Warnings) != 1 {
+		t.Fatalf("Warnings = %v, want exactly one", ex.Warnings)
+	}
+	if w := ex.Warnings[0]; !strings.Contains(w, "exhaustive") || !strings.Contains(w, "sampled 2000") {
+		t.Fatalf("warning %q does not explain the substitution", w)
+	}
+	sampled, err := DisksLarge(cfg, Options{Seed: 2, SampleLimit: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ex.Rows, sampled.Rows) {
+		t.Fatal("exhaustive-requested data differs from the sampled run it claims to be")
+	}
+	if len(sampled.Warnings) != 0 {
+		t.Fatalf("sampled run warned: %v", sampled.Warnings)
+	}
+}
+
+// A forced prefix kernel that cannot represent its tables must surface
+// the error, not hang or drop cells.
+func TestSweepKernelErrorPropagates(t *testing.T) {
+	// 2^40 buckets per axis pair would be absurd; instead force the
+	// error path via a tiny budget with KernelPrefix? KernelPrefix
+	// ignores budgets, so drive the engine directly with a cell whose
+	// prefix table length overflows int32 counting. Easiest real
+	// trigger at test scale: none exists — so assert the error path of
+	// evaluateCells with a stub kernel error is unreachable and instead
+	// verify the engine's first-error abort contract via the public
+	// seam: an unknown kernel value.
+	_, err := DisksSmall(DisksConfig{Disks: []int{4}}, Options{Kernel: cost.Kernel(99), SampleLimit: 50})
+	if err == nil {
+		t.Fatal("unknown kernel did not propagate an error")
+	}
+}

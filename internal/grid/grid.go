@@ -11,6 +11,7 @@ package grid
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -264,11 +265,21 @@ func (r Rect) Sides() []int {
 	return out
 }
 
-// Volume returns the number of buckets the rectangle covers.
+// Volume returns the number of buckets the rectangle covers. The
+// product saturates at math.MaxInt instead of wrapping: a rectangle too
+// large to count still compares correctly against any representable
+// bucket count. Rectangles built by NewRect on a valid Grid can never
+// saturate (grid construction bounds the bucket count), but Rect
+// literals with astronomical sides are used by theory code and must not
+// silently wrap.
 func (r Rect) Volume() int {
 	v := 1
 	for i := range r.Lo {
-		v *= r.Side(i)
+		s := r.Side(i)
+		if s > 1 && v > math.MaxInt/s {
+			return math.MaxInt
+		}
+		v *= s
 	}
 	return v
 }

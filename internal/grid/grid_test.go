@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -401,5 +402,27 @@ func TestQuickRectVolume(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestVolumeSaturates(t *testing.T) {
+	// Three axes of 2^21 partitions each: the true volume is 2^63,
+	// one past math.MaxInt — the pre-guard code wrapped to a negative
+	// count, corrupting MeanOpt and any table sized from it.
+	side := 1 << 21
+	r := Rect{Lo: Coord{0, 0, 0}, Hi: Coord{side - 1, side - 1, side - 1}}
+	if got := r.Volume(); got != math.MaxInt {
+		t.Errorf("Volume = %d, want saturation at math.MaxInt", got)
+	}
+	// Far past the limit as well.
+	huge := math.MaxInt - 1
+	r = Rect{Lo: Coord{0, 0}, Hi: Coord{huge, huge}}
+	if got := r.Volume(); got != math.MaxInt {
+		t.Errorf("Volume = %d, want saturation at math.MaxInt", got)
+	}
+	// Unsaturated volumes are exact, including unit axes.
+	r = Rect{Lo: Coord{0, 3, 5}, Hi: Coord{0, 3, 9}}
+	if got := r.Volume(); got != 5 {
+		t.Errorf("Volume = %d, want 5", got)
 	}
 }

@@ -287,12 +287,44 @@ func elongation(s []int) float64 {
 // whose placement is uniform — the mixed query population used for the
 // paper's "small queries" / "large queries" disk sweeps, where a query
 // class is a band of sizes and shapes rather than a single rectangle.
+//
+// When the grid is narrower than the requested band, the per-axis
+// clamping changes what is actually generated; the workload's name
+// reports the effective band (the realizable side range across axes),
+// not the requested one, so a workload labelled random[16..48] always
+// contains sides in [16, 48]. A band that starts above every axis
+// (minSide > max dimension) degenerates entirely and is rejected.
 func RandomRange(g *grid.Grid, minSide, maxSide, n int, seed int64) (Workload, error) {
 	if minSide < 1 || maxSide < minSide {
 		return Workload{}, fmt.Errorf("query: invalid side range [%d,%d]", minSide, maxSide)
 	}
 	if n < 1 {
 		return Workload{}, fmt.Errorf("query: need n ≥ 1 queries, got %d", n)
+	}
+	// Effective band: on axis i sides are drawn from
+	// [min(minSide, capI), capI] with capI = min(maxSide, d_i); the
+	// workload as a whole realizes [min_i, max_i] of those.
+	effMin, effMax := 0, 0
+	for i := 0; i < g.K(); i++ {
+		capI := maxSide
+		if capI > g.Dim(i) {
+			capI = g.Dim(i)
+		}
+		lowI := minSide
+		if lowI > capI {
+			lowI = capI
+		}
+		if i == 0 || lowI < effMin {
+			effMin = lowI
+		}
+		if i == 0 || capI > effMax {
+			effMax = capI
+		}
+	}
+	if effMax < minSide {
+		return Workload{}, fmt.Errorf(
+			"query: side band [%d,%d] lies entirely above grid %v (largest possible side %d)",
+			minSide, maxSide, g, effMax)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	qs := make([]grid.Rect, 0, n)
@@ -315,7 +347,7 @@ func RandomRange(g *grid.Grid, minSide, maxSide, n int, seed int64) (Workload, e
 		qs = append(qs, grid.Rect{Lo: lo, Hi: hi})
 	}
 	return Workload{
-		Name:    fmt.Sprintf("random[%d..%d]", minSide, maxSide),
+		Name:    fmt.Sprintf("random[%d..%d]", effMin, effMax),
 		Queries: qs,
 	}, nil
 }

@@ -324,3 +324,50 @@ func TestPointWorkload(t *testing.T) {
 		t.Errorf("name = %q", w.Name)
 	}
 }
+
+func TestRandomRangeEffectiveBandName(t *testing.T) {
+	// Unclamped band: name is the requested band.
+	g := grid.MustNew(64, 64)
+	w, err := RandomRange(g, 16, 48, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "random[16..48]" {
+		t.Errorf("Name = %q, want random[16..48]", w.Name)
+	}
+
+	// Band wider than the grid: the name must report what is actually
+	// generated, not the lie random[16..48] over an 8×8 grid.
+	g = grid.MustNew(8, 8)
+	w, err = RandomRange(g, 2, 48, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "random[2..8]" {
+		t.Errorf("Name = %q, want random[2..8]", w.Name)
+	}
+	for _, q := range w.Queries {
+		for i := range q.Lo {
+			if s := q.Side(i); s < 2 || s > 8 {
+				t.Fatalf("query %v side %d outside effective band [2,8]", q, s)
+			}
+		}
+	}
+
+	// Mixed dims clamp per axis; the name spans the realizable range.
+	g = grid.MustNew(4, 32)
+	w, err = RandomRange(g, 8, 16, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "random[4..16]" {
+		t.Errorf("Name = %q, want random[4..16]", w.Name)
+	}
+
+	// A band entirely above the grid is a different workload, not a
+	// clamped one: reject it.
+	g = grid.MustNew(8, 8)
+	if _, err := RandomRange(g, 16, 48, 50, 1); err == nil {
+		t.Error("band entirely above the grid was accepted")
+	}
+}

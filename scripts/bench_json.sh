@@ -1,48 +1,106 @@
 #!/bin/sh
-# bench_json.sh — render the observability-overhead benchmark into a
-# small JSON report.
+# bench_json.sh — render a benchmark suite into a small JSON report.
 #
-# Runs BenchmarkRangeSearch (the uninstrumented executor baseline) and
-# BenchmarkObsOverhead/{off,on} (the same workload through an executor
-# without and with a live metrics sink), then emits per-run ns/op
-# samples, means, and the on-vs-off overhead percentage. The PR-4
-# acceptance bar is overhead_pct < 5.
+# Suites:
+#   pr4 (default) — BenchmarkRangeSearch (the uninstrumented executor
+#       baseline) and BenchmarkObsOverhead/{off,on} (the same workload
+#       through an executor without and with a live metrics sink), with
+#       the on-vs-off overhead percentage. Acceptance bar:
+#       overhead_pct < 5.
+#   pr5 — BenchmarkKernelResponseTime/{naive,walk,prefix} (the three
+#       response-time kernels on the Figure-5(b) large-query workload:
+#       64×64 grid, HCAM, M=32, sides 16..48) and
+#       BenchmarkKernelSweepDisksLarge/{walk,prefix} (the whole disk
+#       sweep end to end, including workload generation and table
+#       builds). Acceptance bar: kernel_speedup_x >= 5 (walk mean over
+#       prefix mean on the per-query benchmark).
 #
-# Usage: scripts/bench_json.sh [count] > BENCH_PR4.json
+# Usage: scripts/bench_json.sh [count] [suite] > BENCH_PR5.json
 set -eu
 count="${1:-5}"
+suite="${2:-pr4}"
 cd "$(dirname "$0")/.."
 
-go test -run '^$' -bench '^BenchmarkObsOverhead$|^BenchmarkRangeSearch$' \
-	-benchtime=2s -count="$count" . |
-	awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
-	/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
-	/^Benchmark/ {
-		name = $1
-		sub(/-[0-9]+$/, "", name)
-		sub(/^Benchmark/, "", name)
-		vals[name] = vals[name] sep[name] $3
-		sep[name] = ", "
-		sum[name] += $3
-		n[name]++
-	}
-	function mean(k) { return n[k] ? sum[k] / n[k] : 0 }
-	function series(k) {
-		printf "    \"%s\": {\"ns_per_op\": [%s], \"mean_ns_per_op\": %.0f}", k, vals[k], mean(k)
-	}
-	END {
-		off = mean("ObsOverhead/off"); on = mean("ObsOverhead/on")
-		printf "{\n"
-		printf "  \"benchmark\": \"BenchmarkObsOverhead\",\n"
-		printf "  \"date\": \"%s\",\n", date
-		printf "  \"cpu\": \"%s\",\n", cpu
-		printf "  \"count\": %d,\n", n["ObsOverhead/off"]
-		printf "  \"results\": {\n"
-		series("RangeSearch"); printf ",\n"
-		series("ObsOverhead/off"); printf ",\n"
-		series("ObsOverhead/on"); printf "\n"
-		printf "  },\n"
-		printf "  \"overhead_pct\": %.2f,\n", off ? (on / off - 1) * 100 : 0
-		printf "  \"bar_pct\": 5\n"
-		printf "}\n"
-	}'
+case "$suite" in
+pr4)
+	go test -run '^$' -bench '^BenchmarkObsOverhead$|^BenchmarkRangeSearch$' \
+		-benchtime=2s -count="$count" . |
+		awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+		/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			sub(/^Benchmark/, "", name)
+			vals[name] = vals[name] sep[name] $3
+			sep[name] = ", "
+			sum[name] += $3
+			n[name]++
+		}
+		function mean(k) { return n[k] ? sum[k] / n[k] : 0 }
+		function series(k) {
+			printf "    \"%s\": {\"ns_per_op\": [%s], \"mean_ns_per_op\": %.0f}", k, vals[k], mean(k)
+		}
+		END {
+			off = mean("ObsOverhead/off"); on = mean("ObsOverhead/on")
+			printf "{\n"
+			printf "  \"benchmark\": \"BenchmarkObsOverhead\",\n"
+			printf "  \"date\": \"%s\",\n", date
+			printf "  \"cpu\": \"%s\",\n", cpu
+			printf "  \"count\": %d,\n", n["ObsOverhead/off"]
+			printf "  \"results\": {\n"
+			series("RangeSearch"); printf ",\n"
+			series("ObsOverhead/off"); printf ",\n"
+			series("ObsOverhead/on"); printf "\n"
+			printf "  },\n"
+			printf "  \"overhead_pct\": %.2f,\n", off ? (on / off - 1) * 100 : 0
+			printf "  \"bar_pct\": 5\n"
+			printf "}\n"
+		}'
+	;;
+pr5)
+	go test -run '^$' \
+		-bench '^BenchmarkKernelResponseTime$|^BenchmarkKernelSweepDisksLarge$' \
+		-benchtime=1s -count="$count" . |
+		awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+		/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			sub(/^Benchmark/, "", name)
+			vals[name] = vals[name] sep[name] $3
+			sep[name] = ", "
+			sum[name] += $3
+			n[name]++
+		}
+		function mean(k) { return n[k] ? sum[k] / n[k] : 0 }
+		function series(k) {
+			printf "    \"%s\": {\"ns_per_op\": [%s], \"mean_ns_per_op\": %.0f}", k, vals[k], mean(k)
+		}
+		END {
+			walk = mean("KernelResponseTime/walk")
+			prefix = mean("KernelResponseTime/prefix")
+			swalk = mean("KernelSweepDisksLarge/walk")
+			sprefix = mean("KernelSweepDisksLarge/prefix")
+			printf "{\n"
+			printf "  \"benchmark\": \"BenchmarkKernelResponseTime\",\n"
+			printf "  \"date\": \"%s\",\n", date
+			printf "  \"cpu\": \"%s\",\n", cpu
+			printf "  \"count\": %d,\n", n["KernelResponseTime/walk"]
+			printf "  \"results\": {\n"
+			series("KernelResponseTime/naive"); printf ",\n"
+			series("KernelResponseTime/walk"); printf ",\n"
+			series("KernelResponseTime/prefix"); printf ",\n"
+			series("KernelSweepDisksLarge/walk"); printf ",\n"
+			series("KernelSweepDisksLarge/prefix"); printf "\n"
+			printf "  },\n"
+			printf "  \"kernel_speedup_x\": %.2f,\n", prefix ? walk / prefix : 0
+			printf "  \"sweep_speedup_x\": %.2f,\n", sprefix ? swalk / sprefix : 0
+			printf "  \"bar_speedup_x\": 5\n"
+			printf "}\n"
+		}'
+	;;
+*)
+	echo "bench_json.sh: unknown suite '$suite' (want pr4 or pr5)" >&2
+	exit 2
+	;;
+esac
