@@ -721,3 +721,50 @@ func BenchmarkEvaluateWorkloadFast(b *testing.B) {
 		_ = e.Evaluate(w)
 	}
 }
+
+// BenchmarkClusterScatterGather measures one robust scatter/gather
+// through the full cluster stack — shard decomposition, HTTP fan-out
+// over loopback, per-node scheduling, gather and merge — healthy and
+// with a crashed node routed around via replicas.
+func BenchmarkClusterScatterGather(b *testing.B) {
+	g := grid.MustNew(8, 8)
+	sm, err := decluster.NewChainShardMap(g, 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	method, err := decluster.NewFX(g, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := decluster.UniformRecords{K: 2, Seed: 1}.Generate(2048)
+	h, err := decluster.StartClusterHarness(decluster.ClusterHarnessConfig{
+		Map:     sm,
+		Method:  method,
+		Records: recs,
+		Router:  decluster.RouterConfig{NodeDeadline: 5 * time.Second},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	q := g.MustRect(grid.Coord{1, 1}, grid.Coord{6, 6})
+
+	run := func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := h.Router().Search(context.Background(), q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Covered != res.SubQueries {
+				b.Fatalf("covered %d of %d sub-queries", res.Covered, res.SubQueries)
+			}
+		}
+	}
+	b.Run("healthy", run)
+	b.Run("degraded", func(b *testing.B) {
+		h.Faults().Crash(2)
+		defer h.Faults().Restart(2)
+		run(b)
+	})
+}

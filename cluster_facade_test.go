@@ -1,0 +1,101 @@
+package decluster_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	decluster "decluster"
+)
+
+// TestClusterFacade drives the whole cluster surface through the root
+// package: shard map construction, an in-process HTTP cluster, robust
+// scatter/gather, typed degradation, and the wire error taxonomy.
+func TestClusterFacade(t *testing.T) {
+	g, err := decluster.UniformGrid(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := decluster.NewChainShardMap(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.PlacementName() != "chain" {
+		t.Errorf("placement = %q", sm.PlacementName())
+	}
+	method, err := decluster.NewFX(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := decluster.UniformRecords{K: 2, Seed: 9}.Generate(400)
+
+	h, err := decluster.StartClusterHarness(decluster.ClusterHarnessConfig{
+		Map:     sm,
+		Method:  method,
+		Records: recs,
+		Router: decluster.RouterConfig{
+			NodeDeadline: time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	res, err := h.Router().Search(context.Background(), g.FullRect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 400 {
+		t.Errorf("full-grid search returned %d of 400 records", len(res.Records))
+	}
+	if res.Covered != res.SubQueries {
+		t.Errorf("covered %d of %d sub-queries", res.Covered, res.SubQueries)
+	}
+
+	// Typed degradation survives the facade: crash enough nodes that a
+	// shard loses both copies, and the router must say exactly what is
+	// missing.
+	h.Faults().Crash(0)
+	h.Faults().Crash(1)
+	res, err = h.Router().Search(context.Background(), g.FullRect())
+	if !errors.Is(err, decluster.ErrPartial) {
+		t.Fatalf("want ErrPartial with both replicas down, got %v", err)
+	}
+	var pe *decluster.PartialError
+	if !errors.As(err, &pe) || len(pe.Uncovered) == 0 {
+		t.Fatalf("partial error carries no uncovered rects: %v", err)
+	}
+	if res == nil || len(res.Records) == 0 {
+		t.Error("partial result should still carry the gathered records")
+	}
+
+	// Wire taxonomy round-trips through the facade.
+	code := decluster.ClusterErrorCode(err)
+	if code != "partial" {
+		t.Errorf("ClusterErrorCode = %q", code)
+	}
+	if !errors.Is(decluster.DecodeClusterError(code, "x"), decluster.ErrPartial) {
+		t.Error("decoded wire error lost its sentinel")
+	}
+}
+
+// TestClusterFacadeNodeFaultSchedules checks the node-level fault API
+// exposed at the root: deterministic schedules and injector state.
+func TestClusterFacadeNodeFaultSchedules(t *testing.T) {
+	a := decluster.NodeLossSchedule(5, 4, time.Second)
+	b := decluster.NodeLossSchedule(5, 4, time.Second)
+	if a.String() != b.String() {
+		t.Errorf("same seed, different schedules:\n%s\n%s", a, b)
+	}
+	in := decluster.NewNodeInjector()
+	in.Crash(2)
+	if got := in.CrashedNodes(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("CrashedNodes = %v", got)
+	}
+	in.Restart(2)
+	if got := in.CrashedNodes(); len(got) != 0 {
+		t.Errorf("CrashedNodes after restart = %v", got)
+	}
+}

@@ -1,0 +1,334 @@
+// Command declusterd runs one node of a grid-declustered cluster, or
+// queries a running cluster from the client side.
+//
+// Serve mode (-listen) boots one cluster member: the node derives the
+// shared shard map from the cluster geometry flags, loads its hosted
+// slice of the seeded dataset, and serves its shards over HTTP through
+// a full serve.Scheduler (admission control, per-disk breakers, the
+// single-process stack). Every node of a cluster must be started with
+// identical geometry and dataset flags — the shard map and the data are
+// pure functions of them, so nodes agree without any coordination
+// service.
+//
+// Query mode (-query) scatter/gathers one range query across the
+// cluster with the robust router: per-node deadlines, retry across
+// replicas, hedging, breakers, and typed partial results when coverage
+// is lost.
+//
+// Usage:
+//
+//	declusterd -listen ADDR -node I [geometry flags]   serve node I
+//	declusterd -query LO:HI -peers URL,URL,...         query a cluster
+//
+//	Geometry (must match on every node and client):
+//	-grid      grid dimensions, e.g. 8x8 or 4x4x4 (default 8x8)
+//	-nodes     cluster size N (default 4)
+//	-replicas  copies per shard (default 2)
+//	-placement chain | offset (default chain)
+//	-offset    offset placement's node stride (default nodes/2)
+//	-disks     local disks per node (default 4)
+//	-records   dataset size (default 4096)
+//	-seed      dataset generator seed (default 1)
+//
+//	Serve mode:
+//	-listen       bind address, e.g. 127.0.0.1:7000
+//	-node         this node's ID in [0, nodes)
+//	-base-latency simulated per-bucket read service time (default 0)
+//
+//	Query mode:
+//	-query         cell rectangle "x1,y1:x2,y2" (inclusive)
+//	-peers         comma-separated node base URLs, indexed by node ID
+//	-node-deadline per-attempt deadline against one node (default 2s)
+//	-hedge-after   hedge delay; 0 disables (default 0)
+//	-timeout       end-to-end query deadline (default 30s)
+//
+// Example 3-node cluster on loopback:
+//
+//	declusterd -listen 127.0.0.1:7000 -node 0 -nodes 3 &
+//	declusterd -listen 127.0.0.1:7001 -node 1 -nodes 3 &
+//	declusterd -listen 127.0.0.1:7002 -node 2 -nodes 3 &
+//	declusterd -query 0,0:7,7 -nodes 3 \
+//	  -peers http://127.0.0.1:7000,http://127.0.0.1:7001,http://127.0.0.1:7002
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"decluster/internal/alloc"
+	"decluster/internal/cluster"
+	"decluster/internal/datagen"
+	"decluster/internal/grid"
+	"decluster/internal/serve"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", "", "serve mode: bind address (e.g. 127.0.0.1:7000)")
+		nodeID       = flag.Int("node", 0, "serve mode: this node's ID in [0, nodes)")
+		gridSpec     = flag.String("grid", "8x8", "grid dimensions, e.g. 8x8 or 4x4x4")
+		nodes        = flag.Int("nodes", 4, "cluster size N")
+		replicas     = flag.Int("replicas", 2, "copies per shard")
+		placement    = flag.String("placement", "chain", "replica placement: chain or offset")
+		offset       = flag.Int("offset", 0, "offset placement's node stride (default nodes/2)")
+		disks        = flag.Int("disks", 4, "local disks per node")
+		records      = flag.Int("records", 4096, "dataset size")
+		seed         = flag.Int64("seed", 1, "dataset generator seed")
+		baseLatency  = flag.Duration("base-latency", 0, "serve mode: simulated per-bucket read service time")
+		query        = flag.String("query", "", "query mode: cell rectangle x1,y1:x2,y2 (inclusive)")
+		peers        = flag.String("peers", "", "query mode: comma-separated node base URLs, indexed by node ID")
+		nodeDeadline = flag.Duration("node-deadline", 2*time.Second, "query mode: per-attempt deadline against one node")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "query mode: hedge delay (0 disables)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "query mode: end-to-end query deadline")
+	)
+	flag.Parse()
+
+	sm, method, err := buildGeometry(*gridSpec, *nodes, *replicas, *placement, *offset, *disks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "declusterd:", err)
+		os.Exit(2)
+	}
+	switch {
+	case *listen != "" && *query != "":
+		fmt.Fprintln(os.Stderr, "declusterd: -listen and -query are mutually exclusive")
+		os.Exit(2)
+	case *listen != "":
+		err = serveNode(*listen, *nodeID, sm, method, *records, *seed, *baseLatency, os.Stderr)
+	case *query != "":
+		err = runQuery(os.Stdout, *query, *peers, sm, *nodeDeadline, *hedgeAfter, *timeout)
+	default:
+		fmt.Fprintln(os.Stderr, "declusterd: pass -listen (serve a node) or -query (query a cluster)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "declusterd:", err)
+		os.Exit(1)
+	}
+}
+
+// buildGeometry derives the cluster's shared shard map and per-node
+// allocation method from the geometry flags.
+func buildGeometry(gridSpec string, nodes, replicas int, placement string, offset, disks int) (*cluster.ShardMap, alloc.Method, error) {
+	dims, err := parseGrid(gridSpec)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := grid.New(dims...)
+	if err != nil {
+		return nil, nil, err
+	}
+	stride := 1
+	switch placement {
+	case "chain":
+	case "offset":
+		stride = offset
+		if stride == 0 {
+			stride = nodes / 2
+		}
+	default:
+		return nil, nil, fmt.Errorf("unknown placement %q (chain, offset)", placement)
+	}
+	sm, err := cluster.NewShardMap(g, nodes, replicas, stride)
+	if err != nil {
+		return nil, nil, err
+	}
+	method, err := alloc.NewFX(g, disks)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sm, method, nil
+}
+
+// nodeServer is one booted cluster member: a Node behind a live HTTP
+// listener.
+type nodeServer struct {
+	node *cluster.Node
+	srv  *http.Server
+	ln   net.Listener
+	errc chan error
+}
+
+func (s *nodeServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *nodeServer) Shutdown() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = s.srv.Shutdown(ctx)
+	return s.node.Close()
+}
+
+// startNode builds one node's full stack (grid file, scheduler, HTTP
+// handler) and binds it to listen. The caller owns shutdown.
+func startNode(listen string, nodeID int, sm *cluster.ShardMap, method alloc.Method, records int, seed int64, baseLatency time.Duration) (*nodeServer, error) {
+	data := datagen.Uniform{K: sm.Grid().K(), Seed: seed}.Generate(records)
+	var opts []serve.Option
+	if baseLatency > 0 {
+		opts = append(opts, serve.WithBaseLatency(baseLatency))
+	}
+	n, err := cluster.NewNode(cluster.NodeConfig{
+		ID:           nodeID,
+		Map:          sm,
+		Method:       method,
+		Records:      data,
+		ServeOptions: opts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		n.Close()
+		return nil, err
+	}
+	s := &nodeServer{
+		node: n,
+		srv:  &http.Server{Handler: n.Handler()},
+		ln:   ln,
+		errc: make(chan error, 1),
+	}
+	go func() { s.errc <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// serveNode boots one cluster member and blocks until SIGINT/SIGTERM.
+func serveNode(listen string, nodeID int, sm *cluster.ShardMap, method alloc.Method, records int, seed int64, baseLatency time.Duration, logw io.Writer) error {
+	s, err := startNode(listen, nodeID, sm, method, records, seed, baseLatency)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "declusterd: node %d/%d serving shards %v (%d records) on %s\n",
+		nodeID, sm.Nodes(), sm.HostedShards(nodeID), s.node.Records(), s.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case sg := <-sig:
+		fmt.Fprintf(logw, "declusterd: %v, draining\n", sg)
+	case err := <-s.errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	}
+	return s.Shutdown()
+}
+
+// runQuery scatter/gathers one range query and prints the outcome.
+func runQuery(w io.Writer, querySpec, peerList string, sm *cluster.ShardMap, nodeDeadline, hedgeAfter, timeout time.Duration) error {
+	q, err := parseRect(querySpec, sm.Grid())
+	if err != nil {
+		return err
+	}
+	endpoints := splitPeers(peerList)
+	if len(endpoints) != sm.Nodes() {
+		return fmt.Errorf("-peers lists %d URLs for %d nodes", len(endpoints), sm.Nodes())
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Map:          sm,
+		Endpoints:    endpoints,
+		NodeDeadline: nodeDeadline,
+		HedgeAfter:   hedgeAfter,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	start := time.Now()
+	res, err := rt.Search(ctx, q)
+	elapsed := time.Since(start)
+
+	var pe *cluster.PartialError
+	switch {
+	case err == nil:
+		fmt.Fprintf(w, "query %v: %d records from %d/%d sub-queries in %v\n",
+			q, len(res.Records), res.Covered, res.SubQueries, elapsed.Round(time.Millisecond))
+	case errors.As(err, &pe):
+		fmt.Fprintf(w, "query %v: PARTIAL — %d records, %d/%d sub-queries covered in %v\n",
+			q, len(res.Records), res.Covered, res.SubQueries, elapsed.Round(time.Millisecond))
+		for i, r := range pe.Uncovered {
+			fmt.Fprintf(w, "  uncovered: shard %d rect %v\n", pe.Shards[i], r)
+		}
+	default:
+		return err
+	}
+	if res != nil {
+		fmt.Fprintf(w, "per-node sub-queries: %v", res.PerNode)
+		if res.Retries > 0 || res.Hedges > 0 {
+			fmt.Fprintf(w, " (retries %d, hedges %d, hedge wins %d)", res.Retries, res.Hedges, res.HedgeWins)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// parseGrid parses "8x8" / "4x4x4" into grid dimensions.
+func parseGrid(s string) ([]int, error) {
+	parts := strings.Split(strings.ToLower(strings.TrimSpace(s)), "x")
+	if len(parts) < 1 {
+		return nil, fmt.Errorf("bad -grid %q", s)
+	}
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		d, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || d < 1 {
+			return nil, fmt.Errorf("bad -grid %q: %q is not a positive integer", s, p)
+		}
+		dims[i] = d
+	}
+	return dims, nil
+}
+
+// parseRect parses "x1,y1:x2,y2" into a validated cell rectangle.
+func parseRect(s string, g *grid.Grid) (grid.Rect, error) {
+	halves := strings.Split(strings.TrimSpace(s), ":")
+	if len(halves) != 2 {
+		return grid.Rect{}, fmt.Errorf("bad -query %q: want lo:hi (e.g. 0,0:7,7)", s)
+	}
+	parse := func(h string) (grid.Coord, error) {
+		parts := strings.Split(h, ",")
+		if len(parts) != g.K() {
+			return nil, fmt.Errorf("bad -query %q: corner %q has %d axes for %d-attribute grid", s, h, len(parts), g.K())
+		}
+		c := make(grid.Coord, len(parts))
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("bad -query %q: %q is not an integer", s, p)
+			}
+			c[i] = v
+		}
+		return c, nil
+	}
+	lo, err := parse(halves[0])
+	if err != nil {
+		return grid.Rect{}, err
+	}
+	hi, err := parse(halves[1])
+	if err != nil {
+		return grid.Rect{}, err
+	}
+	return g.NewRect(lo, hi)
+}
+
+// splitPeers splits the -peers list, dropping empty entries.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

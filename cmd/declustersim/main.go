@@ -8,9 +8,9 @@
 //
 //	-experiment  which artifact to regenerate: all, table1, theorem,
 //	             size, shape, attrs, disks-small, disks-large, dbsize,
-//	             pm, endtoend, availability, chaos, recovery (default
-//	             all; chaos and recovery are excluded from all — both
-//	             are wall-clock soaks)
+//	             pm, endtoend, availability, chaos, recovery, cluster
+//	             (default all; chaos, recovery, and cluster are excluded
+//	             from all — they are wall-clock soaks)
 //	-metric      meanrt | ratio | fracopt | worst (default meanrt)
 //	-samples     query placements sampled per workload (default 2000)
 //	-seed        sampling seed (default 1)
@@ -38,6 +38,11 @@
 //	-rebuild-rate recovery: comma-separated rebuild throttles in
 //	             pages/sec, one table cell each per replication scheme;
 //	             0 means unthrottled (default 50,200,1600)
+//	-nodes       cluster: cluster size N — one HTTP server per node on
+//	             loopback (default 4)
+//	-replicas    cluster: copies per shard of the replicated placements
+//	             (default 2); the fault schedule replays from the
+//	             printed -seed
 //	-corrupt-prob recovery: per-page silent-corruption probability of
 //	             the seeded rot plan (default 0.02)
 //	-metrics     dump the observability registry after the run as
@@ -57,6 +62,7 @@
 //	declustersim -soak 1s -clients 16 -hedge-after 600us
 //	declustersim -soak 1s -metrics table -trace-slowest 3 -http :8080
 //	declustersim -experiment recovery -rebuild-rate 200,800 -corrupt-prob 0.05
+//	declustersim -experiment cluster -nodes 6 -replicas 2 -soak 1s -seed 42
 //	declustersim -experiment all -samples 500
 package main
 
@@ -79,7 +85,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "artifact to regenerate (all, table1, theorem, size, shape, attrs, disks-small, disks-large, dbsize, pm, endtoend, availability, chaos, recovery)")
+		experiment  = flag.String("experiment", "all", "artifact to regenerate (all, table1, theorem, size, shape, attrs, disks-small, disks-large, dbsize, pm, endtoend, availability, chaos, recovery, cluster)")
 		metric      = flag.String("metric", "meanrt", "metric to print: meanrt, ratio, fracopt, worst")
 		samples     = flag.Int("samples", 2000, "query placements sampled per workload")
 		seed        = flag.Int64("seed", 1, "sampling seed")
@@ -96,6 +102,8 @@ func main() {
 		clients     = flag.Int("clients", 0, "chaos experiment: concurrent query clients (default 12)")
 		hedgeAfter  = flag.Duration("hedge-after", 0, "chaos experiment: hedged-read delay (default 2.5× base latency)")
 		rebuildRate = flag.String("rebuild-rate", "", "recovery experiment: comma-separated rebuild throttles in pages/sec (0 = unthrottled; default 50,200,1600)")
+		nodes       = flag.Int("nodes", 0, "cluster experiment: cluster size N (default 4)")
+		replicas    = flag.Int("replicas", 0, "cluster experiment: copies per shard of the replicated placements (default 2)")
 		corruptProb = flag.Float64("corrupt-prob", 0, "recovery experiment: per-page silent-corruption probability (default 0.02)")
 		metricsOut  = flag.String("metrics", "", "dump the observability registry after the run: table or csv (chaos and recovery)")
 		traceSlow   = flag.Int("trace-slowest", 0, "record per-query traces and print the N slowest span trees after the run")
@@ -169,6 +177,17 @@ func main() {
 		Clients:    *clients,
 		HedgeAfter: *hedgeAfter,
 	}
+	if *nodes < 0 || *replicas < 0 {
+		fmt.Fprintln(os.Stderr, "declustersim: -nodes and -replicas must be ≥ 0")
+		os.Exit(2)
+	}
+	clusterCfg := experiments.ClusterChaosConfig{
+		Nodes:      *nodes,
+		Replicas:   *replicas,
+		Duration:   *soak,
+		Clients:    *clients,
+		HedgeAfter: *hedgeAfter,
+	}
 	if *corruptProb < 0 || *corruptProb >= 1 {
 		fmt.Fprintln(os.Stderr, "declustersim: -corrupt-prob must be in [0, 1)")
 		os.Exit(2)
@@ -198,6 +217,7 @@ func main() {
 		}
 		chaos.Obs = sink
 		recovery.Obs = sink
+		clusterCfg.Obs = sink
 	}
 	if *httpAddr != "" {
 		ln, err := net.Listen("tcp", *httpAddr)
@@ -222,7 +242,7 @@ func main() {
 			name = "chaos"
 		}
 	}
-	if err := run(os.Stdout, name, m, opt, avail, chaos, recovery, mode); err != nil {
+	if err := run(os.Stdout, name, m, opt, avail, chaos, recovery, clusterCfg, mode); err != nil {
 		fmt.Fprintln(os.Stderr, "declustersim:", err)
 		os.Exit(1)
 	}
@@ -319,10 +339,10 @@ const (
 // not part of "all": they burn wall-clock time by design and their
 // numbers vary run to run, while everything in order is fast and
 // deterministic.
-func run(w io.Writer, name string, metric experiments.Metric, opt experiments.Options, avail experiments.AvailabilityConfig, chaos experiments.ChaosConfig, recovery experiments.RecoveryConfig, mode outputMode) error {
+func run(w io.Writer, name string, metric experiments.Metric, opt experiments.Options, avail experiments.AvailabilityConfig, chaos experiments.ChaosConfig, recovery experiments.RecoveryConfig, clusterCfg experiments.ClusterChaosConfig, mode outputMode) error {
 	if name == "all" {
 		for _, n := range order {
-			if err := run(w, n, metric, opt, avail, chaos, recovery, mode); err != nil {
+			if err := run(w, n, metric, opt, avail, chaos, recovery, clusterCfg, mode); err != nil {
 				return err
 			}
 			fmt.Fprintln(w)
@@ -425,10 +445,17 @@ func run(w io.Writer, name string, metric experiments.Metric, opt experiments.Op
 		}
 		fmt.Fprint(w, res.Table())
 		fmt.Fprint(w, res.ThrottleReport())
+	case "cluster":
+		res, err := experiments.ClusterChaos(clusterCfg, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, res.Table())
+		fmt.Fprintf(w, "fault schedules are pure functions of the seed; replay with -seed %d\n", res.Seed)
 	case "witness":
 		return printWitnesses(w)
 	default:
-		return fmt.Errorf("unknown experiment %q (try: all, %s, chaos, recovery)", name, strings.Join(order, ", "))
+		return fmt.Errorf("unknown experiment %q (try: all, %s, chaos, recovery, cluster)", name, strings.Join(order, ", "))
 	}
 	return nil
 }

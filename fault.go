@@ -44,6 +44,37 @@ var (
 // behaviour is reproducible.
 func NewFaultInjector(cfg FaultConfig) (*FaultInjector, error) { return fault.New(cfg) }
 
+// NodeInjector injects node-level faults — crash, network partition,
+// slow node — observed by a cluster node's HTTP layer. It is the
+// cluster-scale sibling of FaultInjector's disk-level faults.
+type NodeInjector = fault.NodeInjector
+
+// NodeState is a node's current fault status: up, crashed, or
+// partitioned.
+type NodeState = fault.NodeState
+
+// NodeEvent is one timed state transition in a fault schedule.
+type NodeEvent = fault.NodeEvent
+
+// NodeSchedule is a deterministic timeline of node fault events,
+// derived purely from a seed so any run can be replayed exactly.
+type NodeSchedule = fault.NodeSchedule
+
+// NewNodeInjector builds an injector with every node up.
+func NewNodeInjector() *NodeInjector { return fault.NewNodeInjector() }
+
+// NodeLossSchedule crashes one seeded-random node at ¼ of the duration
+// and restarts it at ¾.
+func NodeLossSchedule(seed int64, nodes int, duration time.Duration) NodeSchedule {
+	return fault.NodeLossSchedule(seed, nodes, duration)
+}
+
+// RollingRestartSchedule restarts every node once, in seeded-random
+// order, across the middle half of the duration.
+func RollingRestartSchedule(seed int64, nodes int, duration time.Duration) NodeSchedule {
+	return fault.RollingRestartSchedule(seed, nodes, duration)
+}
+
 // RetryPolicy bounds per-read retries of transient errors: total
 // attempts plus capped exponential backoff.
 type RetryPolicy = exec.RetryPolicy

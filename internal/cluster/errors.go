@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"decluster/internal/fault"
+	"decluster/internal/grid"
+	"decluster/internal/gridfile"
+	"decluster/internal/serve"
+)
+
+// The cluster speaks one error taxonomy across the wire. Every failure
+// a node can return maps to a stable string code; the router decodes
+// the code back into the same typed error the node saw, so errors.Is
+// works identically whether the failure happened in-process or three
+// HTTP hops away.
+const (
+	// CodeUnavailable: data is unreachable (fault.ErrUnavailable — all
+	// replicas of some bucket are down on the serving node).
+	CodeUnavailable = "unavailable"
+	// CodeOverloaded: admission control shed the query (serve.ErrOverloaded).
+	CodeOverloaded = "overloaded"
+	// CodeClosed: the scheduler is draining or drained (serve.ErrClosed).
+	CodeClosed = "closed"
+	// CodeCorrupt: a page failed its checksum and no clean replica
+	// remained (gridfile CorruptError).
+	CodeCorrupt = "corrupt"
+	// CodeDeadline: the query ran past its deadline on the node.
+	CodeDeadline = "deadline"
+	// CodeCanceled: the client went away mid-query.
+	CodeCanceled = "canceled"
+	// CodePartial: some sub-rectangles of the query are uncovered
+	// (*PartialError — router-side only, but given a code so nested
+	// routers could forward it).
+	CodePartial = "partial"
+	// CodeNotHosted: the node was asked for a rectangle outside the
+	// shards it hosts — a routing bug or a stale shard map.
+	CodeNotHosted = "not_hosted"
+	// CodeBadRequest: malformed query (bad rect, bad JSON).
+	CodeBadRequest = "bad_request"
+	// CodeInternal: anything else.
+	CodeInternal = "internal"
+)
+
+// ErrPartial marks a degraded scatter/gather answer: every *PartialError
+// satisfies errors.Is(err, ErrPartial). Callers that can live with
+// partial coverage match this sentinel and keep the records; callers
+// that cannot treat it as failure.
+var ErrPartial = errors.New("cluster: partial result")
+
+// ErrNotHosted is returned by a node asked for a rectangle outside its
+// hosted shards.
+var ErrNotHosted = errors.New("cluster: rect not hosted by this node")
+
+// PartialError reports exactly which pieces of a query went unanswered
+// after every replica of their shards was exhausted. The records that
+// *were* gathered accompany the error in Result; Uncovered are the
+// sub-rectangles whose shards produced nothing.
+type PartialError struct {
+	// Uncovered holds the query sub-rectangles with no answer, in
+	// shard order.
+	Uncovered []grid.Rect
+	// Shards lists the shard IDs that went unanswered, ascending.
+	Shards []int
+}
+
+func (e *PartialError) Error() string {
+	rects := make([]string, len(e.Uncovered))
+	for i, r := range e.Uncovered {
+		rects[i] = r.String()
+	}
+	return fmt.Sprintf("cluster: partial result: %d uncovered sub-rects (shards %v): %s",
+		len(e.Uncovered), e.Shards, strings.Join(rects, " "))
+}
+
+// Is makes errors.Is(err, ErrPartial) true for every PartialError.
+func (e *PartialError) Is(target error) bool { return target == ErrPartial }
+
+// newPartialError builds a PartialError from the unanswered sub-queries,
+// sorted by shard for deterministic output.
+func newPartialError(missed []SubQuery) *PartialError {
+	sort.Slice(missed, func(i, j int) bool { return missed[i].Shard < missed[j].Shard })
+	e := &PartialError{}
+	for _, sq := range missed {
+		e.Uncovered = append(e.Uncovered, sq.Rect)
+		e.Shards = append(e.Shards, sq.Shard)
+	}
+	return e
+}
+
+// badRequestError forces CodeBadRequest for malformed inputs.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+// ErrorCode maps an error to its stable wire code.
+func ErrorCode(err error) string {
+	var bad badRequestError
+	switch {
+	case err == nil:
+		return ""
+	case errors.As(err, &bad):
+		return CodeBadRequest
+	case errors.Is(err, fault.ErrUnavailable):
+		return CodeUnavailable
+	case errors.Is(err, serve.ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, serve.ErrClosed):
+		return CodeClosed
+	case errors.Is(err, gridfile.ErrCorrupt):
+		return CodeCorrupt
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	case errors.Is(err, ErrPartial):
+		return CodePartial
+	case errors.Is(err, ErrNotHosted):
+		return CodeNotHosted
+	default:
+		return CodeInternal
+	}
+}
+
+// HTTPStatus maps a wire code to the HTTP status a node responds with.
+// The mapping is chosen so generic HTTP clients degrade sensibly (429
+// means back off, 503 means try a replica) while the code header stays
+// the source of truth for typed decoding.
+func HTTPStatus(code string) int {
+	switch code {
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
+	case CodeUnavailable, CodeClosed:
+		return http.StatusServiceUnavailable
+	case CodeDeadline:
+		return http.StatusGatewayTimeout
+	case CodeCanceled:
+		// Client went away; 499 by nginx convention, but any 4xx works —
+		// the code header carries the meaning.
+		return 499
+	case CodeNotHosted:
+		return http.StatusMisdirectedRequest
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodePartial:
+		return http.StatusPartialContent
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// DecodeError turns a wire (code, message) pair back into a typed
+// error: the sentinel for the code wrapped with the remote message, so
+// errors.Is on the decoded error matches exactly what matched on the
+// node. Unknown codes decode to a plain error.
+func DecodeError(code, msg string) error {
+	var sentinel error
+	switch code {
+	case "":
+		return nil
+	case CodeUnavailable:
+		sentinel = fault.ErrUnavailable
+	case CodeOverloaded:
+		sentinel = serve.ErrOverloaded
+	case CodeClosed:
+		sentinel = serve.ErrClosed
+	case CodeCorrupt:
+		sentinel = gridfile.ErrCorrupt
+	case CodeDeadline:
+		sentinel = context.DeadlineExceeded
+	case CodeCanceled:
+		sentinel = context.Canceled
+	case CodePartial:
+		sentinel = ErrPartial
+	case CodeNotHosted:
+		sentinel = ErrNotHosted
+	default:
+		return fmt.Errorf("cluster: remote error %q: %s", code, msg)
+	}
+	if msg == "" {
+		return sentinel
+	}
+	return &wireError{code: code, msg: msg, sentinel: sentinel}
+}
+
+// wireError carries a remote error message while delegating identity to
+// the decoded sentinel.
+type wireError struct {
+	code     string
+	msg      string
+	sentinel error
+}
+
+func (e *wireError) Error() string { return fmt.Sprintf("cluster: remote %s: %s", e.code, e.msg) }
+
+// Unwrap exposes the sentinel so errors.Is sees through the wrapper.
+func (e *wireError) Unwrap() error { return e.sentinel }

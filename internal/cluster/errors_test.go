@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"decluster/internal/fault"
+	"decluster/internal/grid"
+	"decluster/internal/gridfile"
+	"decluster/internal/serve"
+)
+
+// TestErrorTaxonomyRoundTrip drives every typed error through the full
+// wire cycle — encode to a stable code, map to an HTTP status, decode
+// back — and asserts errors.Is matches the same sentinel on both sides.
+func TestErrorTaxonomyRoundTrip(t *testing.T) {
+	cases := []struct {
+		name     string
+		err      error
+		code     string
+		status   int
+		sentinel error
+	}{
+		{"unavailable", fmt.Errorf("wrapped: %w", fault.ErrUnavailable), CodeUnavailable, http.StatusServiceUnavailable, fault.ErrUnavailable},
+		{"unavailable typed", &fault.UnavailableError{Buckets: []int{3}, FailedDisks: []int{1}}, CodeUnavailable, http.StatusServiceUnavailable, fault.ErrUnavailable},
+		{"overloaded", serve.ErrOverloaded, CodeOverloaded, http.StatusTooManyRequests, serve.ErrOverloaded},
+		{"closed", serve.ErrClosed, CodeClosed, http.StatusServiceUnavailable, serve.ErrClosed},
+		{"corrupt", &gridfile.CorruptError{}, CodeCorrupt, http.StatusInternalServerError, gridfile.ErrCorrupt},
+		{"deadline", context.DeadlineExceeded, CodeDeadline, http.StatusGatewayTimeout, context.DeadlineExceeded},
+		{"canceled", context.Canceled, CodeCanceled, 499, context.Canceled},
+		{"partial", &PartialError{Uncovered: []grid.Rect{{Lo: grid.Coord{0, 0}, Hi: grid.Coord{1, 1}}}, Shards: []int{2}}, CodePartial, http.StatusPartialContent, ErrPartial},
+		{"not hosted", fmt.Errorf("%w: node 3", ErrNotHosted), CodeNotHosted, http.StatusMisdirectedRequest, ErrNotHosted},
+		{"bad request", badRequestError{errors.New("bad rect")}, CodeBadRequest, http.StatusBadRequest, nil},
+		{"internal", errors.New("something else"), CodeInternal, http.StatusInternalServerError, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code := ErrorCode(tc.err)
+			if code != tc.code {
+				t.Fatalf("ErrorCode = %q, want %q", code, tc.code)
+			}
+			if got := HTTPStatus(code); got != tc.status {
+				t.Fatalf("HTTPStatus(%q) = %d, want %d", code, got, tc.status)
+			}
+			decoded := DecodeError(code, tc.err.Error())
+			if decoded == nil {
+				t.Fatal("DecodeError returned nil for a real error")
+			}
+			if tc.sentinel != nil && !errors.Is(decoded, tc.sentinel) {
+				t.Fatalf("decoded error %v does not match sentinel %v", decoded, tc.sentinel)
+			}
+			// The decoded error re-encodes to the same code: the
+			// taxonomy is a fixed point across arbitrarily many hops,
+			// except codes that decode to plain errors (bad_request,
+			// internal) which collapse to internal.
+			re := ErrorCode(decoded)
+			switch tc.code {
+			case CodeBadRequest, CodeInternal:
+				if re != CodeInternal {
+					t.Fatalf("re-encoded code = %q", re)
+				}
+			default:
+				if re != tc.code {
+					t.Fatalf("re-encoded code = %q, want %q", re, tc.code)
+				}
+			}
+		})
+	}
+	if ErrorCode(nil) != "" {
+		t.Error("ErrorCode(nil) not empty")
+	}
+	if DecodeError("", "") != nil {
+		t.Error("DecodeError of empty code not nil")
+	}
+}
+
+func TestPartialErrorReportsExactRects(t *testing.T) {
+	missed := []SubQuery{
+		{Shard: 3, Rect: grid.Rect{Lo: grid.Coord{4, 0}, Hi: grid.Coord{7, 3}}},
+		{Shard: 1, Rect: grid.Rect{Lo: grid.Coord{0, 4}, Hi: grid.Coord{3, 7}}},
+	}
+	pe := newPartialError(missed)
+	if !errors.Is(pe, ErrPartial) {
+		t.Fatal("PartialError does not match ErrPartial")
+	}
+	if len(pe.Uncovered) != 2 || len(pe.Shards) != 2 {
+		t.Fatalf("partial error = %+v", pe)
+	}
+	// Sorted by shard for deterministic output.
+	if pe.Shards[0] != 1 || pe.Shards[1] != 3 {
+		t.Fatalf("shards = %v, want [1 3]", pe.Shards)
+	}
+	if pe.Uncovered[0].Lo[1] != 4 {
+		t.Fatalf("uncovered[0] = %v, want shard 1's rect", pe.Uncovered[0])
+	}
+}

@@ -1,0 +1,405 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"decluster/internal/alloc"
+	"decluster/internal/datagen"
+	"decluster/internal/fault"
+	"decluster/internal/grid"
+	"decluster/internal/gridfile"
+	"decluster/internal/obs"
+	"decluster/internal/serve"
+)
+
+// NodeConfig describes one cluster member.
+type NodeConfig struct {
+	// ID is the node's index in the shard map.
+	ID int
+	// Map is the cluster's shard map; all nodes must share one.
+	Map *ShardMap
+	// Method declusters each node's buckets across its local disks. Its
+	// grid must equal the shard map's grid.
+	Method alloc.Method
+	// PageCapacity is records per page (gridfile default when 0).
+	PageCapacity int
+	// Boundaries optionally sets per-axis partition boundaries.
+	Boundaries [][]float64
+	// Records is the full dataset; the node keeps only the records
+	// whose cell falls in a shard it hosts.
+	Records []datagen.Record
+	// Faults optionally injects node-level faults at the HTTP layer; a
+	// harness shares one injector across all its nodes. Nil disables.
+	Faults *fault.NodeInjector
+	// SlowUnit is the extra latency one slow-factor step adds per
+	// request: a node at factor f sleeps (f-1)·SlowUnit before
+	// answering. Zero selects 2ms.
+	SlowUnit time.Duration
+	// Obs optionally observes the node's scheduler.
+	Obs *obs.Sink
+	// ServeOptions passes extra options (base latency, admission,
+	// breakers, hedging, local disk faults…) to the node's scheduler.
+	ServeOptions []serve.Option
+}
+
+// Node is one cluster member: a serve.Scheduler over a grid file
+// holding the node's hosted shards, plus the HTTP surface the router
+// talks to. The scheduler and file swap atomically during a rebuild.
+type Node struct {
+	id       int
+	sm       *ShardMap
+	cfg      NodeConfig
+	faults   *fault.NodeInjector
+	slowUnit time.Duration
+
+	mu         sync.RWMutex
+	file       *gridfile.File
+	sched      *serve.Scheduler
+	rebuilding bool
+}
+
+// NewNode builds a node and loads its slice of the dataset: exactly the
+// records whose grid cell falls in a shard the node hosts (primary or
+// replica copy).
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Map == nil {
+		return nil, fmt.Errorf("cluster: node %d: nil shard map", cfg.ID)
+	}
+	if cfg.ID < 0 || cfg.ID >= cfg.Map.Nodes() {
+		return nil, fmt.Errorf("cluster: node ID %d outside map of %d nodes", cfg.ID, cfg.Map.Nodes())
+	}
+	if cfg.Method == nil || cfg.Method.Grid().Buckets() != cfg.Map.Grid().Buckets() {
+		return nil, fmt.Errorf("cluster: node %d: method grid does not match shard map grid", cfg.ID)
+	}
+	if cfg.SlowUnit <= 0 {
+		cfg.SlowUnit = 2 * time.Millisecond
+	}
+	n := &Node{
+		id: cfg.ID, sm: cfg.Map, cfg: cfg,
+		faults: cfg.Faults, slowUnit: cfg.SlowUnit,
+	}
+	file, sched, err := n.buildStack(cfg.Records)
+	if err != nil {
+		return nil, err
+	}
+	n.file, n.sched = file, sched
+	return n, nil
+}
+
+// buildStack creates a fresh grid file holding the hosted subset of
+// recs and a scheduler over it.
+func (n *Node) buildStack(recs []datagen.Record) (*gridfile.File, *serve.Scheduler, error) {
+	file, err := gridfile.New(gridfile.Config{
+		Method:       n.cfg.Method,
+		PageCapacity: n.cfg.PageCapacity,
+		Boundaries:   n.cfg.Boundaries,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: node %d: %w", n.id, err)
+	}
+	for _, r := range recs {
+		c, err := file.CellOf(r.Values)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: node %d: record %d: %w", n.id, r.ID, err)
+		}
+		if !n.hostsShard(n.sm.ShardOf(c)) {
+			continue
+		}
+		if err := file.Insert(r); err != nil {
+			return nil, nil, fmt.Errorf("cluster: node %d: record %d: %w", n.id, r.ID, err)
+		}
+	}
+	opts := n.cfg.ServeOptions
+	if n.cfg.Obs != nil {
+		opts = append(append([]serve.Option(nil), opts...), serve.WithObserver(n.cfg.Obs))
+	}
+	sched, err := serve.New(file, opts...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: node %d: %w", n.id, err)
+	}
+	return file, sched, nil
+}
+
+// ID returns the node's index.
+func (n *Node) ID() int { return n.id }
+
+// Records returns the node's current record count.
+func (n *Node) Records() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.file.Len()
+}
+
+// Scheduler returns the node's current scheduler (tests and stats).
+func (n *Node) Scheduler() *serve.Scheduler {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.sched
+}
+
+// Close drains the node's scheduler.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, err := n.sched.Close()
+	return err
+}
+
+// hostsShard reports whether the node holds a copy of shard s.
+func (n *Node) hostsShard(s int) bool {
+	for _, h := range n.sm.HostedShards(n.id) {
+		if h == s {
+			return true
+		}
+	}
+	return false
+}
+
+// hostsRect reports whether r falls entirely inside one hosted shard.
+func (n *Node) hostsRect(r grid.Rect) bool {
+	for _, s := range n.sm.HostedShards(n.id) {
+		sh := n.sm.Shard(s).Rect
+		inside := true
+		for i := range r.Lo {
+			if r.Lo[i] < sh.Lo[i] || r.Hi[i] > sh.Hi[i] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			return true
+		}
+	}
+	return false
+}
+
+// Handler returns the node's HTTP surface with fault injection applied
+// in front of every endpoint.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", n.handleQuery)
+	mux.HandleFunc("GET /v1/bucket", n.handleBucket)
+	mux.HandleFunc("GET /v1/health", n.handleHealth)
+	mux.HandleFunc("GET /v1/shards", n.handleShards)
+	return n.faultMiddleware(mux)
+}
+
+// faultMiddleware applies the node's injected fault state to every
+// request: a crashed node aborts the connection without a response (the
+// client sees a transport error, exactly like a dead process); a
+// partitioned node blackholes the request until the client gives up; a
+// slow node delays by (factor-1)·SlowUnit.
+func (n *Node) faultMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.faults != nil {
+			switch n.faults.NodeStatus(n.id) {
+			case fault.NodeCrashed:
+				panic(http.ErrAbortHandler)
+			case fault.NodePartitioned:
+				<-r.Context().Done()
+				return
+			}
+			if f := n.faults.NodeSlowFactor(n.id); f > 1 {
+				delay := time.Duration(float64(n.slowUnit) * (f - 1))
+				t := time.NewTimer(delay)
+				select {
+				case <-r.Context().Done():
+					t.Stop()
+					return
+				case <-t.C:
+				}
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleQuery answers one sub-rectangle of a range query. The rect must
+// fall inside one shard this node hosts; anything else is a routing bug
+// surfaced as CodeNotHosted.
+func (n *Node) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	rect := req.Rect.rect()
+	g := n.sm.Grid()
+	if len(rect.Lo) != g.K() || len(rect.Hi) != g.K() || !g.Contains(rect.Lo) || !g.Contains(rect.Hi) {
+		writeError(w, badRequestError{fmt.Errorf("rect %v invalid for grid %v", rect, g)})
+		return
+	}
+	for i := range rect.Lo {
+		if rect.Lo[i] > rect.Hi[i] {
+			writeError(w, badRequestError{fmt.Errorf("rect %v inverted on axis %d", rect, i)})
+			return
+		}
+	}
+	if !n.hostsRect(rect) {
+		writeError(w, fmt.Errorf("%w: node %d does not host %v", ErrNotHosted, n.id, rect))
+		return
+	}
+
+	n.mu.RLock()
+	sched, rebuilding := n.sched, n.rebuilding
+	n.mu.RUnlock()
+	if rebuilding {
+		writeError(w, fmt.Errorf("%w: node %d is rebuilding", fault.ErrUnavailable, n.id))
+		return
+	}
+	res, err := sched.Do(r.Context(), serve.Query{Rect: rect, Priority: req.Priority})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, queryResponse{
+		Records:  toWireRecords(res.Records),
+		Buckets:  rect.Volume(),
+		Degraded: res.Degraded,
+	})
+}
+
+// handleBucket serves one bucket's records for cross-node rebuild:
+// GET /v1/bucket?cell=1,2,0. It reads through the node's scheduler at
+// the caller's priority so rebuild traffic competes (and loses) fairly
+// against foreground queries.
+func (n *Node) handleBucket(w http.ResponseWriter, r *http.Request) {
+	cell, err := parseCell(r.URL.Query().Get("cell"), n.sm.Grid())
+	if err != nil {
+		writeError(w, badRequestError{err})
+		return
+	}
+	prio := 0
+	if p := r.URL.Query().Get("priority"); p != "" {
+		prio, err = strconv.Atoi(p)
+		if err != nil {
+			writeError(w, badRequestError{fmt.Errorf("bad priority %q", p)})
+			return
+		}
+	}
+	rect := grid.Rect{Lo: cell, Hi: cell.Clone()}
+	if !n.hostsRect(rect) {
+		writeError(w, fmt.Errorf("%w: node %d does not host cell %v", ErrNotHosted, n.id, cell))
+		return
+	}
+	n.mu.RLock()
+	sched, rebuilding := n.sched, n.rebuilding
+	n.mu.RUnlock()
+	if rebuilding {
+		writeError(w, fmt.Errorf("%w: node %d is rebuilding", fault.ErrUnavailable, n.id))
+		return
+	}
+	res, err := sched.Do(r.Context(), serve.Query{Rect: rect, Priority: prio})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, bucketResponse{Records: toWireRecords(res.Records)})
+}
+
+// handleHealth summarises the node.
+func (n *Node) handleHealth(w http.ResponseWriter, r *http.Request) {
+	n.mu.RLock()
+	count, rebuilding := n.file.Len(), n.rebuilding
+	n.mu.RUnlock()
+	state := "serving"
+	if rebuilding {
+		state = "rebuilding"
+	}
+	writeJSON(w, healthResponse{
+		Node:    n.id,
+		Shards:  append([]int(nil), n.sm.HostedShards(n.id)...),
+		Records: count,
+		State:   state,
+	})
+}
+
+// handleShards describes the shard map as this node knows it.
+func (n *Node) handleShards(w http.ResponseWriter, r *http.Request) {
+	resp := shardsResponse{
+		Nodes:     n.sm.Nodes(),
+		Replicas:  n.sm.Replicas(),
+		Placement: n.sm.PlacementName(),
+		Grid:      n.sm.Grid().Dims(),
+	}
+	for _, sh := range n.sm.Shards() {
+		resp.Shards = append(resp.Shards, struct {
+			ID    int      `json:"id"`
+			Rect  wireRect `json:"rect"`
+			Nodes []int    `json:"nodes"`
+		}{ID: sh.ID, Rect: toWireRect(sh.Rect), Nodes: append([]int(nil), sh.Nodes...)})
+	}
+	writeJSON(w, resp)
+}
+
+// BeginRebuild wipes the node's data and marks it rebuilding: a fresh
+// empty grid file and scheduler replace the old stack (which is
+// drained). Queries are refused with CodeUnavailable until
+// FinishRebuild.
+func (n *Node) BeginRebuild() error {
+	file, sched, err := n.buildStack(nil)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	old := n.sched
+	n.file, n.sched = file, sched
+	n.rebuilding = true
+	n.mu.Unlock()
+	_, err = old.Close()
+	return err
+}
+
+// RebuildInsert loads recovered records during a rebuild.
+func (n *Node) RebuildInsert(recs []datagen.Record) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.rebuilding {
+		return fmt.Errorf("cluster: node %d: RebuildInsert outside a rebuild", n.id)
+	}
+	return n.file.InsertAll(recs)
+}
+
+// FinishRebuild returns the node to serving.
+func (n *Node) FinishRebuild() {
+	n.mu.Lock()
+	n.rebuilding = false
+	n.mu.Unlock()
+}
+
+// decodeJSONBody parses the request body as JSON into v.
+func decodeJSONBody(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return badRequestError{fmt.Errorf("bad request body: %w", err)}
+	}
+	return nil
+}
+
+// parseCell parses "1,2,0" into a validated grid coordinate.
+func parseCell(s string, g *grid.Grid) (grid.Coord, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing cell parameter")
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != g.K() {
+		return nil, fmt.Errorf("cell %q has %d axes for %d-attribute grid", s, len(parts), g.K())
+	}
+	c := make(grid.Coord, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("cell %q: axis %d: %w", s, i, err)
+		}
+		c[i] = v
+	}
+	if !g.Contains(c) {
+		return nil, fmt.Errorf("cell %v outside grid %v", c, g)
+	}
+	return c, nil
+}

@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"decluster/internal/fault"
+	"decluster/internal/grid"
+	"decluster/internal/obs"
+	"decluster/internal/repair"
+)
+
+// RebuildConfig drives the cluster analogue of the disk rebuilder: a
+// node that lost its data is refilled bucket-by-bucket from the peer
+// replicas of every shard it hosts, reading at background priority so
+// foreground queries on the donor nodes always win admission, paced by
+// the same debt-based token bucket the disk rebuilder uses.
+type RebuildConfig struct {
+	// Map is the cluster's shard map.
+	Map *ShardMap
+	// Endpoints holds one base URL per node, indexed by node ID.
+	Endpoints []string
+	// Client optionally overrides the HTTP client.
+	Client *http.Client
+	// Throttle paces donor reads in pages per second; nil or zero-rate
+	// is unthrottled.
+	Throttle *repair.Throttle
+	// FetchTimeout bounds each bucket fetch from a donor (2s when 0).
+	FetchTimeout time.Duration
+	// FetchAttempts bounds how many rounds through the donor list one
+	// bucket may take before the rebuild gives up (8 when 0). Donors
+	// shed background reads whenever foreground load wants the disk, so
+	// a patient retry loop — not a first-failure abort — is what lets a
+	// rebuild make progress through sustained traffic. Rounds back off
+	// exponentially (1ms doubling, capped at 50ms).
+	FetchAttempts int
+	// Obs optionally counts rebuild progress:
+	// cluster.rebuild.buckets / .records / .retries.
+	Obs *obs.Sink
+}
+
+// RebuildStats summarises one node rebuild.
+type RebuildStats struct {
+	// Shards, Buckets, Records recovered onto the target.
+	Shards, Buckets, Records int
+	// Pages is the paced I/O cost charged to the throttle.
+	Pages int
+	// Retries counts donor fetches that failed and were retried
+	// against another replica.
+	Retries int
+	// Elapsed is the wall-clock rebuild time.
+	Elapsed time.Duration
+}
+
+// RebuildNode restores target's hosted shards from their peer replicas:
+// it wipes the node, streams every hosted bucket from a surviving
+// replica holder over HTTP at repair.BackgroundPriority, and returns
+// the node to serving. Call while the target is crashed (its HTTP
+// surface refuses traffic) or freshly restarted; the donors keep
+// serving queries throughout. A shard whose every peer replica is down
+// fails the rebuild with fault.ErrUnavailable — the data exists nowhere.
+func RebuildNode(ctx context.Context, cfg RebuildConfig, target *Node) (RebuildStats, error) {
+	var st RebuildStats
+	if cfg.Map == nil {
+		return st, fmt.Errorf("cluster: rebuild needs a shard map")
+	}
+	if len(cfg.Endpoints) != cfg.Map.Nodes() {
+		return st, fmt.Errorf("cluster: %d endpoints for %d nodes", len(cfg.Endpoints), cfg.Map.Nodes())
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 2 * time.Second
+	}
+	if cfg.FetchAttempts <= 0 {
+		cfg.FetchAttempts = 8
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	var mBuckets, mRecords, mRetries *obs.Counter
+	if cfg.Obs != nil {
+		r := cfg.Obs.Registry()
+		mBuckets = r.Counter("cluster.rebuild.buckets")
+		mRecords = r.Counter("cluster.rebuild.records")
+		mRetries = r.Counter("cluster.rebuild.retries")
+	}
+
+	start := time.Now()
+	if err := target.BeginRebuild(); err != nil {
+		return st, err
+	}
+	capacity := target.cfg.PageCapacity
+	if capacity <= 0 {
+		capacity = 32
+	}
+	for _, sid := range cfg.Map.HostedShards(target.ID()) {
+		sh := cfg.Map.Shard(sid)
+		donors := donorsFor(sh, target.ID())
+		if len(donors) == 0 {
+			return st, fmt.Errorf("%w: shard %d has no replica beyond node %d",
+				fault.ErrUnavailable, sid, target.ID())
+		}
+		var fetchErr error
+		grid.EachRect(sh.Rect, func(c grid.Coord) bool {
+			recs, retries, err := fetchBucket(ctx, client, cfg.Endpoints, donors, c, cfg.FetchTimeout, cfg.FetchAttempts)
+			st.Retries += retries
+			mRetries.Add(uint64(retries))
+			if err != nil {
+				fetchErr = fmt.Errorf("cluster: rebuild shard %d cell %v: %w", sid, c, err)
+				return false
+			}
+			if len(recs) > 0 {
+				if err := target.RebuildInsert(fromWireRecords(recs)); err != nil {
+					fetchErr = err
+					return false
+				}
+			}
+			pages := (len(recs) + capacity - 1) / capacity
+			if pages == 0 {
+				pages = 1
+			}
+			st.Buckets++
+			st.Records += len(recs)
+			st.Pages += pages
+			mBuckets.Inc()
+			mRecords.Add(uint64(len(recs)))
+			if err := cfg.Throttle.Take(ctx, float64(pages)); err != nil {
+				fetchErr = err
+				return false
+			}
+			return true
+		})
+		if fetchErr != nil {
+			return st, fetchErr
+		}
+		st.Shards++
+	}
+	target.FinishRebuild()
+	st.Elapsed = time.Since(start)
+	return st, nil
+}
+
+// donorsFor lists a shard's replica holders other than the target.
+func donorsFor(sh Shard, target int) []int {
+	var donors []int
+	for _, n := range sh.Nodes {
+		if n != target {
+			donors = append(donors, n)
+		}
+	}
+	return donors
+}
+
+// fetchBucket reads one bucket from the first donor that answers,
+// rotating through donors on failure and backing off between rounds —
+// donors legitimately shed background reads under foreground load, so
+// a failed round means "later", not "lost", until the attempt budget
+// runs out. Returns the records and how many fetches failed first.
+func fetchBucket(ctx context.Context, client *http.Client, urls []string, donors []int, c grid.Coord, timeout time.Duration, attempts int) ([]wireRecord, int, error) {
+	var lastErr error
+	retries := 0
+	delay := time.Millisecond
+	for round := 0; round < attempts; round++ {
+		for i, donor := range donors {
+			if round > 0 || i > 0 {
+				retries++
+			}
+			recs, err := fetchBucketFrom(ctx, client, urls[donor], c, timeout)
+			if err == nil {
+				return recs, retries, nil
+			}
+			if ctx.Err() != nil {
+				return nil, retries, ctx.Err()
+			}
+			lastErr = err
+		}
+		if round == attempts-1 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil, retries, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > 50*time.Millisecond {
+			delay = 50 * time.Millisecond
+		}
+	}
+	return nil, retries, fmt.Errorf("%w: %d donors failed %d rounds (last: %v)",
+		fault.ErrUnavailable, len(donors), attempts, lastErr)
+}
+
+// fetchBucketFrom performs one GET /v1/bucket exchange at background
+// priority.
+func fetchBucketFrom(ctx context.Context, client *http.Client, base string, c grid.Coord, timeout time.Duration) ([]wireRecord, error) {
+	parts := make([]string, len(c))
+	for i, v := range c {
+		parts[i] = strconv.Itoa(v)
+	}
+	url := fmt.Sprintf("%s/v1/bucket?cell=%s&priority=%d",
+		strings.TrimRight(base, "/"), strings.Join(parts, ","), repair.BackgroundPriority)
+	reqCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeErrorBody(resp.StatusCode, data)
+	}
+	var br bucketResponse
+	if err := json.Unmarshal(data, &br); err != nil {
+		return nil, fmt.Errorf("cluster: bad bucket body: %w", err)
+	}
+	return br.Records, nil
+}

@@ -1,0 +1,501 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"decluster/internal/datagen"
+	"decluster/internal/exec"
+	"decluster/internal/grid"
+	"decluster/internal/obs"
+	"decluster/internal/serve"
+)
+
+// errNodeTimeout marks a per-node deadline expiry. It is deliberately
+// NOT context.DeadlineExceeded: the breaker machinery ignores context
+// errors (a lost hedge race must not poison health), but a node that
+// times out while the query is still live is exactly the signal a node
+// breaker exists to integrate — a partitioned node never answers, so
+// timeouts are the only error it ever produces.
+var errNodeTimeout = errors.New("cluster: node deadline exceeded")
+
+// RouterConfig configures the scatter/gather client.
+type RouterConfig struct {
+	// Map is the cluster's shard map.
+	Map *ShardMap
+	// Endpoints holds one base URL per node, indexed by node ID
+	// (e.g. "http://127.0.0.1:7001").
+	Endpoints []string
+	// Client optionally overrides the HTTP client (harnesses inject
+	// per-test transports). Nil selects a dedicated default client.
+	Client *http.Client
+	// NodeDeadline bounds each attempt against one node; an attempt
+	// running past it fails with errNodeTimeout and the router rotates
+	// to the next replica. Zero selects 2s.
+	NodeDeadline time.Duration
+	// Retry governs attempts per sub-query across a shard's replicas:
+	// attempt i goes to candidate i mod replicas, with exponential
+	// backoff between rounds. Zero selects exec.DefaultRetry.
+	Retry exec.RetryPolicy
+	// Breaker configures the per-node circuit breakers (serve breaker
+	// machinery, one endpoint per node). Zero selects serve defaults.
+	Breaker serve.BreakerConfig
+	// HedgeAfter launches a hedge leg to the next allowed replica when
+	// an attempt is still unanswered after this long. Zero disables
+	// hedging.
+	HedgeAfter time.Duration
+	// Obs optionally records router metrics and per-query span trees.
+	Obs *obs.Sink
+}
+
+// Result is a gathered range-query answer.
+type Result struct {
+	// Records are the qualifying records in ascending ID order — the
+	// cluster's deterministic merge order, independent of which node or
+	// replica answered each piece.
+	Records []datagen.Record
+	// SubQueries is how many per-shard pieces the query decomposed
+	// into; Covered of them were answered.
+	SubQueries, Covered int
+	// Retries counts attempts beyond the first across all sub-queries.
+	Retries int
+	// Hedges counts hedge legs launched.
+	Hedges int
+	// HedgeWins counts sub-queries whose hedge leg answered first.
+	HedgeWins int
+	// Degraded reports some node answered from a local replica disk
+	// (its own fail-stop degradation, distinct from cluster-level
+	// partial results).
+	Degraded bool
+	// PerNode counts sub-queries answered by each node.
+	PerNode []int
+}
+
+// Router is the cluster's client side: it decomposes a range query into
+// per-shard sub-rectangles, scatters them to shard-holding nodes
+// concurrently, and gathers a deterministic merge — retrying across
+// replicas with backoff, hedging slow attempts, breaking per node, and
+// degrading to typed partial results when a shard has no live replica.
+// Safe for concurrent use.
+type Router struct {
+	sm       *ShardMap
+	urls     []string
+	client   *http.Client
+	deadline time.Duration
+	retry    exec.RetryPolicy
+	brk      *serve.Breakers
+	hedge    time.Duration
+	sink     *obs.Sink
+
+	mQueries, mPartial, mHedges, mHedgeWins, mRetries *obs.Counter
+	mLatency                                          *obs.Histogram
+	mNodeReqs, mNodeErrs                              *obs.CounterFamily
+	mNodeLatency                                      *obs.HistogramFamily
+}
+
+// NewRouter builds a router over the shard map's nodes.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Map == nil {
+		return nil, fmt.Errorf("cluster: router needs a shard map")
+	}
+	if len(cfg.Endpoints) != cfg.Map.Nodes() {
+		return nil, fmt.Errorf("cluster: %d endpoints for %d nodes", len(cfg.Endpoints), cfg.Map.Nodes())
+	}
+	urls := make([]string, len(cfg.Endpoints))
+	for i, u := range cfg.Endpoints {
+		if u == "" {
+			return nil, fmt.Errorf("cluster: empty endpoint for node %d", i)
+		}
+		urls[i] = strings.TrimRight(u, "/")
+	}
+	brk, err := serve.NewBreakers(cfg.Breaker, cfg.Map.Nodes())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NodeDeadline <= 0 {
+		cfg.NodeDeadline = 2 * time.Second
+	}
+	if cfg.Retry.MaxAttempts == 0 {
+		cfg.Retry = exec.DefaultRetry()
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	rt := &Router{
+		sm: cfg.Map, urls: urls, client: client,
+		deadline: cfg.NodeDeadline, retry: cfg.Retry,
+		brk: brk, hedge: cfg.HedgeAfter, sink: cfg.Obs,
+	}
+	if s := cfg.Obs; s != nil {
+		r := s.Registry()
+		rt.mQueries = r.Counter("cluster.router.queries")
+		rt.mPartial = r.Counter("cluster.router.partial")
+		rt.mHedges = r.Counter("cluster.router.hedges")
+		rt.mHedgeWins = r.Counter("cluster.router.hedgewins")
+		rt.mRetries = r.Counter("cluster.router.retries")
+		rt.mLatency = r.Histogram("cluster.router.latency")
+		n := cfg.Map.Nodes()
+		rt.mNodeReqs = r.CounterFamily("cluster.node.requests", "node", n)
+		rt.mNodeErrs = r.CounterFamily("cluster.node.errors", "node", n)
+		rt.mNodeLatency = r.HistogramFamily("cluster.node.latency", "node", n)
+		brk.AttachObserver(s, "cluster.node.breaker")
+	}
+	return rt, nil
+}
+
+// Breakers exposes the per-node breaker set (harness and tests).
+func (rt *Router) Breakers() *serve.Breakers { return rt.brk }
+
+// subOutcome is one sub-query's gathered result.
+type subOutcome struct {
+	idx      int
+	records  []datagen.Record
+	node     int
+	degraded bool
+	retries  int
+	hedges   int
+	hedgeWon bool
+	err      error
+}
+
+// Search answers a range query across the cluster. On full coverage it
+// returns (result, nil). When some shards have no live replica it
+// returns the records it did gather alongside a *PartialError naming
+// the exact uncovered sub-rectangles — errors.Is(err, ErrPartial).
+// Context cancellation promptly aborts every in-flight sub-query and
+// hedge leg and returns ctx.Err().
+func (rt *Router) Search(ctx context.Context, q grid.Rect) (*Result, error) {
+	subs, err := rt.sm.Decompose(q)
+	if err != nil {
+		return nil, err
+	}
+	rt.mQueries.Inc()
+	start := time.Now()
+	var tr *obs.Trace
+	var root *obs.Span
+	if rt.sink != nil && rt.sink.Tracing() {
+		tr = rt.sink.StartTrace("cluster " + q.String())
+		root = tr.Root()
+		defer rt.sink.FinishTrace(tr)
+	}
+
+	// One cancel scope covers every leg of every sub-query: when the
+	// caller gives up, every in-flight HTTP request aborts through its
+	// derived context.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make(chan subOutcome, len(subs))
+	var wg sync.WaitGroup
+	for i, sq := range subs {
+		wg.Add(1)
+		go func(i int, sq SubQuery) {
+			defer wg.Done()
+			o := rt.runSub(sctx, sq, root)
+			o.idx = i
+			out <- o
+		}(i, sq)
+	}
+	wg.Wait()
+	close(out)
+
+	res := &Result{SubQueries: len(subs), PerNode: make([]int, rt.sm.Nodes())}
+	var missed []SubQuery
+	var subErr error
+	for o := range out {
+		res.Retries += o.retries
+		res.Hedges += o.hedges
+		if o.hedgeWon {
+			res.HedgeWins++
+		}
+		if o.err != nil {
+			if ctx.Err() != nil {
+				// The caller cancelled; report that, not a synthetic
+				// partial result.
+				return nil, ctx.Err()
+			}
+			missed = append(missed, subs[o.idx])
+			if subErr == nil {
+				subErr = o.err
+			}
+			continue
+		}
+		res.Covered++
+		res.Records = append(res.Records, o.records...)
+		res.PerNode[o.node]++
+		res.Degraded = res.Degraded || o.degraded
+	}
+	// Deterministic merge: ascending record ID. Within a bucket records
+	// sit in insertion order (ascending ID for generated datasets), and
+	// shards are disjoint, so a global ID sort is a total order
+	// independent of node scheduling.
+	sort.Slice(res.Records, func(i, j int) bool { return res.Records[i].ID < res.Records[j].ID })
+	rt.mRetries.Add(uint64(res.Retries))
+	rt.mHedges.Add(uint64(res.Hedges))
+	rt.mHedgeWins.Add(uint64(res.HedgeWins))
+	rt.mLatency.Observe(time.Since(start))
+	if len(missed) > 0 {
+		rt.mPartial.Inc()
+		pe := newPartialError(missed)
+		root.Annotate(fmt.Sprintf("partial, %d uncovered (first: %v)", len(missed), subErr))
+		return res, pe
+	}
+	return res, nil
+}
+
+// runSub answers one sub-query: up to Retry.MaxAttempts attempts, each
+// against the next replica in rotation (skipping open breakers when a
+// closed one exists), each hedged after HedgeAfter, with exponential
+// backoff between rounds.
+func (rt *Router) runSub(ctx context.Context, sq SubQuery, parent *obs.Span) subOutcome {
+	span := parent.Child(fmt.Sprintf("shard %d %v", sq.Shard, sq.Rect))
+	candidates := rt.sm.Shard(sq.Shard).Nodes
+	o := subOutcome{node: -1}
+	var lastErr error
+	for attempt := 0; attempt < rt.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			o.retries++
+			if err := rt.backoff(ctx, attempt); err != nil {
+				o.err = err
+				span.FinishErr(err)
+				return o
+			}
+		}
+		node := rt.pickNode(candidates, attempt)
+		hedgeNode := rt.hedgeCandidate(candidates, node)
+		resp, winner, hedged, err := rt.dispatchHedged(ctx, sq.Rect, node, hedgeNode, span)
+		if hedged {
+			o.hedges++
+		}
+		if err == nil {
+			o.records = fromWireRecords(resp.Records)
+			o.node = winner
+			o.degraded = resp.Degraded
+			o.hedgeWon = hedged && winner == hedgeNode && winner != node
+			span.Annotate(fmt.Sprintf("node %d", winner))
+			span.Finish()
+			return o
+		}
+		if ctx.Err() != nil {
+			o.err = ctx.Err()
+			span.FinishErr(o.err)
+			return o
+		}
+		lastErr = err
+		if errors.Is(err, ErrNotHosted) {
+			// A routing bug, not a node fault: no replica will answer
+			// differently.
+			break
+		}
+	}
+	o.err = fmt.Errorf("cluster: shard %d exhausted %d attempts: %w", sq.Shard, rt.retry.MaxAttempts, lastErr)
+	span.FinishErr(o.err)
+	return o
+}
+
+// pickNode returns the attempt's replica: rotation position attempt mod
+// replicas, advanced past open breakers when any candidate is allowed
+// (when every breaker is open the rotation choice stands — a probe has
+// to go somewhere or an open breaker could never heal).
+func (rt *Router) pickNode(candidates []int, attempt int) int {
+	n := len(candidates)
+	for off := 0; off < n; off++ {
+		c := candidates[(attempt+off)%n]
+		if rt.brk.Allow(c) {
+			return c
+		}
+	}
+	return candidates[attempt%n]
+}
+
+// hedgeCandidate returns the replica a hedge leg should target: the
+// first allowed candidate differing from primary, or -1 when none
+// exists (single replica, or everything else broken).
+func (rt *Router) hedgeCandidate(candidates []int, primary int) int {
+	if rt.hedge <= 0 {
+		return -1
+	}
+	for _, c := range candidates {
+		if c != primary && rt.brk.Allow(c) {
+			return c
+		}
+	}
+	return -1
+}
+
+// legResult is one dispatch leg's outcome.
+type legResult struct {
+	node int
+	resp *queryResponse
+	err  error
+}
+
+// dispatchHedged sends the sub-query to primary and, if it is still
+// unanswered after HedgeAfter and a hedge candidate exists, races a
+// second leg against the first. The first success wins and the loser's
+// context is cancelled; a lost leg's cancellation is invisible to node
+// health (the breaker ignores context errors).
+func (rt *Router) dispatchHedged(ctx context.Context, rect grid.Rect, primary, hedgeNode int, span *obs.Span) (*queryResponse, int, bool, error) {
+	legCtx, cancelLegs := context.WithCancel(ctx)
+	defer cancelLegs()
+
+	results := make(chan legResult, 2)
+	leg := func(node int, kind string) {
+		s := span.Child(fmt.Sprintf("%s node %d", kind, node))
+		resp, err := rt.queryNode(legCtx, ctx, node, rect)
+		s.FinishErr(err)
+		results <- legResult{node: node, resp: resp, err: err}
+	}
+	go leg(primary, "leg")
+
+	inflight := 1
+	hedged := false
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if hedgeNode >= 0 {
+		hedgeTimer = time.NewTimer(rt.hedge)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+
+	var firstErr error
+	for {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			hedged = true
+			inflight++
+			go leg(hedgeNode, "hedge")
+		case r := <-results:
+			inflight--
+			if r.err == nil {
+				// Winner: abort the other leg (if any) before returning.
+				cancelLegs()
+				return r.resp, r.node, hedged, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if inflight == 0 && hedgeC == nil {
+				return nil, -1, hedged, firstErr
+			}
+			if inflight == 0 {
+				// Primary failed before the hedge timer: fire the hedge
+				// immediately rather than waiting out the timer.
+				if hedgeTimer != nil && hedgeTimer.Stop() {
+					hedgeC = nil
+					hedged = true
+					rt.mHedges.Inc()
+					inflight++
+					go leg(hedgeNode, "hedge")
+				}
+			}
+		case <-ctx.Done():
+			return nil, -1, hedged, ctx.Err()
+		}
+	}
+}
+
+// queryNode performs one HTTP attempt against a node. legCtx bounds the
+// leg (hedge-race cancellation); the per-node deadline layers on top.
+// parentCtx distinguishes a node timeout (countable against node
+// health) from caller cancellation (not countable).
+func (rt *Router) queryNode(legCtx, parentCtx context.Context, node int, rect grid.Rect) (*queryResponse, error) {
+	reqCtx, cancel := context.WithTimeout(legCtx, rt.deadline)
+	defer cancel()
+	start := time.Now()
+	resp, err := rt.doQueryRequest(reqCtx, node, rect)
+	lat := time.Since(start)
+	if err != nil {
+		// A deadline expiry with the query still live is the node's
+		// fault; surface it as a breaker-countable error.
+		if errors.Is(err, context.DeadlineExceeded) && parentCtx.Err() == nil && legCtx.Err() == nil {
+			err = fmt.Errorf("%w: node %d after %v", errNodeTimeout, node, rt.deadline)
+		}
+		rt.nodeErr(node)
+	}
+	rt.brk.Observe(node, lat, err)
+	rt.nodeObserve(node, lat)
+	return resp, err
+}
+
+// doQueryRequest is the raw HTTP exchange.
+func (rt *Router) doQueryRequest(ctx context.Context, node int, rect grid.Rect) (*queryResponse, error) {
+	body, err := json.Marshal(queryRequest{Rect: toWireRect(rect)})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rt.urls[node]+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, decodeErrorBody(httpResp.StatusCode, data)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(data, &qr); err != nil {
+		return nil, fmt.Errorf("cluster: node %d: bad response body: %w", node, err)
+	}
+	return &qr, nil
+}
+
+// backoff sleeps the exponential retry delay for the given attempt
+// (1-based round), honouring cancellation.
+func (rt *Router) backoff(ctx context.Context, attempt int) error {
+	d := rt.retry.BaseBackoff
+	if d <= 0 {
+		return ctx.Err()
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if rt.retry.MaxBackoff > 0 && d >= rt.retry.MaxBackoff {
+			d = rt.retry.MaxBackoff
+			break
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// nodeErr bumps the per-node error counter (nil-safe).
+func (rt *Router) nodeErr(node int) {
+	if rt.mNodeErrs != nil {
+		rt.mNodeErrs.At(node).Inc()
+	}
+}
+
+// nodeObserve records one attempt against a node (nil-safe).
+func (rt *Router) nodeObserve(node int, lat time.Duration) {
+	if rt.mNodeReqs != nil {
+		rt.mNodeReqs.At(node).Inc()
+	}
+	if rt.mNodeLatency != nil {
+		rt.mNodeLatency.At(node).Observe(lat)
+	}
+}

@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"testing"
+
+	"decluster/internal/grid"
+)
+
+// checkTiling asserts the shard rects are disjoint and cover the grid.
+func checkTiling(t *testing.T, sm *ShardMap) {
+	t.Helper()
+	g := sm.Grid()
+	seen := make([]int, g.Buckets())
+	for _, sh := range sm.Shards() {
+		grid.EachRect(sh.Rect, func(c grid.Coord) bool {
+			seen[g.Linearize(c)]++
+			return true
+		})
+	}
+	for b, n := range seen {
+		if n != 1 {
+			t.Fatalf("bucket %d covered by %d shards", b, n)
+		}
+	}
+}
+
+func TestShardMapTilesGrid(t *testing.T) {
+	cases := []struct {
+		dims  []int
+		nodes int
+	}{
+		{[]int{8, 8}, 4},
+		{[]int{8, 8}, 5}, // nodes not a divisor of any side
+		{[]int{16, 4}, 7},
+		{[]int{4, 4, 4}, 6},    // k=3
+		{[]int{3, 3, 3, 3}, 5}, // k=4
+		{[]int{32}, 9},         // k=1
+		{[]int{2, 2}, 4},       // one bucket per node
+		{[]int{64, 64}, 16},
+	}
+	for _, tc := range cases {
+		g := grid.MustNew(tc.dims...)
+		sm, err := NewChainShardMap(g, tc.nodes, 1)
+		if err != nil {
+			t.Fatalf("grid %v nodes %d: %v", tc.dims, tc.nodes, err)
+		}
+		if len(sm.Shards()) != tc.nodes {
+			t.Fatalf("grid %v: %d shards for %d nodes", tc.dims, len(sm.Shards()), tc.nodes)
+		}
+		checkTiling(t, sm)
+		for _, sh := range sm.Shards() {
+			if sh.Rect.Volume() < 1 {
+				t.Fatalf("grid %v: shard %d empty", tc.dims, sh.ID)
+			}
+		}
+	}
+}
+
+func TestShardMapRejectsBadConfigs(t *testing.T) {
+	g := grid.MustNew(4, 4)
+	if _, err := NewShardMap(nil, 2, 1, 1); err == nil {
+		t.Error("nil grid accepted")
+	}
+	if _, err := NewShardMap(g, 0, 1, 1); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := NewShardMap(g, 17, 1, 1); err == nil {
+		t.Error("more nodes than buckets accepted")
+	}
+	if _, err := NewShardMap(g, 4, 0, 1); err == nil {
+		t.Error("zero replicas accepted")
+	}
+	if _, err := NewShardMap(g, 4, 5, 1); err == nil {
+		t.Error("replicas > nodes accepted")
+	}
+	if _, err := NewShardMap(g, 4, 2, 4); err == nil {
+		t.Error("stride ≡ 0 (mod nodes) accepted with 2 replicas")
+	}
+	// Stride 2 with 4 nodes and 3 replicas: copies land on 0,2,0 — clash.
+	if _, err := NewShardMap(g, 4, 3, 2); err == nil {
+		t.Error("coinciding replica placement accepted")
+	}
+	// But stride 2 with 2 replicas is fine (0,2 distinct).
+	if _, err := NewShardMap(g, 4, 2, 2); err != nil {
+		t.Errorf("valid offset placement rejected: %v", err)
+	}
+}
+
+func TestShardMapReplicaPlacement(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	chain, err := NewChainShardMap(g, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offset, err := NewOffsetShardMap(g, 6, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range []*ShardMap{chain, offset} {
+		for _, sh := range sm.Shards() {
+			if sh.Nodes[0] != sh.ID {
+				t.Fatalf("%s: shard %d primary = node %d", sm.PlacementName(), sh.ID, sh.Nodes[0])
+			}
+			seen := map[int]bool{}
+			for _, n := range sh.Nodes {
+				if seen[n] {
+					t.Fatalf("%s: shard %d has duplicate node %d", sm.PlacementName(), sh.ID, n)
+				}
+				seen[n] = true
+			}
+		}
+	}
+	if got := chain.Shard(2).Nodes[1]; got != 3 {
+		t.Errorf("chain backup of shard 2 = node %d, want 3", got)
+	}
+	if got := offset.Shard(2).Nodes[1]; got != 5 {
+		t.Errorf("offset+3 backup of shard 2 = node %d, want 5", got)
+	}
+	if chain.PlacementName() != "chain" || offset.PlacementName() != "offset+3" {
+		t.Errorf("placement names = %q, %q", chain.PlacementName(), offset.PlacementName())
+	}
+	// Every node hosts its own shard plus the replicas strided onto it.
+	for n := 0; n < 6; n++ {
+		if got := len(chain.HostedShards(n)); got != 2 {
+			t.Errorf("chain node %d hosts %d shards, want 2", n, got)
+		}
+	}
+}
+
+// checkDecomposition asserts subs exactly tile q: every bucket of q in
+// exactly one sub-rect, each sub-rect inside its shard.
+func checkDecomposition(t *testing.T, sm *ShardMap, q grid.Rect, subs []SubQuery) {
+	t.Helper()
+	g := sm.Grid()
+	covered := map[int]int{}
+	for _, sq := range subs {
+		sh := sm.Shard(sq.Shard).Rect
+		for i := range sq.Rect.Lo {
+			if sq.Rect.Lo[i] < sh.Lo[i] || sq.Rect.Hi[i] > sh.Hi[i] {
+				t.Fatalf("sub %v leaks outside shard %d %v", sq.Rect, sq.Shard, sh)
+			}
+		}
+		grid.EachRect(sq.Rect, func(c grid.Coord) bool {
+			covered[g.Linearize(c)]++
+			return true
+		})
+	}
+	total := 0
+	grid.EachRect(q, func(c grid.Coord) bool {
+		total++
+		if covered[g.Linearize(c)] != 1 {
+			t.Fatalf("query bucket %v covered %d times", c, covered[g.Linearize(c)])
+		}
+		return true
+	})
+	sum := 0
+	for _, n := range covered {
+		sum += n
+	}
+	if sum != total {
+		t.Fatalf("decomposition covers %d buckets, query has %d", sum, total)
+	}
+}
+
+func TestDecomposeEdgeCases(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	sm, err := NewChainShardMap(g, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("inside one shard", func(t *testing.T) {
+		// Shard 0's rect contains its own Lo corner.
+		sh := sm.Shard(0).Rect
+		q := grid.Rect{Lo: sh.Lo.Clone(), Hi: sh.Lo.Clone()}
+		subs, err := sm.Decompose(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(subs) != 1 || subs[0].Shard != 0 {
+			t.Fatalf("subs = %+v, want single sub in shard 0", subs)
+		}
+		checkDecomposition(t, sm, q, subs)
+	})
+
+	t.Run("spanning all shards", func(t *testing.T) {
+		q := g.FullRect()
+		subs, err := sm.Decompose(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(subs) != 4 {
+			t.Fatalf("full-grid query hit %d shards, want 4", len(subs))
+		}
+		checkDecomposition(t, sm, q, subs)
+	})
+
+	t.Run("misses most shards", func(t *testing.T) {
+		// A 1×8 column intersects only the shards stacked on that column.
+		q := g.MustRect(grid.Coord{0, 0}, grid.Coord{0, 7})
+		subs, err := sm.Decompose(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(subs) == 0 || len(subs) == 4 {
+			t.Fatalf("column query hit %d shards", len(subs))
+		}
+		checkDecomposition(t, sm, q, subs)
+	})
+
+	t.Run("rejects invalid rects", func(t *testing.T) {
+		if _, err := sm.Decompose(grid.Rect{Lo: grid.Coord{1, 1}, Hi: grid.Coord{0, 0}}); err == nil {
+			t.Error("inverted rect accepted")
+		}
+		if _, err := sm.Decompose(grid.Rect{Lo: grid.Coord{0, 0}, Hi: grid.Coord{8, 8}}); err == nil {
+			t.Error("out-of-grid rect accepted")
+		}
+		if _, err := sm.Decompose(grid.Rect{Lo: grid.Coord{0}, Hi: grid.Coord{0}}); err == nil {
+			t.Error("wrong-arity rect accepted")
+		}
+	})
+}
+
+func TestDecomposeHighDimensional(t *testing.T) {
+	// k=3 and k=4 grids across prime node counts: randomized rects must
+	// always tile exactly.
+	grids := []*grid.Grid{
+		grid.MustNew(4, 4, 4),
+		grid.MustNew(3, 5, 2, 4),
+	}
+	for _, g := range grids {
+		for _, nodes := range []int{3, 5, 7} {
+			sm, err := NewChainShardMap(g, nodes, 2)
+			if err != nil {
+				t.Fatalf("grid %v nodes %d: %v", g, nodes, err)
+			}
+			checkTiling(t, sm)
+			// Deterministic pseudo-random rect sweep (no global rand:
+			// keep the test order-independent).
+			seed := uint64(12345)
+			next := func(n int) int {
+				seed ^= seed << 13
+				seed ^= seed >> 7
+				seed ^= seed << 17
+				return int(seed % uint64(n))
+			}
+			for trial := 0; trial < 50; trial++ {
+				lo := make(grid.Coord, g.K())
+				hi := make(grid.Coord, g.K())
+				for i := 0; i < g.K(); i++ {
+					a, b := next(g.Dim(i)), next(g.Dim(i))
+					if a > b {
+						a, b = b, a
+					}
+					lo[i], hi[i] = a, b
+				}
+				q := g.MustRect(lo, hi)
+				subs, err := sm.Decompose(q)
+				if err != nil {
+					t.Fatalf("grid %v nodes %d rect %v: %v", g, nodes, q, err)
+				}
+				checkDecomposition(t, sm, q, subs)
+			}
+		}
+	}
+}
+
+func TestShardOfMatchesRects(t *testing.T) {
+	g := grid.MustNew(4, 4, 4)
+	sm, err := NewChainShardMap(g, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Each(func(c grid.Coord) bool {
+		s := sm.ShardOf(c)
+		if !sm.Shard(s).Rect.Contains(c) {
+			t.Fatalf("ShardOf(%v) = %d but shard rect %v misses it", c, s, sm.Shard(s).Rect)
+		}
+		return true
+	})
+}

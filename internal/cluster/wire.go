@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"decluster/internal/datagen"
+	"decluster/internal/grid"
+)
+
+// Wire shapes for the node HTTP API. Everything is JSON; errors travel
+// as an errorBody whose Code round-trips through DecodeError back into
+// the typed sentinel the node matched (see errors.go).
+//
+// Endpoints:
+//
+//	POST /v1/query   queryRequest  → queryResponse
+//	GET  /v1/bucket?cell=1,2,0     → bucketResponse (rebuild source)
+//	GET  /v1/health                → healthResponse
+//	GET  /v1/shards                → shardsResponse
+
+// wireRect is a grid.Rect in JSON clothing.
+type wireRect struct {
+	Lo []int `json:"lo"`
+	Hi []int `json:"hi"`
+}
+
+func toWireRect(r grid.Rect) wireRect {
+	return wireRect{Lo: []int(r.Lo.Clone()), Hi: []int(r.Hi.Clone())}
+}
+
+func (w wireRect) rect() grid.Rect {
+	lo := make(grid.Coord, len(w.Lo))
+	hi := make(grid.Coord, len(w.Hi))
+	for i := range w.Lo {
+		lo[i] = w.Lo[i]
+	}
+	for i := range w.Hi {
+		hi[i] = w.Hi[i]
+	}
+	return grid.Rect{Lo: lo, Hi: hi}
+}
+
+// wireRecord is a datagen.Record in JSON clothing.
+type wireRecord struct {
+	ID     int       `json:"id"`
+	Values []float64 `json:"values"`
+}
+
+func toWireRecords(recs []datagen.Record) []wireRecord {
+	out := make([]wireRecord, len(recs))
+	for i, r := range recs {
+		out[i] = wireRecord{ID: r.ID, Values: r.Values}
+	}
+	return out
+}
+
+func fromWireRecords(ws []wireRecord) []datagen.Record {
+	out := make([]datagen.Record, len(ws))
+	for i, w := range ws {
+		out[i] = datagen.Record{ID: w.ID, Values: w.Values}
+	}
+	return out
+}
+
+// queryRequest asks a node to answer one sub-rectangle of a range
+// query. The rect must fall entirely inside one shard the node hosts.
+type queryRequest struct {
+	Rect wireRect `json:"rect"`
+	// Priority feeds the node's admission queue (higher first;
+	// repair.BackgroundPriority for rebuild traffic).
+	Priority int `json:"priority,omitempty"`
+}
+
+// queryResponse carries a sub-query's answer.
+type queryResponse struct {
+	Records []wireRecord `json:"records"`
+	// Buckets is how many grid buckets the rect covered (observability).
+	Buckets int `json:"buckets"`
+	// Degraded reports the node answered some bucket from a replica
+	// disk rather than its primary.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// bucketResponse carries one bucket's records for cross-node rebuild.
+type bucketResponse struct {
+	Records []wireRecord `json:"records"`
+}
+
+// healthResponse summarises a node for operators and the harness.
+type healthResponse struct {
+	Node    int    `json:"node"`
+	Shards  []int  `json:"shards"`
+	Records int    `json:"records"`
+	State   string `json:"state"` // "serving" | "rebuilding"
+}
+
+// shardsResponse describes the node's view of the shard map.
+type shardsResponse struct {
+	Nodes     int        `json:"nodes"`
+	Replicas  int        `json:"replicas"`
+	Placement string     `json:"placement"`
+	Grid      []int      `json:"grid"`
+	Shards    []struct { // inline; only marshalled, never parsed by us
+		ID    int      `json:"id"`
+		Rect  wireRect `json:"rect"`
+		Nodes []int    `json:"nodes"`
+	} `json:"shards"`
+}
+
+// errorBody is the uniform error envelope. Code is the stable taxonomy
+// code; Message is human-oriented detail.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError encodes err as the uniform envelope with its mapped
+// status.
+func writeError(w http.ResponseWriter, err error) {
+	code := ErrorCode(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(HTTPStatus(code))
+	_ = json.NewEncoder(w).Encode(errorBody{Code: code, Message: err.Error()})
+}
+
+// writeJSON encodes v with status 200.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decodeErrorBody parses a non-2xx response body into a typed error.
+// A body that isn't our envelope becomes a generic error carrying the
+// status, so foreign proxies in the path degrade loudly, not silently.
+func decodeErrorBody(status int, body []byte) error {
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Code == "" {
+		return fmt.Errorf("cluster: HTTP %d: %s", status, truncate(body, 200))
+	}
+	return DecodeError(eb.Code, eb.Message)
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "…"
+}

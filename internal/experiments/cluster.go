@@ -1,0 +1,418 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decluster/internal/alloc"
+	"decluster/internal/cluster"
+	"decluster/internal/datagen"
+	"decluster/internal/exec"
+	"decluster/internal/fault"
+	"decluster/internal/grid"
+	"decluster/internal/obs"
+	"decluster/internal/repair"
+	"decluster/internal/serve"
+	"decluster/internal/table"
+)
+
+// ClusterChaosConfig parameterizes Experiment N (EN): a client load
+// driven through the scatter/gather router of a real multi-node
+// cluster (every node a separate HTTP server on loopback) while a
+// seeded node-level fault schedule crashes, restarts, and rolls nodes.
+// It reports availability, partial-result rate, and latency percentiles
+// per node-placement scheme × fault scenario — the paper's declustering
+// story lifted one level, from disks inside one machine to nodes inside
+// one cluster.
+type ClusterChaosConfig struct {
+	// GridSide is the partitions per attribute of the 2-D grid
+	// (default 8).
+	GridSide int
+	// Nodes is the cluster size (default 4).
+	Nodes int
+	// DisksPerNode is each node's local disk count (default 4).
+	DisksPerNode int
+	// Records populates the dataset (default 4096).
+	Records int
+	// Clients is the number of concurrent closed-loop query issuers
+	// (default 8).
+	Clients int
+	// Duration is the soak length per table cell (default 1s). The
+	// fault schedule scales with it: node loss crashes at ¼ and
+	// restarts at ¾; a rolling restart walks every node through the
+	// middle half.
+	Duration time.Duration
+	// BaseLatency is each node's simulated per-bucket read service
+	// time (default 2ms).
+	BaseLatency time.Duration
+	// HedgeAfter is the router's hedge delay (default 4 × BaseLatency).
+	HedgeAfter time.Duration
+	// NodeDeadline bounds each router attempt against one node
+	// (default 50 × BaseLatency) — it is what turns a blackholed node
+	// into a retryable error.
+	NodeDeadline time.Duration
+	// QueryDeadline bounds each query end to end (default 250 ×
+	// BaseLatency).
+	QueryDeadline time.Duration
+	// Replicas is the copies per shard of the replicated placements
+	// (default 2; the "none" placement always runs with 1).
+	Replicas int
+	// Offset is the offset placement's stride (default Nodes/2).
+	Offset int
+	// RebuildRate paces the mid-run node rebuild in pages/second
+	// (0 = unthrottled).
+	RebuildRate float64
+	// Obs optionally receives router and node metrics; all cells share
+	// the sink.
+	Obs *obs.Sink
+}
+
+func (c ClusterChaosConfig) withDefaults() ClusterChaosConfig {
+	if c.GridSide == 0 {
+		c.GridSide = 8
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 4
+	}
+	if c.DisksPerNode == 0 {
+		c.DisksPerNode = 4
+	}
+	if c.Records == 0 {
+		c.Records = 4096
+	}
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	if c.Duration == 0 {
+		c.Duration = time.Second
+	}
+	if c.BaseLatency == 0 {
+		c.BaseLatency = 2 * time.Millisecond
+	}
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = 4 * c.BaseLatency
+	}
+	if c.NodeDeadline == 0 {
+		c.NodeDeadline = 50 * c.BaseLatency
+	}
+	if c.QueryDeadline == 0 {
+		c.QueryDeadline = 250 * c.BaseLatency
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 2
+	}
+	if c.Offset == 0 {
+		c.Offset = c.Nodes / 2
+	}
+	return c
+}
+
+// ClusterChaosCell is one (placement, scenario) soak outcome.
+type ClusterChaosCell struct {
+	Placement string // "none", "chain", "offset+k"
+	Replicas  int
+	Scenario  string // "node-loss", "rolling-restart"
+
+	Issued    uint64 // queries submitted
+	Completed uint64 // fully answered
+	Partial   uint64 // answered with typed partial results
+	Failed    uint64 // anything else (deadline overruns, exhaustion)
+
+	// SubQueries/SubCovered measure completeness at sub-query
+	// granularity across every issued query.
+	SubQueries, SubCovered uint64
+
+	P50, P99     time.Duration
+	Hedges       uint64
+	HedgeWins    uint64
+	Retries      uint64
+	BreakerTrips uint64
+
+	// RebuiltRecords counts records restored onto the crashed node by
+	// the mid-run cross-node rebuild (node-loss scenario, replicated
+	// placements only).
+	RebuiltRecords int
+
+	// Events is the fault timeline as applied. It is a pure function of
+	// the seed — replays compare equal — so rebuild outcomes, which race
+	// real foreground load on the wall clock, are logged separately.
+	Events []string
+
+	// RebuildLog records cross-node rebuild outcomes (success with
+	// counts and elapsed time, or how far a cancelled rebuild got).
+	RebuildLog []string
+}
+
+// Availability is the fraction of issued queries answered completely.
+func (c *ClusterChaosCell) Availability() float64 {
+	if c.Issued == 0 {
+		return 0
+	}
+	return float64(c.Completed) / float64(c.Issued)
+}
+
+// Completeness is the covered fraction of all sub-queries.
+func (c *ClusterChaosCell) Completeness() float64 {
+	if c.SubQueries == 0 {
+		return 0
+	}
+	return float64(c.SubCovered) / float64(c.SubQueries)
+}
+
+// ClusterChaosResult is the regenerated cluster-chaos table.
+type ClusterChaosResult struct {
+	Nodes, DisksPerNode int
+	Clients             int
+	Duration            time.Duration
+	BaseLatency         time.Duration
+	HedgeAfter          time.Duration
+	Offset              int
+	// Seed replays the exact node fault schedules: every schedule is a
+	// pure function of (Seed, Nodes, Duration).
+	Seed  int64
+	Cells []ClusterChaosCell
+}
+
+// ClusterChaos runs Experiment N. For each placement scheme — no
+// replication, chained, offset — and each fault scenario — lose one
+// node mid-run, roll-restart every node — it boots a fresh loopback
+// cluster, soaks it with closed-loop clients, and drives the seeded
+// fault schedule against it. Node-loss cells with replication also
+// rebuild the dead node's shards from peer replicas mid-run, throttled,
+// at background priority.
+func ClusterChaos(cfg ClusterChaosConfig, opt Options) (*ClusterChaosResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("experiments: cluster chaos needs ≥ 2 nodes, got %d", cfg.Nodes)
+	}
+	g, err := grid.New(cfg.GridSide, cfg.GridSide)
+	if err != nil {
+		return nil, err
+	}
+	method, err := alloc.NewFX(g, cfg.DisksPerNode)
+	if err != nil {
+		return nil, err
+	}
+	records := datagen.Uniform{K: 2, Seed: opt.seed()}.Generate(cfg.Records)
+
+	res := &ClusterChaosResult{
+		Nodes: cfg.Nodes, DisksPerNode: cfg.DisksPerNode,
+		Clients: cfg.Clients, Duration: cfg.Duration,
+		BaseLatency: cfg.BaseLatency, HedgeAfter: cfg.HedgeAfter,
+		Offset: cfg.Offset, Seed: opt.seed(),
+	}
+	if cfg.Replicas < 1 || cfg.Replicas > cfg.Nodes {
+		return nil, fmt.Errorf("experiments: cluster replicas %d outside [1, %d nodes]", cfg.Replicas, cfg.Nodes)
+	}
+	placements := []struct {
+		name     string
+		replicas int
+		stride   int
+	}{
+		{"none", 1, 1},
+		{"chain", cfg.Replicas, 1},
+		{fmt.Sprintf("offset+%d", cfg.Offset), cfg.Replicas, cfg.Offset},
+	}
+	scenarios := []string{"node-loss", "rolling-restart"}
+	for _, p := range placements {
+		sm, err := cluster.NewShardMap(g, cfg.Nodes, p.replicas, p.stride)
+		if err != nil {
+			return nil, err
+		}
+		for _, scenario := range scenarios {
+			cell, err := runClusterCell(sm, method, records, scenario, cfg, opt.seed())
+			if err != nil {
+				return nil, err
+			}
+			cell.Placement = p.name
+			cell.Replicas = p.replicas
+			cell.Scenario = scenario
+			res.Cells = append(res.Cells, *cell)
+		}
+	}
+	return res, nil
+}
+
+// runClusterCell soaks one cluster configuration under one scenario.
+func runClusterCell(sm *cluster.ShardMap, method alloc.Method, records []datagen.Record, scenario string, cfg ClusterChaosConfig, seed int64) (*ClusterChaosCell, error) {
+	h, err := cluster.StartHarness(cluster.HarnessConfig{
+		Map:     sm,
+		Method:  method,
+		Records: records,
+		Obs:     cfg.Obs,
+		ServeOptions: []serve.Option{
+			serve.WithBaseLatency(cfg.BaseLatency),
+			serve.WithRetry(exec.RetryPolicy{MaxAttempts: 3, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond}),
+		},
+		Router: cluster.RouterConfig{
+			NodeDeadline: cfg.NodeDeadline,
+			Retry:        exec.RetryPolicy{MaxAttempts: 4, BaseBackoff: cfg.BaseLatency / 2, MaxBackoff: 4 * cfg.BaseLatency},
+			HedgeAfter:   cfg.HedgeAfter,
+			Breaker: serve.BreakerConfig{
+				ErrorThreshold: 4,
+				Cooldown:       cfg.Duration / 10,
+			},
+			Obs: cfg.Obs,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+
+	var schedule fault.NodeSchedule
+	switch scenario {
+	case "node-loss":
+		schedule = fault.NodeLossSchedule(seed, sm.Nodes(), cfg.Duration)
+	case "rolling-restart":
+		schedule = fault.RollingRestartSchedule(seed, sm.Nodes(), cfg.Duration)
+	default:
+		return nil, fmt.Errorf("experiments: unknown cluster scenario %q", scenario)
+	}
+
+	cell := &ClusterChaosCell{}
+	var issued, completed, partial, failed, subQ, subC atomic.Uint64
+	var hedges, hedgeWins, retries atomic.Uint64
+	var latMu sync.Mutex
+	var lats []time.Duration
+
+	ctx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	end := time.Now().Add(cfg.Duration)
+
+	// Fault driver: run the seeded schedule; on a node-loss crash with
+	// replication available, rebuild the victim's shards from its peers
+	// while it is down, so the restart at ¾ brings back a node whose
+	// data was restored over the wire, not preserved by fiat.
+	var rebuildWG sync.WaitGroup
+	var rebuilt atomic.Int64
+	done := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		_ = schedule.Run(done, h.Faults(), func(e fault.NodeEvent) {
+			latMu.Lock()
+			cell.Events = append(cell.Events, fmt.Sprintf("%v %s node %d", e.At.Round(time.Millisecond), e.Kind, e.Node))
+			latMu.Unlock()
+			if e.Kind == fault.EventCrash && scenario == "node-loss" && sm.Replicas() > 1 {
+				rebuildWG.Add(1)
+				go func(victim int) {
+					defer rebuildWG.Done()
+					throttle, terr := repair.NewThrottle(cfg.RebuildRate, 0)
+					if terr != nil {
+						return
+					}
+					rstart := time.Now()
+					st, rerr := cluster.RebuildNode(ctx, cluster.RebuildConfig{
+						Map:       sm,
+						Endpoints: h.URLs(),
+						Throttle:  throttle,
+						Obs:       cfg.Obs,
+					}, h.Node(victim))
+					latMu.Lock()
+					if rerr == nil {
+						rebuilt.Store(int64(st.Records))
+						cell.RebuildLog = append(cell.RebuildLog, fmt.Sprintf(
+							"rebuilt node %d: %d records in %v (%d retries)",
+							victim, st.Records, time.Since(rstart).Round(time.Millisecond), st.Retries))
+					} else {
+						cell.RebuildLog = append(cell.RebuildLog, fmt.Sprintf(
+							"rebuild node %d stopped after %d buckets (%d records): %v",
+							victim, st.Buckets, st.Records, rerr))
+					}
+					latMu.Unlock()
+				}(e.Node)
+			}
+		})
+	}()
+
+	var wg sync.WaitGroup
+	g := sm.Grid()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*7919 + int64(c)))
+			for time.Now().Before(end) {
+				w := 1 + rng.Intn(max(1, g.Dim(0)/2))
+				ht := 1 + rng.Intn(max(1, g.Dim(1)/2))
+				x, y := rng.Intn(g.Dim(0)-w+1), rng.Intn(g.Dim(1)-ht+1)
+				q := g.MustRect(grid.Coord{x, y}, grid.Coord{x + w - 1, y + ht - 1})
+
+				issued.Add(1)
+				qctx, cancel := context.WithTimeout(ctx, cfg.QueryDeadline)
+				start := time.Now()
+				r, err := h.Router().Search(qctx, q)
+				elapsed := time.Since(start)
+				cancel()
+				if r != nil {
+					subQ.Add(uint64(r.SubQueries))
+					subC.Add(uint64(r.Covered))
+					hedges.Add(uint64(r.Hedges))
+					hedgeWins.Add(uint64(r.HedgeWins))
+					retries.Add(uint64(r.Retries))
+				}
+				switch {
+				case err == nil:
+					completed.Add(1)
+					latMu.Lock()
+					lats = append(lats, elapsed)
+					latMu.Unlock()
+				case errors.Is(err, cluster.ErrPartial):
+					partial.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	cancelRun()
+	close(done)
+	chaosWG.Wait()
+	rebuildWG.Wait()
+
+	cell.Issued = issued.Load()
+	cell.Completed = completed.Load()
+	cell.Partial = partial.Load()
+	cell.Failed = failed.Load()
+	cell.SubQueries = subQ.Load()
+	cell.SubCovered = subC.Load()
+	cell.RebuiltRecords = int(rebuilt.Load())
+	cell.BreakerTrips = h.Router().Breakers().Trips()
+	cell.Hedges = hedges.Load()
+	cell.HedgeWins = hedgeWins.Load()
+	cell.Retries = retries.Load()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	cell.P50 = percentileDur(lats, 0.50)
+	cell.P99 = percentileDur(lats, 0.99)
+	return cell, nil
+}
+
+// Table renders the cluster soak: one row per placement × scenario.
+func (r *ClusterChaosResult) Table() *table.Table {
+	t := table.New(
+		fmt.Sprintf("EN — cluster chaos, %d nodes × %d disks, %d clients × %v, base %v (replay with -seed %d)",
+			r.Nodes, r.DisksPerNode, r.Clients, r.Duration, r.BaseLatency, r.Seed),
+		"placement", "R", "scenario", "issued", "avail%", "partial%", "fail%",
+		"complete%", "p50", "p99", "trips", "rebuilt")
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		t.AddRowf(c.Placement, fmt.Sprintf("%d", c.Replicas), c.Scenario,
+			fmt.Sprintf("%d", c.Issued),
+			fmt.Sprintf("%.1f%%", 100*c.Availability()),
+			pct(c.Partial, c.Issued), pct(c.Failed, c.Issued),
+			fmt.Sprintf("%.2f%%", 100*c.Completeness()),
+			durMS(c.P50), durMS(c.P99),
+			fmt.Sprintf("%d", c.BreakerTrips),
+			fmt.Sprintf("%d", c.RebuiltRecords))
+	}
+	return t
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastClusterChaos keeps the soak short enough for the unit-test suite
+// while still spanning the full fault timeline (crash at ¼, restart at
+// ¾, a rolling restart through the middle half).
+func fastClusterChaos() ClusterChaosConfig {
+	cfg := ClusterChaosConfig{
+		GridSide:     8,
+		Nodes:        4,
+		DisksPerNode: 4,
+		Records:      512,
+		Clients:      4,
+		Duration:     150 * time.Millisecond,
+		BaseLatency:  100 * time.Microsecond,
+	}
+	if raceEnabled {
+		// The race detector slows real HTTP exchanges well past the
+		// latency-derived deadlines; widen both the budgets (scaled off
+		// BaseLatency) and the soak so the fault window still fits.
+		cfg.BaseLatency *= 5
+		cfg.Duration *= 4
+	}
+	return cfg
+}
+
+func TestClusterChaosStructure(t *testing.T) {
+	res, err := ClusterChaos(fastClusterChaos(), Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 6 {
+		t.Fatalf("want 3 placements × 2 scenarios = 6 cells, got %d", len(res.Cells))
+	}
+	wantPlacements := []string{"none", "none", "chain", "chain", "offset+2", "offset+2"}
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		if c.Placement != wantPlacements[i] {
+			t.Errorf("cell %d placement = %q, want %q", i, c.Placement, wantPlacements[i])
+		}
+		if c.Scenario != "node-loss" && c.Scenario != "rolling-restart" {
+			t.Errorf("cell %d scenario = %q", i, c.Scenario)
+		}
+		if c.Issued == 0 {
+			t.Errorf("cell %d issued no queries", i)
+		}
+		if got := c.Completed + c.Partial + c.Failed; got != c.Issued {
+			t.Errorf("cell %d outcomes %d != issued %d", i, got, c.Issued)
+		}
+		if c.SubCovered > c.SubQueries {
+			t.Errorf("cell %d covered %d of %d sub-queries", i, c.SubCovered, c.SubQueries)
+		}
+		if len(c.Events) == 0 {
+			t.Errorf("cell %d recorded no fault events", i)
+		}
+		if c.Replicas == 1 && c.RebuiltRecords != 0 {
+			t.Errorf("cell %d rebuilt %d records without replication", i, c.RebuiltRecords)
+		}
+	}
+	if res.Seed != 7 {
+		t.Errorf("result seed = %d, want 7", res.Seed)
+	}
+	tbl := res.Table().String()
+	for _, want := range []string{"EN", "placement", "node-loss", "rolling-restart", "replay with -seed 7"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+// TestClusterChaosReplicationKeepsCompleteness is the acceptance check:
+// with node-level replication, losing a node must not cost coverage —
+// zero partial results — while the unreplicated placement demonstrably
+// degrades instead of failing outright.
+func TestClusterChaosReplicationKeepsCompleteness(t *testing.T) {
+	cfg := fastClusterChaos()
+	cfg.Duration = 250 * time.Millisecond
+	if raceEnabled {
+		// The crash window must outlast a detector-slowed rebuild.
+		cfg.Duration = 2 * time.Second
+	}
+	res, err := ClusterChaos(cfg, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		if c.Replicas > 1 {
+			if c.Partial != 0 {
+				t.Errorf("%s/%s: %d partial results with replication", c.Placement, c.Scenario, c.Partial)
+			}
+			if c.Scenario == "node-loss" && c.RebuiltRecords == 0 {
+				t.Errorf("%s/node-loss: rebuild restored no records", c.Placement)
+			}
+		}
+	}
+	// The unreplicated node-loss cell must show degradation of some
+	// kind — partial results or failures — or the fault never landed.
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		if c.Replicas == 1 && c.Scenario == "node-loss" && c.Partial == 0 && c.Failed == 0 {
+			t.Errorf("none/node-loss: no partials and no failures; fault schedule had no effect")
+		}
+	}
+}
+
+// TestClusterChaosDeterministicSchedules: the same seed must replay the
+// same fault timeline.
+func TestClusterChaosDeterministicSchedules(t *testing.T) {
+	cfg := fastClusterChaos()
+	cfg.Duration = 80 * time.Millisecond
+	a, err := ClusterChaos(cfg, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ClusterChaos(cfg, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Cells {
+		ae, be := a.Cells[i].Events, b.Cells[i].Events
+		if len(ae) != len(be) {
+			t.Fatalf("cell %d: %d events vs %d on replay", i, len(ae), len(be))
+		}
+		for j := range ae {
+			if ae[j] != be[j] {
+				t.Errorf("cell %d event %d: %q vs %q", i, j, ae[j], be[j])
+			}
+		}
+	}
+}

@@ -238,7 +238,6 @@ func (e *Experiment) Chart(metric Metric) *plot.Chart {
 	return c
 }
 
-
 // lineName returns the plot-line label for a method. The paper draws
 // FX and ExFX as a single curve chosen by its selection rule, so both
 // label the same line.

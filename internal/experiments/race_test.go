@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled widens timing-sensitive soak budgets: the race detector
+// slows execution enough to blow latency-derived deadlines that are
+// comfortable in a normal build.
+const raceEnabled = true

@@ -103,6 +103,13 @@ func (f *File) cellOf(values []float64) (grid.Coord, error) {
 	return c, nil
 }
 
+// CellOf maps a record's attribute values to the grid cell that stores
+// them under the file's partition boundaries — exported so data
+// placement layers (e.g. a cluster sharding records across nodes) can
+// decide ownership with the file's own geometry instead of
+// re-implementing it.
+func (f *File) CellOf(values []float64) (grid.Coord, error) { return f.cellOf(values) }
+
 // Grid returns the file's grid.
 func (f *File) Grid() *grid.Grid { return f.g }
 

@@ -43,6 +43,42 @@ func newTokenBucket(rate, burst float64) (*tokenBucket, error) {
 	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}, nil
 }
 
+// Throttle is the rebuilder's token bucket exported for other recovery
+// engines — the cluster-level node rebuild paces its cross-node replica
+// reads with the exact same debt-based pacing the disk rebuilder uses.
+// A zero-rate Throttle (and a nil one) never blocks.
+type Throttle struct {
+	tb *tokenBucket
+}
+
+// NewThrottle builds a throttle granting rate tokens per second with
+// the given burst headroom (≤ 0 selects one second of rate). Rate 0
+// returns an unthrottled (never-blocking) throttle.
+func NewThrottle(rate, burst float64) (*Throttle, error) {
+	tb, err := newTokenBucket(rate, burst)
+	if err != nil {
+		return nil, err
+	}
+	return &Throttle{tb: tb}, nil
+}
+
+// AttachObserver counts granted tokens on the named counter in the
+// sink's registry. A nil sink (or unthrottled throttle) is a no-op.
+func (t *Throttle) AttachObserver(s *obs.Sink, name string) {
+	if t == nil || t.tb == nil || s == nil {
+		return
+	}
+	t.tb.taken = s.Registry().Counter(name)
+}
+
+// Take blocks until n tokens are available or ctx ends.
+func (t *Throttle) Take(ctx context.Context, n float64) error {
+	if t == nil {
+		return nil
+	}
+	return t.tb.take(ctx, n)
+}
+
 // take blocks until n tokens are available or ctx ends.
 func (tb *tokenBucket) take(ctx context.Context, n float64) error {
 	if tb == nil || n <= 0 {

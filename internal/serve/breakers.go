@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"time"
+
+	"decluster/internal/obs"
+)
+
+// Breakers is the scheduler's per-disk circuit-breaker machinery
+// exported as a standalone set, so other routing layers — the cluster
+// router breaks per *node* — reuse the exact same health tracker and
+// state machine (EWMA latency, consecutive-error trips, cooldown,
+// half-open probes) instead of growing a second, subtly different one.
+//
+// Endpoints are indexed 0..n-1; what an endpoint *is* (disk, node,
+// remote region) is the caller's business. All methods are safe for
+// concurrent use.
+type Breakers struct {
+	h *health
+}
+
+// NewBreakers builds a breaker set over n endpoints. The zero
+// BreakerConfig selects the same defaults the scheduler uses.
+func NewBreakers(cfg BreakerConfig, n int) (*Breakers, error) {
+	h, err := newHealth(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Breakers{h: h}, nil
+}
+
+// AttachObserver registers the set's state-transition counters under
+// the given metric name prefix (e.g. "cluster.node.breaker") in the
+// sink's registry:
+//
+//	<prefix>.opened  <prefix>.halfopened  <prefix>.closed
+//
+// A nil sink is a no-op. Call before traffic starts.
+func (b *Breakers) AttachObserver(s *obs.Sink, prefix string) {
+	if s == nil {
+		return
+	}
+	r := s.Registry()
+	b.h.attachObs(
+		r.Counter(prefix+".opened"),
+		r.Counter(prefix+".halfopened"),
+		r.Counter(prefix+".closed"),
+	)
+}
+
+// Observe records the outcome of one call against endpoint i and
+// advances its breaker state machine. Context cancellations are not
+// counted (a lost hedge race must not poison an endpoint's health).
+func (b *Breakers) Observe(i int, lat time.Duration, err error) {
+	b.h.Observe(i, lat, err)
+}
+
+// Allow reports whether endpoint i may be targeted by new work: open
+// endpoints may not, half-open and closed endpoints may (half-open
+// probe traffic is how an endpoint proves recovery).
+func (b *Breakers) Allow(i int) bool { return b.h.Allow(i) }
+
+// Open lists the endpoints whose breaker is currently open.
+func (b *Breakers) Open() []int { return b.h.OpenDisks() }
+
+// Trips returns the total closed/half-open → open transitions.
+func (b *Breakers) Trips() uint64 { return b.h.Trips() }
+
+// Snapshot copies every endpoint's health; the DiskHealth.Disk field
+// carries the endpoint index.
+func (b *Breakers) Snapshot() []DiskHealth { return b.h.Snapshot() }

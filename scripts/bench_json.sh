@@ -7,6 +7,13 @@
 #       through an executor without and with a live metrics sink), with
 #       the on-vs-off overhead percentage. Acceptance bar:
 #       overhead_pct < 5.
+#   pr6 — BenchmarkClusterScatterGather/{healthy,degraded} (one robust
+#       scatter/gather through the full cluster stack — shard
+#       decomposition, HTTP fan-out over loopback, gather/merge —
+#       against an all-up cluster and one with a crashed node routed
+#       around via replicas). Acceptance bar: degraded_overhead_x < 5
+#       (degraded mean over healthy mean; losing a node must not blow
+#       up latency, just shift load to surviving replicas).
 #   pr5 — BenchmarkKernelResponseTime/{naive,walk,prefix} (the three
 #       response-time kernels on the Figure-5(b) large-query workload:
 #       64×64 grid, HCAM, M=32, sides 16..48) and
@@ -99,8 +106,43 @@ pr5)
 			printf "}\n"
 		}'
 	;;
+pr6)
+	go test -run '^$' -bench '^BenchmarkClusterScatterGather$' \
+		-benchtime=200x -count="$count" . |
+		awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+		/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			sub(/^Benchmark/, "", name)
+			vals[name] = vals[name] sep[name] $3
+			sep[name] = ", "
+			sum[name] += $3
+			n[name]++
+		}
+		function mean(k) { return n[k] ? sum[k] / n[k] : 0 }
+		function series(k) {
+			printf "    \"%s\": {\"ns_per_op\": [%s], \"mean_ns_per_op\": %.0f}", k, vals[k], mean(k)
+		}
+		END {
+			healthy = mean("ClusterScatterGather/healthy")
+			degraded = mean("ClusterScatterGather/degraded")
+			printf "{\n"
+			printf "  \"benchmark\": \"BenchmarkClusterScatterGather\",\n"
+			printf "  \"date\": \"%s\",\n", date
+			printf "  \"cpu\": \"%s\",\n", cpu
+			printf "  \"count\": %d,\n", n["ClusterScatterGather/healthy"]
+			printf "  \"results\": {\n"
+			series("ClusterScatterGather/healthy"); printf ",\n"
+			series("ClusterScatterGather/degraded"); printf "\n"
+			printf "  },\n"
+			printf "  \"degraded_overhead_x\": %.2f,\n", healthy ? degraded / healthy : 0
+			printf "  \"bar_overhead_x\": 5\n"
+			printf "}\n"
+		}'
+	;;
 *)
-	echo "bench_json.sh: unknown suite '$suite' (want pr4 or pr5)" >&2
+	echo "bench_json.sh: unknown suite '$suite' (want pr4, pr5 or pr6)" >&2
 	exit 2
 	;;
 esac
