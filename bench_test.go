@@ -768,3 +768,64 @@ func BenchmarkClusterScatterGather(b *testing.B) {
 		run(b)
 	})
 }
+
+// BenchmarkClusterMigration measures one full online membership change —
+// plan, prepare, throttle-free bucket copies over loopback HTTP, cutover
+// on every member, router adoption — alternating join and leave so each
+// iteration starts from the epoch the previous one left behind.
+func BenchmarkClusterMigration(b *testing.B) {
+	g := grid.MustNew(8, 8)
+	sm, err := decluster.NewChainShardMap(g, 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	method, err := decluster.NewFX(g, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := decluster.UniformRecords{K: 2, Seed: 1}.Generate(2048)
+	h, err := decluster.StartClusterHarness(decluster.ClusterHarnessConfig{
+		Map:      sm,
+		Method:   method,
+		Records:  recs,
+		Standbys: 1,
+		Router:   decluster.RouterConfig{NodeDeadline: 5 * time.Second},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+
+	var joined int // the member a join added, pending retirement
+	joined = -1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var plan *decluster.MigrationPlan
+		var err error
+		if joined < 0 {
+			plan, err = decluster.PlanClusterJoin(h.Router().Map())
+		} else {
+			plan, err = decluster.PlanClusterLeave(h.Router().Map(), joined)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := decluster.MigrateCluster(context.Background(), decluster.ClusterMigrateConfig{
+			Plan:      plan,
+			Endpoints: h.URLs(),
+			Router:    h.Router(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Aborted || st.Buckets == 0 {
+			b.Fatalf("iteration %d: stats %+v", i, st)
+		}
+		if joined < 0 {
+			joined = plan.Member
+		} else {
+			joined = -1
+		}
+		b.ReportMetric(float64(st.Records), "records/op")
+	}
+}

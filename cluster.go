@@ -74,6 +74,12 @@ var (
 	// ErrNotHosted matches sub-queries sent to a node that does not
 	// host the rectangle.
 	ErrNotHosted = cluster.ErrNotHosted
+	// ErrStaleEpoch matches requests refused for carrying an outdated
+	// shard-map epoch; the full *StaleEpochError carries the newer map.
+	ErrStaleEpoch = cluster.ErrStaleEpoch
+	// ErrNoDonor matches rebuilds and migration fetches that found
+	// every replica holder of some bucket hard-down.
+	ErrNoDonor = cluster.ErrNoDonor
 )
 
 // ClusterErrorCode maps any error to its stable wire code, the same
@@ -95,6 +101,50 @@ type ClusterHarnessConfig = cluster.HarnessConfig
 func StartClusterHarness(cfg ClusterHarnessConfig) (*ClusterHarness, error) {
 	return cluster.StartHarness(cfg)
 }
+
+// MigrationPlan is one membership change compiled to minimal bucket
+// moves: the From and To maps (To's epoch is From's plus one) and the
+// coalesced rectangles each destination must receive.
+type MigrationPlan = cluster.MigrationPlan
+
+// Move is one planned transfer: a rectangle of buckets bound for one
+// destination member, with the From-epoch replica holders as donors.
+type Move = cluster.Move
+
+// PlanClusterJoin plans growing the cluster by one member: the joiner
+// gets the next free member ID and takes over its share of every
+// shard's replica set, moving as few buckets as the placement allows.
+func PlanClusterJoin(from *ShardMap) (*MigrationPlan, error) {
+	return cluster.PlanJoin(from)
+}
+
+// PlanClusterLeave plans retiring one member: its hosted buckets move
+// to the surviving replicas' nodes.
+func PlanClusterLeave(from *ShardMap, member int) (*MigrationPlan, error) {
+	return cluster.PlanLeave(from, member)
+}
+
+// ClusterMigrateConfig drives one online membership change.
+type ClusterMigrateConfig = cluster.MigrateConfig
+
+// ClusterMigrateStats summarises an executed migration.
+type ClusterMigrateStats = cluster.MigrateStats
+
+// ClusterMigrateEvent is one migration progress observation.
+type ClusterMigrateEvent = cluster.MigrateEvent
+
+// MigrateCluster executes a membership change online — prepare, copy,
+// cutover, adopt — with reads flowing throughout: the old epoch stays
+// authoritative until every member promotes, and a failure before the
+// first cutover ack rolls the whole change back.
+func MigrateCluster(ctx context.Context, cfg ClusterMigrateConfig) (ClusterMigrateStats, error) {
+	return cluster.Migrate(ctx, cfg)
+}
+
+// StaleEpochError is a node's reply to a request stamped with a
+// shard-map epoch it no longer serves; it carries the node's current
+// map, which is how routers learn of completed migrations.
+type StaleEpochError = cluster.StaleEpochError
 
 // NodeRebuildConfig configures a cross-node shard rebuild.
 type NodeRebuildConfig = cluster.RebuildConfig

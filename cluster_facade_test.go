@@ -81,6 +81,78 @@ func TestClusterFacade(t *testing.T) {
 	}
 }
 
+// TestClusterFacadeMigration drives the elastic surface through the
+// root package: plan a join, execute it online against a harness with
+// a standby, and watch the router land on the new epoch.
+func TestClusterFacadeMigration(t *testing.T) {
+	g, err := decluster.UniformGrid(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := decluster.NewChainShardMap(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	method, err := decluster.NewFX(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := decluster.UniformRecords{K: 2, Seed: 9}.Generate(400)
+	h, err := decluster.StartClusterHarness(decluster.ClusterHarnessConfig{
+		Map:      sm,
+		Method:   method,
+		Records:  recs,
+		Standbys: 1,
+		Router:   decluster.RouterConfig{NodeDeadline: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	plan, err := decluster.PlanClusterJoin(sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.To.Epoch() != sm.Epoch()+1 || len(plan.Moves) == 0 {
+		t.Fatalf("join plan: epoch %d→%d, %d moves", sm.Epoch(), plan.To.Epoch(), len(plan.Moves))
+	}
+	var events []decluster.ClusterMigrateEvent
+	st, err := decluster.MigrateCluster(context.Background(), decluster.ClusterMigrateConfig{
+		Plan:      plan,
+		Endpoints: h.URLs(),
+		Router:    h.Router(),
+		Progress:  func(ev decluster.ClusterMigrateEvent) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Buckets == 0 || st.Aborted {
+		t.Fatalf("migration stats: %+v", st)
+	}
+	if len(events) == 0 || events[len(events)-1].Phase != "adopt" {
+		t.Fatalf("progress events end with %v", events)
+	}
+	if got := h.Router().Epoch(); got != plan.To.Epoch() {
+		t.Errorf("router epoch after adopt = %d, want %d", got, plan.To.Epoch())
+	}
+	res, err := h.Router().Search(context.Background(), g.FullRect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 400 {
+		t.Errorf("post-join search returned %d of 400 records", len(res.Records))
+	}
+
+	// The elastic error taxonomy is visible at the root.
+	if !errors.Is(&decluster.StaleEpochError{RequestEpoch: 1, NodeEpoch: 2}, decluster.ErrStaleEpoch) {
+		t.Error("StaleEpochError does not match ErrStaleEpoch")
+	}
+	if decluster.ErrNoDonor == nil {
+		t.Error("ErrNoDonor is nil")
+	}
+}
+
 // TestClusterFacadeNodeFaultSchedules checks the node-level fault API
 // exposed at the root: deterministic schedules and injector state.
 func TestClusterFacadeNodeFaultSchedules(t *testing.T) {

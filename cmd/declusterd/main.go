@@ -15,10 +15,21 @@
 // replicas, hedging, breakers, and typed partial results when coverage
 // is lost.
 //
+// Migrate mode (-migrate join|leave) executes one online membership
+// change against a running cluster: it computes the minimal bucket-move
+// plan from the boot geometry, streams the buckets to their new homes
+// at migration priority (reads keep flowing), and cuts every member
+// over to the next epoch. Routers that were not told — other declusterd
+// -query invocations, long-lived clients — discover the new epoch on
+// their next query via the nodes' stale-epoch replies.
+//
 // Usage:
 //
 //	declusterd -listen ADDR -node I [geometry flags]   serve node I
+//	declusterd -listen ADDR -standby                   serve the joiner
 //	declusterd -query LO:HI -peers URL,URL,...         query a cluster
+//	declusterd -migrate join  -peers URL,...,JOINER    grow the cluster
+//	declusterd -migrate leave -victim I -peers ...     shrink it
 //
 //	Geometry (must match on every node and client):
 //	-grid      grid dimensions, e.g. 8x8 or 4x4x4 (default 8x8)
@@ -33,6 +44,9 @@
 //	Serve mode:
 //	-listen       bind address, e.g. 127.0.0.1:7000
 //	-node         this node's ID in [0, nodes)
+//	-standby      serve the next joiner instead: an empty member with
+//	              ID nodes (it hosts nothing until a join migration
+//	              streams its buckets in)
 //	-base-latency simulated per-bucket read service time (default 0)
 //
 //	Query mode:
@@ -42,13 +56,25 @@
 //	-hedge-after   hedge delay; 0 disables (default 0)
 //	-timeout       end-to-end query deadline (default 30s)
 //
-// Example 3-node cluster on loopback:
+//	Migrate mode:
+//	-migrate      join (add the standby as member nodes) or leave
+//	              (retire -victim; its buckets move to the survivors)
+//	-victim       leave: the member to retire (default nodes-1)
+//	-peers        every member's base URL indexed by member ID — for
+//	              join, the standby's URL comes last
+//	-migrate-rate copy throttle in pages/sec (default 0 = unthrottled)
+//	-timeout      end-to-end migration deadline (default 30s)
+//
+// Example 3-node cluster on loopback, then an online join:
 //
 //	declusterd -listen 127.0.0.1:7000 -node 0 -nodes 3 &
 //	declusterd -listen 127.0.0.1:7001 -node 1 -nodes 3 &
 //	declusterd -listen 127.0.0.1:7002 -node 2 -nodes 3 &
 //	declusterd -query 0,0:7,7 -nodes 3 \
 //	  -peers http://127.0.0.1:7000,http://127.0.0.1:7001,http://127.0.0.1:7002
+//	declusterd -listen 127.0.0.1:7003 -standby -nodes 3 &
+//	declusterd -migrate join -nodes 3 -migrate-rate 800 \
+//	  -peers http://127.0.0.1:7000,http://127.0.0.1:7001,http://127.0.0.1:7002,http://127.0.0.1:7003
 package main
 
 import (
@@ -70,6 +96,7 @@ import (
 	"decluster/internal/cluster"
 	"decluster/internal/datagen"
 	"decluster/internal/grid"
+	"decluster/internal/repair"
 	"decluster/internal/serve"
 )
 
@@ -77,6 +104,10 @@ func main() {
 	var (
 		listen       = flag.String("listen", "", "serve mode: bind address (e.g. 127.0.0.1:7000)")
 		nodeID       = flag.Int("node", 0, "serve mode: this node's ID in [0, nodes)")
+		standby      = flag.Bool("standby", false, "serve mode: boot the next joiner (empty member ID nodes) instead of a map member")
+		migrate      = flag.String("migrate", "", "migrate mode: execute an online membership change, join or leave")
+		victim       = flag.Int("victim", -1, "migrate mode: the member -migrate leave retires (default nodes-1)")
+		migrateRate  = flag.Float64("migrate-rate", 0, "migrate mode: copy throttle in pages/sec (0 = unthrottled)")
 		gridSpec     = flag.String("grid", "8x8", "grid dimensions, e.g. 8x8 or 4x4x4")
 		nodes        = flag.Int("nodes", 4, "cluster size N")
 		replicas     = flag.Int("replicas", 2, "copies per shard")
@@ -99,16 +130,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "declusterd:", err)
 		os.Exit(2)
 	}
+	modes := 0
+	for _, on := range []bool{*listen != "", *query != "", *migrate != ""} {
+		if on {
+			modes++
+		}
+	}
 	switch {
-	case *listen != "" && *query != "":
-		fmt.Fprintln(os.Stderr, "declusterd: -listen and -query are mutually exclusive")
+	case modes > 1:
+		fmt.Fprintln(os.Stderr, "declusterd: -listen, -query, and -migrate are mutually exclusive")
 		os.Exit(2)
 	case *listen != "":
-		err = serveNode(*listen, *nodeID, sm, method, *records, *seed, *baseLatency, os.Stderr)
+		id := *nodeID
+		if *standby {
+			// The joiner is the member PlanJoin will bring in: one past
+			// the highest member of the boot map.
+			id = sm.MaxMember() + 1
+		}
+		err = serveNode(*listen, id, sm, method, *records, *seed, *baseLatency, os.Stderr)
 	case *query != "":
 		err = runQuery(os.Stdout, *query, *peers, sm, *nodeDeadline, *hedgeAfter, *timeout)
+	case *migrate != "":
+		err = runMigrate(os.Stdout, *migrate, *peers, sm, *victim, *migrateRate, *timeout)
 	default:
-		fmt.Fprintln(os.Stderr, "declusterd: pass -listen (serve a node) or -query (query a cluster)")
+		fmt.Fprintln(os.Stderr, "declusterd: pass -listen (serve a node), -query (query a cluster), or -migrate (change membership)")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -207,8 +252,13 @@ func serveNode(listen string, nodeID int, sm *cluster.ShardMap, method alloc.Met
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(logw, "declusterd: node %d/%d serving shards %v (%d records) on %s\n",
-		nodeID, sm.Nodes(), sm.HostedShards(nodeID), s.node.Records(), s.Addr())
+	if hosted := sm.HostedShardsOfMember(nodeID); len(hosted) > 0 {
+		fmt.Fprintf(logw, "declusterd: node %d/%d serving shards %v (%d records) on %s\n",
+			nodeID, sm.Nodes(), hosted, s.node.Records(), s.Addr())
+	} else {
+		fmt.Fprintf(logw, "declusterd: standby member %d on %s (empty; awaiting a join migration)\n",
+			nodeID, s.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -231,7 +281,10 @@ func runQuery(w io.Writer, querySpec, peerList string, sm *cluster.ShardMap, nod
 		return err
 	}
 	endpoints := splitPeers(peerList)
-	if len(endpoints) != sm.Nodes() {
+	// Extra URLs beyond the boot map are fine — they name members a
+	// join migration brought (or will bring) in, and the router needs
+	// them the moment it adopts the newer epoch.
+	if len(endpoints) < sm.Nodes() {
 		return fmt.Errorf("-peers lists %d URLs for %d nodes", len(endpoints), sm.Nodes())
 	}
 	rt, err := cluster.NewRouter(cluster.RouterConfig{
@@ -270,6 +323,56 @@ func runQuery(w io.Writer, querySpec, peerList string, sm *cluster.ShardMap, nod
 		}
 		fmt.Fprintln(w)
 	}
+	return nil
+}
+
+// runMigrate plans and executes one online membership change, then
+// prints the plan and the copy statistics. The From map is the boot
+// geometry (epoch 1): this tool performs a fresh cluster's first
+// membership change; nodes already past epoch 1 refuse the prepare, so
+// a mismatch fails loudly instead of moving buckets under the wrong map.
+func runMigrate(w io.Writer, kind, peerList string, sm *cluster.ShardMap, victim int, rate float64, timeout time.Duration) error {
+	var (
+		plan *cluster.MigrationPlan
+		err  error
+	)
+	switch kind {
+	case "join":
+		plan, err = cluster.PlanJoin(sm)
+	case "leave":
+		if victim < 0 {
+			victim = sm.MemberAt(sm.Nodes() - 1)
+		}
+		plan, err = cluster.PlanLeave(sm, victim)
+	default:
+		return fmt.Errorf("-migrate must be join or leave, got %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	throttle, err := repair.NewThrottle(rate, 0)
+	if err != nil {
+		return err
+	}
+	endpoints := splitPeers(peerList)
+	fmt.Fprintf(w, "migrate %s: %s\n", kind, plan)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	st, err := cluster.Migrate(ctx, cluster.MigrateConfig{
+		Plan:      plan,
+		Endpoints: endpoints,
+		Throttle:  throttle,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "migrated to epoch %d: %d buckets (%d records, %d pages) in %v",
+		plan.To.Epoch(), st.Buckets, st.Records, st.Pages, st.Elapsed.Round(time.Millisecond))
+	if st.Retries > 0 {
+		fmt.Fprintf(w, " (%d donor retries)", st.Retries)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "routers discover the new epoch on their next query")
 	return nil
 }
 

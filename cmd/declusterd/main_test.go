@@ -131,3 +131,60 @@ func TestServeAndQuery(t *testing.T) {
 		t.Error("peer/node count mismatch accepted")
 	}
 }
+
+// TestMigrateJoinAndStaleQuery drives the binary's whole elastic story:
+// boot a 3-node cluster plus one standby, run -migrate join against it,
+// then query it with a router still built from the 3-node boot geometry
+// — the stale router must adopt the new epoch mid-query (via the nodes'
+// stale-epoch replies) and still return every record.
+func TestMigrateJoinAndStaleQuery(t *testing.T) {
+	const (
+		nodes   = 3
+		records = 600
+		seed    = int64(1)
+	)
+	sm, method, err := buildGeometry("8x8", nodes, 2, "chain", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var urls []string
+	for i := 0; i < nodes+1; i++ {
+		id := i
+		if i == nodes {
+			id = sm.MaxMember() + 1 // the standby, as -standby computes it
+		}
+		s, err := startNode("127.0.0.1:0", id, sm, method, records, seed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Shutdown()
+		urls = append(urls, "http://"+s.Addr())
+	}
+	peers := strings.Join(urls, ",")
+
+	var out strings.Builder
+	if err := runMigrate(&out, "join", peers, sm, -1, 0, 30*time.Second); err != nil {
+		t.Fatalf("migrate join: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "migrated to epoch 2") {
+		t.Errorf("join did not reach epoch 2:\n%s", out.String())
+	}
+
+	// The query-side router is built from the boot geometry — epoch 1 —
+	// and must follow the cluster to epoch 2 without being told.
+	out.Reset()
+	if err := runQuery(&out, "0,0:7,7", peers, sm, time.Second, 0, 10*time.Second); err != nil {
+		t.Fatalf("stale query after join: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "600 records") {
+		t.Errorf("stale query lost records after join:\n%s", out.String())
+	}
+
+	// Bad mode and unknown victim are rejected up front.
+	if err := runMigrate(&out, "shuffle", peers, sm, -1, 0, time.Second); err == nil {
+		t.Error("unknown -migrate mode accepted")
+	}
+	if err := runMigrate(&out, "leave", peers, sm, 99, 0, time.Second); err == nil {
+		t.Error("leave of unknown member accepted")
+	}
+}

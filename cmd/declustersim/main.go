@@ -43,6 +43,13 @@
 //	-replicas    cluster: copies per shard of the replicated placements
 //	             (default 2); the fault schedule replays from the
 //	             printed -seed
+//	-join        cluster: run the online-join migration scenario; any of
+//	             -join/-leave/-partition narrows the run to exactly the
+//	             scenarios named (default: all five chaos scenarios)
+//	-leave       cluster: run the online-leave migration scenario
+//	-partition   cluster: run the partition-then-heal scenario
+//	-migrate-rate cluster: throttle join/leave bucket copies in
+//	             pages/sec (default 0 = unthrottled)
 //	-corrupt-prob recovery: per-page silent-corruption probability of
 //	             the seeded rot plan (default 0.02)
 //	-metrics     dump the observability registry after the run as
@@ -63,6 +70,8 @@
 //	declustersim -soak 1s -metrics table -trace-slowest 3 -http :8080
 //	declustersim -experiment recovery -rebuild-rate 200,800 -corrupt-prob 0.05
 //	declustersim -experiment cluster -nodes 6 -replicas 2 -soak 1s -seed 42
+//	declustersim -experiment cluster -join -leave -migrate-rate 400 -soak 1s
+//	declustersim -experiment cluster -partition -soak 2s -seed 9
 //	declustersim -experiment all -samples 500
 package main
 
@@ -104,6 +113,10 @@ func main() {
 		rebuildRate = flag.String("rebuild-rate", "", "recovery experiment: comma-separated rebuild throttles in pages/sec (0 = unthrottled; default 50,200,1600)")
 		nodes       = flag.Int("nodes", 0, "cluster experiment: cluster size N (default 4)")
 		replicas    = flag.Int("replicas", 0, "cluster experiment: copies per shard of the replicated placements (default 2)")
+		joinScen    = flag.Bool("join", false, "cluster experiment: run the online-join migration scenario (narrows the scenario set)")
+		leaveScen   = flag.Bool("leave", false, "cluster experiment: run the online-leave migration scenario (narrows the scenario set)")
+		partScen    = flag.Bool("partition", false, "cluster experiment: run the partition-then-heal scenario (narrows the scenario set)")
+		migrateRate = flag.Float64("migrate-rate", 0, "cluster experiment: join/leave copy throttle in pages/sec (0 = unthrottled)")
 		corruptProb = flag.Float64("corrupt-prob", 0, "recovery experiment: per-page silent-corruption probability (default 0.02)")
 		metricsOut  = flag.String("metrics", "", "dump the observability registry after the run: table or csv (chaos and recovery)")
 		traceSlow   = flag.Int("trace-slowest", 0, "record per-query traces and print the N slowest span trees after the run")
@@ -177,17 +190,31 @@ func main() {
 		Clients:    *clients,
 		HedgeAfter: *hedgeAfter,
 	}
-	if *nodes < 0 || *replicas < 0 {
-		fmt.Fprintln(os.Stderr, "declustersim: -nodes and -replicas must be ≥ 0")
+	if *nodes < 0 || *replicas < 0 || *migrateRate < 0 {
+		fmt.Fprintln(os.Stderr, "declustersim: -nodes, -replicas, and -migrate-rate must be ≥ 0")
 		os.Exit(2)
 	}
 	clusterCfg := experiments.ClusterChaosConfig{
-		Nodes:      *nodes,
-		Replicas:   *replicas,
-		Duration:   *soak,
-		Clients:    *clients,
-		HedgeAfter: *hedgeAfter,
+		Nodes:       *nodes,
+		Replicas:    *replicas,
+		Duration:    *soak,
+		Clients:     *clients,
+		HedgeAfter:  *hedgeAfter,
+		MigrateRate: *migrateRate,
 	}
+	// Naming any scenario flag narrows the run to exactly the scenarios
+	// named; naming none keeps the full five-scenario sweep.
+	var scenarios []string
+	if *partScen {
+		scenarios = append(scenarios, "partition")
+	}
+	if *joinScen {
+		scenarios = append(scenarios, "join")
+	}
+	if *leaveScen {
+		scenarios = append(scenarios, "leave")
+	}
+	clusterCfg.Scenarios = scenarios
 	if *corruptProb < 0 || *corruptProb >= 1 {
 		fmt.Fprintln(os.Stderr, "declustersim: -corrupt-prob must be in [0, 1)")
 		os.Exit(2)
@@ -229,9 +256,10 @@ func main() {
 		go http.Serve(ln, sink.Handler())
 	}
 	name := *experiment
-	// -soak alone is enough to ask for the chaos soak; don't make the
-	// user also spell -experiment chaos.
-	if *soak > 0 && name == "all" {
+	// -soak alone is enough to ask for the chaos soak, and a scenario
+	// flag alone for the cluster soak; don't make the user also spell
+	// -experiment. The scenario flags win: they exist only for cluster.
+	if name == "all" && (*soak > 0 || len(scenarios) > 0) {
 		expSet := false
 		flag.Visit(func(fl *flag.Flag) {
 			if fl.Name == "experiment" {
@@ -240,6 +268,9 @@ func main() {
 		})
 		if !expSet {
 			name = "chaos"
+			if len(scenarios) > 0 {
+				name = "cluster"
+			}
 		}
 	}
 	if err := run(os.Stdout, name, m, opt, avail, chaos, recovery, clusterCfg, mode); err != nil {

@@ -41,6 +41,10 @@ const (
 	// CodeNotHosted: the node was asked for a rectangle outside the
 	// shards it hosts — a routing bug or a stale shard map.
 	CodeNotHosted = "not_hosted"
+	// CodeStaleEpoch: the request was stamped with a shard-map epoch the
+	// node no longer (or does not yet) serve; the error envelope carries
+	// the node's current map so the caller can adopt it and retry.
+	CodeStaleEpoch = "stale_epoch"
 	// CodeBadRequest: malformed query (bad rect, bad JSON).
 	CodeBadRequest = "bad_request"
 	// CodeInternal: anything else.
@@ -57,6 +61,32 @@ var ErrPartial = errors.New("cluster: partial result")
 // hosted shards.
 var ErrNotHosted = errors.New("cluster: rect not hosted by this node")
 
+// ErrStaleEpoch marks a request stamped with a shard-map epoch the node
+// does not serve: every *StaleEpochError satisfies
+// errors.Is(err, ErrStaleEpoch). The router catches it, adopts the
+// attached map when strictly newer, and retries.
+var ErrStaleEpoch = errors.New("cluster: stale shard-map epoch")
+
+// StaleEpochError is the gossip vehicle of the epoch protocol: it names
+// the epoch the caller used, the node's current epoch, and — when it
+// crossed the wire — the node's current map, ready for adoption.
+type StaleEpochError struct {
+	// RequestEpoch is the epoch the rejected request carried.
+	RequestEpoch uint64
+	// NodeEpoch is the node's current epoch.
+	NodeEpoch uint64
+	// Map is the node's current shard map (nil only if reconstruction
+	// from the wire spec failed).
+	Map *ShardMap
+}
+
+func (e *StaleEpochError) Error() string {
+	return fmt.Sprintf("cluster: stale shard-map epoch %d (node at %d)", e.RequestEpoch, e.NodeEpoch)
+}
+
+// Is makes errors.Is(err, ErrStaleEpoch) true for every StaleEpochError.
+func (e *StaleEpochError) Is(target error) bool { return target == ErrStaleEpoch }
+
 // PartialError reports exactly which pieces of a query went unanswered
 // after every replica of their shards was exhausted. The records that
 // *were* gathered accompany the error in Result; Uncovered are the
@@ -67,6 +97,9 @@ type PartialError struct {
 	Uncovered []grid.Rect
 	// Shards lists the shard IDs that went unanswered, ascending.
 	Shards []int
+	// Cause is the first sub-query failure behind the gaps (not
+	// serialized over the wire; local diagnosis only).
+	Cause error
 }
 
 func (e *PartialError) Error() string {
@@ -74,8 +107,12 @@ func (e *PartialError) Error() string {
 	for i, r := range e.Uncovered {
 		rects[i] = r.String()
 	}
-	return fmt.Sprintf("cluster: partial result: %d uncovered sub-rects (shards %v): %s",
+	msg := fmt.Sprintf("cluster: partial result: %d uncovered sub-rects (shards %v): %s",
 		len(e.Uncovered), e.Shards, strings.Join(rects, " "))
+	if e.Cause != nil {
+		msg += fmt.Sprintf(" (first cause: %v)", e.Cause)
+	}
+	return msg
 }
 
 // Is makes errors.Is(err, ErrPartial) true for every PartialError.
@@ -83,9 +120,9 @@ func (e *PartialError) Is(target error) bool { return target == ErrPartial }
 
 // newPartialError builds a PartialError from the unanswered sub-queries,
 // sorted by shard for deterministic output.
-func newPartialError(missed []SubQuery) *PartialError {
+func newPartialError(missed []SubQuery, cause error) *PartialError {
 	sort.Slice(missed, func(i, j int) bool { return missed[i].Shard < missed[j].Shard })
-	e := &PartialError{}
+	e := &PartialError{Cause: cause}
 	for _, sq := range missed {
 		e.Uncovered = append(e.Uncovered, sq.Rect)
 		e.Shards = append(e.Shards, sq.Shard)
@@ -123,6 +160,8 @@ func ErrorCode(err error) string {
 		return CodePartial
 	case errors.Is(err, ErrNotHosted):
 		return CodeNotHosted
+	case errors.Is(err, ErrStaleEpoch):
+		return CodeStaleEpoch
 	default:
 		return CodeInternal
 	}
@@ -146,6 +185,10 @@ func HTTPStatus(code string) int {
 		return 499
 	case CodeNotHosted:
 		return http.StatusMisdirectedRequest
+	case CodeStaleEpoch:
+		// The request names an epoch the node doesn't serve: a version
+		// conflict, so 409.
+		return http.StatusConflict
 	case CodeBadRequest:
 		return http.StatusBadRequest
 	case CodePartial:
@@ -180,6 +223,11 @@ func DecodeError(code, msg string) error {
 		sentinel = ErrPartial
 	case CodeNotHosted:
 		sentinel = ErrNotHosted
+	case CodeStaleEpoch:
+		// Bare decode keeps the sentinel identity; the full envelope path
+		// (decodeErrorBody) reconstructs the richer *StaleEpochError with
+		// the node's map attached.
+		sentinel = ErrStaleEpoch
 	default:
 		return fmt.Errorf("cluster: remote error %q: %s", code, msg)
 	}

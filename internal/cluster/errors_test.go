@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"decluster/internal/fault"
@@ -33,6 +35,11 @@ func TestErrorTaxonomyRoundTrip(t *testing.T) {
 		{"canceled", context.Canceled, CodeCanceled, 499, context.Canceled},
 		{"partial", &PartialError{Uncovered: []grid.Rect{{Lo: grid.Coord{0, 0}, Hi: grid.Coord{1, 1}}}, Shards: []int{2}}, CodePartial, http.StatusPartialContent, ErrPartial},
 		{"not hosted", fmt.Errorf("%w: node 3", ErrNotHosted), CodeNotHosted, http.StatusMisdirectedRequest, ErrNotHosted},
+		{"stale epoch", &StaleEpochError{RequestEpoch: 1, NodeEpoch: 2}, CodeStaleEpoch, http.StatusConflict, ErrStaleEpoch},
+		// ErrNoDonor double-wraps fault.ErrUnavailable (fetchBucket's
+		// shape), so on the wire it rides the unavailable code; the
+		// no-donor distinction is local to the rebuilding side.
+		{"no donor", fmt.Errorf("%w: %w: 3 donors silent", ErrNoDonor, fault.ErrUnavailable), CodeUnavailable, http.StatusServiceUnavailable, fault.ErrUnavailable},
 		{"bad request", badRequestError{errors.New("bad rect")}, CodeBadRequest, http.StatusBadRequest, nil},
 		{"internal", errors.New("something else"), CodeInternal, http.StatusInternalServerError, nil},
 	}
@@ -77,12 +84,85 @@ func TestErrorTaxonomyRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStaleEpochEnvelopeRoundTrip drives a *StaleEpochError through the
+// actual HTTP envelope — writeError to a recorder, decodeErrorBody on
+// the bytes — and asserts the receiver gets a ready-to-adopt error: the
+// epochs intact, the sentinel matching, and the node's current map
+// reconstructed bit-identically from its wire spec.
+func TestStaleEpochEnvelopeRoundTrip(t *testing.T) {
+	g, err := grid.Uniform(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm2, err := newShardMapAt(g, 5, 2, 1, 7, []int{0, 1, 2, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := &StaleEpochError{RequestEpoch: 3, NodeEpoch: 7, Map: sm2}
+
+	rec := httptest.NewRecorder()
+	writeError(rec, orig)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("stale epoch envelope status = %d, want 409", rec.Code)
+	}
+	decoded := decodeErrorBody(rec.Code, rec.Body.Bytes())
+	if !errors.Is(decoded, ErrStaleEpoch) {
+		t.Fatalf("decoded envelope does not match ErrStaleEpoch: %v", decoded)
+	}
+	var se *StaleEpochError
+	if !errors.As(decoded, &se) {
+		t.Fatalf("decoded envelope is not a *StaleEpochError: %T", decoded)
+	}
+	if se.RequestEpoch != 3 || se.NodeEpoch != 7 {
+		t.Fatalf("epochs lost in transit: %+v", se)
+	}
+	if se.Map == nil {
+		t.Fatal("envelope lost the node's current map")
+	}
+	if se.Map.Epoch() != 7 || se.Map.Nodes() != 5 {
+		t.Fatalf("reconstructed map: epoch %d nodes %d", se.Map.Epoch(), se.Map.Nodes())
+	}
+	if got, want := fmt.Sprint(se.Map.Members()), fmt.Sprint(sm2.Members()); got != want {
+		t.Fatalf("reconstructed members %s, want %s", got, want)
+	}
+	for s := 0; s < se.Map.Nodes(); s++ {
+		if se.Map.Shard(s).Rect.String() != sm2.Shard(s).Rect.String() {
+			t.Fatalf("shard %d rect diverged: %v vs %v", s, se.Map.Shard(s).Rect, sm2.Shard(s).Rect)
+		}
+	}
+
+	// A non-stale error rides the plain envelope: no epochs, no map.
+	rec = httptest.NewRecorder()
+	writeError(rec, fmt.Errorf("%w: node 3", ErrNotHosted))
+	decoded = decodeErrorBody(rec.Code, rec.Body.Bytes())
+	if !errors.Is(decoded, ErrNotHosted) {
+		t.Fatalf("not-hosted envelope decoded to %v", decoded)
+	}
+	if errors.As(decoded, &se) {
+		t.Fatalf("not-hosted envelope decoded as stale epoch: %v", decoded)
+	}
+
+	// Foreign (non-envelope) bodies degrade loudly with the status.
+	if err := decodeErrorBody(502, []byte("<html>bad gateway</html>")); err == nil || !strings.Contains(err.Error(), "502") {
+		t.Fatalf("foreign body decode = %v", err)
+	}
+
+	// The stale map is never required: an envelope without one still
+	// yields a typed stale error (the caller just can't adopt from it).
+	rec = httptest.NewRecorder()
+	writeError(rec, &StaleEpochError{RequestEpoch: 1, NodeEpoch: 4})
+	decoded = decodeErrorBody(rec.Code, rec.Body.Bytes())
+	if !errors.As(decoded, &se) || se.Map != nil || se.NodeEpoch != 4 {
+		t.Fatalf("mapless stale envelope decoded to %v", decoded)
+	}
+}
+
 func TestPartialErrorReportsExactRects(t *testing.T) {
 	missed := []SubQuery{
 		{Shard: 3, Rect: grid.Rect{Lo: grid.Coord{4, 0}, Hi: grid.Coord{7, 3}}},
 		{Shard: 1, Rect: grid.Rect{Lo: grid.Coord{0, 4}, Hi: grid.Coord{3, 7}}},
 	}
-	pe := newPartialError(missed)
+	pe := newPartialError(missed, nil)
 	if !errors.Is(pe, ErrPartial) {
 		t.Fatal("PartialError does not match ErrPartial")
 	}

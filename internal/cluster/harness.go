@@ -26,6 +26,10 @@ type HarnessConfig struct {
 	Records []datagen.Record
 	// PageCapacity is records per page (gridfile default when 0).
 	PageCapacity int
+	// Standbys boots this many extra empty nodes beyond the map — the
+	// members a join migration will bring in. Standby k gets member ID
+	// MaxMember()+1+k and an endpoint the router already knows.
+	Standbys int
 	// Faults is the shared node-level injector; nil creates one.
 	Faults *fault.NodeInjector
 	// SlowUnit converts slow-node factors into per-request delay.
@@ -41,7 +45,6 @@ type HarnessConfig struct {
 
 // Harness is a running in-process cluster.
 type Harness struct {
-	sm      *ShardMap
 	nodes   []*Node
 	servers []*http.Server
 	urls    []string
@@ -49,9 +52,9 @@ type Harness struct {
 	router  *Router
 }
 
-// StartHarness boots the cluster: builds and loads every node, binds
-// each to its own loopback listener, and wires a router over them.
-// Callers must Close it.
+// StartHarness boots the cluster: builds and loads every node (plus any
+// standbys), binds each to its own loopback listener, and wires a
+// router over them. Callers must Close it.
 func StartHarness(cfg HarnessConfig) (*Harness, error) {
 	if cfg.Map == nil {
 		return nil, fmt.Errorf("cluster: harness needs a shard map")
@@ -59,10 +62,17 @@ func StartHarness(cfg HarnessConfig) (*Harness, error) {
 	if cfg.Faults == nil {
 		cfg.Faults = fault.NewNodeInjector()
 	}
-	h := &Harness{sm: cfg.Map, faults: cfg.Faults}
-	for i := 0; i < cfg.Map.Nodes(); i++ {
+	h := &Harness{faults: cfg.Faults}
+	total := cfg.Map.Nodes() + cfg.Standbys
+	for i := 0; i < total; i++ {
+		member := i
+		if i < cfg.Map.Nodes() {
+			member = cfg.Map.MemberAt(i)
+		} else {
+			member = cfg.Map.MaxMember() + 1 + (i - cfg.Map.Nodes())
+		}
 		n, err := NewNode(NodeConfig{
-			ID:           i,
+			ID:           member,
 			Map:          cfg.Map,
 			Method:       cfg.Method,
 			PageCapacity: cfg.PageCapacity,
@@ -79,7 +89,7 @@ func StartHarness(cfg HarnessConfig) (*Harness, error) {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			h.Close()
-			return nil, fmt.Errorf("cluster: node %d listen: %w", i, err)
+			return nil, fmt.Errorf("cluster: node %d listen: %w", member, err)
 		}
 		srv := &http.Server{Handler: n.Handler()}
 		go func() { _ = srv.Serve(ln) }()
@@ -105,22 +115,23 @@ func StartHarness(cfg HarnessConfig) (*Harness, error) {
 // Router returns the harness's scatter/gather client.
 func (h *Harness) Router() *Router { return h.router }
 
-// Map returns the cluster's shard map.
-func (h *Harness) Map() *ShardMap { return h.sm }
+// Map returns the shard map the router currently routes under — the
+// live view, advancing as migrations adopt new epochs.
+func (h *Harness) Map() *ShardMap { return h.router.Map() }
 
 // Faults returns the shared node-level injector.
 func (h *Harness) Faults() *fault.NodeInjector { return h.faults }
 
-// Node returns the i-th node.
+// Node returns the i-th node (member ID i for identity-membered maps).
 func (h *Harness) Node(i int) *Node { return h.nodes[i] }
 
-// Nodes returns the node count.
+// Nodes returns the booted node count, standbys included.
 func (h *Harness) Nodes() int { return len(h.nodes) }
 
 // URL returns node i's base URL.
 func (h *Harness) URL(i int) string { return h.urls[i] }
 
-// URLs returns every node's base URL, indexed by node ID.
+// URLs returns every node's base URL, indexed by member ID.
 func (h *Harness) URLs() []string { return append([]string(nil), h.urls...) }
 
 // Close stops every HTTP server (aborting in-flight connections, which

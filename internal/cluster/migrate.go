@@ -1,0 +1,319 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"decluster/internal/grid"
+	"decluster/internal/obs"
+	"decluster/internal/repair"
+	"decluster/internal/serve"
+)
+
+// MigrateConfig drives one online membership change end to end.
+type MigrateConfig struct {
+	// Plan is the join/leave plan to execute (required).
+	Plan *MigrationPlan
+	// Endpoints holds one base URL per member, indexed by stable member
+	// ID; it must cover every member of both the From and To maps (the
+	// joiner's standby URL included).
+	Endpoints []string
+	// Client optionally overrides the HTTP client.
+	Client *http.Client
+	// Throttle paces bucket copies in pages per second through the same
+	// debt-based token bucket the rebuilder uses; nil or zero-rate is
+	// unthrottled.
+	Throttle *repair.Throttle
+	// FetchTimeout bounds each donor fetch and each migration POST
+	// (2s when 0).
+	FetchTimeout time.Duration
+	// FetchAttempts bounds donor-rotation rounds per bucket (8 when 0).
+	FetchAttempts int
+	// PageCapacity converts record counts into throttle pages (32 when 0).
+	PageCapacity int
+	// Priority is the admission priority donor reads are tagged with;
+	// zero selects serve.MigrationPriority — below every foreground
+	// query, above background repair.
+	Priority int
+	// Obs optionally counts migration progress:
+	// cluster.migrate.buckets / .records / .retries.
+	Obs *obs.Sink
+	// Router, when set, is kept in lockstep: the To map is staged for
+	// dual-read before the first copy and adopted after the last
+	// cutover ack, so reads race both epochs throughout the handoff.
+	Router *Router
+	// Progress, when set, observes every step — tests use it to inject
+	// a crash (cancel the context) at an exact point mid-migration.
+	Progress func(ev MigrateEvent)
+}
+
+// MigrateEvent is one Progress observation.
+type MigrateEvent struct {
+	// Phase is "prepare", "copy", "cutover", "abort", or "adopt".
+	Phase string
+	// Member is the member the step touched (dest for copies).
+	Member int
+	// Buckets is the cumulative bucket count copied so far.
+	Buckets int
+}
+
+// MigrateStats summarises one executed migration.
+type MigrateStats struct {
+	// Moves, Buckets, Records copied to destinations.
+	Moves, Buckets, Records int
+	// Pages is the paced I/O cost charged to the throttle.
+	Pages int
+	// Retries counts donor fetches that failed and were retried.
+	Retries int
+	// Elapsed is the wall-clock migration time.
+	Elapsed time.Duration
+	// Aborted reports the migration rolled back to the From epoch.
+	Aborted bool
+}
+
+// Migrate executes a membership change online:
+//
+//	PREPARE  every member of both maps stages the To map; incoming
+//	         buckets will accumulate in a staging file, invisible to
+//	         the live stack.
+//	COPY     every planned bucket streams from a From-epoch donor to
+//	         its destination's staging file, at migration priority,
+//	         paced by the throttle. Reads keep flowing the whole time:
+//	         the From epoch stays authoritative, and the router (when
+//	         wired) races an opportunistic To-epoch leg that succeeds
+//	         exactly when every bucket it needs has landed.
+//	CUTOVER  every member atomically promotes the To map; each node
+//	         refuses unless all its newly hosted buckets arrived, so a
+//	         lost bucket aborts loudly instead of vanishing silently.
+//	ADOPT    the router switches to the To epoch.
+//
+// Any error — or context cancellation — before the first cutover ack
+// rolls everything back with ABORT: staging files are dropped, the From
+// epoch remains the one and only truth, and a later re-run starts
+// cleanly. After some member has cut over, Migrate keeps retrying the
+// remaining cutovers (they are idempotent) rather than aborting, since
+// a cutover cannot be undone; nodes left behind still answer the old
+// epoch via their prev map until a re-run finishes the job.
+func Migrate(ctx context.Context, cfg MigrateConfig) (MigrateStats, error) {
+	var st MigrateStats
+	start := time.Now()
+	p := cfg.Plan
+	if p == nil || p.From == nil || p.To == nil {
+		return st, fmt.Errorf("cluster: migrate needs a plan")
+	}
+	members := unionMembers(p.From, p.To)
+	for _, m := range members {
+		if m >= len(cfg.Endpoints) || cfg.Endpoints[m] == "" {
+			return st, fmt.Errorf("cluster: no endpoint for member %d", m)
+		}
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = 2 * time.Second
+	}
+	if cfg.FetchAttempts <= 0 {
+		cfg.FetchAttempts = 8
+	}
+	if cfg.PageCapacity <= 0 {
+		cfg.PageCapacity = 32
+	}
+	if cfg.Priority == 0 {
+		cfg.Priority = serve.MigrationPriority
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	var mBuckets, mRecords, mRetries *obs.Counter
+	if cfg.Obs != nil {
+		r := cfg.Obs.Registry()
+		mBuckets = r.Counter("cluster.migrate.buckets")
+		mRecords = r.Counter("cluster.migrate.records")
+		mRetries = r.Counter("cluster.migrate.retries")
+	}
+	progress := cfg.Progress
+	if progress == nil {
+		progress = func(MigrateEvent) {}
+	}
+	abort := func(cause error) (MigrateStats, error) {
+		st.Aborted = true
+		st.Elapsed = time.Since(start)
+		abortAll(cfg, members, p.To.Epoch())
+		progress(MigrateEvent{Phase: "abort", Buckets: st.Buckets})
+		return st, fmt.Errorf("cluster: migration to epoch %d aborted: %w", p.To.Epoch(), cause)
+	}
+
+	// PREPARE.
+	wm := toWireMap(p.To)
+	for _, m := range members {
+		if err := postMigrate(ctx, cfg, m, "prepare", prepareRequest{Map: wm}); err != nil {
+			return abort(fmt.Errorf("prepare member %d: %w", m, err))
+		}
+		progress(MigrateEvent{Phase: "prepare", Member: m})
+	}
+	if cfg.Router != nil {
+		cfg.Router.StagePending(p.To)
+	}
+
+	// COPY.
+	for _, mv := range p.Moves {
+		var cells []grid.Coord
+		grid.EachRect(mv.Rect, func(c grid.Coord) bool {
+			cells = append(cells, c.Clone())
+			return true
+		})
+		for _, c := range cells {
+			if ctx.Err() != nil {
+				return abort(ctx.Err())
+			}
+			recs, retries, err := fetchBucket(ctx, cfg.Client, func(member int) (string, bool) {
+				if member < len(cfg.Endpoints) && cfg.Endpoints[member] != "" {
+					return cfg.Endpoints[member], true
+				}
+				return "", false
+			}, mv.Sources, c, fetchOpts{
+				timeout:  cfg.FetchTimeout,
+				attempts: cfg.FetchAttempts,
+				priority: cfg.Priority,
+				epoch:    p.From.Epoch(),
+			})
+			st.Retries += retries
+			mRetries.Add(uint64(retries))
+			if err != nil {
+				return abort(fmt.Errorf("copy shard %d cell %v to member %d: %w", mv.Shard, c, mv.Dest, err))
+			}
+			if err := postMigrate(ctx, cfg, mv.Dest, "bucket", migrateBucketRequest{
+				Epoch: p.To.Epoch(), Cell: []int(c), Records: recs,
+			}); err != nil {
+				return abort(fmt.Errorf("ingest shard %d cell %v on member %d: %w", mv.Shard, c, mv.Dest, err))
+			}
+			pages := (len(recs) + cfg.PageCapacity - 1) / cfg.PageCapacity
+			if pages == 0 {
+				pages = 1
+			}
+			st.Buckets++
+			st.Records += len(recs)
+			st.Pages += pages
+			mBuckets.Inc()
+			mRecords.Add(uint64(len(recs)))
+			progress(MigrateEvent{Phase: "copy", Member: mv.Dest, Buckets: st.Buckets})
+			if err := cfg.Throttle.Take(ctx, float64(pages)); err != nil {
+				return abort(err)
+			}
+		}
+		st.Moves++
+	}
+
+	// CUTOVER. Before the first ack a failure aborts cleanly; after it,
+	// the change is committed and the only way out is through — retry
+	// the idempotent cutovers until every member promotes.
+	acked := 0
+	for _, m := range members {
+		var err error
+		for round := 0; round < cfg.FetchAttempts; round++ {
+			if err = postMigrate(ctx, cfg, m, "cutover", epochRequest{Epoch: p.To.Epoch()}); err == nil {
+				break
+			}
+			if ctx.Err() != nil || acked == 0 {
+				break
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(time.Duration(round+1) * 5 * time.Millisecond):
+			}
+		}
+		if err != nil {
+			if acked == 0 {
+				return abort(fmt.Errorf("cutover member %d: %w", m, err))
+			}
+			st.Elapsed = time.Since(start)
+			return st, fmt.Errorf("cluster: cutover to epoch %d incomplete: member %d: %w (re-run to finish; %d/%d members promoted)",
+				p.To.Epoch(), m, err, acked, len(members))
+		}
+		acked++
+		progress(MigrateEvent{Phase: "cutover", Member: m})
+	}
+
+	if cfg.Router != nil {
+		cfg.Router.Adopt(p.To)
+		progress(MigrateEvent{Phase: "adopt"})
+	}
+	st.Elapsed = time.Since(start)
+	return st, nil
+}
+
+// abortAll best-effort aborts the staged epoch everywhere. It runs on a
+// fresh short-lived context: the caller's context is typically already
+// cancelled (that may be exactly why we are aborting), and the rollback
+// must still go out.
+func abortAll(cfg MigrateConfig, members []int, epoch uint64) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for _, m := range members {
+		_ = postMigrate(ctx, cfg, m, "abort", epochRequest{Epoch: epoch})
+	}
+	if cfg.Router != nil {
+		cfg.Router.ClearPending()
+	}
+}
+
+// unionMembers lists every member of either map, ascending.
+func unionMembers(a, b *ShardMap) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, ms := range [][]int{a.Members(), b.Members()} {
+		for _, m := range ms {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// postMigrate performs one POST /v1/migrate/<step> exchange.
+func postMigrate(ctx context.Context, cfg MigrateConfig, member int, step string, payload any) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(cfg.Endpoints[member], "/") + "/v1/migrate/" + step
+	reqCtx, cancel := context.WithTimeout(ctx, cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// Every migration step is idempotent by design (prepare, bucket
+	// ingest, cutover, abort all tolerate replays); marking the POST
+	// replayable lets the transport retry a stale pooled connection.
+	req.Header.Set("Idempotency-Key", step)
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeErrorBody(resp.StatusCode, data)
+	}
+	return nil
+}

@@ -20,7 +20,11 @@ import (
 
 // NodeConfig describes one cluster member.
 type NodeConfig struct {
-	// ID is the node's index in the shard map.
+	// ID is the node's stable member ID: the identity it keeps across
+	// map epochs. In a freshly built map member IDs equal map indices; a
+	// joiner gets a fresh ID above every existing one. A node whose ID
+	// is absent from Map is a standby — it serves nothing until a
+	// migration brings it into a later epoch.
 	ID int
 	// Map is the cluster's shard map; all nodes must share one.
 	Map *ShardMap
@@ -50,15 +54,31 @@ type NodeConfig struct {
 
 // Node is one cluster member: a serve.Scheduler over a grid file
 // holding the node's hosted shards, plus the HTTP surface the router
-// talks to. The scheduler and file swap atomically during a rebuild.
+// talks to. The scheduler and file swap atomically during a rebuild or
+// a migration cutover.
+//
+// Epoch state: cur is the map the node serves; prev (when set) is the
+// map one cutover ago, still answerable because cutover never removes
+// records a prev shard needs — so routers one epoch behind keep getting
+// complete answers while they catch up. pending (when set) is the
+// staged next-epoch map mid-migration: its incoming buckets accumulate
+// in a separate staging file, and pending-epoch reads merge live +
+// staging only once every bucket they touch is present — the node-side
+// half of the dual-read handoff. An abort simply drops pending and
+// staging; nothing ever touched the live stack.
 type Node struct {
 	id       int
-	sm       *ShardMap
+	g        *grid.Grid
 	cfg      NodeConfig
 	faults   *fault.NodeInjector
 	slowUnit time.Duration
 
 	mu         sync.RWMutex
+	cur        *ShardMap
+	prev       *ShardMap
+	pending    *ShardMap
+	staging    *gridfile.File // pending-epoch ingest; read/written under mu
+	ready      map[int]bool   // linearized bucket → ingested into staging
 	file       *gridfile.File
 	sched      *serve.Scheduler
 	rebuilding bool
@@ -66,13 +86,14 @@ type Node struct {
 
 // NewNode builds a node and loads its slice of the dataset: exactly the
 // records whose grid cell falls in a shard the node hosts (primary or
-// replica copy).
+// replica copy) under the map. A member ID absent from the map starts
+// empty, as a standby.
 func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Map == nil {
 		return nil, fmt.Errorf("cluster: node %d: nil shard map", cfg.ID)
 	}
-	if cfg.ID < 0 || cfg.ID >= cfg.Map.Nodes() {
-		return nil, fmt.Errorf("cluster: node ID %d outside map of %d nodes", cfg.ID, cfg.Map.Nodes())
+	if cfg.ID < 0 {
+		return nil, fmt.Errorf("cluster: negative node ID %d", cfg.ID)
 	}
 	if cfg.Method == nil || cfg.Method.Grid().Buckets() != cfg.Map.Grid().Buckets() {
 		return nil, fmt.Errorf("cluster: node %d: method grid does not match shard map grid", cfg.ID)
@@ -81,10 +102,10 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		cfg.SlowUnit = 2 * time.Millisecond
 	}
 	n := &Node{
-		id: cfg.ID, sm: cfg.Map, cfg: cfg,
+		id: cfg.ID, g: cfg.Map.Grid(), cfg: cfg, cur: cfg.Map,
 		faults: cfg.Faults, slowUnit: cfg.SlowUnit,
 	}
-	file, sched, err := n.buildStack(cfg.Records)
+	file, sched, err := n.buildStack(cfg.Records, cfg.Map)
 	if err != nil {
 		return nil, err
 	}
@@ -92,23 +113,28 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	return n, nil
 }
 
-// buildStack creates a fresh grid file holding the hosted subset of
-// recs and a scheduler over it.
-func (n *Node) buildStack(recs []datagen.Record) (*gridfile.File, *serve.Scheduler, error) {
-	file, err := gridfile.New(gridfile.Config{
-		Method:       n.cfg.Method,
-		PageCapacity: n.cfg.PageCapacity,
-		Boundaries:   n.cfg.Boundaries,
-	})
+// buildStack creates a fresh grid file holding the subset of recs this
+// member hosts under ANY of the given maps, and a scheduler over it.
+// Passing two maps (cutover) keeps the union, so the previous epoch
+// stays fully answerable for one more migration.
+func (n *Node) buildStack(recs []datagen.Record, maps ...*ShardMap) (*gridfile.File, *serve.Scheduler, error) {
+	file, err := n.newFile()
 	if err != nil {
-		return nil, nil, fmt.Errorf("cluster: node %d: %w", n.id, err)
+		return nil, nil, err
 	}
 	for _, r := range recs {
 		c, err := file.CellOf(r.Values)
 		if err != nil {
 			return nil, nil, fmt.Errorf("cluster: node %d: record %d: %w", n.id, r.ID, err)
 		}
-		if !n.hostsShard(n.sm.ShardOf(c)) {
+		keep := false
+		for _, sm := range maps {
+			if sm != nil && n.hostsShardIn(sm, sm.ShardOf(c)) {
+				keep = true
+				break
+			}
+		}
+		if !keep {
 			continue
 		}
 		if err := file.Insert(r); err != nil {
@@ -126,7 +152,20 @@ func (n *Node) buildStack(recs []datagen.Record) (*gridfile.File, *serve.Schedul
 	return file, sched, nil
 }
 
-// ID returns the node's index.
+// newFile creates an empty grid file with the node's layout.
+func (n *Node) newFile() (*gridfile.File, error) {
+	file, err := gridfile.New(gridfile.Config{
+		Method:       n.cfg.Method,
+		PageCapacity: n.cfg.PageCapacity,
+		Boundaries:   n.cfg.Boundaries,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %d: %w", n.id, err)
+	}
+	return file, nil
+}
+
+// ID returns the node's stable member ID.
 func (n *Node) ID() int { return n.id }
 
 // Records returns the node's current record count.
@@ -143,6 +182,30 @@ func (n *Node) Scheduler() *serve.Scheduler {
 	return n.sched
 }
 
+// Epoch returns the node's current map epoch.
+func (n *Node) Epoch() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.cur.Epoch()
+}
+
+// PendingEpoch returns the staged next epoch, or 0 when none.
+func (n *Node) PendingEpoch() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.pending == nil {
+		return 0
+	}
+	return n.pending.Epoch()
+}
+
+// CurrentMap returns the map the node serves.
+func (n *Node) CurrentMap() *ShardMap {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.cur
+}
+
 // Close drains the node's scheduler.
 func (n *Node) Close() error {
 	n.mu.Lock()
@@ -151,9 +214,14 @@ func (n *Node) Close() error {
 	return err
 }
 
-// hostsShard reports whether the node holds a copy of shard s.
-func (n *Node) hostsShard(s int) bool {
-	for _, h := range n.sm.HostedShards(n.id) {
+// hostsShardIn reports whether this member holds a copy of shard s
+// under sm.
+func (n *Node) hostsShardIn(sm *ShardMap, s int) bool {
+	idx, ok := sm.NodeOfMember(n.id)
+	if !ok {
+		return false
+	}
+	for _, h := range sm.HostedShards(idx) {
 		if h == s {
 			return true
 		}
@@ -161,10 +229,15 @@ func (n *Node) hostsShard(s int) bool {
 	return false
 }
 
-// hostsRect reports whether r falls entirely inside one hosted shard.
-func (n *Node) hostsRect(r grid.Rect) bool {
-	for _, s := range n.sm.HostedShards(n.id) {
-		sh := n.sm.Shard(s).Rect
+// hostsRectIn reports whether r falls entirely inside one shard this
+// member hosts under sm.
+func (n *Node) hostsRectIn(sm *ShardMap, r grid.Rect) bool {
+	idx, ok := sm.NodeOfMember(n.id)
+	if !ok {
+		return false
+	}
+	for _, s := range sm.HostedShards(idx) {
+		sh := sm.Shard(s).Rect
 		inside := true
 		for i := range r.Lo {
 			if r.Lo[i] < sh.Lo[i] || r.Hi[i] > sh.Hi[i] {
@@ -179,6 +252,27 @@ func (n *Node) hostsRect(r grid.Rect) bool {
 	return false
 }
 
+// resolveEpoch picks the map a request epoch addresses: 0 (legacy,
+// unversioned) and the current epoch serve against cur; the previous
+// epoch — one cutover ago — still serves against prev; the staged
+// pending epoch selects the dual-read merge path. Anything else draws a
+// *StaleEpochError carrying the current map, the gossip that lets the
+// sender catch up in one round-trip.
+func (n *Node) resolveEpoch(epoch uint64) (sm *ShardMap, isPending bool, err error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	switch {
+	case epoch == 0 || epoch == n.cur.Epoch():
+		return n.cur, false, nil
+	case n.prev != nil && epoch == n.prev.Epoch():
+		return n.prev, false, nil
+	case n.pending != nil && epoch == n.pending.Epoch():
+		return n.pending, true, nil
+	default:
+		return nil, false, &StaleEpochError{RequestEpoch: epoch, NodeEpoch: n.cur.Epoch(), Map: n.cur}
+	}
+}
+
 // Handler returns the node's HTTP surface with fault injection applied
 // in front of every endpoint.
 func (n *Node) Handler() http.Handler {
@@ -187,6 +281,10 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/bucket", n.handleBucket)
 	mux.HandleFunc("GET /v1/health", n.handleHealth)
 	mux.HandleFunc("GET /v1/shards", n.handleShards)
+	mux.HandleFunc("POST /v1/migrate/prepare", n.handlePrepare)
+	mux.HandleFunc("POST /v1/migrate/bucket", n.handleMigrateBucket)
+	mux.HandleFunc("POST /v1/migrate/cutover", n.handleCutover)
+	mux.HandleFunc("POST /v1/migrate/abort", n.handleAbort)
 	return n.faultMiddleware(mux)
 }
 
@@ -220,9 +318,10 @@ func (n *Node) faultMiddleware(next http.Handler) http.Handler {
 	})
 }
 
-// handleQuery answers one sub-rectangle of a range query. The rect must
-// fall inside one shard this node hosts; anything else is a routing bug
-// surfaced as CodeNotHosted.
+// handleQuery answers one sub-rectangle of a range query. The epoch
+// check runs before the hostedness check: a router on the wrong map
+// must learn the right one, not be told "not hosted" against a map it
+// isn't using.
 func (n *Node) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := decodeJSONBody(r, &req); err != nil {
@@ -230,7 +329,7 @@ func (n *Node) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rect := req.Rect.rect()
-	g := n.sm.Grid()
+	g := n.g
 	if len(rect.Lo) != g.K() || len(rect.Hi) != g.K() || !g.Contains(rect.Lo) || !g.Contains(rect.Hi) {
 		writeError(w, badRequestError{fmt.Errorf("rect %v invalid for grid %v", rect, g)})
 		return
@@ -241,8 +340,13 @@ func (n *Node) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if !n.hostsRect(rect) {
-		writeError(w, fmt.Errorf("%w: node %d does not host %v", ErrNotHosted, n.id, rect))
+	sm, isPending, err := n.resolveEpoch(req.Epoch)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !n.hostsRectIn(sm, rect) {
+		writeError(w, fmt.Errorf("%w: node %d does not host %v at epoch %d", ErrNotHosted, n.id, rect, sm.Epoch()))
 		return
 	}
 
@@ -258,19 +362,120 @@ func (n *Node) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	records := res.Records
+	if isPending {
+		// Dual-read merge: the live leg covers the rect's buckets this
+		// member holds under cur; staging covers the migrated ones. The
+		// two are disjoint by plan construction (no move targets a bucket
+		// the destination holds under cur) — but only after trimming the
+		// live results to cur hosting, because a post-cutover file keeps
+		// the previous epoch's buckets for the grace window, and those
+		// leftovers may be exactly the buckets staging just received.
+		live, err := n.curHeldRecords(records)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		extra, err := n.stagingRecords(rect, sm)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		records = append(live, extra...)
+	}
 	writeJSON(w, queryResponse{
-		Records:  toWireRecords(res.Records),
+		Records:  toWireRecords(records),
 		Buckets:  rect.Volume(),
 		Degraded: res.Degraded,
+		Epoch:    sm.Epoch(),
 	})
 }
 
-// handleBucket serves one bucket's records for cross-node rebuild:
-// GET /v1/bucket?cell=1,2,0. It reads through the node's scheduler at
-// the caller's priority so rebuild traffic competes (and loses) fairly
-// against foreground queries.
+// curHeldRecords keeps only the records whose bucket this member hosts
+// under the current map. The live file can hold more than that — after
+// a cutover it retains the previous epoch's buckets so the grace window
+// stays answerable — and a dual-read merge must not return those
+// leftovers alongside their freshly staged copies.
+func (n *Node) curHeldRecords(recs []datagen.Record) ([]datagen.Record, error) {
+	n.mu.RLock()
+	cur, file := n.cur, n.file
+	n.mu.RUnlock()
+	return n.heldRecords(recs, cur, file)
+}
+
+// heldRecords filters recs to the buckets this member hosts under sm,
+// using file only for its record→cell mapping. Lock-free so
+// handleCutover can call it while already holding the node mutex.
+func (n *Node) heldRecords(recs []datagen.Record, sm *ShardMap, file *gridfile.File) ([]datagen.Record, error) {
+	out := make([]datagen.Record, 0, len(recs))
+	for _, r := range recs {
+		c, err := file.CellOf(r.Values)
+		if err != nil {
+			return nil, err
+		}
+		if n.hostsShardIn(sm, sm.ShardOf(c)) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// stagingRecords answers the staging-file half of a pending-epoch read,
+// after verifying readiness: every bucket of rect must either be held
+// live under cur or be ingested into staging. A bucket still in flight
+// makes the whole read unavailable — the router's authoritative
+// old-epoch leg covers it; the pending leg is strictly opportunistic
+// and must never return a silently incomplete answer.
+func (n *Node) stagingRecords(rect grid.Rect, pending *ShardMap) ([]datagen.Record, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.pending == nil || n.pending.Epoch() != pending.Epoch() || n.staging == nil {
+		return nil, fmt.Errorf("%w: node %d: pending epoch %d gone", fault.ErrUnavailable, n.id, pending.Epoch())
+	}
+	var notReady grid.Coord
+	complete := true
+	grid.EachRect(rect, func(c grid.Coord) bool {
+		if n.hostsShardIn(n.cur, n.cur.ShardOf(c)) {
+			return true
+		}
+		if n.ready[n.g.Linearize(c)] {
+			return true
+		}
+		notReady = c.Clone()
+		complete = false
+		return false
+	})
+	if !complete {
+		return nil, fmt.Errorf("%w: node %d: bucket %v not yet migrated for epoch %d",
+			fault.ErrUnavailable, n.id, notReady, pending.Epoch())
+	}
+	rs, err := n.staging.CellRangeSearch(rect)
+	if err != nil {
+		return nil, err
+	}
+	// The live leg already answers for buckets held under cur; drop any
+	// staged copy of those (a member rejoining after a leave is re-sent
+	// everything, including buckets it still holds) so the merge never
+	// double-counts.
+	out := make([]datagen.Record, 0, len(rs.Records))
+	for _, rec := range rs.Records {
+		c, err := n.staging.CellOf(rec.Values)
+		if err != nil {
+			return nil, err
+		}
+		if !n.hostsShardIn(n.cur, n.cur.ShardOf(c)) {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// handleBucket serves one bucket's records for cross-node rebuild and
+// migration: GET /v1/bucket?cell=1,2,0[&epoch=N]. It reads through the
+// node's scheduler at the caller's priority so background traffic
+// competes (and loses) fairly against foreground queries.
 func (n *Node) handleBucket(w http.ResponseWriter, r *http.Request) {
-	cell, err := parseCell(r.URL.Query().Get("cell"), n.sm.Grid())
+	cell, err := parseCell(r.URL.Query().Get("cell"), n.g)
 	if err != nil {
 		writeError(w, badRequestError{err})
 		return
@@ -283,9 +488,22 @@ func (n *Node) handleBucket(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	var epoch uint64
+	if e := r.URL.Query().Get("epoch"); e != "" {
+		epoch, err = strconv.ParseUint(e, 10, 64)
+		if err != nil {
+			writeError(w, badRequestError{fmt.Errorf("bad epoch %q", e)})
+			return
+		}
+	}
+	sm, isPending, err := n.resolveEpoch(epoch)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	rect := grid.Rect{Lo: cell, Hi: cell.Clone()}
-	if !n.hostsRect(rect) {
-		writeError(w, fmt.Errorf("%w: node %d does not host cell %v", ErrNotHosted, n.id, cell))
+	if !n.hostsRectIn(sm, rect) {
+		writeError(w, fmt.Errorf("%w: node %d does not host cell %v at epoch %d", ErrNotHosted, n.id, cell, sm.Epoch()))
 		return
 	}
 	n.mu.RLock()
@@ -300,35 +518,272 @@ func (n *Node) handleBucket(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, bucketResponse{Records: toWireRecords(res.Records)})
+	records := res.Records
+	if isPending {
+		extra, err := n.stagingRecords(rect, sm)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		records = append(append([]datagen.Record(nil), records...), extra...)
+	}
+	writeJSON(w, bucketResponse{Records: toWireRecords(records), Epoch: sm.Epoch()})
+}
+
+// handlePrepare stages the next-epoch map (PREPARE). Idempotent for the
+// already-staged and already-current epochs, so a migrator retrying
+// after a partial round is safe; a genuinely old epoch draws stale, and
+// a second concurrent migration draws a conflict.
+func (n *Node) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req prepareRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	sm, err := mapFromWire(req.Map)
+	if err != nil {
+		writeError(w, badRequestError{err})
+		return
+	}
+	if sm.Grid().Buckets() != n.g.Buckets() || sm.Grid().K() != n.g.K() {
+		writeError(w, badRequestError{fmt.Errorf("prepare map grid %v does not match node grid %v", sm.Grid(), n.g)})
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch {
+	case sm.Epoch() == n.cur.Epoch():
+		// Already cut over (a retry after a partial cutover round).
+	case sm.Epoch() < n.cur.Epoch():
+		writeError(w, &StaleEpochError{RequestEpoch: sm.Epoch(), NodeEpoch: n.cur.Epoch(), Map: n.cur})
+		return
+	case n.pending != nil && n.pending.Epoch() == sm.Epoch():
+		// Already staged; keep accumulated staging progress.
+	case n.pending != nil:
+		writeError(w, fmt.Errorf("cluster: node %d: migration to epoch %d already staged, refusing epoch %d",
+			n.id, n.pending.Epoch(), sm.Epoch()))
+		return
+	default:
+		staging, err := n.newFile()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		n.pending, n.staging, n.ready = sm, staging, map[int]bool{}
+	}
+	writeJSON(w, epochResponse{Epoch: n.cur.Epoch(), Pending: n.pendingEpochLocked()})
+}
+
+// handleMigrateBucket ingests one bucket's records into the staging
+// file for the pending epoch (COPY). Re-delivery of a bucket already
+// marked ready is a no-op: records are immutable, so the first copy is
+// as good as any.
+func (n *Node) handleMigrateBucket(w http.ResponseWriter, r *http.Request) {
+	var req migrateBucketRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	cell := make(grid.Coord, len(req.Cell))
+	copy(cell, req.Cell)
+	if len(cell) != n.g.K() || !n.g.Contains(cell) {
+		writeError(w, badRequestError{fmt.Errorf("cell %v outside grid %v", cell, n.g)})
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.pending == nil || n.pending.Epoch() != req.Epoch {
+		// Requesting an epoch the node already adopted means the plan was
+		// built from an outdated map (prepare tolerates that silently for
+		// cutover-retry idempotency, so the mismatch surfaces here).
+		if req.Epoch <= n.cur.Epoch() {
+			writeError(w, fmt.Errorf("cluster: node %d: no migration to epoch %d staged — already at epoch %d; re-plan from the current map",
+				n.id, req.Epoch, n.cur.Epoch()))
+			return
+		}
+		writeError(w, &StaleEpochError{RequestEpoch: req.Epoch, NodeEpoch: n.cur.Epoch(), Map: n.cur})
+		return
+	}
+	if !n.hostsShardIn(n.pending, n.pending.ShardOf(cell)) {
+		writeError(w, fmt.Errorf("%w: node %d does not host cell %v at pending epoch %d",
+			ErrNotHosted, n.id, cell, req.Epoch))
+		return
+	}
+	key := n.g.Linearize(cell)
+	if !n.ready[key] {
+		if err := n.staging.InsertAll(fromWireRecords(req.Records)); err != nil {
+			writeError(w, err)
+			return
+		}
+		n.ready[key] = true
+	}
+	writeJSON(w, epochResponse{Epoch: n.cur.Epoch(), Pending: req.Epoch})
+}
+
+// handleCutover promotes the pending map to current (CUTOVER). The node
+// refuses unless every bucket it newly hosts has arrived — the
+// invariant that makes "no lost buckets" structural rather than
+// probabilistic. On success the live stack is rebuilt as the union of
+// what the new and old maps host, the old map becomes prev (still
+// answerable), and staging is gone. Idempotent for the already-current
+// epoch.
+func (n *Node) handleCutover(w http.ResponseWriter, r *http.Request) {
+	var req epochRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	n.mu.Lock()
+	if n.cur.Epoch() == req.Epoch {
+		resp := epochResponse{Epoch: n.cur.Epoch(), Pending: n.pendingEpochLocked()}
+		n.mu.Unlock()
+		writeJSON(w, resp)
+		return
+	}
+	if n.pending == nil || n.pending.Epoch() != req.Epoch {
+		err := &StaleEpochError{RequestEpoch: req.Epoch, NodeEpoch: n.cur.Epoch(), Map: n.cur}
+		n.mu.Unlock()
+		writeError(w, err)
+		return
+	}
+	// Readiness invariant: every bucket hosted under pending must be
+	// held live or ingested.
+	if idx, ok := n.pending.NodeOfMember(n.id); ok {
+		missing := 0
+		for _, sid := range n.pending.HostedShards(idx) {
+			grid.EachRect(n.pending.Shard(sid).Rect, func(c grid.Coord) bool {
+				if !n.hostsShardIn(n.cur, n.cur.ShardOf(c)) && !n.ready[n.g.Linearize(c)] {
+					missing++
+				}
+				return true
+			})
+		}
+		if missing > 0 {
+			err := fmt.Errorf("%w: node %d: cutover to epoch %d refused, %d buckets not migrated",
+				fault.ErrUnavailable, n.id, req.Epoch, missing)
+			n.mu.Unlock()
+			writeError(w, err)
+			return
+		}
+	}
+	// Merge from the old file only what this member hosts under the
+	// outgoing epoch AND did not just receive a fresh copy of: older
+	// records are leftovers from the previous grace window, already past
+	// their answerable life, and a bucket in the ready set has its
+	// authoritative copy in staging (a member rejoining after a leave is
+	// re-sent everything, including buckets it still holds). Keeping
+	// either would plant duplicate records in the rebuilt file.
+	var held []datagen.Record
+	for _, rec := range dumpRecords(n.file) {
+		c, err := n.file.CellOf(rec.Values)
+		if err != nil {
+			n.mu.Unlock()
+			writeError(w, err)
+			return
+		}
+		if n.hostsShardIn(n.cur, n.cur.ShardOf(c)) && !n.ready[n.g.Linearize(c)] {
+			held = append(held, rec)
+		}
+	}
+	recs := append(held, dumpRecords(n.staging)...)
+	file, sched, err := n.buildStack(recs, n.pending, n.cur)
+	if err != nil {
+		n.mu.Unlock()
+		writeError(w, err)
+		return
+	}
+	old := n.sched
+	n.prev, n.cur, n.pending = n.cur, n.pending, nil
+	n.staging, n.ready = nil, nil
+	n.file, n.sched = file, sched
+	resp := epochResponse{Epoch: n.cur.Epoch()}
+	n.mu.Unlock()
+	_, _ = old.Close()
+	writeJSON(w, resp)
+}
+
+// handleAbort drops the staged epoch (ABORT): staging and its readiness
+// set vanish, the live stack is untouched, and the node is exactly
+// where it was before PREPARE. A no-op when nothing (or a different
+// epoch) is staged; an error when the epoch already cut over — a
+// cutover cannot be undone, and the migrator must know.
+func (n *Node) handleAbort(w http.ResponseWriter, r *http.Request) {
+	var req epochRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cur.Epoch() == req.Epoch {
+		writeError(w, fmt.Errorf("cluster: node %d: cannot abort epoch %d: already current", n.id, req.Epoch))
+		return
+	}
+	if n.pending != nil && n.pending.Epoch() == req.Epoch {
+		n.pending, n.staging, n.ready = nil, nil, nil
+	}
+	writeJSON(w, epochResponse{Epoch: n.cur.Epoch(), Pending: n.pendingEpochLocked()})
+}
+
+// pendingEpochLocked returns the staged epoch (caller holds mu).
+func (n *Node) pendingEpochLocked() uint64 {
+	if n.pending == nil {
+		return 0
+	}
+	return n.pending.Epoch()
+}
+
+// dumpRecords returns every record in f (nil-safe).
+func dumpRecords(f *gridfile.File) []datagen.Record {
+	if f == nil || f.Len() == 0 {
+		return nil
+	}
+	rs, err := f.CellRangeSearch(f.Grid().FullRect())
+	if err != nil {
+		return nil
+	}
+	return rs.Records
 }
 
 // handleHealth summarises the node.
 func (n *Node) handleHealth(w http.ResponseWriter, r *http.Request) {
 	n.mu.RLock()
 	count, rebuilding := n.file.Len(), n.rebuilding
+	cur, pending := n.cur, n.pendingEpochLocked()
 	n.mu.RUnlock()
 	state := "serving"
-	if rebuilding {
+	switch {
+	case rebuilding:
 		state = "rebuilding"
+	case pending != 0:
+		state = "migrating"
+	}
+	var shards []int
+	if idx, ok := cur.NodeOfMember(n.id); ok {
+		shards = append([]int(nil), cur.HostedShards(idx)...)
 	}
 	writeJSON(w, healthResponse{
 		Node:    n.id,
-		Shards:  append([]int(nil), n.sm.HostedShards(n.id)...),
+		Shards:  shards,
 		Records: count,
 		State:   state,
+		Epoch:   cur.Epoch(),
+		Pending: pending,
 	})
 }
 
 // handleShards describes the shard map as this node knows it.
 func (n *Node) handleShards(w http.ResponseWriter, r *http.Request) {
+	n.mu.RLock()
+	sm := n.cur
+	n.mu.RUnlock()
 	resp := shardsResponse{
-		Nodes:     n.sm.Nodes(),
-		Replicas:  n.sm.Replicas(),
-		Placement: n.sm.PlacementName(),
-		Grid:      n.sm.Grid().Dims(),
+		Nodes:     sm.Nodes(),
+		Replicas:  sm.Replicas(),
+		Placement: sm.PlacementName(),
+		Grid:      sm.Grid().Dims(),
 	}
-	for _, sh := range n.sm.Shards() {
+	for _, sh := range sm.Shards() {
 		resp.Shards = append(resp.Shards, struct {
 			ID    int      `json:"id"`
 			Rect  wireRect `json:"rect"`
@@ -340,10 +795,14 @@ func (n *Node) handleShards(w http.ResponseWriter, r *http.Request) {
 
 // BeginRebuild wipes the node's data and marks it rebuilding: a fresh
 // empty grid file and scheduler replace the old stack (which is
-// drained). Queries are refused with CodeUnavailable until
-// FinishRebuild.
+// drained), and any in-flight migration state is dropped — a node being
+// rebuilt lost its memory, staging included. Queries are refused with
+// CodeUnavailable until FinishRebuild.
 func (n *Node) BeginRebuild() error {
-	file, sched, err := n.buildStack(nil)
+	n.mu.RLock()
+	cur := n.cur
+	n.mu.RUnlock()
+	file, sched, err := n.buildStack(nil, cur)
 	if err != nil {
 		return err
 	}
@@ -351,6 +810,7 @@ func (n *Node) BeginRebuild() error {
 	old := n.sched
 	n.file, n.sched = file, sched
 	n.rebuilding = true
+	n.pending, n.staging, n.ready = nil, nil, nil
 	n.mu.Unlock()
 	_, err = old.Close()
 	return err

@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"decluster/internal/grid"
+)
+
+// A MigrationPlan is the declarative half of an elastic membership
+// change: the From and To shard maps (To at the next epoch), and the
+// minimal set of bucket-range moves that carries the cluster from one
+// to the other while every replica-placement invariant of the To map
+// holds the moment it is installed. "Minimal" is exact at bucket
+// granularity: no move copies a bucket its destination already holds
+// under From, and the union of the moves is exactly the set of
+// (bucket, destination) pairs the To map requires and From does not
+// provide. The Migrator (migrate.go) is the imperative half.
+type MigrationPlan struct {
+	// From is the live map; To is the same cluster one epoch later.
+	From, To *ShardMap
+	// Kind is "join" or "leave".
+	Kind string
+	// Member is the joining member's fresh ID, or the leaving member's.
+	Member int
+	// Moves are the bucket-range copies, grouped so each move has one
+	// destination and one donor set, ordered by (destination, shard).
+	Moves []Move
+}
+
+// Move is one contiguous bucket range a destination member must copy
+// before the To map can serve.
+type Move struct {
+	// Shard is the To-map shard the range belongs to.
+	Shard int
+	// Dest is the destination's stable member ID.
+	Dest int
+	// Rect is the bucket range to copy; all its buckets fall in one
+	// From-map shard, so one donor set covers the whole move.
+	Rect grid.Rect
+	// Sources are the donor member IDs holding Rect under From,
+	// From-primary first. The Migrator rotates through them.
+	Sources []int
+}
+
+// Buckets returns the total bucket count across all moves.
+func (p *MigrationPlan) Buckets() int {
+	total := 0
+	for _, mv := range p.Moves {
+		total += mv.Rect.Volume()
+	}
+	return total
+}
+
+// String summarises the plan.
+func (p *MigrationPlan) String() string {
+	return fmt.Sprintf("%s member %d: epoch %d → %d, %d moves (%d buckets)",
+		p.Kind, p.Member, p.From.Epoch(), p.To.Epoch(), len(p.Moves), p.Buckets())
+}
+
+// PlanJoin plans growing the cluster by one node: the To map re-tiles
+// the grid across Nodes()+1 map slots with the same replica count and
+// stride, the joiner gets the lowest unused member ID, and the moves
+// carry every bucket a member will host under To but does not hold
+// under From. It errors when the From geometry cannot grow (stride
+// collisions, too few buckets per node).
+func PlanJoin(from *ShardMap) (*MigrationPlan, error) {
+	if from == nil {
+		return nil, fmt.Errorf("cluster: nil From map")
+	}
+	joiner := from.MaxMember() + 1
+	members := append(append([]int(nil), from.Members()...), joiner)
+	to, err := newShardMapAt(from.Grid(), from.Nodes()+1, from.Replicas(), from.Stride(),
+		from.Epoch()+1, members)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: join to %d nodes: %w", from.Nodes()+1, err)
+	}
+	p := &MigrationPlan{From: from, To: to, Kind: "join", Member: joiner}
+	p.Moves = computeMoves(from, to)
+	return p, nil
+}
+
+// PlanLeave plans a graceful departure: the To map re-tiles the grid
+// across Nodes()-1 map slots without the leaving member (remaining
+// members keep their IDs), and the moves carry every bucket some
+// survivor must acquire. The leaver stays a valid donor — it is alive
+// throughout a planned leave; a *crashed* node is the rebuild path
+// (RebuildNode), not a plan.
+func PlanLeave(from *ShardMap, member int) (*MigrationPlan, error) {
+	if from == nil {
+		return nil, fmt.Errorf("cluster: nil From map")
+	}
+	if _, ok := from.NodeOfMember(member); !ok {
+		return nil, fmt.Errorf("cluster: member %d is not in the epoch-%d map", member, from.Epoch())
+	}
+	if from.Nodes() < 2 {
+		return nil, fmt.Errorf("cluster: cannot shrink a %d-node cluster", from.Nodes())
+	}
+	members := make([]int, 0, from.Nodes()-1)
+	for _, m := range from.Members() {
+		if m != member {
+			members = append(members, m)
+		}
+	}
+	to, err := newShardMapAt(from.Grid(), from.Nodes()-1, from.Replicas(), from.Stride(),
+		from.Epoch()+1, members)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: leave to %d nodes: %w", from.Nodes()-1, err)
+	}
+	p := &MigrationPlan{From: from, To: to, Kind: "leave", Member: member}
+	p.Moves = computeMoves(from, to)
+	return p, nil
+}
+
+// computeMoves derives the minimal (bucket, destination) transfer set
+// between two maps of the same grid. For every To-shard copy it
+// subtracts the buckets its member already holds under From, then
+// coalesces what remains into rectangles — grouped by the From shard
+// each bucket lives in, so every move has a single donor set.
+func computeMoves(from, to *ShardMap) []Move {
+	g := to.Grid()
+	var moves []Move
+	for _, sh := range to.Shards() {
+		for _, dest := range to.ShardMembers(sh.ID) {
+			// Buckets dest needs for this shard copy, keyed by the From
+			// shard that donates them.
+			needed := map[int][]grid.Coord{}
+			grid.EachRect(sh.Rect, func(c grid.Coord) bool {
+				if memberHolds(from, dest, c) {
+					return true
+				}
+				fs := from.ShardOf(c)
+				needed[fs] = append(needed[fs], c.Clone())
+				return true
+			})
+			fromShards := make([]int, 0, len(needed))
+			for fs := range needed {
+				fromShards = append(fromShards, fs)
+			}
+			sort.Ints(fromShards)
+			for _, fs := range fromShards {
+				sources := make([]int, 0, from.Replicas())
+				for _, src := range from.ShardMembers(fs) {
+					if src != dest {
+						sources = append(sources, src)
+					}
+				}
+				for _, r := range coalesce(g, needed[fs]) {
+					moves = append(moves, Move{Shard: sh.ID, Dest: dest, Rect: r, Sources: sources})
+				}
+			}
+		}
+	}
+	sort.SliceStable(moves, func(i, j int) bool {
+		if moves[i].Dest != moves[j].Dest {
+			return moves[i].Dest < moves[j].Dest
+		}
+		return moves[i].Shard < moves[j].Shard
+	})
+	return moves
+}
+
+// memberHolds reports whether member already stores bucket c under sm
+// (i.e. some shard it hosts contains c).
+func memberHolds(sm *ShardMap, member int, c grid.Coord) bool {
+	i, ok := sm.NodeOfMember(member)
+	if !ok {
+		return false
+	}
+	s := sm.ShardOf(c)
+	for _, h := range sm.HostedShards(i) {
+		if h == s {
+			return true
+		}
+	}
+	return false
+}
+
+// coalesce merges a bucket set into disjoint rectangles: first maximal
+// runs along the last axis, then greedy merging of identical runs along
+// each earlier axis. The result is not guaranteed globally minimal
+// (rectangle cover is NP-hard) but is exact — disjoint, union equal to
+// the input — and collapses the common contiguous slabs a re-tiling
+// produces into a handful of ranges.
+func coalesce(g *grid.Grid, cells []grid.Coord) []grid.Rect {
+	if len(cells) == 0 {
+		return nil
+	}
+	k := g.K()
+	sort.Slice(cells, func(i, j int) bool {
+		for a := 0; a < k; a++ {
+			if cells[i][a] != cells[j][a] {
+				return cells[i][a] < cells[j][a]
+			}
+		}
+		return false
+	})
+	// Runs along the last axis.
+	var rects []grid.Rect
+	for i := 0; i < len(cells); {
+		j := i + 1
+		for j < len(cells) && sameRunPrefix(cells[j-1], cells[j], k) {
+			j++
+		}
+		rects = append(rects, grid.Rect{Lo: cells[i].Clone(), Hi: cells[j-1].Clone()})
+		i = j
+	}
+	// Greedy pairwise merging along every earlier axis until stable.
+	for axis := k - 2; axis >= 0; axis-- {
+		rects = mergeAlong(rects, axis)
+	}
+	return rects
+}
+
+// sameRunPrefix reports whether b directly extends a's run along the
+// last axis (equal on all earlier axes, consecutive on the last).
+func sameRunPrefix(a, b grid.Coord, k int) bool {
+	for x := 0; x < k-1; x++ {
+		if a[x] != b[x] {
+			return false
+		}
+	}
+	return b[k-1] == a[k-1]+1
+}
+
+// mergeAlong repeatedly merges rect pairs that are identical on every
+// axis except the given one, where they are adjacent.
+func mergeAlong(rects []grid.Rect, axis int) []grid.Rect {
+	for {
+		merged := false
+		for i := 0; i < len(rects) && !merged; i++ {
+			for j := i + 1; j < len(rects); j++ {
+				if r, ok := tryMerge(rects[i], rects[j], axis); ok {
+					rects[i] = r
+					rects = append(rects[:j], rects[j+1:]...)
+					merged = true
+					break
+				}
+			}
+		}
+		if !merged {
+			return rects
+		}
+	}
+}
+
+// tryMerge merges a and b along axis when they agree everywhere else
+// and abut on axis.
+func tryMerge(a, b grid.Rect, axis int) (grid.Rect, bool) {
+	for x := range a.Lo {
+		if x == axis {
+			continue
+		}
+		if a.Lo[x] != b.Lo[x] || a.Hi[x] != b.Hi[x] {
+			return grid.Rect{}, false
+		}
+	}
+	switch {
+	case a.Hi[axis]+1 == b.Lo[axis]:
+		r := grid.Rect{Lo: a.Lo.Clone(), Hi: b.Hi.Clone()}
+		return r, true
+	case b.Hi[axis]+1 == a.Lo[axis]:
+		r := grid.Rect{Lo: b.Lo.Clone(), Hi: a.Hi.Clone()}
+		return r, true
+	}
+	return grid.Rect{}, false
+}

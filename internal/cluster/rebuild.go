@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,6 +17,21 @@ import (
 	"decluster/internal/repair"
 )
 
+// ErrNoDonor marks a rebuild or migration fetch that failed because
+// every replica holder of a bucket was hard-down — transport errors or
+// timeouts from all of them, repeatedly. It is the fail-fast complement
+// to the patient retry loop: donors that are merely shedding load
+// (overloaded, draining) earn more rounds, donors that are silent do
+// not. Every ErrNoDonor also matches fault.ErrUnavailable, so existing
+// "data unreachable" handling sees it without changes.
+var ErrNoDonor = errors.New("cluster: every donor hard-down")
+
+// noDonorRounds is how many consecutive all-hard rounds the fetch loop
+// tolerates before giving up with ErrNoDonor. Two rounds filter out a
+// single coincident blip without holding a doomed rebuild hostage for
+// the full attempt budget.
+const noDonorRounds = 2
+
 // RebuildConfig drives the cluster analogue of the disk rebuilder: a
 // node that lost its data is refilled bucket-by-bucket from the peer
 // replicas of every shard it hosts, reading at background priority so
@@ -24,7 +40,8 @@ import (
 type RebuildConfig struct {
 	// Map is the cluster's shard map.
 	Map *ShardMap
-	// Endpoints holds one base URL per node, indexed by node ID.
+	// Endpoints holds one base URL per member, indexed by stable member
+	// ID; it must cover every member of the map.
 	Endpoints []string
 	// Client optionally overrides the HTTP client.
 	Client *http.Client
@@ -38,7 +55,10 @@ type RebuildConfig struct {
 	// shed background reads whenever foreground load wants the disk, so
 	// a patient retry loop — not a first-failure abort — is what lets a
 	// rebuild make progress through sustained traffic. Rounds back off
-	// exponentially (1ms doubling, capped at 50ms).
+	// exponentially (1ms doubling, capped at 50ms). Exception: when
+	// every donor fails hard (transport error or timeout — nobody home)
+	// for noDonorRounds consecutive rounds, the fetch fails fast with
+	// ErrNoDonor instead of waiting out the budget.
 	FetchAttempts int
 	// Obs optionally counts rebuild progress:
 	// cluster.rebuild.buckets / .records / .retries.
@@ -64,14 +84,16 @@ type RebuildStats struct {
 // the node to serving. Call while the target is crashed (its HTTP
 // surface refuses traffic) or freshly restarted; the donors keep
 // serving queries throughout. A shard whose every peer replica is down
-// fails the rebuild with fault.ErrUnavailable — the data exists nowhere.
+// fails the rebuild with fault.ErrUnavailable — the data exists nowhere
+// — and a donor set that is entirely hard-down fails fast with
+// ErrNoDonor rather than retrying into the void.
 func RebuildNode(ctx context.Context, cfg RebuildConfig, target *Node) (RebuildStats, error) {
 	var st RebuildStats
 	if cfg.Map == nil {
 		return st, fmt.Errorf("cluster: rebuild needs a shard map")
 	}
-	if len(cfg.Endpoints) != cfg.Map.Nodes() {
-		return st, fmt.Errorf("cluster: %d endpoints for %d nodes", len(cfg.Endpoints), cfg.Map.Nodes())
+	if len(cfg.Endpoints) <= cfg.Map.MaxMember() {
+		return st, fmt.Errorf("cluster: %d endpoints for members up to %d", len(cfg.Endpoints), cfg.Map.MaxMember())
 	}
 	if cfg.FetchTimeout <= 0 {
 		cfg.FetchTimeout = 2 * time.Second
@@ -90,6 +112,18 @@ func RebuildNode(ctx context.Context, cfg RebuildConfig, target *Node) (RebuildS
 		mRecords = r.Counter("cluster.rebuild.records")
 		mRetries = r.Counter("cluster.rebuild.retries")
 	}
+	urlOf := func(member int) (string, bool) {
+		if member >= 0 && member < len(cfg.Endpoints) && cfg.Endpoints[member] != "" {
+			return cfg.Endpoints[member], true
+		}
+		return "", false
+	}
+	opts := fetchOpts{
+		timeout:  cfg.FetchTimeout,
+		attempts: cfg.FetchAttempts,
+		priority: repair.BackgroundPriority,
+		epoch:    cfg.Map.Epoch(),
+	}
 
 	start := time.Now()
 	if err := target.BeginRebuild(); err != nil {
@@ -99,16 +133,16 @@ func RebuildNode(ctx context.Context, cfg RebuildConfig, target *Node) (RebuildS
 	if capacity <= 0 {
 		capacity = 32
 	}
-	for _, sid := range cfg.Map.HostedShards(target.ID()) {
+	for _, sid := range cfg.Map.HostedShardsOfMember(target.ID()) {
 		sh := cfg.Map.Shard(sid)
-		donors := donorsFor(sh, target.ID())
+		donors := donorsFor(cfg.Map, sid, target.ID())
 		if len(donors) == 0 {
-			return st, fmt.Errorf("%w: shard %d has no replica beyond node %d",
+			return st, fmt.Errorf("%w: shard %d has no replica beyond member %d",
 				fault.ErrUnavailable, sid, target.ID())
 		}
 		var fetchErr error
 		grid.EachRect(sh.Rect, func(c grid.Coord) bool {
-			recs, retries, err := fetchBucket(ctx, client, cfg.Endpoints, donors, c, cfg.FetchTimeout, cfg.FetchAttempts)
+			recs, retries, err := fetchBucket(ctx, client, urlOf, donors, c, opts)
 			st.Retries += retries
 			mRetries.Add(uint64(retries))
 			if err != nil {
@@ -146,41 +180,72 @@ func RebuildNode(ctx context.Context, cfg RebuildConfig, target *Node) (RebuildS
 	return st, nil
 }
 
-// donorsFor lists a shard's replica holders other than the target.
-func donorsFor(sh Shard, target int) []int {
+// donorsFor lists a shard's replica-holding members other than the
+// target.
+func donorsFor(sm *ShardMap, shard, target int) []int {
 	var donors []int
-	for _, n := range sh.Nodes {
-		if n != target {
-			donors = append(donors, n)
+	for _, m := range sm.ShardMembers(shard) {
+		if m != target {
+			donors = append(donors, m)
 		}
 	}
 	return donors
+}
+
+// fetchOpts parameterises one bucket-fetch loop.
+type fetchOpts struct {
+	timeout  time.Duration
+	attempts int
+	priority int
+	epoch    uint64
 }
 
 // fetchBucket reads one bucket from the first donor that answers,
 // rotating through donors on failure and backing off between rounds —
 // donors legitimately shed background reads under foreground load, so
 // a failed round means "later", not "lost", until the attempt budget
-// runs out. Returns the records and how many fetches failed first.
-func fetchBucket(ctx context.Context, client *http.Client, urls []string, donors []int, c grid.Coord, timeout time.Duration, attempts int) ([]wireRecord, int, error) {
+// runs out. A round in which every donor fails hard (transport error or
+// timeout — silence, not shedding) counts toward a short fuse: after
+// noDonorRounds consecutive all-hard rounds the fetch fails fast with
+// ErrNoDonor. Returns the records and how many fetches failed first.
+func fetchBucket(ctx context.Context, client *http.Client, urlOf func(int) (string, bool), donors []int, c grid.Coord, o fetchOpts) ([]wireRecord, int, error) {
 	var lastErr error
 	retries := 0
 	delay := time.Millisecond
-	for round := 0; round < attempts; round++ {
+	allHardRounds := 0
+	for round := 0; round < o.attempts; round++ {
+		allHard := true
 		for i, donor := range donors {
 			if round > 0 || i > 0 {
 				retries++
 			}
-			recs, err := fetchBucketFrom(ctx, client, urls[donor], c, timeout)
+			base, ok := urlOf(donor)
+			if !ok {
+				lastErr = fmt.Errorf("cluster: no endpoint for member %d", donor)
+				continue
+			}
+			recs, err := fetchBucketFrom(ctx, client, base, c, o)
 			if err == nil {
 				return recs, retries, nil
 			}
 			if ctx.Err() != nil {
 				return nil, retries, ctx.Err()
 			}
+			if !donorHardDown(err) {
+				allHard = false
+			}
 			lastErr = err
 		}
-		if round == attempts-1 {
+		if allHard {
+			allHardRounds++
+			if allHardRounds >= noDonorRounds {
+				return nil, retries, fmt.Errorf("%w: %w: %d donors silent for %d rounds (last: %v)",
+					ErrNoDonor, fault.ErrUnavailable, len(donors), allHardRounds, lastErr)
+			}
+		} else {
+			allHardRounds = 0
+		}
+		if round == o.attempts-1 {
 			break
 		}
 		select {
@@ -193,19 +258,28 @@ func fetchBucket(ctx context.Context, client *http.Client, urls []string, donors
 		}
 	}
 	return nil, retries, fmt.Errorf("%w: %d donors failed %d rounds (last: %v)",
-		fault.ErrUnavailable, len(donors), attempts, lastErr)
+		fault.ErrUnavailable, len(donors), o.attempts, lastErr)
 }
 
-// fetchBucketFrom performs one GET /v1/bucket exchange at background
-// priority.
-func fetchBucketFrom(ctx context.Context, client *http.Client, base string, c grid.Coord, timeout time.Duration) ([]wireRecord, error) {
+// donorHardDown classifies one donor fetch failure: hard means the
+// donor never answered (transport failure, deadline) — the same errors
+// that count against a node breaker — while a typed refusal (overload,
+// draining, its own unavailability) means the donor is alive and worth
+// retrying patiently.
+func donorHardDown(err error) bool {
+	return breakerCountable(err)
+}
+
+// fetchBucketFrom performs one GET /v1/bucket exchange at the loop's
+// priority, stamped with its epoch.
+func fetchBucketFrom(ctx context.Context, client *http.Client, base string, c grid.Coord, o fetchOpts) ([]wireRecord, error) {
 	parts := make([]string, len(c))
 	for i, v := range c {
 		parts[i] = strconv.Itoa(v)
 	}
-	url := fmt.Sprintf("%s/v1/bucket?cell=%s&priority=%d",
-		strings.TrimRight(base, "/"), strings.Join(parts, ","), repair.BackgroundPriority)
-	reqCtx, cancel := context.WithTimeout(ctx, timeout)
+	url := fmt.Sprintf("%s/v1/bucket?cell=%s&priority=%d&epoch=%d",
+		strings.TrimRight(base, "/"), strings.Join(parts, ","), o.priority, o.epoch)
+	reqCtx, cancel := context.WithTimeout(ctx, o.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, url, nil)
 	if err != nil {

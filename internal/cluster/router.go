@@ -15,7 +15,9 @@ import (
 
 	"decluster/internal/datagen"
 	"decluster/internal/exec"
+	"decluster/internal/fault"
 	"decluster/internal/grid"
+	"decluster/internal/gridfile"
 	"decluster/internal/obs"
 	"decluster/internal/serve"
 )
@@ -28,12 +30,21 @@ import (
 // timeouts are the only error it ever produces.
 var errNodeTimeout = errors.New("cluster: node deadline exceeded")
 
+// maxEpochFollows caps how many stale-epoch adoptions one Search will
+// chase before giving up: each follow re-runs the whole scatter at the
+// newly learned epoch, so a cluster in pathological epoch churn turns
+// into bounded retries, not livelock.
+const maxEpochFollows = 3
+
 // RouterConfig configures the scatter/gather client.
 type RouterConfig struct {
 	// Map is the cluster's shard map.
 	Map *ShardMap
-	// Endpoints holds one base URL per node, indexed by node ID
-	// (e.g. "http://127.0.0.1:7001").
+	// Endpoints holds one base URL per member: Endpoints[i] serves the
+	// member Map.MemberAt(i) for i < Map.Nodes(). Entries beyond the
+	// map's node count are standby members addressed by index — a node
+	// waiting to join at a later epoch. At least Map.Nodes() entries
+	// are required.
 	Endpoints []string
 	// Client optionally overrides the HTTP client (harnesses inject
 	// per-test transports). Nil selects a dedicated default client.
@@ -46,8 +57,8 @@ type RouterConfig struct {
 	// attempt i goes to candidate i mod replicas, with exponential
 	// backoff between rounds. Zero selects exec.DefaultRetry.
 	Retry exec.RetryPolicy
-	// Breaker configures the per-node circuit breakers (serve breaker
-	// machinery, one endpoint per node). Zero selects serve defaults.
+	// Breaker configures the per-member circuit breakers (serve breaker
+	// machinery, one slot per endpoint). Zero selects serve defaults.
 	Breaker serve.BreakerConfig
 	// HedgeAfter launches a hedge leg to the next allowed replica when
 	// an attempt is still unanswered after this long. Zero disables
@@ -76,48 +87,74 @@ type Result struct {
 	// (its own fail-stop degradation, distinct from cluster-level
 	// partial results).
 	Degraded bool
-	// PerNode counts sub-queries answered by each node.
+	// PerNode counts sub-queries answered by each member, indexed by
+	// stable member ID.
 	PerNode []int
+	// Epoch is the shard-map epoch the answer was routed under.
+	Epoch uint64
+	// PendingWins counts answers taken from the opportunistic
+	// pending-epoch leg of a dual-read (mid-migration only).
+	PendingWins int
+	// EpochFollows counts stale-epoch adoptions this query chased.
+	EpochFollows int
 }
 
 // Router is the cluster's client side: it decomposes a range query into
-// per-shard sub-rectangles, scatters them to shard-holding nodes
+// per-shard sub-rectangles, scatters them to shard-holding members
 // concurrently, and gathers a deterministic merge — retrying across
-// replicas with backoff, hedging slow attempts, breaking per node, and
-// degrading to typed partial results when a shard has no live replica.
-// Safe for concurrent use.
+// replicas with backoff, hedging slow attempts, breaking per member,
+// and degrading to typed partial results when a shard has no live
+// replica.
+//
+// The router follows map epochs without a coordination service: every
+// request is stamped with the epoch it was routed under, a node that no
+// longer serves that epoch answers with its current map, and the router
+// adopts any strictly newer map and retries (capped). During a
+// migration the Migrator stages the next-epoch map here, and every
+// Search races an opportunistic new-epoch leg against the authoritative
+// old-epoch scatter — first complete answer wins, so the handoff never
+// blocks reads. Safe for concurrent use.
 type Router struct {
-	sm       *ShardMap
-	urls     []string
 	client   *http.Client
 	deadline time.Duration
 	retry    exec.RetryPolicy
 	brk      *serve.Breakers
+	brkSize  int
 	hedge    time.Duration
 	sink     *obs.Sink
 
+	mu      sync.RWMutex
+	sm      *ShardMap
+	pending *ShardMap
+	urls    map[int]string // member ID → base URL
+
 	mQueries, mPartial, mHedges, mHedgeWins, mRetries *obs.Counter
+	mStale, mAdopts, mPendingWins                     *obs.Counter
 	mLatency                                          *obs.Histogram
 	mNodeReqs, mNodeErrs                              *obs.CounterFamily
 	mNodeLatency                                      *obs.HistogramFamily
 }
 
-// NewRouter builds a router over the shard map's nodes.
+// NewRouter builds a router over the shard map's members.
 func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.Map == nil {
 		return nil, fmt.Errorf("cluster: router needs a shard map")
 	}
-	if len(cfg.Endpoints) != cfg.Map.Nodes() {
+	if len(cfg.Endpoints) < cfg.Map.Nodes() {
 		return nil, fmt.Errorf("cluster: %d endpoints for %d nodes", len(cfg.Endpoints), cfg.Map.Nodes())
 	}
-	urls := make([]string, len(cfg.Endpoints))
+	urls := make(map[int]string, len(cfg.Endpoints))
 	for i, u := range cfg.Endpoints {
 		if u == "" {
-			return nil, fmt.Errorf("cluster: empty endpoint for node %d", i)
+			return nil, fmt.Errorf("cluster: empty endpoint at index %d", i)
 		}
-		urls[i] = strings.TrimRight(u, "/")
+		member := i
+		if i < cfg.Map.Nodes() {
+			member = cfg.Map.MemberAt(i)
+		}
+		urls[member] = strings.TrimRight(u, "/")
 	}
-	brk, err := serve.NewBreakers(cfg.Breaker, cfg.Map.Nodes())
+	brk, err := serve.NewBreakers(cfg.Breaker, len(cfg.Endpoints))
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +171,8 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	rt := &Router{
 		sm: cfg.Map, urls: urls, client: client,
 		deadline: cfg.NodeDeadline, retry: cfg.Retry,
-		brk: brk, hedge: cfg.HedgeAfter, sink: cfg.Obs,
+		brk: brk, brkSize: len(cfg.Endpoints),
+		hedge: cfg.HedgeAfter, sink: cfg.Obs,
 	}
 	if s := cfg.Obs; s != nil {
 		r := s.Registry()
@@ -143,8 +181,11 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		rt.mHedges = r.Counter("cluster.router.hedges")
 		rt.mHedgeWins = r.Counter("cluster.router.hedgewins")
 		rt.mRetries = r.Counter("cluster.router.retries")
+		rt.mStale = r.Counter("cluster.router.stale")
+		rt.mAdopts = r.Counter("cluster.router.adopts")
+		rt.mPendingWins = r.Counter("cluster.router.pendingwins")
 		rt.mLatency = r.Histogram("cluster.router.latency")
-		n := cfg.Map.Nodes()
+		n := len(cfg.Endpoints)
 		rt.mNodeReqs = r.CounterFamily("cluster.node.requests", "node", n)
 		rt.mNodeErrs = r.CounterFamily("cluster.node.errors", "node", n)
 		rt.mNodeLatency = r.HistogramFamily("cluster.node.latency", "node", n)
@@ -153,8 +194,132 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	return rt, nil
 }
 
-// Breakers exposes the per-node breaker set (harness and tests).
+// Breakers exposes the per-member breaker set (harness and tests).
 func (rt *Router) Breakers() *serve.Breakers { return rt.brk }
+
+// Epoch returns the epoch the router currently routes under.
+func (rt *Router) Epoch() uint64 {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.sm.Epoch()
+}
+
+// Map returns the shard map the router currently routes under.
+func (rt *Router) Map() *ShardMap {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.sm
+}
+
+// Adopt installs a strictly newer map as the routing map, returning
+// whether it was adopted. A pending map at or below the new epoch is
+// cleared — the migration it belonged to has concluded.
+func (rt *Router) Adopt(sm *ShardMap) bool {
+	if sm == nil {
+		return false
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if sm.Epoch() <= rt.sm.Epoch() {
+		return false
+	}
+	rt.sm = sm
+	if rt.pending != nil && rt.pending.Epoch() <= sm.Epoch() {
+		rt.pending = nil
+	}
+	if rt.mAdopts != nil {
+		rt.mAdopts.Inc()
+	}
+	return true
+}
+
+// StagePending installs the next-epoch map for dual-read: until Adopt
+// or ClearPending, every Search races an opportunistic leg at this
+// epoch against the authoritative current-epoch scatter.
+func (rt *Router) StagePending(sm *ShardMap) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if sm != nil && sm.Epoch() <= rt.sm.Epoch() {
+		return
+	}
+	rt.pending = sm
+}
+
+// ClearPending drops the staged dual-read map (migration aborted).
+func (rt *Router) ClearPending() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.pending = nil
+}
+
+// SetEndpoint registers (or replaces) a member's base URL — how a
+// standby joiner becomes addressable before the epoch that includes it.
+func (rt *Router) SetEndpoint(member int, url string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.urls[member] = strings.TrimRight(url, "/")
+}
+
+// view snapshots the routing state.
+func (rt *Router) view() (sm, pending *ShardMap) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.sm, rt.pending
+}
+
+// urlOf resolves a member's endpoint.
+func (rt *Router) urlOf(member int) (string, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	u, ok := rt.urls[member]
+	return u, ok
+}
+
+// allowMember consults the member's breaker; members beyond the breaker
+// set (joined after construction) are always allowed.
+func (rt *Router) allowMember(m int) bool {
+	if m < 0 || m >= rt.brkSize {
+		return true
+	}
+	return rt.brk.Allow(m)
+}
+
+// breakerCountable classifies an attempt error for node health. An
+// error the node itself produced while answering — overload shedding,
+// draining, local unavailability, corruption, a stale epoch, a routing
+// miss — proves the node is alive and must not accumulate toward a
+// trip; only silence (the per-node deadline) and transport failures
+// indict the node itself. This is what lets a healed partition recover
+// promptly: during the partition only timeouts counted, so the breaker
+// opens, and the first successful half-open probe after heal closes it
+// — while a node merely shedding load under overload never opens at
+// all.
+func breakerCountable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, serve.ErrOverloaded),
+		errors.Is(err, serve.ErrClosed),
+		errors.Is(err, fault.ErrUnavailable),
+		errors.Is(err, gridfile.ErrCorrupt),
+		errors.Is(err, ErrNotHosted),
+		errors.Is(err, ErrStaleEpoch),
+		errors.Is(err, ErrPartial):
+		return false
+	}
+	return true
+}
+
+// retryTransient reports whether a failure says the node is merely
+// busy — it timed out or shed load and may well answer the next round —
+// as opposed to down (transport failure) or refusing for a typed
+// reason. Hedged dispatch uses it to rank leg errors: "one replica is
+// slow" must not be masked by "the other replica is dead".
+func retryTransient(err error) bool {
+	return errors.Is(err, errNodeTimeout) ||
+		errors.Is(err, serve.ErrOverloaded) ||
+		errors.Is(err, serve.ErrClosed)
+}
 
 // subOutcome is one sub-query's gathered result.
 type subOutcome struct {
@@ -172,13 +337,11 @@ type subOutcome struct {
 // returns (result, nil). When some shards have no live replica it
 // returns the records it did gather alongside a *PartialError naming
 // the exact uncovered sub-rectangles — errors.Is(err, ErrPartial).
-// Context cancellation promptly aborts every in-flight sub-query and
-// hedge leg and returns ctx.Err().
+// A node reporting the routing map stale makes the router adopt the
+// node's newer map and re-scatter, up to maxEpochFollows times with
+// capped backoff. Context cancellation promptly aborts every in-flight
+// sub-query and hedge leg and returns ctx.Err().
 func (rt *Router) Search(ctx context.Context, q grid.Rect) (*Result, error) {
-	subs, err := rt.sm.Decompose(q)
-	if err != nil {
-		return nil, err
-	}
 	rt.mQueries.Inc()
 	start := time.Now()
 	var tr *obs.Trace
@@ -187,6 +350,98 @@ func (rt *Router) Search(ctx context.Context, q grid.Rect) (*Result, error) {
 		tr = rt.sink.StartTrace("cluster " + q.String())
 		root = tr.Root()
 		defer rt.sink.FinishTrace(tr)
+	}
+	defer func() { rt.mLatency.Observe(time.Since(start)) }()
+
+	for follow := 0; ; follow++ {
+		cur, pending := rt.view()
+		res, err := rt.searchView(ctx, q, cur, pending, root)
+		if res != nil {
+			res.EpochFollows = follow
+		}
+		var stale *StaleEpochError
+		if err != nil && errors.As(err, &stale) {
+			rt.mStale.Inc()
+			if stale.Map != nil && stale.Map.Epoch() > cur.Epoch() && follow < maxEpochFollows {
+				rt.Adopt(stale.Map)
+				root.Annotate(fmt.Sprintf("stale epoch %d, adopted %d", cur.Epoch(), stale.Map.Epoch()))
+				if berr := rt.followBackoff(ctx, follow); berr != nil {
+					return nil, berr
+				}
+				continue
+			}
+		}
+		return res, err
+	}
+}
+
+// searchView runs one scatter round: just the authoritative epoch, or —
+// when a pending map is staged — a dual-read race between the
+// authoritative old-epoch scatter and an opportunistic new-epoch leg.
+// The first full success wins; the pending leg failing for any reason
+// (buckets still in flight, epoch gone) silently falls back to the
+// authoritative answer. Records are immutable, so whichever epoch
+// answers, the answer is the same — racing trades no correctness for
+// handoff latency.
+func (rt *Router) searchView(ctx context.Context, q grid.Rect, cur, pending *ShardMap, root *obs.Span) (*Result, error) {
+	if pending == nil {
+		return rt.searchEpoch(ctx, q, cur, root, true, 0)
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type legOut struct {
+		res     *Result
+		err     error
+		pending bool
+	}
+	out := make(chan legOut, 2)
+	go func() {
+		res, err := rt.searchEpoch(sctx, q, cur, root, true, 0)
+		out <- legOut{res, err, false}
+	}()
+	go func() {
+		// The speculative leg rides at migration priority: under load the
+		// nodes shed it (and the router falls back to the authoritative
+		// answer) instead of letting a doubled scatter starve foreground
+		// reads.
+		res, err := rt.searchEpoch(sctx, q, pending, root, false, serve.MigrationPriority)
+		out <- legOut{res, err, true}
+	}()
+	var authoritative legOut
+	for i := 0; i < 2; i++ {
+		o := <-out
+		if o.err == nil {
+			if o.pending {
+				rt.mPendingWins.Inc()
+				o.res.PendingWins = 1
+			}
+			cancel()
+			if i == 0 {
+				// Reap the losing leg; the buffered channel holds its send.
+				go func() { <-out }()
+			}
+			return o.res, nil
+		}
+		if !o.pending {
+			authoritative = o
+		}
+	}
+	// Both legs failed; the authoritative epoch's verdict stands (the
+	// pending leg is allowed to fail mid-migration, so its error says
+	// nothing about the query).
+	return authoritative.res, authoritative.err
+}
+
+// searchEpoch scatters q under one map and gathers the merge. observe
+// controls whether router-level outcome metrics (partials) are
+// recorded: the opportunistic dual-read leg stays out of the books, its
+// failures are expected mid-migration. prio is the admission priority
+// every sub-query is stamped with (0 foreground; the dual-read leg uses
+// serve.MigrationPriority).
+func (rt *Router) searchEpoch(ctx context.Context, q grid.Rect, sm *ShardMap, parent *obs.Span, observe bool, prio int) (*Result, error) {
+	subs, err := sm.Decompose(q)
+	if err != nil {
+		return nil, err
 	}
 
 	// One cancel scope covers every leg of every sub-query: when the
@@ -201,7 +456,7 @@ func (rt *Router) Search(ctx context.Context, q grid.Rect) (*Result, error) {
 		wg.Add(1)
 		go func(i int, sq SubQuery) {
 			defer wg.Done()
-			o := rt.runSub(sctx, sq, root)
+			o := rt.runSub(sctx, sq, sm, parent, prio)
 			o.idx = i
 			out <- o
 		}(i, sq)
@@ -209,9 +464,10 @@ func (rt *Router) Search(ctx context.Context, q grid.Rect) (*Result, error) {
 	wg.Wait()
 	close(out)
 
-	res := &Result{SubQueries: len(subs), PerNode: make([]int, rt.sm.Nodes())}
+	res := &Result{SubQueries: len(subs), PerNode: make([]int, sm.MaxMember()+1), Epoch: sm.Epoch()}
 	var missed []SubQuery
 	var subErr error
+	var staleErr *StaleEpochError
 	for o := range out {
 		res.Retries += o.retries
 		res.Hedges += o.hedges
@@ -224,6 +480,10 @@ func (rt *Router) Search(ctx context.Context, q grid.Rect) (*Result, error) {
 				// partial result.
 				return nil, ctx.Err()
 			}
+			var se *StaleEpochError
+			if errors.As(o.err, &se) && (staleErr == nil || se.NodeEpoch > staleErr.NodeEpoch) {
+				staleErr = se
+			}
 			missed = append(missed, subs[o.idx])
 			if subErr == nil {
 				subErr = o.err
@@ -232,7 +492,9 @@ func (rt *Router) Search(ctx context.Context, q grid.Rect) (*Result, error) {
 		}
 		res.Covered++
 		res.Records = append(res.Records, o.records...)
-		res.PerNode[o.node]++
+		if o.node >= 0 && o.node < len(res.PerNode) {
+			res.PerNode[o.node]++
+		}
 		res.Degraded = res.Degraded || o.degraded
 	}
 	// Deterministic merge: ascending record ID. Within a bucket records
@@ -240,29 +502,58 @@ func (rt *Router) Search(ctx context.Context, q grid.Rect) (*Result, error) {
 	// shards are disjoint, so a global ID sort is a total order
 	// independent of node scheduling.
 	sort.Slice(res.Records, func(i, j int) bool { return res.Records[i].ID < res.Records[j].ID })
-	rt.mRetries.Add(uint64(res.Retries))
-	rt.mHedges.Add(uint64(res.Hedges))
-	rt.mHedgeWins.Add(uint64(res.HedgeWins))
-	rt.mLatency.Observe(time.Since(start))
+	if observe {
+		rt.mRetries.Add(uint64(res.Retries))
+		rt.mHedges.Add(uint64(res.Hedges))
+		rt.mHedgeWins.Add(uint64(res.HedgeWins))
+	}
+	if staleErr != nil {
+		// A newer epoch exists: let Search adopt and re-scatter rather
+		// than surfacing a partial answer of a dead epoch.
+		return res, staleErr
+	}
 	if len(missed) > 0 {
-		rt.mPartial.Inc()
-		pe := newPartialError(missed)
-		root.Annotate(fmt.Sprintf("partial, %d uncovered (first: %v)", len(missed), subErr))
+		if observe {
+			rt.mPartial.Inc()
+		}
+		pe := newPartialError(missed, subErr)
+		parent.Annotate(fmt.Sprintf("partial, %d uncovered (first: %v)", len(missed), subErr))
 		return res, pe
 	}
 	return res, nil
 }
 
-// runSub answers one sub-query: up to Retry.MaxAttempts attempts, each
+// runSub answers one sub-query: Retry.MaxAttempts attempts, each
 // against the next replica in rotation (skipping open breakers when a
 // closed one exists), each hedged after HedgeAfter, with exponential
-// backoff between rounds.
-func (rt *Router) runSub(ctx context.Context, sq SubQuery, parent *obs.Span) subOutcome {
+// backoff between rounds. The attempt budget is a floor, not a wall:
+// while the caller's deadline has room and some replica failed
+// transiently within the last full rotation — a timeout or load
+// shedding, conditions the next round may not see — the rotation keeps
+// going rather than surrendering coverage early. When every candidate
+// fails fast with typed refusals or transport errors, the budget
+// exhausts and the sub-query degrades to a partial result, so a shard
+// with no live replica fails exactly as before. Candidates are stable
+// member IDs.
+func (rt *Router) runSub(ctx context.Context, sq SubQuery, sm *ShardMap, parent *obs.Span, prio int) subOutcome {
 	span := parent.Child(fmt.Sprintf("shard %d %v", sq.Shard, sq.Rect))
-	candidates := rt.sm.Shard(sq.Shard).Nodes
+	candidates := sm.ShardMembers(sq.Shard)
+	epoch := sm.Epoch()
 	o := subOutcome{node: -1}
+	// The configured attempt budget is a floor, not a ceiling: when the
+	// caller set a deadline, that deadline is the real budget, and node
+	// faults keep the backoff-paced rotation going until it expires.
+	// Rotation matters even for hard transport failures — a crashed
+	// primary's EOFs trip its breaker within a round or two, after which
+	// pickNode steers the remaining attempts at the surviving replicas.
+	// Only typed refusals (below) prove another round is pointless.
+	_, hasDeadline := ctx.Deadline()
 	var lastErr error
-	for attempt := 0; attempt < rt.retry.MaxAttempts; attempt++ {
+	attempt := 0
+	for ; ; attempt++ {
+		if attempt >= rt.retry.MaxAttempts && !hasDeadline {
+			break
+		}
 		if attempt > 0 {
 			o.retries++
 			if err := rt.backoff(ctx, attempt); err != nil {
@@ -273,7 +564,7 @@ func (rt *Router) runSub(ctx context.Context, sq SubQuery, parent *obs.Span) sub
 		}
 		node := rt.pickNode(candidates, attempt)
 		hedgeNode := rt.hedgeCandidate(candidates, node)
-		resp, winner, hedged, err := rt.dispatchHedged(ctx, sq.Rect, node, hedgeNode, span)
+		resp, winner, hedged, err := rt.dispatchHedged(ctx, sq.Rect, epoch, prio, node, hedgeNode, span)
 		if hedged {
 			o.hedges++
 		}
@@ -292,13 +583,13 @@ func (rt *Router) runSub(ctx context.Context, sq SubQuery, parent *obs.Span) sub
 			return o
 		}
 		lastErr = err
-		if errors.Is(err, ErrNotHosted) {
-			// A routing bug, not a node fault: no replica will answer
-			// differently.
+		if errors.Is(err, ErrNotHosted) || errors.Is(err, ErrStaleEpoch) {
+			// Not a node fault: no replica will answer differently for a
+			// routing bug, and a stale epoch needs adoption, not retry.
 			break
 		}
 	}
-	o.err = fmt.Errorf("cluster: shard %d exhausted %d attempts: %w", sq.Shard, rt.retry.MaxAttempts, lastErr)
+	o.err = fmt.Errorf("cluster: shard %d exhausted %d attempts: %w", sq.Shard, attempt, lastErr)
 	span.FinishErr(o.err)
 	return o
 }
@@ -311,7 +602,7 @@ func (rt *Router) pickNode(candidates []int, attempt int) int {
 	n := len(candidates)
 	for off := 0; off < n; off++ {
 		c := candidates[(attempt+off)%n]
-		if rt.brk.Allow(c) {
+		if rt.allowMember(c) {
 			return c
 		}
 	}
@@ -326,11 +617,31 @@ func (rt *Router) hedgeCandidate(candidates []int, primary int) int {
 		return -1
 	}
 	for _, c := range candidates {
-		if c != primary && rt.brk.Allow(c) {
+		if c != primary && rt.allowMember(c) {
 			return c
 		}
 	}
 	return -1
+}
+
+// preferLegError picks which failed leg's error a hedged dispatch
+// reports. A stale-epoch error always wins — it carries the newer map
+// the router must adopt. Otherwise a transient failure (timeout,
+// shedding) wins over a fast refusal: the retry loop reads the verdict
+// to decide whether another rotation is worthwhile, and "one replica is
+// merely slow" must not be masked by "the other replica is down".
+func preferLegError(cur, next error) error {
+	switch {
+	case cur == nil:
+		return next
+	case errors.Is(cur, ErrStaleEpoch):
+		return cur
+	case errors.Is(next, ErrStaleEpoch):
+		return next
+	case !retryTransient(cur) && retryTransient(next):
+		return next
+	}
+	return cur
 }
 
 // legResult is one dispatch leg's outcome.
@@ -345,14 +656,14 @@ type legResult struct {
 // second leg against the first. The first success wins and the loser's
 // context is cancelled; a lost leg's cancellation is invisible to node
 // health (the breaker ignores context errors).
-func (rt *Router) dispatchHedged(ctx context.Context, rect grid.Rect, primary, hedgeNode int, span *obs.Span) (*queryResponse, int, bool, error) {
+func (rt *Router) dispatchHedged(ctx context.Context, rect grid.Rect, epoch uint64, prio int, primary, hedgeNode int, span *obs.Span) (*queryResponse, int, bool, error) {
 	legCtx, cancelLegs := context.WithCancel(ctx)
 	defer cancelLegs()
 
 	results := make(chan legResult, 2)
 	leg := func(node int, kind string) {
 		s := span.Child(fmt.Sprintf("%s node %d", kind, node))
-		resp, err := rt.queryNode(legCtx, ctx, node, rect)
+		resp, err := rt.queryNode(legCtx, ctx, node, rect, epoch, prio)
 		s.FinishErr(err)
 		results <- legResult{node: node, resp: resp, err: err}
 	}
@@ -383,9 +694,7 @@ func (rt *Router) dispatchHedged(ctx context.Context, rect grid.Rect, primary, h
 				cancelLegs()
 				return r.resp, r.node, hedged, nil
 			}
-			if firstErr == nil {
-				firstErr = r.err
-			}
+			firstErr = preferLegError(firstErr, r.err)
 			if inflight == 0 && hedgeC == nil {
 				return nil, -1, hedged, firstErr
 			}
@@ -406,15 +715,16 @@ func (rt *Router) dispatchHedged(ctx context.Context, rect grid.Rect, primary, h
 	}
 }
 
-// queryNode performs one HTTP attempt against a node. legCtx bounds the
-// leg (hedge-race cancellation); the per-node deadline layers on top.
-// parentCtx distinguishes a node timeout (countable against node
-// health) from caller cancellation (not countable).
-func (rt *Router) queryNode(legCtx, parentCtx context.Context, node int, rect grid.Rect) (*queryResponse, error) {
+// queryNode performs one HTTP attempt against a member. legCtx bounds
+// the leg (hedge-race cancellation); the per-node deadline layers on
+// top. parentCtx distinguishes a node timeout (countable against node
+// health) from caller cancellation (not countable). Node health only
+// integrates errors that indict the node itself — see breakerCountable.
+func (rt *Router) queryNode(legCtx, parentCtx context.Context, node int, rect grid.Rect, epoch uint64, prio int) (*queryResponse, error) {
 	reqCtx, cancel := context.WithTimeout(legCtx, rt.deadline)
 	defer cancel()
 	start := time.Now()
-	resp, err := rt.doQueryRequest(reqCtx, node, rect)
+	resp, err := rt.doQueryRequest(reqCtx, node, rect, epoch, prio)
 	lat := time.Since(start)
 	if err != nil {
 		// A deadline expiry with the query still live is the node's
@@ -424,22 +734,33 @@ func (rt *Router) queryNode(legCtx, parentCtx context.Context, node int, rect gr
 		}
 		rt.nodeErr(node)
 	}
-	rt.brk.Observe(node, lat, err)
+	if err == nil || breakerCountable(err) {
+		rt.brk.Observe(node, lat, err)
+	}
 	rt.nodeObserve(node, lat)
 	return resp, err
 }
 
-// doQueryRequest is the raw HTTP exchange.
-func (rt *Router) doQueryRequest(ctx context.Context, node int, rect grid.Rect) (*queryResponse, error) {
-	body, err := json.Marshal(queryRequest{Rect: toWireRect(rect)})
+// doQueryRequest is the raw HTTP exchange, epoch-stamped.
+func (rt *Router) doQueryRequest(ctx context.Context, node int, rect grid.Rect, epoch uint64, prio int) (*queryResponse, error) {
+	url, ok := rt.urlOf(node)
+	if !ok {
+		return nil, fmt.Errorf("cluster: no endpoint for member %d", node)
+	}
+	body, err := json.Marshal(queryRequest{Rect: toWireRect(rect), Epoch: epoch, Priority: prio})
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rt.urls[node]+"/v1/query", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/query", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Queries are idempotent reads; the header marks the POST replayable
+	// so the transport transparently retries when a pooled keep-alive
+	// connection — closed by a node that restarted since — surfaces EOF
+	// on first reuse, instead of burning a whole attempt on a dead conn.
+	req.Header.Set("Idempotency-Key", "query")
 	httpResp, err := rt.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -483,15 +804,36 @@ func (rt *Router) backoff(ctx context.Context, attempt int) error {
 	}
 }
 
-// nodeErr bumps the per-node error counter (nil-safe).
+// followBackoff sleeps before re-scattering at a freshly adopted epoch:
+// 1ms doubling per follow, capped at 8ms — enough to let a cutover
+// wave settle, small enough to stay invisible in p99.
+func (rt *Router) followBackoff(ctx context.Context, follow int) error {
+	d := time.Millisecond << follow
+	if d > 8*time.Millisecond {
+		d = 8 * time.Millisecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// nodeErr bumps the per-member error counter (nil-safe).
 func (rt *Router) nodeErr(node int) {
-	if rt.mNodeErrs != nil {
+	if rt.mNodeErrs != nil && node >= 0 && node < rt.brkSize {
 		rt.mNodeErrs.At(node).Inc()
 	}
 }
 
-// nodeObserve records one attempt against a node (nil-safe).
+// nodeObserve records one attempt against a member (nil-safe).
 func (rt *Router) nodeObserve(node int, lat time.Duration) {
+	if node < 0 || node >= rt.brkSize {
+		return
+	}
 	if rt.mNodeReqs != nil {
 		rt.mNodeReqs.At(node).Inc()
 	}

@@ -55,14 +55,27 @@ type SubQuery struct {
 	Rect grid.Rect
 }
 
-// ShardMap is a static partition of a grid across cluster nodes with
-// R-copy replica placement. It is immutable after construction and safe
-// for concurrent use.
+// ShardMap is a versioned partition of a grid across cluster nodes
+// with R-copy replica placement. It is immutable after construction and
+// safe for concurrent use; membership changes produce a *new* map at
+// the next epoch (see PlanJoin/PlanLeave), never mutate an old one.
+//
+// Two id spaces coexist:
+//
+//   - map node indices 0..Nodes()-1, the placement geometry's space
+//     (Shard.Nodes, HostedShards);
+//   - stable member IDs (Members()), the wire-level identity a node
+//     keeps across epochs. A joiner gets a fresh member ID; a leaver's
+//     ID is never reused. For a map built by NewShardMap the two
+//     coincide (member i == node index i).
 type ShardMap struct {
 	g        *grid.Grid
 	nodes    int
 	replicas int
 	stride   int
+	epoch    uint64
+	members  []int       // map node index → stable member ID
+	nodeOf   map[int]int // stable member ID → map node index
 	shards   []Shard
 	shardOf  []int   // row-major bucket → shard
 	hosted   [][]int // node → shard IDs it holds a copy of
@@ -90,8 +103,18 @@ func NewOffsetShardMap(g *grid.Grid, nodes, replicas, offset int) (*ShardMap, er
 // on nodes (i + j·stride) mod nodes for j = 0..replicas-1. Stride 1 is
 // chain placement, stride ≈ nodes/2 offset placement. It errors unless
 // 1 ≤ replicas ≤ nodes, the copies of every shard land on distinct
-// nodes, and the grid has at least one bucket per node.
+// nodes, and the grid has at least one bucket per node. The map is
+// born at epoch 1 with identity members (member i == node index i).
 func NewShardMap(g *grid.Grid, nodes, replicas, stride int) (*ShardMap, error) {
+	return newShardMapAt(g, nodes, replicas, stride, 1, nil)
+}
+
+// newShardMapAt builds a map at an explicit epoch with an explicit
+// member list (nil selects the identity). It is the constructor every
+// epoch transition funnels through: a plan's To map and a wire-decoded
+// map are both rebuilt here, so two maps with equal (grid, nodes,
+// replicas, stride, epoch, members) are equal everywhere.
+func newShardMapAt(g *grid.Grid, nodes, replicas, stride int, epoch uint64, members []int) (*ShardMap, error) {
 	if g == nil {
 		return nil, fmt.Errorf("cluster: nil grid")
 	}
@@ -121,12 +144,36 @@ func NewShardMap(g *grid.Grid, nodes, replicas, stride int) (*ShardMap, error) {
 		seen[n] = true
 	}
 
+	if epoch == 0 {
+		return nil, fmt.Errorf("cluster: epoch 0 is reserved for unversioned requests")
+	}
+	if members == nil {
+		members = make([]int, nodes)
+		for i := range members {
+			members[i] = i
+		}
+	}
+	if len(members) != nodes {
+		return nil, fmt.Errorf("cluster: %d members for %d nodes", len(members), nodes)
+	}
+	nodeOf := make(map[int]int, nodes)
+	for i, m := range members {
+		if m < 0 {
+			return nil, fmt.Errorf("cluster: negative member ID %d", m)
+		}
+		if _, dup := nodeOf[m]; dup {
+			return nil, fmt.Errorf("cluster: duplicate member ID %d", m)
+		}
+		nodeOf[m] = i
+	}
+
 	var rects []grid.Rect
 	if err := splitRect(g.FullRect(), nodes, &rects); err != nil {
 		return nil, err
 	}
 	sm := &ShardMap{
 		g: g, nodes: nodes, replicas: replicas, stride: s,
+		epoch: epoch, members: append([]int(nil), members...), nodeOf: nodeOf,
 		shards:  make([]Shard, nodes),
 		shardOf: make([]int, g.Buckets()),
 		hosted:  make([][]int, nodes),
@@ -205,6 +252,53 @@ func (sm *ShardMap) Replicas() int { return sm.replicas }
 // Stride returns the replica placement stride (1 = chain).
 func (sm *ShardMap) Stride() int { return sm.stride }
 
+// Epoch returns the map's version. Epochs are monotonic across
+// membership changes: PlanJoin/PlanLeave produce a To map at
+// From.Epoch()+1, and nodes and routers follow the largest epoch they
+// have seen. Epoch 0 never names a map — on the wire it marks an
+// unversioned (pre-epoch) request.
+func (sm *ShardMap) Epoch() uint64 { return sm.epoch }
+
+// Members returns the stable member ID of every map node, indexed by
+// map node index. The slice is shared; callers must not mutate it.
+func (sm *ShardMap) Members() []int { return sm.members }
+
+// MemberAt returns the stable member ID of map node index i.
+func (sm *ShardMap) MemberAt(i int) int { return sm.members[i] }
+
+// NodeOfMember returns the map node index of a stable member ID, or
+// (-1, false) when the member is not in this epoch's map (a standby
+// joiner, or a member that has left).
+func (sm *ShardMap) NodeOfMember(member int) (int, bool) {
+	i, ok := sm.nodeOf[member]
+	if !ok {
+		return -1, false
+	}
+	return i, true
+}
+
+// MaxMember returns the largest member ID in the map (-1 when empty).
+func (sm *ShardMap) MaxMember() int {
+	max := -1
+	for _, m := range sm.members {
+		if m > max {
+			max = m
+		}
+	}
+	return max
+}
+
+// HostedShardsOfMember returns the shards a stable member holds a copy
+// of under this map (nil for a non-member). The slice is shared;
+// callers must not mutate it.
+func (sm *ShardMap) HostedShardsOfMember(member int) []int {
+	i, ok := sm.nodeOf[member]
+	if !ok {
+		return nil
+	}
+	return sm.hosted[i]
+}
+
 // PlacementName names the replica geometry: "none" (one copy),
 // "chain" (stride 1), or "offset+k".
 func (sm *ShardMap) PlacementName() string {
@@ -228,6 +322,17 @@ func (sm *ShardMap) Shard(i int) Shard { return sm.shards[i] }
 // ShardOf returns the shard containing the bucket at c. It panics on an
 // invalid coordinate (matching grid.Grid.Linearize).
 func (sm *ShardMap) ShardOf(c grid.Coord) int { return sm.shardOf[sm.g.Linearize(c)] }
+
+// ShardMembers returns the stable member IDs hosting shard i, primary
+// first — Shard.Nodes translated out of map-index space.
+func (sm *ShardMap) ShardMembers(i int) []int {
+	hosts := sm.shards[i].Nodes
+	out := make([]int, len(hosts))
+	for j, n := range hosts {
+		out[j] = sm.members[n]
+	}
+	return out
+}
 
 // HostedShards returns the shards node n holds a copy of, ascending.
 // The slice is shared; callers must not mutate it.

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -15,10 +16,21 @@ import (
 //
 // Endpoints:
 //
-//	POST /v1/query   queryRequest  → queryResponse
-//	GET  /v1/bucket?cell=1,2,0     → bucketResponse (rebuild source)
-//	GET  /v1/health                → healthResponse
-//	GET  /v1/shards                → shardsResponse
+//	POST /v1/query            queryRequest  → queryResponse
+//	GET  /v1/bucket?cell=1,2,0              → bucketResponse (rebuild/migration source)
+//	GET  /v1/health                         → healthResponse
+//	GET  /v1/shards                         → shardsResponse
+//	POST /v1/migrate/prepare  prepareRequest → epochResponse
+//	POST /v1/migrate/bucket   migrateBucketRequest → epochResponse
+//	POST /v1/migrate/cutover  epochRequest  → epochResponse
+//	POST /v1/migrate/abort    epochRequest  → epochResponse
+//
+// Epochs: every request may carry the sender's map epoch. Epoch 0 means
+// "unversioned" (a legacy PR 6 client) and is served against the node's
+// current map. A non-zero epoch the node does not recognise draws
+// CodeStaleEpoch with the node's current map attached, so the caller can
+// adopt it and retry — the gossip path that lets routers follow
+// migrations without a coordination service.
 
 // wireRect is a grid.Rect in JSON clothing.
 type wireRect struct {
@@ -65,12 +77,16 @@ func fromWireRecords(ws []wireRecord) []datagen.Record {
 }
 
 // queryRequest asks a node to answer one sub-rectangle of a range
-// query. The rect must fall entirely inside one shard the node hosts.
+// query. The rect must fall entirely inside one shard the node hosts
+// under the map at Epoch.
 type queryRequest struct {
 	Rect wireRect `json:"rect"`
 	// Priority feeds the node's admission queue (higher first;
 	// repair.BackgroundPriority for rebuild traffic).
 	Priority int `json:"priority,omitempty"`
+	// Epoch is the shard-map epoch the sender routed against; 0 means
+	// unversioned (legacy) and is served against the node's current map.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // queryResponse carries a sub-query's answer.
@@ -81,11 +97,16 @@ type queryResponse struct {
 	// Degraded reports the node answered some bucket from a replica
 	// disk rather than its primary.
 	Degraded bool `json:"degraded,omitempty"`
+	// Epoch is the map epoch the answer was computed under.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
-// bucketResponse carries one bucket's records for cross-node rebuild.
+// bucketResponse carries one bucket's records for cross-node rebuild
+// and migration.
 type bucketResponse struct {
 	Records []wireRecord `json:"records"`
+	// Epoch is the donor's current map epoch.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // healthResponse summarises a node for operators and the harness.
@@ -93,7 +114,72 @@ type healthResponse struct {
 	Node    int    `json:"node"`
 	Shards  []int  `json:"shards"`
 	Records int    `json:"records"`
-	State   string `json:"state"` // "serving" | "rebuilding"
+	State   string `json:"state"` // "serving" | "rebuilding" | "migrating"
+	// Epoch is the node's current map epoch; Pending is the staged
+	// next epoch mid-migration (0 when none).
+	Epoch   uint64 `json:"epoch,omitempty"`
+	Pending uint64 `json:"pending,omitempty"`
+}
+
+// wireMap is a ShardMap in JSON clothing. A map is a pure function of
+// this spec — geometry plus epoch plus member IDs — so shipping the
+// spec ships the map; the receiver reconstructs shards and placement
+// locally and bit-identically.
+type wireMap struct {
+	Grid     []int  `json:"grid"`
+	Nodes    int    `json:"nodes"`
+	Replicas int    `json:"replicas"`
+	Stride   int    `json:"stride"`
+	Epoch    uint64 `json:"epoch"`
+	Members  []int  `json:"members"`
+}
+
+func toWireMap(sm *ShardMap) *wireMap {
+	return &wireMap{
+		Grid:     sm.Grid().Dims(),
+		Nodes:    sm.Nodes(),
+		Replicas: sm.Replicas(),
+		Stride:   sm.Stride(),
+		Epoch:    sm.Epoch(),
+		Members:  append([]int(nil), sm.Members()...),
+	}
+}
+
+// mapFromWire reconstructs the ShardMap a wireMap describes.
+func mapFromWire(w *wireMap) (*ShardMap, error) {
+	if w == nil {
+		return nil, fmt.Errorf("cluster: nil wire map")
+	}
+	g, err := grid.New(w.Grid...)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: wire map grid: %w", err)
+	}
+	return newShardMapAt(g, w.Nodes, w.Replicas, w.Stride, w.Epoch, w.Members)
+}
+
+// prepareRequest stages the next-epoch map on a node (PREPARE step).
+type prepareRequest struct {
+	Map *wireMap `json:"map"`
+}
+
+// migrateBucketRequest hands one bucket's records to a destination
+// node's staging file for the pending epoch.
+type migrateBucketRequest struct {
+	Epoch   uint64       `json:"epoch"`
+	Cell    []int        `json:"cell"`
+	Records []wireRecord `json:"records"`
+}
+
+// epochRequest names a pending epoch (CUTOVER and ABORT steps).
+type epochRequest struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// epochResponse acknowledges a migration step with the node's resulting
+// current and pending epochs.
+type epochResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Pending uint64 `json:"pending,omitempty"`
 }
 
 // shardsResponse describes the node's view of the shard map.
@@ -110,19 +196,34 @@ type shardsResponse struct {
 }
 
 // errorBody is the uniform error envelope. Code is the stable taxonomy
-// code; Message is human-oriented detail.
+// code; Message is human-oriented detail. Stale-epoch errors gossip the
+// node's epochs and current map in the envelope so the caller can adopt
+// it and retry without a discovery round-trip.
 type errorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Epoch / NodeEpoch / Map are set only for CodeStaleEpoch.
+	Epoch     uint64   `json:"epoch,omitempty"`      // the stale epoch the caller sent
+	NodeEpoch uint64   `json:"node_epoch,omitempty"` // the node's current epoch
+	Map       *wireMap `json:"map,omitempty"`        // the node's current map
 }
 
 // writeError encodes err as the uniform envelope with its mapped
 // status.
 func writeError(w http.ResponseWriter, err error) {
 	code := ErrorCode(err)
+	eb := errorBody{Code: code, Message: err.Error()}
+	var stale *StaleEpochError
+	if errors.As(err, &stale) {
+		eb.Epoch = stale.RequestEpoch
+		eb.NodeEpoch = stale.NodeEpoch
+		if stale.Map != nil {
+			eb.Map = toWireMap(stale.Map)
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(HTTPStatus(code))
-	_ = json.NewEncoder(w).Encode(errorBody{Code: code, Message: err.Error()})
+	_ = json.NewEncoder(w).Encode(eb)
 }
 
 // writeJSON encodes v with status 200.
@@ -134,10 +235,21 @@ func writeJSON(w http.ResponseWriter, v any) {
 // decodeErrorBody parses a non-2xx response body into a typed error.
 // A body that isn't our envelope becomes a generic error carrying the
 // status, so foreign proxies in the path degrade loudly, not silently.
+// Stale-epoch envelopes reconstruct the node's map from its wire spec
+// so the caller gets a ready-to-adopt *StaleEpochError.
 func decodeErrorBody(status int, body []byte) error {
 	var eb errorBody
 	if err := json.Unmarshal(body, &eb); err != nil || eb.Code == "" {
 		return fmt.Errorf("cluster: HTTP %d: %s", status, truncate(body, 200))
+	}
+	if eb.Code == CodeStaleEpoch {
+		se := &StaleEpochError{RequestEpoch: eb.Epoch, NodeEpoch: eb.NodeEpoch}
+		if eb.Map != nil {
+			if sm, err := mapFromWire(eb.Map); err == nil {
+				se.Map = sm
+			}
+		}
+		return se
 	}
 	return DecodeError(eb.Code, eb.Message)
 }

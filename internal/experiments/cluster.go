@@ -68,6 +68,12 @@ type ClusterChaosConfig struct {
 	// RebuildRate paces the mid-run node rebuild in pages/second
 	// (0 = unthrottled).
 	RebuildRate float64
+	// MigrateRate paces the join/leave bucket copies in pages/second
+	// (0 = unthrottled).
+	MigrateRate float64
+	// Scenarios selects which chaos scenarios run per placement
+	// (default: node-loss, rolling-restart, partition, join, leave).
+	Scenarios []string
 	// Obs optionally receives router and node metrics; all cells share
 	// the sink.
 	Obs *obs.Sink
@@ -110,6 +116,9 @@ func (c ClusterChaosConfig) withDefaults() ClusterChaosConfig {
 	if c.Offset == 0 {
 		c.Offset = c.Nodes / 2
 	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = []string{"node-loss", "rolling-restart", "partition", "join", "leave"}
+	}
 	return c
 }
 
@@ -117,7 +126,7 @@ func (c ClusterChaosConfig) withDefaults() ClusterChaosConfig {
 type ClusterChaosCell struct {
 	Placement string // "none", "chain", "offset+k"
 	Replicas  int
-	Scenario  string // "node-loss", "rolling-restart"
+	Scenario  string // "node-loss", "rolling-restart", "partition", "join", "leave"
 
 	Issued    uint64 // queries submitted
 	Completed uint64 // fully answered
@@ -147,6 +156,28 @@ type ClusterChaosCell struct {
 	// RebuildLog records cross-node rebuild outcomes (success with
 	// counts and elapsed time, or how far a cancelled rebuild got).
 	RebuildLog []string
+
+	// FinalEpoch is the router's shard-map epoch when the soak ended —
+	// 1 for static-membership scenarios, advanced past it when a
+	// join/leave migration completed.
+	FinalEpoch uint64
+
+	// BreakersOpenAtEnd counts router breakers still open when the soak
+	// ended. The partition scenario asserts recovery through it: the
+	// victim's breaker opens while it is unreachable and must close
+	// again — half-open probe admitted — once the partition heals.
+	BreakersOpenAtEnd int
+
+	// MigrationLog records the online membership change's outcome
+	// (join/leave scenarios): epoch transition, buckets and records
+	// moved, or how an aborted handoff rolled back.
+	MigrationLog []string
+
+	// PartialLog keeps the first few partial-result errors verbatim —
+	// each names the uncovered sub-rectangles and the first underlying
+	// cause, which is what a completeness regression gets diagnosed
+	// from.
+	PartialLog []string
 }
 
 // Availability is the fraction of issued queries answered completely.
@@ -180,12 +211,15 @@ type ClusterChaosResult struct {
 }
 
 // ClusterChaos runs Experiment N. For each placement scheme — no
-// replication, chained, offset — and each fault scenario — lose one
-// node mid-run, roll-restart every node — it boots a fresh loopback
-// cluster, soaks it with closed-loop clients, and drives the seeded
-// fault schedule against it. Node-loss cells with replication also
-// rebuild the dead node's shards from peer replicas mid-run, throttled,
-// at background priority.
+// replication, chained, offset — and each chaos scenario — lose one
+// node mid-run, roll-restart every node, partition one node for the
+// middle half, grow the cluster by one node online, shrink it by one —
+// it boots a fresh loopback cluster, soaks it with closed-loop clients,
+// and drives the seeded schedule against it. Node-loss cells with
+// replication also rebuild the dead node's shards from peer replicas
+// mid-run, throttled, at background priority. Join and leave cells run
+// the full online migration — prepare, throttled copy, dual-read
+// handoff, cutover — under the same query load.
 func ClusterChaos(cfg ClusterChaosConfig, opt Options) (*ClusterChaosResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Nodes < 2 {
@@ -219,13 +253,12 @@ func ClusterChaos(cfg ClusterChaosConfig, opt Options) (*ClusterChaosResult, err
 		{"chain", cfg.Replicas, 1},
 		{fmt.Sprintf("offset+%d", cfg.Offset), cfg.Replicas, cfg.Offset},
 	}
-	scenarios := []string{"node-loss", "rolling-restart"}
 	for _, p := range placements {
 		sm, err := cluster.NewShardMap(g, cfg.Nodes, p.replicas, p.stride)
 		if err != nil {
 			return nil, err
 		}
-		for _, scenario := range scenarios {
+		for _, scenario := range cfg.Scenarios {
 			cell, err := runClusterCell(sm, method, records, scenario, cfg, opt.seed())
 			if err != nil {
 				return nil, err
@@ -241,11 +274,16 @@ func ClusterChaos(cfg ClusterChaosConfig, opt Options) (*ClusterChaosResult, err
 
 // runClusterCell soaks one cluster configuration under one scenario.
 func runClusterCell(sm *cluster.ShardMap, method alloc.Method, records []datagen.Record, scenario string, cfg ClusterChaosConfig, seed int64) (*ClusterChaosCell, error) {
+	standbys := 0
+	if scenario == "join" {
+		standbys = 1 // the node the migration will bring in
+	}
 	h, err := cluster.StartHarness(cluster.HarnessConfig{
-		Map:     sm,
-		Method:  method,
-		Records: records,
-		Obs:     cfg.Obs,
+		Map:      sm,
+		Method:   method,
+		Records:  records,
+		Standbys: standbys,
+		Obs:      cfg.Obs,
 		ServeOptions: []serve.Option{
 			serve.WithBaseLatency(cfg.BaseLatency),
 			serve.WithRetry(exec.RetryPolicy{MaxAttempts: 3, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond}),
@@ -267,11 +305,18 @@ func runClusterCell(sm *cluster.ShardMap, method alloc.Method, records []datagen
 	defer h.Close()
 
 	var schedule fault.NodeSchedule
+	hasSchedule := true
 	switch scenario {
 	case "node-loss":
 		schedule = fault.NodeLossSchedule(seed, sm.Nodes(), cfg.Duration)
 	case "rolling-restart":
 		schedule = fault.RollingRestartSchedule(seed, sm.Nodes(), cfg.Duration)
+	case "partition":
+		schedule = fault.PartitionSchedule(seed, sm.Nodes(), cfg.Duration)
+	case "join", "leave":
+		// Membership changes are the chaos: no fault schedule, the
+		// migration itself runs against live traffic.
+		hasSchedule = false
 	default:
 		return nil, fmt.Errorf("experiments: unknown cluster scenario %q", scenario)
 	}
@@ -294,9 +339,15 @@ func runClusterCell(sm *cluster.ShardMap, method alloc.Method, records []datagen
 	var rebuilt atomic.Int64
 	done := make(chan struct{})
 	var chaosWG sync.WaitGroup
+	if !hasSchedule {
+		runClusterMigration(h, sm, scenario, cfg, seed, cell, &latMu, done, &chaosWG)
+	}
 	chaosWG.Add(1)
 	go func() {
 		defer chaosWG.Done()
+		if !hasSchedule {
+			return
+		}
 		_ = schedule.Run(done, h.Faults(), func(e fault.NodeEvent) {
 			latMu.Lock()
 			cell.Events = append(cell.Events, fmt.Sprintf("%v %s node %d", e.At.Round(time.Millisecond), e.Kind, e.Node))
@@ -309,8 +360,14 @@ func runClusterCell(sm *cluster.ShardMap, method alloc.Method, records []datagen
 					if terr != nil {
 						return
 					}
+					// The rebuild gets its own deadline rather than the
+					// soak's: it races real foreground load on the wall
+					// clock, and a soak that ends mid-stream should let
+					// the repair converge, not strand the victim empty.
+					rctx, rcancel := context.WithTimeout(context.Background(), 4*cfg.Duration+2*time.Second)
+					defer rcancel()
 					rstart := time.Now()
-					st, rerr := cluster.RebuildNode(ctx, cluster.RebuildConfig{
+					st, rerr := cluster.RebuildNode(rctx, cluster.RebuildConfig{
 						Map:       sm,
 						Endpoints: h.URLs(),
 						Throttle:  throttle,
@@ -367,6 +424,11 @@ func runClusterCell(sm *cluster.ShardMap, method alloc.Method, records []datagen
 					latMu.Unlock()
 				case errors.Is(err, cluster.ErrPartial):
 					partial.Add(1)
+					latMu.Lock()
+					if len(cell.PartialLog) < 8 {
+						cell.PartialLog = append(cell.PartialLog, err.Error())
+					}
+					latMu.Unlock()
 				default:
 					failed.Add(1)
 				}
@@ -387,6 +449,22 @@ func runClusterCell(sm *cluster.ShardMap, method alloc.Method, records []datagen
 	cell.SubCovered = subC.Load()
 	cell.RebuiltRecords = int(rebuilt.Load())
 	cell.BreakerTrips = h.Router().Breakers().Trips()
+	cell.FinalEpoch = h.Router().Epoch()
+
+	// Recovery sweep: every schedule ends healed, so the cluster must
+	// converge to zero open breakers without any manual reset — but the
+	// soak can end mid-cooldown, before the half-open probe that would
+	// close the last breaker fires. Drive light traffic for a bounded
+	// grace (a few cooldowns) and record the verdict.
+	cooldown := cfg.Duration / 10
+	recoverBy := time.Now().Add(4 * cooldown)
+	for len(h.Router().Breakers().Open()) > 0 && time.Now().Before(recoverBy) {
+		qctx, qcancel := context.WithTimeout(context.Background(), cfg.QueryDeadline)
+		_, _ = h.Router().Search(qctx, g.FullRect())
+		qcancel()
+		time.Sleep(cooldown / 4)
+	}
+	cell.BreakersOpenAtEnd = len(h.Router().Breakers().Open())
 	cell.Hedges = hedges.Load()
 	cell.HedgeWins = hedgeWins.Load()
 	cell.Retries = retries.Load()
@@ -396,13 +474,77 @@ func runClusterCell(sm *cluster.ShardMap, method alloc.Method, records []datagen
 	return cell, nil
 }
 
+// runClusterMigration drives the join/leave scenarios: at ¼ of the
+// soak it plans the membership change from the router's live map and
+// executes it online — prepare, throttled copy, dual-read handoff,
+// cutover, adopt — while the closed-loop clients keep querying. The
+// migration runs on its own deadline rather than the soak's: queries
+// stop at the end of the run, but an in-flight handoff is left to
+// converge (or abort on its own) so the cell reports the epoch the
+// cluster actually settled on.
+func runClusterMigration(h *cluster.Harness, sm *cluster.ShardMap, scenario string, cfg ClusterChaosConfig, seed int64, cell *ClusterChaosCell, latMu *sync.Mutex, done chan struct{}, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-done:
+			return
+		case <-time.After(cfg.Duration / 4):
+		}
+		var plan *cluster.MigrationPlan
+		var perr error
+		if scenario == "join" {
+			plan, perr = cluster.PlanJoin(h.Map())
+		} else {
+			victim := h.Map().MemberAt(fault.Pick(seed, 0, sm.Nodes()))
+			plan, perr = cluster.PlanLeave(h.Map(), victim)
+		}
+		latMu.Lock()
+		if perr != nil {
+			cell.MigrationLog = append(cell.MigrationLog, fmt.Sprintf("plan: %v", perr))
+			latMu.Unlock()
+			return
+		}
+		// The plan line is deterministic — a pure function of seed and
+		// geometry — so it lives in Events with the fault timelines.
+		cell.Events = append(cell.Events, fmt.Sprintf("%v %s",
+			(cfg.Duration/4).Round(time.Millisecond), plan))
+		latMu.Unlock()
+		throttle, terr := repair.NewThrottle(cfg.MigrateRate, 0)
+		if terr != nil {
+			return
+		}
+		mctx, mcancel := context.WithTimeout(context.Background(), 4*cfg.Duration+2*time.Second)
+		defer mcancel()
+		mstart := time.Now()
+		stats, merr := cluster.Migrate(mctx, cluster.MigrateConfig{
+			Plan:      plan,
+			Endpoints: h.URLs(),
+			Throttle:  throttle,
+			Router:    h.Router(),
+			Obs:       cfg.Obs,
+		})
+		latMu.Lock()
+		defer latMu.Unlock()
+		if merr != nil {
+			cell.MigrationLog = append(cell.MigrationLog, fmt.Sprintf(
+				"%s aborted after %d buckets: %v", scenario, stats.Buckets, merr))
+			return
+		}
+		cell.MigrationLog = append(cell.MigrationLog, fmt.Sprintf(
+			"%s: epoch %d → %d, %d buckets (%d records) in %v, %d retries",
+			scenario, plan.From.Epoch(), plan.To.Epoch(), stats.Buckets, stats.Records,
+			time.Since(mstart).Round(time.Millisecond), stats.Retries))
+	}()
+}
+
 // Table renders the cluster soak: one row per placement × scenario.
 func (r *ClusterChaosResult) Table() *table.Table {
 	t := table.New(
 		fmt.Sprintf("EN — cluster chaos, %d nodes × %d disks, %d clients × %v, base %v (replay with -seed %d)",
 			r.Nodes, r.DisksPerNode, r.Clients, r.Duration, r.BaseLatency, r.Seed),
 		"placement", "R", "scenario", "issued", "avail%", "partial%", "fail%",
-		"complete%", "p50", "p99", "trips", "rebuilt")
+		"complete%", "p50", "p99", "trips", "rebuilt", "epoch")
 	for i := range r.Cells {
 		c := &r.Cells[i]
 		t.AddRowf(c.Placement, fmt.Sprintf("%d", c.Replicas), c.Scenario,
@@ -412,7 +554,8 @@ func (r *ClusterChaosResult) Table() *table.Table {
 			fmt.Sprintf("%.2f%%", 100*c.Completeness()),
 			durMS(c.P50), durMS(c.P99),
 			fmt.Sprintf("%d", c.BreakerTrips),
-			fmt.Sprintf("%d", c.RebuiltRecords))
+			fmt.Sprintf("%d", c.RebuiltRecords),
+			fmt.Sprintf("%d", c.FinalEpoch))
 	}
 	return t
 }

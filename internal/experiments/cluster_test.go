@@ -34,16 +34,20 @@ func TestClusterChaosStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Cells) != 6 {
-		t.Fatalf("want 3 placements × 2 scenarios = 6 cells, got %d", len(res.Cells))
+	scenarios := map[string]bool{
+		"node-loss": true, "rolling-restart": true,
+		"partition": true, "join": true, "leave": true,
 	}
-	wantPlacements := []string{"none", "none", "chain", "chain", "offset+2", "offset+2"}
+	if want := 3 * len(scenarios); len(res.Cells) != want {
+		t.Fatalf("want 3 placements × %d scenarios = %d cells, got %d", len(scenarios), want, len(res.Cells))
+	}
+	wantPlacements := []string{"none", "chain", "offset+2"}
 	for i := range res.Cells {
 		c := &res.Cells[i]
-		if c.Placement != wantPlacements[i] {
-			t.Errorf("cell %d placement = %q, want %q", i, c.Placement, wantPlacements[i])
+		if want := wantPlacements[i/len(scenarios)]; c.Placement != want {
+			t.Errorf("cell %d placement = %q, want %q", i, c.Placement, want)
 		}
-		if c.Scenario != "node-loss" && c.Scenario != "rolling-restart" {
+		if !scenarios[c.Scenario] {
 			t.Errorf("cell %d scenario = %q", i, c.Scenario)
 		}
 		if c.Issued == 0 {
@@ -56,17 +60,27 @@ func TestClusterChaosStructure(t *testing.T) {
 			t.Errorf("cell %d covered %d of %d sub-queries", i, c.SubCovered, c.SubQueries)
 		}
 		if len(c.Events) == 0 {
-			t.Errorf("cell %d recorded no fault events", i)
+			t.Errorf("cell %d recorded no chaos events", i)
 		}
 		if c.Replicas == 1 && c.RebuiltRecords != 0 {
 			t.Errorf("cell %d rebuilt %d records without replication", i, c.RebuiltRecords)
+		}
+		switch c.Scenario {
+		case "join", "leave":
+			if len(c.MigrationLog) == 0 {
+				t.Errorf("cell %d (%s/%s) recorded no migration outcome", i, c.Placement, c.Scenario)
+			}
+		default:
+			if c.FinalEpoch != 1 {
+				t.Errorf("cell %d (%s/%s) epoch = %d, want 1 (static membership)", i, c.Placement, c.Scenario, c.FinalEpoch)
+			}
 		}
 	}
 	if res.Seed != 7 {
 		t.Errorf("result seed = %d, want 7", res.Seed)
 	}
 	tbl := res.Table().String()
-	for _, want := range []string{"EN", "placement", "node-loss", "rolling-restart", "replay with -seed 7"} {
+	for _, want := range []string{"EN", "placement", "node-loss", "rolling-restart", "partition", "join", "leave", "epoch", "replay with -seed 7"} {
 		if !strings.Contains(tbl, want) {
 			t.Errorf("table missing %q:\n%s", want, tbl)
 		}
@@ -74,9 +88,10 @@ func TestClusterChaosStructure(t *testing.T) {
 }
 
 // TestClusterChaosReplicationKeepsCompleteness is the acceptance check:
-// with node-level replication, losing a node must not cost coverage —
-// zero partial results — while the unreplicated placement demonstrably
-// degrades instead of failing outright.
+// with node-level replication, losing, partitioning, adding, or
+// removing a node must not cost coverage — zero partial results — while
+// the unreplicated placement demonstrably degrades instead of failing
+// outright.
 func TestClusterChaosReplicationKeepsCompleteness(t *testing.T) {
 	cfg := fastClusterChaos()
 	cfg.Duration = 250 * time.Millisecond
@@ -92,7 +107,7 @@ func TestClusterChaosReplicationKeepsCompleteness(t *testing.T) {
 		c := &res.Cells[i]
 		if c.Replicas > 1 {
 			if c.Partial != 0 {
-				t.Errorf("%s/%s: %d partial results with replication", c.Placement, c.Scenario, c.Partial)
+				t.Errorf("%s/%s: %d partial results with replication: %v", c.Placement, c.Scenario, c.Partial, c.PartialLog)
 			}
 			if c.Scenario == "node-loss" && c.RebuiltRecords == 0 {
 				t.Errorf("%s/node-loss: rebuild restored no records", c.Placement)
@@ -109,11 +124,68 @@ func TestClusterChaosReplicationKeepsCompleteness(t *testing.T) {
 	}
 }
 
+// TestClusterChaosMigrationAdvancesEpoch: join and leave cells must
+// complete their online migration — the router ends the soak on the new
+// epoch, with the move logged, on every placement.
+func TestClusterChaosMigrationAdvancesEpoch(t *testing.T) {
+	cfg := fastClusterChaos()
+	cfg.Scenarios = []string{"join", "leave"}
+	res, err := ClusterChaos(cfg, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 6 {
+		t.Fatalf("want 3 placements × 2 scenarios = 6 cells, got %d", len(res.Cells))
+	}
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		if c.FinalEpoch != 2 {
+			t.Errorf("%s/%s: final epoch = %d, want 2 (log: %v)", c.Placement, c.Scenario, c.FinalEpoch, c.MigrationLog)
+		}
+		if len(c.MigrationLog) != 1 || !strings.Contains(c.MigrationLog[0], "epoch 1 → 2") {
+			t.Errorf("%s/%s: migration log = %v", c.Placement, c.Scenario, c.MigrationLog)
+		}
+		if c.Replicas > 1 && c.Partial != 0 {
+			t.Errorf("%s/%s: %d partial results during online migration", c.Placement, c.Scenario, c.Partial)
+		}
+	}
+}
+
+// TestClusterChaosPartitionHeals: the partition cell must end with
+// every breaker closed again — the victim's breaker opens while it is
+// unreachable, and the half-open probe after the heal must re-admit it
+// without any manual reset.
+func TestClusterChaosPartitionHeals(t *testing.T) {
+	cfg := fastClusterChaos()
+	cfg.Scenarios = []string{"partition"}
+	res, err := ClusterChaos(cfg, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawTrip := false
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		if c.BreakerTrips > 0 {
+			sawTrip = true
+		}
+		if c.BreakersOpenAtEnd != 0 {
+			t.Errorf("%s/partition: %d breakers still open after heal (trips %d)", c.Placement, c.BreakersOpenAtEnd, c.BreakerTrips)
+		}
+		if c.Replicas > 1 && c.Partial != 0 {
+			t.Errorf("%s/partition: %d partial results with replication", c.Placement, c.Partial)
+		}
+	}
+	if !sawTrip {
+		t.Errorf("no cell tripped a breaker; the partition never bit")
+	}
+}
+
 // TestClusterChaosDeterministicSchedules: the same seed must replay the
-// same fault timeline.
+// same chaos timeline — fault schedules and migration plans alike.
 func TestClusterChaosDeterministicSchedules(t *testing.T) {
 	cfg := fastClusterChaos()
 	cfg.Duration = 80 * time.Millisecond
+	cfg.Scenarios = []string{"node-loss", "rolling-restart", "partition", "join", "leave"}
 	a, err := ClusterChaos(cfg, Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)

@@ -297,8 +297,11 @@ func (s NodeSchedule) String() string {
 		s.Name, s.Nodes, len(s.Events), s.Seed)
 }
 
-// pick returns a deterministic victim node for the i-th draw of a seed.
-func pick(seed int64, i, nodes int) int {
+// Pick returns a deterministic victim node for the i-th draw of a
+// seed: the splitmix64-based choice every schedule builder uses, so
+// callers composing their own chaos (e.g. "partition the node a
+// schedule would pick") land on the same victim for the same seed.
+func Pick(seed int64, i, nodes int) int {
 	return int(splitmix64(uint64(seed)^0x5bd1e995*uint64(i+1)) % uint64(nodes))
 }
 
@@ -306,7 +309,7 @@ func pick(seed int64, i, nodes int) int {
 // seed-chosen node crashes at ¼ of the run and restarts at ¾. Between
 // those marks the cluster serves with a node down.
 func NodeLossSchedule(seed int64, nodes int, duration time.Duration) NodeSchedule {
-	victim := pick(seed, 0, nodes)
+	victim := Pick(seed, 0, nodes)
 	return NodeSchedule{
 		Seed: seed, Nodes: nodes, Name: "node-loss",
 		Events: []NodeEvent{
@@ -348,7 +351,7 @@ func RollingRestartSchedule(seed int64, nodes int, duration time.Duration) NodeS
 // PartitionSchedule scripts a network partition: one seed-chosen node
 // becomes unreachable (requests hang) for the middle half of the run.
 func PartitionSchedule(seed int64, nodes int, duration time.Duration) NodeSchedule {
-	victim := pick(seed, 0, nodes)
+	victim := Pick(seed, 0, nodes)
 	return NodeSchedule{
 		Seed: seed, Nodes: nodes, Name: "partition",
 		Events: []NodeEvent{
@@ -361,7 +364,7 @@ func PartitionSchedule(seed int64, nodes int, duration time.Duration) NodeSchedu
 // SlowNodeSchedule scripts a cluster-scale straggler: one seed-chosen
 // node serves at factor × latency for the middle half of the run.
 func SlowNodeSchedule(seed int64, nodes int, duration time.Duration, factor float64) NodeSchedule {
-	victim := pick(seed, 0, nodes)
+	victim := Pick(seed, 0, nodes)
 	return NodeSchedule{
 		Seed: seed, Nodes: nodes, Name: "slow-node",
 		Events: []NodeEvent{

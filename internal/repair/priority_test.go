@@ -1,0 +1,23 @@
+package repair
+
+import (
+	"testing"
+
+	"decluster/internal/serve"
+)
+
+// TestMigrationPriorityBetweenTiers pins the cross-package admission
+// ladder from the side that can see both constants: migration dual-reads
+// sit strictly between foreground queries (0 and up) and background
+// repair. serve's own TestMigrationPriorityTier proves the behavioral
+// consequences against a local mirror of BackgroundPriority, which this
+// test keeps honest.
+func TestMigrationPriorityBetweenTiers(t *testing.T) {
+	if serve.MigrationPriority >= 0 {
+		t.Errorf("serve.MigrationPriority = %d, must be below every foreground priority", serve.MigrationPriority)
+	}
+	if serve.MigrationPriority <= BackgroundPriority {
+		t.Errorf("serve.MigrationPriority = %d, must be above repair.BackgroundPriority = %d",
+			serve.MigrationPriority, BackgroundPriority)
+	}
+}

@@ -108,6 +108,13 @@ func (c AdmissionConfig) withDefaults() (AdmissionConfig, error) {
 	return c, nil
 }
 
+// MigrationPriority is the admission priority for online shard
+// migration traffic: strictly below every foreground query (0 and up),
+// so migration reads are shed first under load, but strictly above
+// background repair (-1000 in the repair package), so an in-flight
+// membership change finishes ahead of opportunistic scrubbing.
+const MigrationPriority = -500
+
 // Query is one unit of admission: a cell rectangle plus its standing in
 // the drop policy.
 type Query struct {

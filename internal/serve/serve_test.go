@@ -18,6 +18,12 @@ import (
 	"decluster/internal/replica"
 )
 
+// backgroundPriority mirrors repair.BackgroundPriority, which cannot be
+// imported here (repair depends on serve). The cross-package equality —
+// and the 0 > MigrationPriority > BackgroundPriority ladder itself — is
+// pinned by TestMigrationPriorityBetweenTiers in the repair package.
+const backgroundPriority = -1000
+
 func newLoadedFile(t testing.TB, disks, records int) *gridfile.File {
 	t.Helper()
 	g := grid.MustNew(16, 16)
@@ -175,6 +181,91 @@ func TestPriorityEvictionAndOrder(t *testing.T) {
 	st := s.Stats()
 	if st.Evicted != 1 || st.Rejected != 1 || st.Completed != 2 {
 		t.Errorf("stats = %+v, want 1 evicted / 1 rejected / 2 completed", st)
+	}
+}
+
+// TestMigrationPriorityTier pins the three-tier admission ladder:
+// foreground (0) over migration dual-reads (MigrationPriority) over
+// background repair — first as an ordering invariant on the constants,
+// then behaviorally: each tier's arrival evicts a queued read from the
+// tier below it.
+func TestMigrationPriorityTier(t *testing.T) {
+	if MigrationPriority >= 0 {
+		t.Fatalf("MigrationPriority %d must rank below every foreground query (0 and up)", MigrationPriority)
+	}
+	if MigrationPriority <= backgroundPriority {
+		t.Fatalf("MigrationPriority %d must rank above background repair %d",
+			MigrationPriority, backgroundPriority)
+	}
+
+	f := newLoadedFile(t, 4, 500)
+	gr := &gatedReader{inner: exec.NewFileReader(f), gate: make(chan struct{}), started: make(chan struct{})}
+	s, err := New(f,
+		WithBucketReader(gr),
+		WithAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := f.Grid().FullRect()
+	hold := make(chan error, 1)
+	go func() {
+		_, err := s.Search(context.Background(), q)
+		hold <- err
+	}()
+	<-gr.started
+
+	waitQueued := func() {
+		for {
+			s.mu.Lock()
+			n := len(s.waiters)
+			s.mu.Unlock()
+			if n == 1 {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// A repair read waits in the queue; a migration dual-read arrival
+	// evicts it.
+	repairDone := make(chan error, 1)
+	go func() {
+		_, err := s.Do(context.Background(), Query{Rect: q, Priority: backgroundPriority})
+		repairDone <- err
+	}()
+	waitQueued()
+	migDone := make(chan error, 1)
+	go func() {
+		_, err := s.Do(context.Background(), Query{Rect: q, Priority: MigrationPriority})
+		migDone <- err
+	}()
+	var oe *OverloadedError
+	if err := <-repairDone; !errors.As(err, &oe) || !oe.Evicted {
+		t.Fatalf("repair read got %v, want eviction by migration read", err)
+	}
+
+	waitQueued()
+
+	// And a foreground arrival evicts the queued migration read in turn.
+	fgDone := make(chan error, 1)
+	go func() {
+		_, err := s.Do(context.Background(), Query{Rect: q, Priority: 0})
+		fgDone <- err
+	}()
+	if err := <-migDone; !errors.As(err, &oe) || !oe.Evicted {
+		t.Fatalf("migration read got %v, want eviction by foreground read", err)
+	}
+
+	close(gr.gate)
+	if err := <-hold; err != nil {
+		t.Fatalf("held query failed: %v", err)
+	}
+	if err := <-fgDone; err != nil {
+		t.Fatalf("foreground query failed: %v", err)
+	}
+	st := s.Stats()
+	if st.Evicted != 2 || st.Completed != 2 {
+		t.Errorf("stats = %+v, want 2 evicted / 2 completed", st)
 	}
 }
 

@@ -21,6 +21,13 @@
 #       sweep end to end, including workload generation and table
 #       builds). Acceptance bar: kernel_speedup_x >= 5 (walk mean over
 #       prefix mean on the per-query benchmark).
+#   pr7 — BenchmarkClusterScatterGather/{healthy,degraded} again (the
+#       router now stamps every sub-query with the shard-map epoch and
+#       nodes verify it) plus BenchmarkClusterMigration (one full online
+#       membership change: plan, prepare, copy, cutover, adopt).
+#       Acceptance bar: epoch_router_overhead_x <= 1.05 (healthy mean
+#       over the committed PR 6 healthy mean — epoch checks must be
+#       effectively free on the scatter/gather hot path).
 #
 # Usage: scripts/bench_json.sh [count] [suite] > BENCH_PR5.json
 set -eu
@@ -141,8 +148,48 @@ pr6)
 			printf "}\n"
 		}'
 	;;
+pr7)
+	baseline=$(sed -n 's/.*"ClusterScatterGather\/healthy".*"mean_ns_per_op": \([0-9]*\).*/\1/p' BENCH_PR6.json 2>/dev/null || true)
+	go test -run '^$' \
+		-bench '^BenchmarkClusterScatterGather$|^BenchmarkClusterMigration$' \
+		-benchtime=200x -count="$count" . |
+		awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v baseline="${baseline:-0}" '
+		/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			sub(/^Benchmark/, "", name)
+			vals[name] = vals[name] sep[name] $3
+			sep[name] = ", "
+			sum[name] += $3
+			n[name]++
+			if ($6 == "records/op") { rsum[name] += $5; rn[name]++ }
+		}
+		function mean(k) { return n[k] ? sum[k] / n[k] : 0 }
+		function series(k) {
+			printf "    \"%s\": {\"ns_per_op\": [%s], \"mean_ns_per_op\": %.0f}", k, vals[k], mean(k)
+		}
+		END {
+			healthy = mean("ClusterScatterGather/healthy")
+			printf "{\n"
+			printf "  \"benchmark\": \"BenchmarkClusterMigration\",\n"
+			printf "  \"date\": \"%s\",\n", date
+			printf "  \"cpu\": \"%s\",\n", cpu
+			printf "  \"count\": %d,\n", n["ClusterScatterGather/healthy"]
+			printf "  \"results\": {\n"
+			series("ClusterScatterGather/healthy"); printf ",\n"
+			series("ClusterScatterGather/degraded"); printf ",\n"
+			series("ClusterMigration"); printf "\n"
+			printf "  },\n"
+			printf "  \"migration_records_per_op\": %.0f,\n", rn["ClusterMigration"] ? rsum["ClusterMigration"] / rn["ClusterMigration"] : 0
+			printf "  \"pr6_healthy_mean_ns_per_op\": %d,\n", baseline
+			printf "  \"epoch_router_overhead_x\": %.2f,\n", baseline ? healthy / baseline : 0
+			printf "  \"bar_overhead_x\": 1.05\n"
+			printf "}\n"
+		}'
+	;;
 *)
-	echo "bench_json.sh: unknown suite '$suite' (want pr4, pr5 or pr6)" >&2
+	echo "bench_json.sh: unknown suite '$suite' (want pr4, pr5, pr6 or pr7)" >&2
 	exit 2
 	;;
 esac
