@@ -1,0 +1,65 @@
+package decluster
+
+import (
+	"context"
+
+	"decluster/internal/autopilot"
+	"decluster/internal/cluster"
+)
+
+// Autopilot is the load-driven membership controller: it watches a
+// live cluster's windowed per-node p99 latency, admission-queue depth,
+// and shed rate, and grows the cluster onto standby nodes (or drains
+// the most recent joiner) through the same online migration the manual
+// path uses. Hysteresis, safety fuses (open breakers, suspected
+// partitions, migrations in flight, the node envelope), and a
+// post-migration cool-down keep a flapping signal from flapping the
+// membership — the thrash counter stays at zero under adversarial
+// schedules.
+type Autopilot = autopilot.Controller
+
+// AutopilotConfig wires an Autopilot to a live cluster.
+type AutopilotConfig = autopilot.Config
+
+// AutopilotPolicy sets the controller's thresholds, hysteresis depths,
+// cool-down, thrash window, and node envelope.
+type AutopilotPolicy = autopilot.Policy
+
+// AutopilotSignals is one tick's observed cluster state — the
+// machine's entire input.
+type AutopilotSignals = autopilot.Signals
+
+// AutopilotStats snapshots the controller's lifetime accounting:
+// ticks, joins, leaves, aborts, fuse vetoes, thrash, and migration
+// cost in buckets and records.
+type AutopilotStats = autopilot.Stats
+
+// AutopilotState is the controller state machine's position: steady,
+// scale-up-pending, scale-down-pending, migrating, or cool-down.
+type AutopilotState = autopilot.State
+
+// AutopilotDecision is one machine step's outcome, including the fuse
+// that vetoed an otherwise-ready action.
+type AutopilotDecision = autopilot.Decision
+
+// AutopilotMachine is the pure decision core — no clocks, no I/O —
+// usable on its own for deterministic policy simulation.
+type AutopilotMachine = autopilot.Machine
+
+// NewAutopilot validates the wiring and builds a controller in the
+// steady state; run it with Start/Stop or Run.
+func NewAutopilot(cfg AutopilotConfig) (*Autopilot, error) { return autopilot.New(cfg) }
+
+// NewAutopilotMachine builds the bare state machine over a policy.
+func NewAutopilotMachine(p AutopilotPolicy) *AutopilotMachine { return autopilot.NewMachine(p) }
+
+// ClusterHealth is one node's health-probe reply: identity, hosted
+// shards, migration pressure, and live backpressure readings.
+type ClusterHealth = cluster.Health
+
+// ProbeClusterHealth fetches one node's /v1/health; standby nodes
+// answer with State "standby", which is how the autopilot discovers
+// join capacity.
+func ProbeClusterHealth(ctx context.Context, base string) (ClusterHealth, error) {
+	return cluster.ProbeHealth(ctx, nil, base)
+}

@@ -829,3 +829,71 @@ func BenchmarkClusterMigration(b *testing.B) {
 		b.ReportMetric(float64(st.Records), "records/op")
 	}
 }
+
+// BenchmarkAutopilotScatterGather measures the scatter/gather hot path
+// with the autopilot membership controller attached to the same
+// cluster: every tick it fans health probes out to all members and
+// snapshots the router's latency families for the windowed p99 signal.
+// The policy is calm (thresholds far above anything the benchmark
+// drives), so what's measured is pure controller coexistence — the
+// acceptance bar is ≤ 1.05× the committed PR 7 healthy router mean,
+// i.e. the decision loop stays off the query path.
+func BenchmarkAutopilotScatterGather(b *testing.B) {
+	g := grid.MustNew(8, 8)
+	sm, err := decluster.NewChainShardMap(g, 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	method, err := decluster.NewFX(g, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := decluster.UniformRecords{K: 2, Seed: 1}.Generate(2048)
+	sink := decluster.NewSink()
+	h, err := decluster.StartClusterHarness(decluster.ClusterHarnessConfig{
+		Map:      sm,
+		Method:   method,
+		Records:  recs,
+		Standbys: 1,
+		Obs:      sink,
+		Router:   decluster.RouterConfig{NodeDeadline: 5 * time.Second},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	ap, err := decluster.NewAutopilot(decluster.AutopilotConfig{
+		Router:    h.Router(),
+		Endpoints: h.URLs(),
+		Obs:       sink,
+		Tick:      20 * time.Millisecond,
+		Policy: decluster.AutopilotPolicy{
+			ScaleUpP99: time.Hour, // calm: observe, never act
+			MinNodes:   4,
+			MaxNodes:   5,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ap.Start()
+	defer ap.Stop()
+	q := g.MustRect(grid.Coord{1, 1}, grid.Coord{6, 6})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := h.Router().Search(context.Background(), q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Covered != res.SubQueries {
+			b.Fatalf("covered %d of %d sub-queries", res.Covered, res.SubQueries)
+		}
+	}
+	b.StopTimer()
+	// Short runs can finish inside the first tick period; give the
+	// loop one tick off the clock before checking it stayed calm.
+	time.Sleep(50 * time.Millisecond)
+	if st := ap.Stats(); st.Joins != 0 || st.Leaves != 0 || st.Ticks == 0 {
+		b.Fatalf("controller was not calmly observing: %+v", st)
+	}
+}

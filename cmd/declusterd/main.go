@@ -23,6 +23,15 @@
 // -query invocations, long-lived clients — discover the new epoch on
 // their next query via the nodes' stale-epoch replies.
 //
+// Autopilot mode (-autopilot) attaches the load-driven membership
+// controller to a running cluster: it watches windowed per-node p99,
+// admission-queue depth, and shed rate through its own router and
+// health probes, and joins standby peers in (or drains the most recent
+// joiner) through the same online migration the -migrate mode runs —
+// with hysteresis, safety fuses, and a post-migration cool-down so a
+// flapping signal never flaps the membership. Every decision is logged
+// to stderr; it runs until SIGINT/SIGTERM.
+//
 // Usage:
 //
 //	declusterd -listen ADDR -node I [geometry flags]   serve node I
@@ -30,6 +39,7 @@
 //	declusterd -query LO:HI -peers URL,URL,...         query a cluster
 //	declusterd -migrate join  -peers URL,...,JOINER    grow the cluster
 //	declusterd -migrate leave -victim I -peers ...     shrink it
+//	declusterd -autopilot -peers URL,...,STANDBYS      run the controller
 //
 //	Geometry (must match on every node and client):
 //	-grid      grid dimensions, e.g. 8x8 or 4x4x4 (default 8x8)
@@ -65,6 +75,23 @@
 //	-migrate-rate copy throttle in pages/sec (default 0 = unthrottled)
 //	-timeout      end-to-end migration deadline (default 30s)
 //
+//	Autopilot mode:
+//	-autopilot      run the membership controller against -peers; URLs
+//	                past the boot map are the standby pool it may join
+//	-scale-up-p99   join a standby once windowed per-node p99 crosses
+//	                this (default 50ms)
+//	-scale-up-queue join once any member's admission queue reaches this
+//	                depth (0 disables; default 0)
+//	-scale-down-p99 drain the newest joiner once p99 falls below this
+//	                with empty queues (0 disables scale-down; default 0)
+//	-tick           control-loop period (default 250ms)
+//	-cooldown       post-migration freeze (default 5s)
+//	-min-nodes      never drain below this many members (default the
+//	                boot map's node count)
+//	-max-nodes      never grow past this many members (default the
+//	                -peers count)
+//	-migrate-rate   throttle for autopilot migrations too
+//
 // Example 3-node cluster on loopback, then an online join:
 //
 //	declusterd -listen 127.0.0.1:7000 -node 0 -nodes 3 &
@@ -93,9 +120,11 @@ import (
 	"time"
 
 	"decluster/internal/alloc"
+	"decluster/internal/autopilot"
 	"decluster/internal/cluster"
 	"decluster/internal/datagen"
 	"decluster/internal/grid"
+	"decluster/internal/obs"
 	"decluster/internal/repair"
 	"decluster/internal/serve"
 )
@@ -117,6 +146,14 @@ func main() {
 		records      = flag.Int("records", 4096, "dataset size")
 		seed         = flag.Int64("seed", 1, "dataset generator seed")
 		baseLatency  = flag.Duration("base-latency", 0, "serve mode: simulated per-bucket read service time")
+		autopilotOn  = flag.Bool("autopilot", false, "autopilot mode: run the load-driven membership controller against -peers")
+		scaleUpP99   = flag.Duration("scale-up-p99", 50*time.Millisecond, "autopilot mode: windowed per-node p99 that triggers a scale-up")
+		scaleUpQueue = flag.Int("scale-up-queue", 0, "autopilot mode: admission-queue depth that triggers a scale-up (0 disables)")
+		scaleDownP99 = flag.Duration("scale-down-p99", 0, "autopilot mode: p99 below which an idle cluster drains its newest joiner (0 disables scale-down)")
+		apTick       = flag.Duration("tick", 250*time.Millisecond, "autopilot mode: control-loop period")
+		apCooldown   = flag.Duration("cooldown", 5*time.Second, "autopilot mode: post-migration freeze")
+		minNodes     = flag.Int("min-nodes", 0, "autopilot mode: membership floor (default the boot map's node count)")
+		maxNodes     = flag.Int("max-nodes", 0, "autopilot mode: membership ceiling (default the -peers count)")
 		query        = flag.String("query", "", "query mode: cell rectangle x1,y1:x2,y2 (inclusive)")
 		peers        = flag.String("peers", "", "query mode: comma-separated node base URLs, indexed by node ID")
 		nodeDeadline = flag.Duration("node-deadline", 2*time.Second, "query mode: per-attempt deadline against one node")
@@ -131,14 +168,14 @@ func main() {
 		os.Exit(2)
 	}
 	modes := 0
-	for _, on := range []bool{*listen != "", *query != "", *migrate != ""} {
+	for _, on := range []bool{*listen != "", *query != "", *migrate != "", *autopilotOn} {
 		if on {
 			modes++
 		}
 	}
 	switch {
 	case modes > 1:
-		fmt.Fprintln(os.Stderr, "declusterd: -listen, -query, and -migrate are mutually exclusive")
+		fmt.Fprintln(os.Stderr, "declusterd: -listen, -query, -migrate, and -autopilot are mutually exclusive")
 		os.Exit(2)
 	case *listen != "":
 		id := *nodeID
@@ -152,8 +189,20 @@ func main() {
 		err = runQuery(os.Stdout, *query, *peers, sm, *nodeDeadline, *hedgeAfter, *timeout)
 	case *migrate != "":
 		err = runMigrate(os.Stdout, *migrate, *peers, sm, *victim, *migrateRate, *timeout)
+	case *autopilotOn:
+		err = runAutopilot(os.Stderr, *peers, sm, autopilotSettings{
+			scaleUpP99:   *scaleUpP99,
+			scaleUpQueue: *scaleUpQueue,
+			scaleDownP99: *scaleDownP99,
+			tick:         *apTick,
+			cooldown:     *apCooldown,
+			minNodes:     *minNodes,
+			maxNodes:     *maxNodes,
+			migrateRate:  *migrateRate,
+			nodeDeadline: *nodeDeadline,
+		})
 	default:
-		fmt.Fprintln(os.Stderr, "declusterd: pass -listen (serve a node), -query (query a cluster), or -migrate (change membership)")
+		fmt.Fprintln(os.Stderr, "declusterd: pass -listen (serve a node), -query (query a cluster), -migrate (change membership), or -autopilot (run the controller)")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -373,6 +422,82 @@ func runMigrate(w io.Writer, kind, peerList string, sm *cluster.ShardMap, victim
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "routers discover the new epoch on their next query")
+	return nil
+}
+
+// autopilotSettings carries the -autopilot flag group.
+type autopilotSettings struct {
+	scaleUpP99   time.Duration
+	scaleUpQueue int
+	scaleDownP99 time.Duration
+	tick         time.Duration
+	cooldown     time.Duration
+	minNodes     int
+	maxNodes     int
+	migrateRate  float64
+	nodeDeadline time.Duration
+}
+
+// runAutopilot attaches the membership controller to a running cluster
+// and blocks until SIGINT/SIGTERM, logging every decision as it lands.
+// The controller's private router serves no query traffic, so its
+// latency families stay empty; the windowed p99 signal instead comes
+// from the latency histograms the nodes report in their health
+// replies, which see every router's traffic — the watcher diffs
+// successive probes into the same sliding window.
+func runAutopilot(logw io.Writer, peerList string, sm *cluster.ShardMap, s autopilotSettings) error {
+	endpoints := splitPeers(peerList)
+	if len(endpoints) < sm.Nodes() {
+		return fmt.Errorf("-peers lists %d URLs for %d nodes", len(endpoints), sm.Nodes())
+	}
+	if s.minNodes == 0 {
+		s.minNodes = sm.Nodes()
+	}
+	if s.maxNodes == 0 {
+		s.maxNodes = len(endpoints)
+	}
+	sink := obs.NewSink()
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Map:          sm,
+		Endpoints:    endpoints,
+		NodeDeadline: s.nodeDeadline,
+		Obs:          sink,
+	})
+	if err != nil {
+		return err
+	}
+	ctrl, err := autopilot.New(autopilot.Config{
+		Router:      rt,
+		Endpoints:   endpoints,
+		Obs:         sink,
+		Tick:        s.tick,
+		MigrateRate: s.migrateRate,
+		Policy: autopilot.Policy{
+			ScaleUpP99:   s.scaleUpP99,
+			ScaleUpQueue: s.scaleUpQueue,
+			ScaleDownP99: s.scaleDownP99,
+			CoolDown:     s.cooldown,
+			MinNodes:     s.minNodes,
+			MaxNodes:     s.maxNodes,
+		},
+		OnDecision: func(line string) { fmt.Fprintln(logw, "declusterd: autopilot", line) },
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "declusterd: autopilot watching %d members (+%d standby) — envelope [%d, %d], tick %v\n",
+		sm.Nodes(), len(endpoints)-sm.Nodes(), s.minNodes, s.maxNodes, s.tick)
+	ctrl.Start()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	sg := <-sig
+	fmt.Fprintf(logw, "declusterd: %v, stopping autopilot\n", sg)
+	ctrl.Stop()
+	st := ctrl.Stats()
+	fmt.Fprintf(logw, "declusterd: autopilot ran %d ticks: %d joins, %d leaves, %d aborts, %d vetoes, %d thrash, %d buckets moved (epoch %d)\n",
+		st.Ticks, st.Joins, st.Leaves, st.Aborts, st.Vetoes, st.Thrash, st.Buckets, rt.Epoch())
 	return nil
 }
 

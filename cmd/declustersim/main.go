@@ -48,8 +48,21 @@
 //	             scenarios named (default: all five chaos scenarios)
 //	-leave       cluster: run the online-leave migration scenario
 //	-partition   cluster: run the partition-then-heal scenario
+//	-flash-crowd cluster: run the flash-crowd load surge against static
+//	             membership
+//	-autopilot   cluster: run the flash-crowd surge with the autopilot
+//	             membership controller attached — it joins the standby
+//	             when windowed p99 crosses the -autopilot-p99 bound
+//	-blinking    cluster: run the blinking-partition adversarial
+//	             schedule against the autopilot (fuses must hold, zero
+//	             thrash)
+//	-spike-factor cluster: flash-crowd surge intensity — open-loop
+//	             issuers hammering the seeded hot region (default 2)
+//	-autopilot-p99 cluster: autopilot scale-up trigger and stated p99
+//	             bound (default 10× base latency)
 //	-migrate-rate cluster: throttle join/leave bucket copies in
-//	             pages/sec (default 0 = unthrottled)
+//	             pages/sec (default 0 = unthrottled; autopilot
+//	             migrations obey it too)
 //	-corrupt-prob recovery: per-page silent-corruption probability of
 //	             the seeded rot plan (default 0.02)
 //	-metrics     dump the observability registry after the run as
@@ -72,6 +85,8 @@
 //	declustersim -experiment cluster -nodes 6 -replicas 2 -soak 1s -seed 42
 //	declustersim -experiment cluster -join -leave -migrate-rate 400 -soak 1s
 //	declustersim -experiment cluster -partition -soak 2s -seed 9
+//	declustersim -flash-crowd -autopilot -soak 8s -migrate-rate 800 -seed 42
+//	declustersim -blinking -soak 4s -seed 42
 //	declustersim -experiment all -samples 500
 package main
 
@@ -116,6 +131,11 @@ func main() {
 		joinScen    = flag.Bool("join", false, "cluster experiment: run the online-join migration scenario (narrows the scenario set)")
 		leaveScen   = flag.Bool("leave", false, "cluster experiment: run the online-leave migration scenario (narrows the scenario set)")
 		partScen    = flag.Bool("partition", false, "cluster experiment: run the partition-then-heal scenario (narrows the scenario set)")
+		flashScen   = flag.Bool("flash-crowd", false, "cluster experiment: run the flash-crowd load-surge scenario, static membership (narrows the scenario set)")
+		autoScen    = flag.Bool("autopilot", false, "cluster experiment: run the flash-crowd scenario with the autopilot membership controller attached (narrows the scenario set)")
+		blinkScen   = flag.Bool("blinking", false, "cluster experiment: run the blinking-partition adversarial scenario against the autopilot (narrows the scenario set)")
+		spikeFactor = flag.Float64("spike-factor", 0, "cluster experiment: flash-crowd surge intensity on the hot region (default 2)")
+		autoP99     = flag.Duration("autopilot-p99", 0, "cluster experiment: autopilot scale-up p99 trigger and stated bound (default 10× base latency)")
 		migrateRate = flag.Float64("migrate-rate", 0, "cluster experiment: join/leave copy throttle in pages/sec (0 = unthrottled)")
 		corruptProb = flag.Float64("corrupt-prob", 0, "recovery experiment: per-page silent-corruption probability (default 0.02)")
 		metricsOut  = flag.String("metrics", "", "dump the observability registry after the run: table or csv (chaos and recovery)")
@@ -190,20 +210,22 @@ func main() {
 		Clients:    *clients,
 		HedgeAfter: *hedgeAfter,
 	}
-	if *nodes < 0 || *replicas < 0 || *migrateRate < 0 {
-		fmt.Fprintln(os.Stderr, "declustersim: -nodes, -replicas, and -migrate-rate must be ≥ 0")
+	if *nodes < 0 || *replicas < 0 || *migrateRate < 0 || *spikeFactor < 0 || *autoP99 < 0 {
+		fmt.Fprintln(os.Stderr, "declustersim: -nodes, -replicas, -migrate-rate, -spike-factor, and -autopilot-p99 must be ≥ 0")
 		os.Exit(2)
 	}
 	clusterCfg := experiments.ClusterChaosConfig{
-		Nodes:       *nodes,
-		Replicas:    *replicas,
-		Duration:    *soak,
-		Clients:     *clients,
-		HedgeAfter:  *hedgeAfter,
-		MigrateRate: *migrateRate,
+		Nodes:        *nodes,
+		Replicas:     *replicas,
+		Duration:     *soak,
+		Clients:      *clients,
+		HedgeAfter:   *hedgeAfter,
+		MigrateRate:  *migrateRate,
+		SpikeFactor:  *spikeFactor,
+		AutopilotP99: *autoP99,
 	}
 	// Naming any scenario flag narrows the run to exactly the scenarios
-	// named; naming none keeps the full five-scenario sweep.
+	// named; naming none keeps the default five-scenario sweep.
 	var scenarios []string
 	if *partScen {
 		scenarios = append(scenarios, "partition")
@@ -213,6 +235,15 @@ func main() {
 	}
 	if *leaveScen {
 		scenarios = append(scenarios, "leave")
+	}
+	if *flashScen {
+		scenarios = append(scenarios, "flash-crowd")
+	}
+	if *autoScen {
+		scenarios = append(scenarios, "flash-crowd+autopilot")
+	}
+	if *blinkScen {
+		scenarios = append(scenarios, "blinking-partition")
 	}
 	clusterCfg.Scenarios = scenarios
 	if *corruptProb < 0 || *corruptProb >= 1 {

@@ -1,0 +1,250 @@
+package autopilot
+
+import (
+	"testing"
+	"time"
+)
+
+// testPolicy is the baseline the transition tables run against:
+// trigger on p99 ≥ 100ms or queue ≥ 8 or shed ≥ 10/s, relax below
+// 10ms, act after 3 up-ticks / 4 down-ticks, cool down 1s.
+func testPolicy() Policy {
+	return Policy{
+		ScaleUpP99:      100 * time.Millisecond,
+		ScaleUpQueue:    8,
+		ScaleUpShedRate: 10,
+		ScaleDownP99:    10 * time.Millisecond,
+		HysteresisUp:    3,
+		HysteresisDown:  4,
+		CoolDown:        time.Second,
+		ThrashWindow:    4 * time.Second,
+		MinNodes:        2,
+		MaxNodes:        5,
+	}
+}
+
+// calm is a tick inside the deadband: neither overloaded nor idle.
+func calm() Signals {
+	return Signals{P99: 50 * time.Millisecond, Nodes: 3, StandbyReady: true}
+}
+
+// hot is an overloaded tick with all fuses clear.
+func hot() Signals {
+	return Signals{P99: 200 * time.Millisecond, Nodes: 3, StandbyReady: true}
+}
+
+// cold is an idle tick with all fuses clear.
+func cold() Signals {
+	return Signals{P99: time.Millisecond, Nodes: 3, StandbyReady: true}
+}
+
+// step is one row of a transition table.
+type step struct {
+	name string
+	adv  time.Duration // clock advance before the step
+	sig  Signals
+	// done, when set, calls MigrationDone(aborted) instead of Step.
+	done    bool
+	aborted bool
+
+	wantState  State
+	wantAction Action
+	wantVeto   Fuse
+}
+
+func runSteps(t *testing.T, m *Machine, steps []step) {
+	t.Helper()
+	now := time.Unix(1000, 0)
+	for i, s := range steps {
+		now = now.Add(s.adv)
+		if s.done {
+			m.MigrationDone(now, s.aborted)
+			if got := m.State(); got != s.wantState {
+				t.Fatalf("step %d (%s): state after MigrationDone = %v, want %v", i, s.name, got, s.wantState)
+			}
+			continue
+		}
+		d := m.Step(now, s.sig)
+		if d.State != s.wantState || d.Action != s.wantAction || d.Veto != s.wantVeto {
+			t.Fatalf("step %d (%s): got state=%v action=%v veto=%v, want state=%v action=%v veto=%v",
+				i, s.name, d.State, d.Action, d.Veto, s.wantState, s.wantAction, s.wantVeto)
+		}
+	}
+}
+
+// TestHysteresisScaleUpPath walks the canonical scale-up lifecycle:
+// steady → pending (streak builds) → join → migrating → cool-down →
+// steady, including a blip reset along the way.
+func TestHysteresisScaleUpPath(t *testing.T) {
+	m := NewMachine(testPolicy())
+	runSteps(t, m, []step{
+		{name: "calm stays steady", sig: calm(), wantState: Steady},
+		{name: "overload enters pending", sig: hot(), wantState: ScaleUpPending},
+		{name: "blip resets to steady", sig: calm(), wantState: Steady},
+		{name: "overload again", sig: hot(), wantState: ScaleUpPending},
+		{name: "streak 2", sig: hot(), wantState: ScaleUpPending},
+		{name: "streak 3 acts", sig: hot(), wantState: Migrating, wantAction: ActJoin},
+		{name: "ticks ignored mid-migration", sig: hot(), wantState: Migrating},
+		{name: "done enters cool-down", done: true, wantState: CoolDown},
+		{name: "cool-down holds", adv: 500 * time.Millisecond, sig: hot(), wantState: CoolDown},
+		{name: "expiry re-evaluates", adv: 600 * time.Millisecond, sig: hot(), wantState: ScaleUpPending},
+		{name: "calm after expiry is steady", sig: calm(), wantState: Steady},
+	})
+}
+
+// TestHysteresisScaleDownPath mirrors the drain side, with its deeper
+// hysteresis and the min-nodes envelope.
+func TestHysteresisScaleDownPath(t *testing.T) {
+	m := NewMachine(testPolicy())
+	runSteps(t, m, []step{
+		{name: "idle enters pending", sig: cold(), wantState: ScaleDownPending},
+		{name: "streak 2", sig: cold(), wantState: ScaleDownPending},
+		{name: "load returning resets", sig: calm(), wantState: Steady},
+		{name: "idle again", sig: cold(), wantState: ScaleDownPending},
+		{name: "streak 2", sig: cold(), wantState: ScaleDownPending},
+		{name: "streak 3", sig: cold(), wantState: ScaleDownPending},
+		{name: "streak 4 acts", sig: cold(), wantState: Migrating, wantAction: ActLeave},
+		{name: "done", done: true, wantState: CoolDown},
+	})
+
+	// At the floor the leave is vetoed by the envelope instead.
+	m = NewMachine(testPolicy())
+	atFloor := cold()
+	atFloor.Nodes = 2
+	runSteps(t, m, []step{
+		{name: "idle", sig: atFloor, wantState: ScaleDownPending},
+		{name: "streak 2", sig: atFloor, wantState: ScaleDownPending},
+		{name: "streak 3", sig: atFloor, wantState: ScaleDownPending},
+		{name: "floor vetoes", sig: atFloor, wantState: ScaleDownPending, wantVeto: FuseEnvelope},
+	})
+}
+
+// TestEveryScaleUpTriggerCounts verifies each overload signal — p99,
+// queue depth, shed rate — independently starts the streak.
+func TestEveryScaleUpTriggerCounts(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sig  Signals
+	}{
+		{"p99", Signals{P99: 150 * time.Millisecond, Nodes: 3}},
+		{"queue", Signals{P99: 50 * time.Millisecond, QueueDepth: 9, Nodes: 3}},
+		{"shed", Signals{P99: 50 * time.Millisecond, ShedRate: 25, Nodes: 3}},
+	} {
+		m := NewMachine(testPolicy())
+		if d := m.Step(time.Unix(1000, 0), tc.sig); d.State != ScaleUpPending {
+			t.Errorf("%s trigger: state %v, want scale-up-pending", tc.name, d.State)
+		}
+	}
+}
+
+// TestFuseVetoes drives the machine to a fully-qualified scale-up and
+// asserts every fuse holds it — without resetting the streak, so the
+// action fires the first tick the fuse clears.
+func TestFuseVetoes(t *testing.T) {
+	fuses := []struct {
+		name string
+		mod  func(*Signals)
+		want Fuse
+	}{
+		{"breakers open", func(s *Signals) { s.BreakersOpen = 1 }, FuseBreakersOpen},
+		{"epoch split", func(s *Signals) { s.EpochSplit = true }, FusePartitionSuspected},
+		{"unreachable member", func(s *Signals) { s.Unreachable = 1 }, FusePartitionSuspected},
+		{"migration in flight", func(s *Signals) { s.MigrationInFlight = true }, FuseMigrationInFlight},
+		{"node ceiling", func(s *Signals) { s.Nodes = 5 }, FuseEnvelope},
+		{"no standby", func(s *Signals) { s.StandbyReady = false }, FuseNoStandby},
+	}
+	for _, f := range fuses {
+		t.Run(f.name, func(t *testing.T) {
+			m := NewMachine(testPolicy())
+			now := time.Unix(1000, 0)
+			m.Step(now, hot())
+			m.Step(now, hot())
+			fused := hot()
+			f.mod(&fused)
+			d := m.Step(now, fused)
+			if d.Action != ActNone || d.Veto != f.want || d.State != ScaleUpPending {
+				t.Fatalf("fused step: action=%v veto=%v state=%v, want held by %v", d.Action, d.Veto, d.State, f.want)
+			}
+			// Fuse clears → immediate action, no streak rebuild.
+			d = m.Step(now, hot())
+			if d.Action != ActJoin {
+				t.Fatalf("post-fuse step: action=%v, want join", d.Action)
+			}
+		})
+	}
+}
+
+// TestCoolDownExpiry pins the freeze length: aborted migrations cool
+// down twice as long as clean ones.
+func TestCoolDownExpiry(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		aborted bool
+		cool    time.Duration
+	}{
+		{"clean", false, time.Second},
+		{"aborted", true, 2 * time.Second},
+	} {
+		m := NewMachine(testPolicy())
+		now := time.Unix(1000, 0)
+		m.Step(now, hot())
+		m.Step(now, hot())
+		if d := m.Step(now, hot()); d.Action != ActJoin {
+			t.Fatalf("%s: setup did not act", tc.name)
+		}
+		m.MigrationDone(now, tc.aborted)
+		if d := m.Step(now.Add(tc.cool-time.Millisecond), hot()); d.State != CoolDown {
+			t.Errorf("%s: left cool-down early (state %v)", tc.name, d.State)
+		}
+		if d := m.Step(now.Add(tc.cool+time.Millisecond), hot()); d.State == CoolDown {
+			t.Errorf("%s: still cooling after expiry", tc.name)
+		}
+	}
+}
+
+// TestThrashCounter: a reversal inside the thrash window counts once;
+// the same reversal outside the window does not.
+func TestThrashCounter(t *testing.T) {
+	drive := func(gap time.Duration) uint64 {
+		m := NewMachine(testPolicy())
+		now := time.Unix(1000, 0)
+		for i := 0; i < 3; i++ {
+			m.Step(now, hot())
+		}
+		m.MigrationDone(now, false)
+		now = now.Add(gap)
+		for i := 0; i < 4; i++ {
+			m.Step(now, cold())
+		}
+		return m.Thrash()
+	}
+	// Gap must clear the 1s cool-down; thrash window is 4s.
+	if got := drive(2 * time.Second); got != 1 {
+		t.Errorf("reversal inside window: thrash = %d, want 1", got)
+	}
+	if got := drive(10 * time.Second); got != 0 {
+		t.Errorf("reversal outside window: thrash = %d, want 0", got)
+	}
+}
+
+// TestPolicyDefaults pins the defaulting rules the controller relies
+// on.
+func TestPolicyDefaults(t *testing.T) {
+	p := Policy{}.withDefaults()
+	if p.HysteresisUp != 3 || p.HysteresisDown != 6 {
+		t.Errorf("hysteresis defaults %d/%d, want 3/6", p.HysteresisUp, p.HysteresisDown)
+	}
+	if p.CoolDown != 500*time.Millisecond || p.ThrashWindow != 2*time.Second {
+		t.Errorf("cool-down defaults %v/%v", p.CoolDown, p.ThrashWindow)
+	}
+	if p.MinNodes != 1 || p.MaxNodes <= 1<<40 {
+		t.Errorf("envelope defaults %d/%d", p.MinNodes, p.MaxNodes)
+	}
+	// Zero thresholds disable their triggers.
+	if p.overloaded(Signals{P99: time.Hour, QueueDepth: 1 << 20, ShedRate: 1e9}) {
+		t.Error("zero thresholds should disable overload classification")
+	}
+	if p.idle(Signals{}) {
+		t.Error("zero ScaleDownP99 should disable idle classification")
+	}
+}

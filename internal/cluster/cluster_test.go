@@ -284,6 +284,39 @@ func TestRouterHedgesSlowNode(t *testing.T) {
 	}
 }
 
+// TestRouterHedgeSuppressedUnderSaturation checks the router stops
+// hedging once every replica of a shard reports latency worse than the
+// hedge delay: a backup that cannot beat the straggler only deepens
+// the saturation that made the primary slow, so the extra leg must not
+// launch.
+func TestRouterHedgeSuppressedUnderSaturation(t *testing.T) {
+	tc := startTestCluster(t, 4, 2, RouterConfig{
+		HedgeAfter:   5 * time.Millisecond,
+		NodeDeadline: 5 * time.Second,
+	})
+	for n := 0; n < 4; n++ {
+		if err := tc.h.Faults().SetNodeSlow(n, 11); err != nil { // (11-1)·2ms = 20ms ≫ 5ms hedge delay
+			t.Fatal(err)
+		}
+	}
+	q := tc.g.FullRect()
+	// First search: EWMAs start cold at zero, so hedging is still
+	// allowed — and every leg it touches records a ~20ms sample.
+	if _, err := tc.h.Router().Search(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tc.h.Router().Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(resultIDs(res), tc.refIDs(t, q)) {
+		t.Fatal("answer differs from reference with hedging suppressed")
+	}
+	if res.Hedges != 0 {
+		t.Fatalf("%d hedge legs launched although every replica is slower than the hedge delay", res.Hedges)
+	}
+}
+
 // TestRouterBreakerTripsOnCrashedNode checks repeated failures open the
 // node breaker so later queries stop targeting the dead node first.
 func TestRouterBreakerTripsOnCrashedNode(t *testing.T) {

@@ -47,6 +47,13 @@ type NodeConfig struct {
 	SlowUnit time.Duration
 	// Obs optionally observes the node's scheduler.
 	Obs *obs.Sink
+	// MetricMembers, when positive, also mirrors this node's queue
+	// depth and shed count into the shared per-node obs families
+	// (serve.WithNodeMetrics), sized MetricMembers wide. Every node
+	// sharing a sink must pass the same value — the largest member ID
+	// the process will host plus one, standbys included — because obs
+	// families refuse to grow. Requires Obs.
+	MetricMembers int
 	// ServeOptions passes extra options (base latency, admission,
 	// breakers, hedging, local disk faults…) to the node's scheduler.
 	ServeOptions []serve.Option
@@ -72,6 +79,14 @@ type Node struct {
 	cfg      NodeConfig
 	faults   *fault.NodeInjector
 	slowUnit time.Duration
+	// lat is the node's own query-service latency histogram — always
+	// on, private to the node (deliberately not the optional shared Obs
+	// sink, whose families would merge in-process co-tenants), and
+	// shipped cumulatively in health replies. A controller whose router
+	// never carries the query traffic windows THIS by diffing
+	// successive probes; it is the only latency signal that survives
+	// running the autopilot in its own process.
+	lat *obs.Histogram
 
 	mu         sync.RWMutex
 	cur        *ShardMap
@@ -104,6 +119,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	n := &Node{
 		id: cfg.ID, g: cfg.Map.Grid(), cfg: cfg, cur: cfg.Map,
 		faults: cfg.Faults, slowUnit: cfg.SlowUnit,
+		lat: obs.NewRegistry().Histogram("cluster.node.query.latency"),
 	}
 	file, sched, err := n.buildStack(cfg.Records, cfg.Map)
 	if err != nil {
@@ -144,6 +160,9 @@ func (n *Node) buildStack(recs []datagen.Record, maps ...*ShardMap) (*gridfile.F
 	opts := n.cfg.ServeOptions
 	if n.cfg.Obs != nil {
 		opts = append(append([]serve.Option(nil), opts...), serve.WithObserver(n.cfg.Obs))
+		if n.cfg.MetricMembers > n.id {
+			opts = append(opts, serve.WithNodeMetrics(n.id, n.cfg.MetricMembers))
+		}
 	}
 	sched, err := serve.New(file, opts...)
 	if err != nil {
@@ -357,7 +376,12 @@ func (n *Node) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: node %d is rebuilding", fault.ErrUnavailable, n.id))
 		return
 	}
+	start := time.Now()
 	res, err := sched.Do(r.Context(), serve.Query{Rect: rect, Priority: req.Priority})
+	// Failures count too: a shed or timed-out query is the latency
+	// signal at its loudest, and dropping it would hide exactly the
+	// overload a health-probing controller is looking for.
+	n.lat.Observe(time.Since(start))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -750,25 +774,39 @@ func (n *Node) handleHealth(w http.ResponseWriter, r *http.Request) {
 	n.mu.RLock()
 	count, rebuilding := n.file.Len(), n.rebuilding
 	cur, pending := n.cur, n.pendingEpochLocked()
+	sched := n.sched
 	n.mu.RUnlock()
+	var shards []int
+	idx, member := cur.NodeOfMember(n.id)
+	if member {
+		shards = append([]int(nil), cur.HostedShards(idx)...)
+	}
 	state := "serving"
 	switch {
 	case rebuilding:
 		state = "rebuilding"
 	case pending != 0:
 		state = "migrating"
+	case !member:
+		// Not in the current map and not mid-handoff: an idle standby
+		// awaiting a join migration. Advertising it lets the autopilot
+		// (and operators) discover spare capacity by probing.
+		state = "standby"
 	}
-	var shards []int
-	if idx, ok := cur.NodeOfMember(n.id); ok {
-		shards = append([]int(nil), cur.HostedShards(idx)...)
-	}
+	snap := n.lat.Snapshot()
 	writeJSON(w, healthResponse{
-		Node:    n.id,
-		Shards:  shards,
-		Records: count,
-		State:   state,
-		Epoch:   cur.Epoch(),
-		Pending: pending,
+		Node:          n.id,
+		Shards:        shards,
+		Records:       count,
+		State:         state,
+		Epoch:         cur.Epoch(),
+		Pending:       pending,
+		QueueDepth:    sched.QueueDepth(),
+		Shed:          sched.Stats().Shed(),
+		LatencyBounds: snap.Bounds,
+		LatencyCounts: snap.Counts,
+		LatencyCount:  snap.Count,
+		LatencySum:    snap.Sum,
 	})
 }
 

@@ -610,14 +610,25 @@ func (rt *Router) pickNode(candidates []int, attempt int) int {
 }
 
 // hedgeCandidate returns the replica a hedge leg should target: the
-// first allowed candidate differing from primary, or -1 when none
-// exists (single replica, or everything else broken).
+// first allowed candidate differing from primary whose own observed
+// latency leaves it a chance of beating the straggler, or -1 when none
+// exists (single replica, or everything else broken or saturated).
+//
+// The latency gate is what keeps hedging from amplifying overload: a
+// hedge is a bet that the backup answers faster than a straggling
+// primary, and when the backup's smoothed latency already exceeds the
+// hedge delay the bet is lost on average — every extra leg then just
+// deepens the very queues that made the primary slow. Under a flash
+// crowd this feedback loop (slow → hedge → slower) is what tips a
+// saturated-but-stable cluster into breaker trips and retry storms, so
+// once EVERY replica of a shard reports sick latency the router stops
+// hedging that shard entirely and lets single legs drain the queues.
 func (rt *Router) hedgeCandidate(candidates []int, primary int) int {
 	if rt.hedge <= 0 {
 		return -1
 	}
 	for _, c := range candidates {
-		if c != primary && rt.allowMember(c) {
+		if c != primary && rt.allowMember(c) && rt.brk.EWMALatency(c) <= rt.hedge {
 			return c
 		}
 	}

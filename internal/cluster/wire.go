@@ -114,11 +114,26 @@ type healthResponse struct {
 	Node    int    `json:"node"`
 	Shards  []int  `json:"shards"`
 	Records int    `json:"records"`
-	State   string `json:"state"` // "serving" | "rebuilding" | "migrating"
+	State   string `json:"state"` // "serving" | "rebuilding" | "migrating" | "standby"
 	// Epoch is the node's current map epoch; Pending is the staged
 	// next epoch mid-migration (0 when none).
 	Epoch   uint64 `json:"epoch,omitempty"`
 	Pending uint64 `json:"pending,omitempty"`
+	// QueueDepth and Shed expose live admission backpressure — the
+	// autopilot's scale signals, also mirrored into the
+	// serve.node.queue.depth / serve.node.shed obs families.
+	QueueDepth int    `json:"queue_depth"`
+	Shed       uint64 `json:"shed"`
+	// Latency* serialize the node's lifetime query-latency histogram:
+	// ascending bucket upper bounds in nanoseconds, one count per
+	// bucket plus the overflow bucket, and the total count/sum. The
+	// reply is cumulative — a watcher windows it by diffing successive
+	// probes — and is the autopilot's p99 source when its own router
+	// is not the one carrying the query traffic.
+	LatencyBounds []int64  `json:"latency_bounds,omitempty"`
+	LatencyCounts []uint64 `json:"latency_counts,omitempty"`
+	LatencyCount  uint64   `json:"latency_count,omitempty"`
+	LatencySum    int64    `json:"latency_sum,omitempty"`
 }
 
 // wireMap is a ShardMap in JSON clothing. A map is a pure function of

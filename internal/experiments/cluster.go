@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"decluster/internal/alloc"
+	"decluster/internal/autopilot"
 	"decluster/internal/cluster"
 	"decluster/internal/datagen"
 	"decluster/internal/exec"
@@ -69,10 +71,27 @@ type ClusterChaosConfig struct {
 	// (0 = unthrottled).
 	RebuildRate float64
 	// MigrateRate paces the join/leave bucket copies in pages/second
-	// (0 = unthrottled).
+	// (0 = unthrottled); autopilot-driven migrations obey it too.
 	MigrateRate float64
+	// SpikeFactor sets the flash-crowd surge intensity: during the
+	// surge window, (SpikeFactor−1) × Clients open-loop issuers each
+	// fire a hot-region query every 8 × BaseLatency, arrivals
+	// independent of completions (default 2 — enough to drown the
+	// static cluster's hot shards while staying inside what one extra
+	// node can absorb).
+	SpikeFactor float64
+	// AutopilotP99 is the autopilot scenarios' scale-up trigger: the
+	// controller joins the standby once windowed per-node p99 crosses
+	// it (default 10 × BaseLatency). It doubles as the stated p99 bound
+	// the flash-crowd cells are judged against.
+	AutopilotP99 time.Duration
 	// Scenarios selects which chaos scenarios run per placement
 	// (default: node-loss, rolling-restart, partition, join, leave).
+	// Also available by name: flash-crowd (load surge, static
+	// membership), flash-crowd+autopilot (same surge with the
+	// load-driven membership controller attached), and
+	// blinking-partition (a rapidly flapping partition adversarially
+	// aimed at the controller's anti-thrash defenses).
 	Scenarios []string
 	// Obs optionally receives router and node metrics; all cells share
 	// the sink.
@@ -115,6 +134,12 @@ func (c ClusterChaosConfig) withDefaults() ClusterChaosConfig {
 	}
 	if c.Offset == 0 {
 		c.Offset = c.Nodes / 2
+	}
+	if c.SpikeFactor == 0 {
+		c.SpikeFactor = 2
+	}
+	if c.AutopilotP99 == 0 {
+		c.AutopilotP99 = 10 * c.BaseLatency
 	}
 	if len(c.Scenarios) == 0 {
 		c.Scenarios = []string{"node-loss", "rolling-restart", "partition", "join", "leave"}
@@ -172,6 +197,22 @@ type ClusterChaosCell struct {
 	// (join/leave scenarios): epoch transition, buckets and records
 	// moved, or how an aborted handoff rolled back.
 	MigrationLog []string
+
+	// Autopilot* fields are populated only by the autopilot scenarios:
+	// completed membership changes by direction, fuse vetoes of
+	// otherwise-ready actions, executed direction reversals inside the
+	// thrash window (the flapping metric — asserted zero under the
+	// blinking-partition schedule), and the migration cost the
+	// controller incurred in buckets and records moved.
+	AutopilotJoins, AutopilotLeaves uint64
+	AutopilotVetoes                 uint64
+	AutopilotThrash                 uint64
+	AutopilotBuckets                int
+	AutopilotRecords                int
+
+	// AutopilotLog keeps the controller's decision lines (bounded) —
+	// the replayable narrative of why the cluster grew or held still.
+	AutopilotLog []string
 
 	// PartialLog keeps the first few partial-result errors verbatim —
 	// each names the uncovered sub-rectangles and the first underlying
@@ -274,16 +315,25 @@ func ClusterChaos(cfg ClusterChaosConfig, opt Options) (*ClusterChaosResult, err
 
 // runClusterCell soaks one cluster configuration under one scenario.
 func runClusterCell(sm *cluster.ShardMap, method alloc.Method, records []datagen.Record, scenario string, cfg ClusterChaosConfig, seed int64) (*ClusterChaosCell, error) {
+	autopiloted := scenario == "flash-crowd+autopilot" || scenario == "blinking-partition"
 	standbys := 0
-	if scenario == "join" {
-		standbys = 1 // the node the migration will bring in
+	if scenario == "join" || autopiloted {
+		standbys = 1 // the node a migration could bring in
+	}
+	// Autopilot cells get their own sink: the controller reads the
+	// router's live cluster.node.latency family for its windowed p99
+	// signal, and the family widths (members + standby) must not clash
+	// with whatever other cells registered on a shared sink.
+	sink := cfg.Obs
+	if autopiloted {
+		sink = obs.NewSink()
 	}
 	h, err := cluster.StartHarness(cluster.HarnessConfig{
 		Map:      sm,
 		Method:   method,
 		Records:  records,
 		Standbys: standbys,
-		Obs:      cfg.Obs,
+		Obs:      sink,
 		ServeOptions: []serve.Option{
 			serve.WithBaseLatency(cfg.BaseLatency),
 			serve.WithRetry(exec.RetryPolicy{MaxAttempts: 3, BaseBackoff: 100 * time.Microsecond, MaxBackoff: time.Millisecond}),
@@ -296,7 +346,7 @@ func runClusterCell(sm *cluster.ShardMap, method alloc.Method, records []datagen
 				ErrorThreshold: 4,
 				Cooldown:       cfg.Duration / 10,
 			},
-			Obs: cfg.Obs,
+			Obs: sink,
 		},
 	})
 	if err != nil {
@@ -306,6 +356,7 @@ func runClusterCell(sm *cluster.ShardMap, method alloc.Method, records []datagen
 
 	var schedule fault.NodeSchedule
 	hasSchedule := true
+	hasSpike := false
 	switch scenario {
 	case "node-loss":
 		schedule = fault.NodeLossSchedule(seed, sm.Nodes(), cfg.Duration)
@@ -313,10 +364,16 @@ func runClusterCell(sm *cluster.ShardMap, method alloc.Method, records []datagen
 		schedule = fault.RollingRestartSchedule(seed, sm.Nodes(), cfg.Duration)
 	case "partition":
 		schedule = fault.PartitionSchedule(seed, sm.Nodes(), cfg.Duration)
+	case "blinking-partition":
+		schedule = fault.BlinkingPartitionSchedule(seed, sm.Nodes(), cfg.Duration, 4)
 	case "join", "leave":
 		// Membership changes are the chaos: no fault schedule, the
 		// migration itself runs against live traffic.
 		hasSchedule = false
+	case "flash-crowd", "flash-crowd+autopilot":
+		// The chaos is a load surge, not a fault.
+		hasSchedule = false
+		hasSpike = true
 	default:
 		return nil, fmt.Errorf("experiments: unknown cluster scenario %q", scenario)
 	}
@@ -329,7 +386,8 @@ func runClusterCell(sm *cluster.ShardMap, method alloc.Method, records []datagen
 
 	ctx, cancelRun := context.WithCancel(context.Background())
 	defer cancelRun()
-	end := time.Now().Add(cfg.Duration)
+	soakStart := time.Now()
+	end := soakStart.Add(cfg.Duration)
 
 	// Fault driver: run the seeded schedule; on a node-loss crash with
 	// replication available, rebuild the victim's shards from its peers
@@ -339,7 +397,7 @@ func runClusterCell(sm *cluster.ShardMap, method alloc.Method, records []datagen
 	var rebuilt atomic.Int64
 	done := make(chan struct{})
 	var chaosWG sync.WaitGroup
-	if !hasSchedule {
+	if scenario == "join" || scenario == "leave" {
 		runClusterMigration(h, sm, scenario, cfg, seed, cell, &latMu, done, &chaosWG)
 	}
 	chaosWG.Add(1)
@@ -390,8 +448,131 @@ func runClusterCell(sm *cluster.ShardMap, method alloc.Method, records []datagen
 		})
 	}()
 
-	var wg sync.WaitGroup
+	// runQuery issues one query and books its outcome — shared by the
+	// baseline clients and the flash-crowd surge issuers.
+	runQuery := func(q grid.Rect) {
+		issued.Add(1)
+		qctx, cancel := context.WithTimeout(ctx, cfg.QueryDeadline)
+		start := time.Now()
+		r, err := h.Router().Search(qctx, q)
+		elapsed := time.Since(start)
+		cancel()
+		if r != nil {
+			subQ.Add(uint64(r.SubQueries))
+			subC.Add(uint64(r.Covered))
+			hedges.Add(uint64(r.Hedges))
+			hedgeWins.Add(uint64(r.HedgeWins))
+			retries.Add(uint64(r.Retries))
+		}
+		switch {
+		case err == nil:
+			completed.Add(1)
+			latMu.Lock()
+			lats = append(lats, elapsed)
+			latMu.Unlock()
+		case errors.Is(err, cluster.ErrPartial):
+			partial.Add(1)
+			latMu.Lock()
+			if len(cell.PartialLog) < 8 {
+				cell.PartialLog = append(cell.PartialLog, err.Error())
+			}
+			latMu.Unlock()
+		default:
+			failed.Add(1)
+		}
+	}
+
 	g := sm.Grid()
+
+	// The autopilot scenarios attach the load-driven membership
+	// controller to the same router the clients query through; it
+	// decides from live signals only, with no knowledge of the
+	// schedules driving the chaos.
+	var ap *autopilot.Controller
+	if autopiloted {
+		pol := autopilot.Policy{
+			ScaleUpP99:   cfg.AutopilotP99,
+			HysteresisUp: 2,
+			CoolDown:     cfg.Duration / 8,
+			MinNodes:     sm.Nodes(),
+			MaxNodes:     sm.Nodes() + standbys,
+		}
+		if scenario == "blinking-partition" {
+			// Give the adversary both directions to flap between; the
+			// fuses, hysteresis, and cool-down must still keep the
+			// thrash counter at zero.
+			pol.ScaleDownP99 = cfg.BaseLatency
+		}
+		tick := cfg.Duration / 50
+		if tick < 5*time.Millisecond {
+			tick = 5 * time.Millisecond
+		}
+		ap, err = autopilot.New(autopilot.Config{
+			Router:      h.Router(),
+			Endpoints:   h.URLs(),
+			Obs:         sink,
+			Tick:        tick,
+			MigrateRate: cfg.MigrateRate,
+			Policy:      pol,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ap.Start()
+	}
+
+	var wg sync.WaitGroup
+	if hasSpike {
+		// Flash crowd: for the seeded surge window, extra issuers hammer
+		// the schedule's hot region — (SpikeFactor−1) × Clients of them.
+		// Unlike the baseline clients they are OPEN-LOOP: each fires on a
+		// fixed cadence whether or not earlier queries have answered,
+		// because a real crowd does not slow its arrival rate when the
+		// service degrades. Under-capacity, queues grow without bound and
+		// the tail blows through the deadline; that is the regime a
+		// membership change can fix and a closed loop would mask.
+		spike := fault.NewLoadSpikeSchedule(seed, g.K(), cfg.Duration, cfg.SpikeFactor)
+		cell.Events = append(cell.Events, spike.String())
+		lo, hi := spike.Region(g.Dims())
+		extra := int((cfg.SpikeFactor - 1) * float64(cfg.Clients))
+		if extra < 1 {
+			extra = 1
+		}
+		interval := 8 * cfg.BaseLatency
+		for c := 0; c < extra; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed*104729 + int64(c)))
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(spike.Start - time.Since(soakStart)):
+				}
+				tick := time.NewTicker(interval)
+				defer tick.Stop()
+				var inflight sync.WaitGroup
+				defer inflight.Wait()
+				for time.Since(soakStart) < spike.End && time.Now().Before(end) {
+					x := lo[0] + rng.Intn(hi[0]-lo[0]+1)
+					y := lo[1] + rng.Intn(hi[1]-lo[1]+1)
+					x2 := x + rng.Intn(hi[0]-x+1)
+					y2 := y + rng.Intn(hi[1]-y+1)
+					q := g.MustRect(grid.Coord{x, y}, grid.Coord{x2, y2})
+					inflight.Add(1)
+					go func() {
+						defer inflight.Done()
+						runQuery(q)
+					}()
+					select {
+					case <-ctx.Done():
+						return
+					case <-tick.C:
+					}
+				}
+			}(c)
+		}
+	}
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -401,37 +582,7 @@ func runClusterCell(sm *cluster.ShardMap, method alloc.Method, records []datagen
 				w := 1 + rng.Intn(max(1, g.Dim(0)/2))
 				ht := 1 + rng.Intn(max(1, g.Dim(1)/2))
 				x, y := rng.Intn(g.Dim(0)-w+1), rng.Intn(g.Dim(1)-ht+1)
-				q := g.MustRect(grid.Coord{x, y}, grid.Coord{x + w - 1, y + ht - 1})
-
-				issued.Add(1)
-				qctx, cancel := context.WithTimeout(ctx, cfg.QueryDeadline)
-				start := time.Now()
-				r, err := h.Router().Search(qctx, q)
-				elapsed := time.Since(start)
-				cancel()
-				if r != nil {
-					subQ.Add(uint64(r.SubQueries))
-					subC.Add(uint64(r.Covered))
-					hedges.Add(uint64(r.Hedges))
-					hedgeWins.Add(uint64(r.HedgeWins))
-					retries.Add(uint64(r.Retries))
-				}
-				switch {
-				case err == nil:
-					completed.Add(1)
-					latMu.Lock()
-					lats = append(lats, elapsed)
-					latMu.Unlock()
-				case errors.Is(err, cluster.ErrPartial):
-					partial.Add(1)
-					latMu.Lock()
-					if len(cell.PartialLog) < 8 {
-						cell.PartialLog = append(cell.PartialLog, err.Error())
-					}
-					latMu.Unlock()
-				default:
-					failed.Add(1)
-				}
+				runQuery(g.MustRect(grid.Coord{x, y}, grid.Coord{x + w - 1, y + ht - 1}))
 			}
 		}(c)
 	}
@@ -440,6 +591,19 @@ func runClusterCell(sm *cluster.ShardMap, method alloc.Method, records []datagen
 	close(done)
 	chaosWG.Wait()
 	rebuildWG.Wait()
+	if ap != nil {
+		// Stop waits out any migration still in flight, so the stats
+		// and the epoch below are settled, not racing a handoff.
+		ap.Stop()
+		st := ap.Stats()
+		cell.AutopilotJoins = st.Joins
+		cell.AutopilotLeaves = st.Leaves
+		cell.AutopilotVetoes = st.Vetoes
+		cell.AutopilotThrash = st.Thrash
+		cell.AutopilotBuckets = st.Buckets
+		cell.AutopilotRecords = st.Records
+		cell.AutopilotLog = ap.DecisionLog()
+	}
 
 	cell.Issued = issued.Load()
 	cell.Completed = completed.Load()
@@ -544,9 +708,15 @@ func (r *ClusterChaosResult) Table() *table.Table {
 		fmt.Sprintf("EN — cluster chaos, %d nodes × %d disks, %d clients × %v, base %v (replay with -seed %d)",
 			r.Nodes, r.DisksPerNode, r.Clients, r.Duration, r.BaseLatency, r.Seed),
 		"placement", "R", "scenario", "issued", "avail%", "partial%", "fail%",
-		"complete%", "p50", "p99", "trips", "rebuilt", "epoch")
+		"complete%", "p50", "p99", "trips", "rebuilt", "epoch", "autopilot")
 	for i := range r.Cells {
 		c := &r.Cells[i]
+		ap := "-"
+		if strings.Contains(c.Scenario, "autopilot") || c.Scenario == "blinking-partition" {
+			ap = fmt.Sprintf("j%d l%d v%d t%d b%d",
+				c.AutopilotJoins, c.AutopilotLeaves, c.AutopilotVetoes,
+				c.AutopilotThrash, c.AutopilotBuckets)
+		}
 		t.AddRowf(c.Placement, fmt.Sprintf("%d", c.Replicas), c.Scenario,
 			fmt.Sprintf("%d", c.Issued),
 			fmt.Sprintf("%.1f%%", 100*c.Availability()),
@@ -555,7 +725,7 @@ func (r *ClusterChaosResult) Table() *table.Table {
 			durMS(c.P50), durMS(c.P99),
 			fmt.Sprintf("%d", c.BreakerTrips),
 			fmt.Sprintf("%d", c.RebuiltRecords),
-			fmt.Sprintf("%d", c.FinalEpoch))
+			fmt.Sprintf("%d", c.FinalEpoch), ap)
 	}
 	return t
 }

@@ -361,6 +361,34 @@ func PartitionSchedule(seed int64, nodes int, duration time.Duration) NodeSchedu
 	}
 }
 
+// BlinkingPartitionSchedule scripts the adversarial input for any
+// membership controller: one seed-chosen node partitions and heals
+// blinks times, the blink windows tiling the middle half of the run.
+// Each blink looks exactly like the onset of sustained overload — p99
+// spikes, breakers trip — and then vanishes; a controller that reacts
+// to it thrashes the shard map for nothing. The autopilot's hysteresis
+// and fuses are asserted to hold zero migrations against this.
+func BlinkingPartitionSchedule(seed int64, nodes int, duration time.Duration, blinks int) NodeSchedule {
+	if blinks < 1 {
+		blinks = 1
+	}
+	victim := Pick(seed, 0, nodes)
+	s := NodeSchedule{Seed: seed, Nodes: nodes, Name: "blinking-partition"}
+	window := duration / 2 / time.Duration(blinks)
+	start := duration / 4
+	for i := 0; i < blinks; i++ {
+		at := start + time.Duration(i)*window
+		s.Events = append(s.Events,
+			NodeEvent{At: at, Kind: EventPartition, Node: victim},
+			// Heal at ½ of the window: the gap is long enough for
+			// breaker half-open probes, short enough that acting on the
+			// "recovery" would be exactly the flapping we must not do.
+			NodeEvent{At: at + window/2, Kind: EventHeal, Node: victim},
+		)
+	}
+	return s
+}
+
 // SlowNodeSchedule scripts a cluster-scale straggler: one seed-chosen
 // node serves at factor × latency for the middle half of the run.
 func SlowNodeSchedule(seed int64, nodes int, duration time.Duration, factor float64) NodeSchedule {

@@ -73,6 +73,13 @@ func (r *Registry) jsonSnapshot() map[string]any {
 		}
 		out[name] = m
 	}
+	for name, f := range r.gfams {
+		m := map[string]int64{}
+		for i := range f.gs {
+			m[f.label+strconv.Itoa(i)] = f.gs[i].Value()
+		}
+		out[name] = m
+	}
 	for name, f := range r.hfams {
 		m := map[string]any{}
 		for i, h := range f.hs {

@@ -257,6 +257,106 @@ func (h *Histogram) clamp(d time.Duration) time.Duration {
 	return d
 }
 
+// HistogramSnapshot is a point-in-time copy of a histogram's bucket
+// counts. Subtracting two snapshots of the same histogram yields the
+// distribution of just the observations made between them — the
+// sliding-window view a controller wants, built on top of cumulative
+// atomics without any per-observation cost.
+type HistogramSnapshot struct {
+	// Bounds aliases the histogram's ascending bucket bounds (ns);
+	// treat as read-only.
+	Bounds []int64
+	// Counts holds one count per bucket plus the overflow bucket.
+	Counts []uint64
+	// Count is the total number of observations in the snapshot.
+	Count uint64
+	// Sum is the total of all observations, ns.
+	Sum int64
+}
+
+// Snapshot copies the histogram's current bucket counts. Buckets are
+// read individually (not under a lock), so a snapshot taken during
+// concurrent observation can be off by the handful of observations in
+// flight — fine for windowed control decisions.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Sub returns the bucket-wise difference s − prev, clamped at zero, so
+// two snapshots of the same histogram bracket a window of observations.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Bounds: s.Bounds, Counts: make([]uint64, len(s.Counts))}
+	for i, c := range s.Counts {
+		var p uint64
+		if i < len(prev.Counts) {
+			p = prev.Counts[i]
+		}
+		if c > p {
+			out.Counts[i] = c - p
+			out.Count += c - p
+		}
+	}
+	if s.Sum > prev.Sum {
+		out.Sum = s.Sum - prev.Sum
+	}
+	return out
+}
+
+// Percentile estimates the p-th percentile of the snapshot by linear
+// interpolation inside the covering bucket. Unlike Histogram.Percentile
+// it cannot tighten bucket edges with observed min/max (a window has
+// neither), so the estimate is coarser by up to one bucket width; an
+// empty snapshot returns 0.
+func (s HistogramSnapshot) Percentile(p float64) time.Duration {
+	if s.Count == 0 || math.IsNaN(p) {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := p / 100 * float64(s.Count-1)
+	var cum uint64
+	for b, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) > rank {
+			frac := (rank - float64(cum)) / float64(c)
+			var lo, hi int64
+			if b > 0 {
+				lo = s.Bounds[b-1]
+			}
+			if b < len(s.Bounds) {
+				hi = s.Bounds[b]
+			} else if len(s.Bounds) > 0 {
+				// Overflow bucket: extend one last-bound width.
+				hi = 2 * s.Bounds[len(s.Bounds)-1]
+			}
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	if len(s.Bounds) > 0 {
+		return time.Duration(2 * s.Bounds[len(s.Bounds)-1])
+	}
+	return 0
+}
+
 // CounterFamily is a fixed-size family of counters labeled by a small
 // integer — one per disk, in this codebase.
 type CounterFamily struct {
@@ -289,6 +389,42 @@ func (f *CounterFamily) Sum() uint64 {
 	var s uint64
 	for i := range f.cs {
 		s += f.cs[i].Value()
+	}
+	return s
+}
+
+// GaugeFamily is a fixed-size family of gauges labeled by a small
+// integer — one per cluster node, in this codebase.
+type GaugeFamily struct {
+	label string
+	gs    []Gauge
+}
+
+// At returns the gauge of label value i (nil when out of range or the
+// family is nil, keeping call sites branch-free).
+func (f *GaugeFamily) At(i int) *Gauge {
+	if f == nil || i < 0 || i >= len(f.gs) {
+		return nil
+	}
+	return &f.gs[i]
+}
+
+// Len returns the family size.
+func (f *GaugeFamily) Len() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.gs)
+}
+
+// Sum totals the family's gauges.
+func (f *GaugeFamily) Sum() int64 {
+	if f == nil {
+		return 0
+	}
+	var s int64
+	for i := range f.gs {
+		s += f.gs[i].Value()
 	}
 	return s
 }
@@ -337,6 +473,7 @@ type Registry struct {
 	gs    map[string]*Gauge
 	hs    map[string]*Histogram
 	cfams map[string]*CounterFamily
+	gfams map[string]*GaugeFamily
 	hfams map[string]*HistogramFamily
 }
 
@@ -347,6 +484,7 @@ func NewRegistry() *Registry {
 		gs:    make(map[string]*Gauge),
 		hs:    make(map[string]*Histogram),
 		cfams: make(map[string]*CounterFamily),
+		gfams: make(map[string]*GaugeFamily),
 		hfams: make(map[string]*HistogramFamily),
 	}
 }
@@ -415,6 +553,26 @@ func (r *Registry) CounterFamily(name, label string, n int) *CounterFamily {
 		r.cfams[name] = f
 	} else if n > len(f.cs) {
 		panic(fmt.Sprintf("obs: counter family %q has %d members; %d requested", name, len(f.cs), n))
+	}
+	return f
+}
+
+// GaugeFamily returns the named gauge family of n members labeled
+// label+index, creating it on first use. Later calls ignore label and
+// n; asking for a larger n than the existing family panics, since a
+// too-small family would silently drop per-node values.
+func (r *Registry) GaugeFamily(name, label string, n int) *GaugeFamily {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.gfams[name]
+	if !ok {
+		f = &GaugeFamily{label: label, gs: make([]Gauge, n)}
+		r.gfams[name] = f
+	} else if n > len(f.gs) {
+		panic(fmt.Sprintf("obs: gauge family %q has %d members; %d requested", name, len(f.gs), n))
 	}
 	return f
 }

@@ -41,6 +41,14 @@ func (r *Registry) WriteTable(w io.Writer) error {
 		}
 		tw.printf("%-44s %s (sum=%d)\n", name, strings.Join(parts, " "), f.Sum())
 	}
+	for _, name := range sortedKeys(r.gfams) {
+		f := r.gfams[name]
+		parts := make([]string, len(f.gs))
+		for i := range f.gs {
+			parts[i] = fmt.Sprintf("%s%d=%d", f.label, i, f.gs[i].Value())
+		}
+		tw.printf("%-44s %s (sum=%d)\n", name, strings.Join(parts, " "), f.Sum())
+	}
 	for _, name := range sortedKeys(r.hfams) {
 		f := r.hfams[name]
 		for i, h := range f.hs {
@@ -82,6 +90,12 @@ func (r *Registry) WriteCSV(w io.Writer) error {
 		f := r.cfams[name]
 		for i := range f.cs {
 			tw.printf("counter_family,%s,%s%d,value,%d\n", name, f.label, i, f.cs[i].Value())
+		}
+	}
+	for _, name := range sortedKeys(r.gfams) {
+		f := r.gfams[name]
+		for i := range f.gs {
+			tw.printf("gauge_family,%s,%s%d,value,%d\n", name, f.label, i, f.gs[i].Value())
 		}
 	}
 	for _, name := range sortedKeys(r.hfams) {

@@ -99,6 +99,9 @@ func buildDumpRegistry() *Registry {
 	f.At(0).Add(10)
 	f.At(1).Add(20)
 	f.At(2).Add(12)
+	gf := r.GaugeFamily("serve.node.queue.depth", "node", 3)
+	gf.At(0).Set(2)
+	gf.At(2).Set(7)
 	hf := r.HistogramFamily("exec.disk.read.latency", "disk", 2)
 	hf.At(0).Observe(3 * time.Millisecond)
 	hf.At(1).Observe(5 * time.Millisecond)

@@ -66,6 +66,11 @@ func (b *Breakers) Open() []int { return b.h.OpenDisks() }
 // Trips returns the total closed/half-open → open transitions.
 func (b *Breakers) Trips() uint64 { return b.h.Trips() }
 
+// EWMALatency returns target i's smoothed observed latency — zero
+// until the first sample. Hedged dispatch reads it to judge whether a
+// backup could plausibly beat the straggler it would race.
+func (b *Breakers) EWMALatency(i int) time.Duration { return b.h.EWMALatency(i) }
+
 // Snapshot copies every endpoint's health; the DiskHealth.Disk field
 // carries the endpoint index.
 func (b *Breakers) Snapshot() []DiskHealth { return b.h.Snapshot() }

@@ -265,6 +265,18 @@ func (h *health) OpenDisks() []int {
 // Trips returns the total breaker trips across all disks.
 func (h *health) Trips() uint64 { return h.trips.Load() }
 
+// EWMALatency returns disk d's smoothed observed latency (zero before
+// any sample, and freshly zeroed when a breaker recloses).
+func (h *health) EWMALatency(d int) time.Duration {
+	if d < 0 || d >= len(h.disks) {
+		return 0
+	}
+	t := h.disks[d]
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return time.Duration(t.ewma)
+}
+
 // Snapshot copies every disk's health.
 func (h *health) Snapshot() []DiskHealth {
 	out := make([]DiskHealth, len(h.disks))

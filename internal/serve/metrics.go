@@ -22,6 +22,13 @@ type serveMetrics struct {
 	breakerOpened, breakerHalfOpened, breakerClosed *obs.Counter
 	queueDepth, inFlight                            *obs.Gauge
 	queueWait, queryLatency, legLatency             *obs.Histogram
+	// nodeQueueDepth and nodeShed are this scheduler's slots in the
+	// per-node backpressure families (nil unless WithNodeMetrics is
+	// set). They move in lockstep with queueDepth and the four shed
+	// classes plus closedShed, giving controllers and -metrics dumps a
+	// live per-node view of pressure that Stats only reveals at drain.
+	nodeQueueDepth *obs.Gauge
+	nodeShed       *obs.Counter
 }
 
 // newServeMetrics registers the scheduler's metric set. Everything is
@@ -51,4 +58,14 @@ func newServeMetrics(r *obs.Registry) serveMetrics {
 		queryLatency:      r.Histogram("serve.query.latency"),
 		legLatency:        r.Histogram("serve.read.leg.latency"),
 	}
+}
+
+// attachNodeMetrics resolves this scheduler's slots in the shared
+// per-node families. The family is sized nodes wide on first
+// registration, so the first caller must pass the largest node ID the
+// process will ever host (standbys included) — obs families refuse to
+// grow.
+func (m *serveMetrics) attachNodeMetrics(r *obs.Registry, node, nodes int) {
+	m.nodeQueueDepth = r.GaugeFamily("serve.node.queue.depth", "node", nodes).At(node)
+	m.nodeShed = r.CounterFamily("serve.node.shed", "node", nodes).At(node)
 }

@@ -208,6 +208,9 @@ type config struct {
 	drain       time.Duration
 	wraps       []func(exec.BucketReader) exec.BucketReader
 	obs         *obs.Sink
+	node        int
+	nodeCount   int
+	nodeSet     bool
 }
 
 // Option configures a Scheduler.
@@ -280,6 +283,19 @@ func WithDrainTimeout(d time.Duration) Option { return func(c *config) { c.drain
 // per query. A nil sink disables all of it for one branch per site.
 func WithObserver(s *obs.Sink) Option { return func(c *config) { c.obs = s } }
 
+// WithNodeMetrics additionally mirrors this scheduler's queue depth
+// and shed count into the shared per-node families
+// serve.node.queue.depth and serve.node.shed at slot node, so a
+// process hosting many schedulers (a cluster harness, a multi-node
+// sim) exposes live per-node backpressure — the signal the autopilot
+// controller scales on. nodes sizes the families and must be the
+// largest member count the process will ever host (standbys included):
+// obs families are fixed-size and refuse to grow. Requires
+// WithObserver; no-op without it.
+func WithNodeMetrics(node, nodes int) Option {
+	return func(c *config) { c.node, c.nodeCount, c.nodeSet = node, nodes, true }
+}
+
 // New builds a scheduler over the grid file.
 func New(f *gridfile.File, opts ...Option) (*Scheduler, error) {
 	if f == nil {
@@ -322,6 +338,12 @@ func New(f *gridfile.File, opts ...Option) (*Scheduler, error) {
 		s.obs = c.obs
 		s.metrics = newServeMetrics(c.obs.Registry())
 		h.attachObs(s.metrics.breakerOpened, s.metrics.breakerHalfOpened, s.metrics.breakerClosed)
+		if c.nodeSet {
+			if c.node < 0 || c.node >= c.nodeCount {
+				return nil, fmt.Errorf("serve: node metrics slot %d outside family size %d", c.node, c.nodeCount)
+			}
+			s.metrics.attachNodeMetrics(c.obs.Registry(), c.node, c.nodeCount)
+		}
 	}
 
 	reader := c.reader
@@ -442,12 +464,14 @@ func (s *Scheduler) admit(ctx context.Context, prio int) error {
 	if err := ctx.Err(); err != nil {
 		s.stats.Abandoned.Add(1)
 		m.abandoned.Inc()
+		m.nodeShed.Inc()
 		return err
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		m.closedShed.Inc()
+		m.nodeShed.Inc()
 		return ErrClosed
 	}
 	if s.inFlight < s.adm.MaxInFlight && len(s.waiters) == 0 {
@@ -463,6 +487,7 @@ func (s *Scheduler) admit(ctx context.Context, prio int) error {
 			s.mu.Unlock()
 			s.stats.Rejected.Add(1)
 			m.rejected.Inc()
+			m.nodeShed.Inc()
 			return &OverloadedError{QueueLen: qlen, InFlight: inflight}
 		}
 		s.decideLocked(victim, &OverloadedError{
@@ -470,11 +495,13 @@ func (s *Scheduler) admit(ctx context.Context, prio int) error {
 		})
 		s.stats.Evicted.Add(1)
 		m.evicted.Inc()
+		m.nodeShed.Inc()
 	}
 	w := &waiter{prio: prio, seq: s.seq, ctx: ctx, outcome: make(chan error, 1)}
 	s.seq++
 	heap.Push(&s.waiters, w)
 	m.queueDepth.Set(int64(len(s.waiters)))
+	m.nodeQueueDepth.Set(int64(len(s.waiters)))
 	s.mu.Unlock()
 	var qstart time.Time
 	if m.queueWait != nil {
@@ -493,9 +520,11 @@ func (s *Scheduler) admit(ctx context.Context, prio int) error {
 			heap.Remove(&s.waiters, w.idx)
 			w.decided = true
 			m.queueDepth.Set(int64(len(s.waiters)))
+			m.nodeQueueDepth.Set(int64(len(s.waiters)))
 			s.mu.Unlock()
 			s.stats.Abandoned.Add(1)
 			m.abandoned.Inc()
+			m.nodeShed.Inc()
 			return ctx.Err()
 		}
 		s.mu.Unlock()
@@ -506,6 +535,7 @@ func (s *Scheduler) admit(ctx context.Context, prio int) error {
 			s.release()
 			s.stats.Abandoned.Add(1)
 			m.abandoned.Inc()
+			m.nodeShed.Inc()
 			return ctx.Err()
 		}
 		return err
@@ -531,6 +561,7 @@ func (s *Scheduler) dispatchLocked() {
 		if s.adm.DropExpired && w.ctx.Err() != nil {
 			s.stats.Expired.Add(1)
 			s.metrics.expired.Inc()
+			s.metrics.nodeShed.Inc()
 			w.outcome <- w.ctx.Err()
 			continue
 		}
@@ -538,6 +569,7 @@ func (s *Scheduler) dispatchLocked() {
 		w.outcome <- nil
 	}
 	s.metrics.queueDepth.Set(int64(len(s.waiters)))
+	s.metrics.nodeQueueDepth.Set(int64(len(s.waiters)))
 	s.metrics.inFlight.Set(int64(s.inFlight))
 	if s.closed && s.inFlight == 0 {
 		select {
@@ -554,6 +586,7 @@ func (s *Scheduler) decideLocked(w *waiter, err error) {
 	heap.Remove(&s.waiters, w.idx)
 	w.decided = true
 	s.metrics.queueDepth.Set(int64(len(s.waiters)))
+	s.metrics.nodeQueueDepth.Set(int64(len(s.waiters)))
 	w.outcome <- err
 }
 
@@ -585,9 +618,11 @@ func (s *Scheduler) Close() (*Snapshot, error) {
 		w := heap.Pop(&s.waiters).(*waiter)
 		w.decided = true
 		s.metrics.closedShed.Inc()
+		s.metrics.nodeShed.Inc()
 		w.outcome <- ErrClosed
 	}
 	s.metrics.queueDepth.Set(0)
+	s.metrics.nodeQueueDepth.Set(0)
 	if s.inFlight == 0 {
 		close(s.drained)
 	}
@@ -618,6 +653,14 @@ func (s *Scheduler) Stats() Stats {
 		HedgesWon:    s.stats.HedgesWon.Load(),
 		BreakerTrips: s.health.Trips(),
 	}
+}
+
+// QueueDepth returns the current admission-queue length — the live
+// backpressure signal health probes report between drains.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
 }
 
 // HealthSnapshot copies every disk's current health and breaker state.

@@ -28,6 +28,14 @@
 #       Acceptance bar: epoch_router_overhead_x <= 1.05 (healthy mean
 #       over the committed PR 6 healthy mean — epoch checks must be
 #       effectively free on the scatter/gather hot path).
+#   pr8 — BenchmarkClusterScatterGather/healthy (the PR 7 router,
+#       nothing attached) vs BenchmarkAutopilotScatterGather (the same
+#       scatter/gather with the autopilot membership controller
+#       running: per-tick health probes and latency-window snapshots).
+#       Acceptance bar: controller_overhead_x <= 1.05 (autopilot mean
+#       over the same run's plain healthy mean — the decision loop must
+#       stay off the query path). The committed PR 7 healthy mean is
+#       echoed for cross-PR context.
 #
 # Usage: scripts/bench_json.sh [count] [suite] > BENCH_PR5.json
 set -eu
@@ -188,8 +196,47 @@ pr7)
 			printf "}\n"
 		}'
 	;;
+pr8)
+	baseline=$(sed -n 's/.*"ClusterScatterGather\/healthy".*"mean_ns_per_op": \([0-9]*\).*/\1/p' BENCH_PR7.json 2>/dev/null || true)
+	go test -run '^$' \
+		-bench '^BenchmarkClusterScatterGather$|^BenchmarkAutopilotScatterGather$' \
+		-benchtime=200x -count="$count" . |
+		awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v baseline="${baseline:-0}" '
+		/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			sub(/^Benchmark/, "", name)
+			vals[name] = vals[name] sep[name] $3
+			sep[name] = ", "
+			sum[name] += $3
+			n[name]++
+		}
+		function mean(k) { return n[k] ? sum[k] / n[k] : 0 }
+		function series(k) {
+			printf "    \"%s\": {\"ns_per_op\": [%s], \"mean_ns_per_op\": %.0f}", k, vals[k], mean(k)
+		}
+		END {
+			healthy = mean("ClusterScatterGather/healthy")
+			piloted = mean("AutopilotScatterGather")
+			printf "{\n"
+			printf "  \"benchmark\": \"BenchmarkAutopilotScatterGather\",\n"
+			printf "  \"date\": \"%s\",\n", date
+			printf "  \"cpu\": \"%s\",\n", cpu
+			printf "  \"count\": %d,\n", n["AutopilotScatterGather"]
+			printf "  \"results\": {\n"
+			series("ClusterScatterGather/healthy"); printf ",\n"
+			series("ClusterScatterGather/degraded"); printf ",\n"
+			series("AutopilotScatterGather"); printf "\n"
+			printf "  },\n"
+			printf "  \"pr7_healthy_mean_ns_per_op\": %d,\n", baseline
+			printf "  \"controller_overhead_x\": %.2f,\n", healthy ? piloted / healthy : 0
+			printf "  \"bar_overhead_x\": 1.05\n"
+			printf "}\n"
+		}'
+	;;
 *)
-	echo "bench_json.sh: unknown suite '$suite' (want pr4, pr5, pr6 or pr7)" >&2
+	echo "bench_json.sh: unknown suite '$suite' (want pr4, pr5, pr6, pr7 or pr8)" >&2
 	exit 2
 	;;
 esac
