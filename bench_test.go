@@ -14,6 +14,8 @@ package decluster_test
 
 import (
 	"context"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -895,5 +897,98 @@ func BenchmarkAutopilotScatterGather(b *testing.B) {
 	time.Sleep(50 * time.Millisecond)
 	if st := ap.Stats(); st.Joins != 0 || st.Leaves != 0 || st.Ticks == 0 {
 		b.Fatalf("controller was not calmly observing: %+v", st)
+	}
+}
+
+// --- Batch engine ----------------------------------------------------
+
+// BenchmarkBatchThroughput answers the same overlapping logical queries
+// two ways: one admission slot per query (individual) versus one
+// batched group whose deduped physical read fans out to every member
+// (batch). Each op resolves `overlap` identical queries, so the
+// individual/batch ns-per-op ratio IS the goodput factor — and it
+// grows with the overlap, because a group's read cost is flat while
+// the individual path pays it per query.
+func BenchmarkBatchThroughput(b *testing.B) {
+	g, err := decluster.NewGrid(12, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := decluster.NewHCAM(g, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := decluster.NewGridFile(decluster.GridFileConfig{Method: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := f.InsertAll(decluster.UniformRecords{K: 2, Seed: 7}.Generate(3000)); err != nil {
+		b.Fatal(err)
+	}
+	rect, err := g.NewRect(decluster.Coord{2, 2}, decluster.Coord{5, 5}) // 16 buckets
+	if err != nil {
+		b.Fatal(err)
+	}
+	newSched := func(b *testing.B) *decluster.Scheduler {
+		s, err := decluster.Serve(f,
+			decluster.WithSimulatedLatency(2*time.Millisecond),
+			decluster.WithAdmission(decluster.AdmissionConfig{MaxInFlight: 1, MaxQueue: 256}),
+			decluster.WithDrainTimeout(30*time.Second),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	run := func(b *testing.B, overlap int, do func(context.Context) error) {
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			errs := make([]error, overlap)
+			var wg sync.WaitGroup
+			for c := 0; c < overlap; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					errs[c] = do(ctx)
+				}(c)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(overlap*b.N)/b.Elapsed().Seconds(), "queries/s")
+	}
+	for _, overlap := range []int{2, 4, 8} {
+		overlap := overlap
+		b.Run(fmt.Sprintf("individual-o%d", overlap), func(b *testing.B) {
+			s := newSched(b)
+			defer s.Close()
+			run(b, overlap, func(ctx context.Context) error {
+				_, err := s.Do(ctx, decluster.ServeQuery{Rect: rect})
+				return err
+			})
+		})
+		b.Run(fmt.Sprintf("batch-o%d", overlap), func(b *testing.B) {
+			s := newSched(b)
+			eng, err := decluster.NewBatchEngine(f, s,
+				decluster.WithBatchWindow(2*time.Millisecond),
+				decluster.WithBatchMax(overlap),
+				decluster.WithBatchPolicy(decluster.BatchSharedWorkFirst))
+			if err != nil {
+				s.Close()
+				b.Fatal(err)
+			}
+			defer s.Close()
+			defer eng.Close()
+			run(b, overlap, func(ctx context.Context) error {
+				_, err := eng.Do(ctx, decluster.BatchQuery{Rect: rect})
+				return err
+			})
+		})
 	}
 }

@@ -8,9 +8,10 @@
 //
 //	-experiment  which artifact to regenerate: all, table1, theorem,
 //	             size, shape, attrs, disks-small, disks-large, dbsize,
-//	             pm, endtoend, availability, chaos, recovery, cluster
-//	             (default all; chaos, recovery, and cluster are excluded
-//	             from all — they are wall-clock soaks)
+//	             pm, endtoend, availability, chaos, recovery, cluster,
+//	             batch-goodput (default all; chaos, recovery, cluster,
+//	             and batch-goodput are excluded from all — they are
+//	             wall-clock soaks)
 //	-metric      meanrt | ratio | fracopt | worst (default meanrt)
 //	-samples     query placements sampled per workload (default 2000)
 //	-seed        sampling seed (default 1)
@@ -79,6 +80,7 @@
 //	declustersim -experiment size -metric ratio
 //	declustersim -experiment theorem
 //	declustersim -experiment availability -fail-disks 3 -fail-prob 0.5 -seed 7
+//	declustersim -experiment batch-goodput -soak 1s -clients 16
 //	declustersim -soak 1s -clients 16 -hedge-after 600us
 //	declustersim -soak 1s -metrics table -trace-slowest 3 -http :8080
 //	declustersim -experiment recovery -rebuild-rate 200,800 -corrupt-prob 0.05
@@ -109,7 +111,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "artifact to regenerate (all, table1, theorem, size, shape, attrs, disks-small, disks-large, dbsize, pm, endtoend, availability, chaos, recovery, cluster)")
+		experiment  = flag.String("experiment", "all", "artifact to regenerate (all, table1, theorem, size, shape, attrs, disks-small, disks-large, dbsize, pm, endtoend, availability, chaos, recovery, cluster, batch-goodput)")
 		metric      = flag.String("metric", "meanrt", "metric to print: meanrt, ratio, fracopt, worst")
 		samples     = flag.Int("samples", 2000, "query placements sampled per workload")
 		seed        = flag.Int64("seed", 1, "sampling seed")
@@ -514,10 +516,23 @@ func run(w io.Writer, name string, metric experiments.Metric, opt experiments.Op
 		}
 		fmt.Fprint(w, res.Table())
 		fmt.Fprintf(w, "fault schedules are pure functions of the seed; replay with -seed %d\n", res.Seed)
+	case "batch-goodput":
+		// The EB soak shares the chaos soak's knobs: -soak is the cell
+		// duration, -clients the issuer count, -metrics the registry dump.
+		res, err := experiments.BatchGoodput(experiments.BatchGoodputConfig{
+			Duration: chaos.Duration,
+			Clients:  chaos.Clients,
+			Obs:      chaos.Obs,
+		}, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, res.Table())
+		fmt.Fprint(w, res.AggregateReport())
 	case "witness":
 		return printWitnesses(w)
 	default:
-		return fmt.Errorf("unknown experiment %q (try: all, %s, chaos, recovery, cluster)", name, strings.Join(order, ", "))
+		return fmt.Errorf("unknown experiment %q (try: all, %s, chaos, recovery, cluster, batch-goodput)", name, strings.Join(order, ", "))
 	}
 	return nil
 }

@@ -1,0 +1,375 @@
+// The engine tests live in an external package so they can wire the
+// production read path — serve.Scheduler.DoBuckets — without a cycle
+// (batch deliberately does not import serve).
+package batch_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"decluster/internal/alloc"
+	"decluster/internal/batch"
+	"decluster/internal/datagen"
+	"decluster/internal/exec"
+	"decluster/internal/fault"
+	"decluster/internal/grid"
+	"decluster/internal/gridfile"
+	"decluster/internal/obs"
+	"decluster/internal/replica"
+	"decluster/internal/serve"
+)
+
+// fixture is the full stack under one grid file: scheduler for the
+// unbatched control path, engine for the batched path, sink for the
+// obs assertions.
+type fixture struct {
+	g     *grid.Grid
+	f     *gridfile.File
+	sched *serve.Scheduler
+	eng   *batch.Engine
+	sink  *obs.Sink
+	inj   *fault.Injector
+}
+
+// newFixture builds a 12×12 grid over 4 disks with 2000 records. With
+// chaos it adds transient faults, a straggler, and chained-replica
+// failover, with retries generous enough that every read eventually
+// succeeds — the differential tests compare payloads, so shed/failed
+// outcomes are kept out by construction (no tight queue, no breaker).
+func newFixture(t testing.TB, chaos bool, engOpts ...batch.Option) *fixture {
+	t.Helper()
+	g := grid.MustNew(12, 12)
+	m, err := alloc.NewHCAM(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := gridfile.New(gridfile.Config{Method: m, PageCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InsertAll(datagen.Uniform{K: 2, Seed: 11}.Generate(2000)); err != nil {
+		t.Fatal(err)
+	}
+
+	sink := obs.NewSink()
+	opts := []serve.Option{
+		serve.WithAdmission(serve.AdmissionConfig{MaxInFlight: 8, MaxQueue: 256}),
+		serve.WithDrainTimeout(10 * time.Second),
+		serve.WithObserver(sink),
+	}
+	fx := &fixture{g: g, f: f, sink: sink}
+	if chaos {
+		rep, err := replica.NewChained(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj, err := fault.New(fault.Config{
+			Seed:          31,
+			TransientProb: 0.2,
+			Stragglers:    map[int]float64{2: 4},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj.FlipDisks([]int{1}, nil) // disk 1 down: every read reroutes
+		fx.inj = inj
+		opts = append(opts,
+			serve.WithFaults(inj),
+			serve.WithFailover(rep),
+			serve.WithRetry(exec.RetryPolicy{MaxAttempts: 10, BaseBackoff: 20 * time.Microsecond, MaxBackoff: time.Millisecond}),
+			serve.WithBaseLatency(50*time.Microsecond),
+		)
+	}
+	sched, err := serve.New(f, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.sched = sched
+	run := func(ctx context.Context, buckets []int, prio int) (*exec.Result, error) {
+		return sched.DoBuckets(ctx, serve.BucketQuery{Buckets: buckets, Priority: prio})
+	}
+	engOpts = append([]batch.Option{batch.WithObserver(sink)}, engOpts...)
+	eng, err := batch.New(f, run, engOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.eng = eng
+	t.Cleanup(func() {
+		fx.eng.Close()
+		fx.sched.Close()
+	})
+	return fx
+}
+
+// rects returns nr pseudo-random query rectangles drawn from a small
+// pool so concurrent submissions overlap heavily.
+func rects(g *grid.Grid, seed int64, nr int) []grid.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([]grid.Rect, 8)
+	for i := range pool {
+		w, h := 1+rng.Intn(5), 1+rng.Intn(5)
+		x, y := rng.Intn(g.Dim(0)-w+1), rng.Intn(g.Dim(1)-h+1)
+		pool[i] = g.MustRect(grid.Coord{x, y}, grid.Coord{x + w - 1, y + h - 1})
+	}
+	out := make([]grid.Rect, nr)
+	for i := range out {
+		out[i] = pool[rng.Intn(len(pool))]
+	}
+	return out
+}
+
+// diffBatch issues the rect set through the engine concurrently and
+// through the scheduler individually, then requires bit-identical
+// record sequences per query.
+func diffBatch(t *testing.T, fx *fixture, qs []grid.Rect) {
+	t.Helper()
+	answers := make([]*batch.Answer, len(qs))
+	errs := make([]error, len(qs))
+	var wg sync.WaitGroup
+	for i, r := range qs {
+		wg.Add(1)
+		go func(i int, r grid.Rect) {
+			defer wg.Done()
+			answers[i], errs[i] = fx.eng.Search(context.Background(), r)
+		}(i, r)
+	}
+	wg.Wait()
+	for i, r := range qs {
+		if errs[i] != nil {
+			t.Fatalf("batched query %d %v: %v", i, r, errs[i])
+		}
+		want, err := fx.sched.Do(context.Background(), serve.Query{Rect: r})
+		if err != nil {
+			t.Fatalf("unbatched query %d %v: %v", i, r, err)
+		}
+		if !reflect.DeepEqual(answers[i].Records, want.Records) {
+			t.Fatalf("query %d %v: batched answer (%d records) differs from unbatched (%d records)",
+				i, r, len(answers[i].Records), len(want.Records))
+		}
+		if answers[i].Buckets != r.Volume() {
+			t.Errorf("query %d: Buckets = %d, want %d", i, answers[i].Buckets, r.Volume())
+		}
+	}
+}
+
+func TestBatchDifferentialHealthy(t *testing.T) {
+	fx := newFixture(t, false, batch.WithWindow(3*time.Millisecond), batch.WithMaxBatch(8))
+	diffBatch(t, fx, rects(fx.g, 1, 24))
+
+	st := fx.eng.Stats()
+	if st.Issued != 24 || st.Answered != 24 || st.Failed != 0 {
+		t.Fatalf("stats = %+v, want 24 issued, 24 answered", st)
+	}
+	if st.Issued != st.Answered+st.Failed {
+		t.Fatalf("Issued %d != Answered %d + Failed %d", st.Issued, st.Answered, st.Failed)
+	}
+	if st.Demand != st.Physical+st.Deduped+st.Pruned {
+		t.Fatalf("Demand %d != Physical %d + Deduped %d + Pruned %d",
+			st.Demand, st.Physical, st.Deduped, st.Pruned)
+	}
+	if st.Deduped == 0 {
+		t.Error("overlapping pool produced no dedup savings; batching untested")
+	}
+}
+
+func TestBatchDifferentialChaos(t *testing.T) {
+	for _, pol := range []batch.Policy{batch.PolicyFIFO, batch.PolicySharedWorkFirst} {
+		t.Run(pol.String(), func(t *testing.T) {
+			fx := newFixture(t, true,
+				batch.WithWindow(3*time.Millisecond),
+				batch.WithMaxBatch(6),
+				batch.WithWave(4),
+				batch.WithPolicy(pol))
+			diffBatch(t, fx, rects(fx.g, 7, 18))
+			st := fx.eng.Stats()
+			if st.Answered != 18 {
+				t.Fatalf("answered %d of 18 under chaos", st.Answered)
+			}
+			if st.Demand != st.Physical+st.Deduped+st.Pruned {
+				t.Fatalf("Demand %d != Physical %d + Deduped %d + Pruned %d",
+					st.Demand, st.Physical, st.Deduped, st.Pruned)
+			}
+		})
+	}
+}
+
+func TestAggregateMatchesNaive(t *testing.T) {
+	fx := newFixture(t, false)
+	rng := rand.New(rand.NewSource(42))
+	reads := func() uint64 { return fx.sink.Registry().Counter("exec.read.calls").Value() }
+
+	for i := 0; i < 40; i++ {
+		w, h := 1+rng.Intn(8), 1+rng.Intn(8)
+		x, y := rng.Intn(fx.g.Dim(0)-w+1), rng.Intn(fx.g.Dim(1)-h+1)
+		r := fx.g.MustRect(grid.Coord{x, y}, grid.Coord{x + w - 1, y + h - 1})
+		attr := rng.Intn(fx.g.K())
+
+		// Naive answer from the record-level unbatched path.
+		res, err := fx.sched.Do(context.Background(), serve.Query{Rect: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := int64(len(res.Records))
+		sum, lo, hi := 0.0, math.Inf(1), math.Inf(-1)
+		for _, rec := range res.Records {
+			v := rec.Values[attr]
+			sum += v
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+
+		before := reads()
+		for _, tc := range []struct {
+			op   batch.AggregateOp
+			want float64
+		}{
+			{batch.OpCount, float64(count)},
+			{batch.OpSum, sum},
+			{batch.OpMin, lo},
+			{batch.OpMax, hi},
+		} {
+			agg, err := fx.eng.Aggregate(context.Background(), batch.AggregateQuery{Rect: r, Op: tc.op, Attr: attr})
+			if err != nil {
+				t.Fatalf("%v over %v: %v", tc.op, r, err)
+			}
+			if agg.Count != count {
+				t.Fatalf("%v over %v: Count = %d, want %d", tc.op, r, agg.Count, count)
+			}
+			if agg.Buckets != r.Volume() {
+				t.Fatalf("%v over %v: Buckets = %d, want %d", tc.op, r, agg.Buckets, r.Volume())
+			}
+			var got float64
+			switch tc.op {
+			case batch.OpCount:
+				got = float64(agg.Count)
+			case batch.OpSum:
+				got = agg.Sum
+			case batch.OpMin:
+				got = agg.Min
+			case batch.OpMax:
+				got = agg.Max
+			}
+			if count == 0 && (tc.op == batch.OpMin || tc.op == batch.OpMax) {
+				continue // extrema undefined on empty rects
+			}
+			if tc.op == batch.OpSum {
+				// Summed-area folds reorder float additions; everything
+				// else must be exact.
+				if math.Abs(got-tc.want) > 1e-9*math.Max(1, math.Abs(tc.want)) {
+					t.Fatalf("%v over %v attr %d: %g, want %g", tc.op, r, attr, got, tc.want)
+				}
+			} else if got != tc.want {
+				t.Fatalf("%v over %v attr %d: %g, want %g", tc.op, r, attr, got, tc.want)
+			}
+		}
+		// The aggregate kernel is disk-free: the exec read counter must
+		// not move across the four aggregate calls.
+		if after := reads(); after != before {
+			t.Fatalf("aggregates performed %d bucket reads, want 0", after-before)
+		}
+	}
+
+	st := fx.eng.Stats()
+	if st.AggIssued != 160 || st.AggAnswered != 160 || st.AggFailed != 0 {
+		t.Fatalf("aggregate stats = %+v, want 160/160/0", st)
+	}
+	// Per-disk counts from the corner fold must re-add to the total.
+	agg, err := fx.eng.Aggregate(context.Background(), batch.AggregateQuery{Rect: fx.g.FullRect(), Op: batch.OpCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Count != int64(fx.f.Len()) {
+		t.Fatalf("full-grid count = %d, want %d", agg.Count, fx.f.Len())
+	}
+	var perDisk int64
+	for _, n := range agg.PerDisk {
+		perDisk += n
+	}
+	if perDisk != agg.Count {
+		t.Fatalf("Σ PerDisk = %d, Count = %d", perDisk, agg.Count)
+	}
+}
+
+func TestAggregateMergeAndErrors(t *testing.T) {
+	fx := newFixture(t, false)
+	// Split the grid in half vertically; merged halves must equal the
+	// whole for every op.
+	whole := fx.g.FullRect()
+	left := fx.g.MustRect(grid.Coord{0, 0}, grid.Coord{5, 11})
+	right := fx.g.MustRect(grid.Coord{6, 0}, grid.Coord{11, 11})
+	for _, op := range []batch.AggregateOp{batch.OpCount, batch.OpSum, batch.OpMin, batch.OpMax} {
+		q := batch.AggregateQuery{Op: op, Attr: 1}
+		q.Rect = whole
+		want, err := fx.eng.Aggregate(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var parts []batch.AggregateResult
+		for _, r := range []grid.Rect{left, right} {
+			q.Rect = r
+			p, err := fx.eng.Aggregate(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts = append(parts, p)
+		}
+		got := batch.MergeAggregates(op, 1, parts)
+		if got.Count != want.Count || got.Buckets != want.Buckets ||
+			math.Abs(got.Sum-want.Sum) > 1e-9*math.Abs(want.Sum) ||
+			got.Min != want.Min || got.Max != want.Max {
+			t.Fatalf("%v: merged halves %+v != whole %+v", op, got, want)
+		}
+	}
+
+	bad := []batch.AggregateQuery{
+		{Rect: grid.Rect{Lo: grid.Coord{0}, Hi: grid.Coord{0}}, Op: batch.OpCount},
+		{Rect: fx.g.MustRect(grid.Coord{0, 0}, grid.Coord{0, 0}), Op: batch.OpSum, Attr: 5},
+		{Rect: grid.Rect{Lo: grid.Coord{3, 3}, Hi: grid.Coord{2, 2}}, Op: batch.OpCount},
+	}
+	for _, q := range bad {
+		if _, err := fx.eng.Aggregate(context.Background(), q); err == nil {
+			t.Errorf("aggregate %+v: expected validation error", q)
+		}
+	}
+	st := fx.eng.Stats()
+	if st.AggIssued != st.AggAnswered+st.AggFailed {
+		t.Fatalf("AggIssued %d != AggAnswered %d + AggFailed %d", st.AggIssued, st.AggAnswered, st.AggFailed)
+	}
+	if st.AggFailed != uint64(len(bad)) {
+		t.Fatalf("AggFailed = %d, want %d", st.AggFailed, len(bad))
+	}
+
+	if _, err := batch.ParseAggregateOp("median"); err == nil {
+		t.Error("ParseAggregateOp accepted unknown op")
+	}
+	for _, op := range []batch.AggregateOp{batch.OpCount, batch.OpSum, batch.OpMin, batch.OpMax} {
+		back, err := batch.ParseAggregateOp(op.String())
+		if err != nil || back != op {
+			t.Errorf("op %v does not round-trip: %v, %v", op, back, err)
+		}
+	}
+}
+
+func TestEngineCloseRejectsNewQueries(t *testing.T) {
+	fx := newFixture(t, false)
+	if _, err := fx.eng.Search(context.Background(), fx.g.MustRect(grid.Coord{0, 0}, grid.Coord{1, 1})); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fx.eng.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Issued != 1 || st.Answered != 1 {
+		t.Fatalf("stats at close = %+v", st)
+	}
+	if _, err := fx.eng.Search(context.Background(), fx.g.MustRect(grid.Coord{0, 0}, grid.Coord{1, 1})); err != batch.ErrClosed {
+		t.Fatalf("post-close search error = %v, want ErrClosed", err)
+	}
+	if _, err := fx.eng.Close(); err != batch.ErrClosed {
+		t.Fatalf("second close error = %v, want ErrClosed", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"decluster/internal/alloc"
+	"decluster/internal/batch"
 	"decluster/internal/datagen"
 	"decluster/internal/fault"
 	"decluster/internal/grid"
@@ -97,6 +98,11 @@ type Node struct {
 	file       *gridfile.File
 	sched      *serve.Scheduler
 	rebuilding bool
+	// aggIx is the node's lazily built aggregate index, valid while
+	// aggFile still is the live file at the record count the index
+	// snapshotted — a cutover swap or a rebuild insert invalidates it.
+	aggIx   *batch.AggregateIndex
+	aggFile *gridfile.File
 }
 
 // NewNode builds a node and loads its slice of the dataset: exactly the
@@ -297,6 +303,7 @@ func (n *Node) resolveEpoch(epoch uint64) (sm *ShardMap, isPending bool, err err
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", n.handleQuery)
+	mux.HandleFunc("POST /v1/aggregate", n.handleAggregate)
 	mux.HandleFunc("GET /v1/bucket", n.handleBucket)
 	mux.HandleFunc("GET /v1/health", n.handleHealth)
 	mux.HandleFunc("GET /v1/shards", n.handleShards)
@@ -412,6 +419,104 @@ func (n *Node) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Buckets:  rect.Volume(),
 		Degraded: res.Degraded,
 		Epoch:    sm.Epoch(),
+	})
+}
+
+// aggregateIndex returns the node's aggregate index, rebuilding it when
+// the live file was swapped (cutover, rebuild) or grew (rebuild insert)
+// since the last snapshot. The index is immutable once built, so the
+// double-checked rebuild races safely with concurrent aggregate reads.
+func (n *Node) aggregateIndex() (*batch.AggregateIndex, error) {
+	n.mu.RLock()
+	ix, file, live := n.aggIx, n.aggFile, n.file
+	n.mu.RUnlock()
+	if ix != nil && file == live && ix.Records() == int64(live.Len()) {
+		return ix, nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.aggIx != nil && n.aggFile == n.file && n.aggIx.Records() == int64(n.file.Len()) {
+		return n.aggIx, nil
+	}
+	ix, err := batch.BuildAggregateIndex(n.file)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %d: %w", n.id, err)
+	}
+	n.aggIx, n.aggFile = ix, n.file
+	return ix, nil
+}
+
+// handleAggregate answers one aggregate sub-query from the node's
+// summed-area index — zero bucket reads, no scheduler admission. Epoch
+// resolution matches handleQuery except that the staged pending epoch
+// is refused: the dual-read merge dedups records by bucket hosting,
+// which an index over two files cannot reproduce, and the router's
+// authoritative old-epoch leg covers the window.
+func (n *Node) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	var req aggregateRequest
+	if err := decodeJSONBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	op, err := batch.ParseAggregateOp(req.Op)
+	if err != nil {
+		writeError(w, badRequestError{err})
+		return
+	}
+	rect := req.Rect.rect()
+	g := n.g
+	if len(rect.Lo) != g.K() || len(rect.Hi) != g.K() || !g.Contains(rect.Lo) || !g.Contains(rect.Hi) {
+		writeError(w, badRequestError{fmt.Errorf("rect %v invalid for grid %v", rect, g)})
+		return
+	}
+	for i := range rect.Lo {
+		if rect.Lo[i] > rect.Hi[i] {
+			writeError(w, badRequestError{fmt.Errorf("rect %v inverted on axis %d", rect, i)})
+			return
+		}
+	}
+	sm, isPending, err := n.resolveEpoch(req.Epoch)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if isPending {
+		writeError(w, fmt.Errorf("%w: node %d: aggregates not served at pending epoch %d",
+			fault.ErrUnavailable, n.id, sm.Epoch()))
+		return
+	}
+	if !n.hostsRectIn(sm, rect) {
+		writeError(w, fmt.Errorf("%w: node %d does not host %v at epoch %d", ErrNotHosted, n.id, rect, sm.Epoch()))
+		return
+	}
+	n.mu.RLock()
+	rebuilding := n.rebuilding
+	n.mu.RUnlock()
+	if rebuilding {
+		writeError(w, fmt.Errorf("%w: node %d is rebuilding", fault.ErrUnavailable, n.id))
+		return
+	}
+	ix, err := n.aggregateIndex()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	start := time.Now()
+	res, err := ix.Aggregate(batch.AggregateQuery{Rect: rect, Op: op, Attr: req.Attr})
+	n.lat.Observe(time.Since(start))
+	if err != nil {
+		writeError(w, badRequestError{err})
+		return
+	}
+	writeJSON(w, aggregateResponse{
+		Op:      op.String(),
+		Attr:    req.Attr,
+		Count:   res.Count,
+		Sum:     res.Sum,
+		Min:     res.Min,
+		Max:     res.Max,
+		Buckets: res.Buckets,
+		Epoch:   sm.Epoch(),
 	})
 }
 

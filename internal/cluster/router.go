@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"decluster/internal/batch"
 	"decluster/internal/datagen"
 	"decluster/internal/exec"
 	"decluster/internal/fault"
@@ -130,6 +131,7 @@ type Router struct {
 
 	mQueries, mPartial, mHedges, mHedgeWins, mRetries *obs.Counter
 	mStale, mAdopts, mPendingWins                     *obs.Counter
+	mAggregates, mAggErrors                           *obs.Counter
 	mLatency                                          *obs.Histogram
 	mNodeReqs, mNodeErrs                              *obs.CounterFamily
 	mNodeLatency                                      *obs.HistogramFamily
@@ -184,6 +186,8 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		rt.mStale = r.Counter("cluster.router.stale")
 		rt.mAdopts = r.Counter("cluster.router.adopts")
 		rt.mPendingWins = r.Counter("cluster.router.pendingwins")
+		rt.mAggregates = r.Counter("cluster.router.aggregates")
+		rt.mAggErrors = r.Counter("cluster.router.aggregate.errors")
 		rt.mLatency = r.Histogram("cluster.router.latency")
 		n := len(cfg.Endpoints)
 		rt.mNodeReqs = r.CounterFamily("cluster.node.requests", "node", n)
@@ -831,6 +835,247 @@ func (rt *Router) followBackoff(ctx context.Context, follow int) error {
 	case <-t.C:
 		return nil
 	}
+}
+
+// AggregateResult is a gathered cluster aggregate: the merged
+// batch-layer answer plus routing metadata.
+type AggregateResult struct {
+	batch.AggregateResult
+	// SubQueries is how many per-shard pieces the rectangle decomposed
+	// into; all of them were answered (a partial aggregate would be a
+	// silently wrong number, so partial coverage is an error instead).
+	SubQueries int
+	// Retries counts attempts beyond the first across all sub-queries.
+	Retries int
+	// Epoch is the shard-map epoch the answer was routed under.
+	Epoch uint64
+	// EpochFollows counts stale-epoch adoptions this query chased.
+	EpochFollows int
+}
+
+// aggOutcome is one aggregate sub-query's gathered result.
+type aggOutcome struct {
+	idx     int
+	part    batch.AggregateResult
+	retries int
+	err     error
+}
+
+// Aggregate answers COUNT/SUM/MIN/MAX over a rectangle across the
+// cluster: the rect decomposes into per-shard pieces, each piece is
+// answered by a shard member's disk-free summed-area index (rotating
+// across replicas with backoff on failure, no hedging — the legs are
+// sub-millisecond), and the partials merge exactly. Unlike Search, any
+// uncovered piece fails the whole query: a partial sum or count is not
+// a degraded answer, it is a wrong one — the *PartialError names the
+// uncovered sub-rectangles. Stale-epoch adoption follows the same
+// gossip path as Search.
+func (rt *Router) Aggregate(ctx context.Context, q batch.AggregateQuery) (*AggregateResult, error) {
+	rt.mAggregates.Inc()
+	start := time.Now()
+	var tr *obs.Trace
+	var root *obs.Span
+	if rt.sink != nil && rt.sink.Tracing() {
+		tr = rt.sink.StartTrace(fmt.Sprintf("cluster %s(%d) %v", q.Op, q.Attr, q.Rect))
+		root = tr.Root()
+		defer rt.sink.FinishTrace(tr)
+	}
+	defer func() { rt.mLatency.Observe(time.Since(start)) }()
+
+	for follow := 0; ; follow++ {
+		cur, _ := rt.view()
+		res, err := rt.aggregateEpoch(ctx, q, cur, root)
+		if res != nil {
+			res.EpochFollows = follow
+		}
+		var stale *StaleEpochError
+		if err != nil && errors.As(err, &stale) {
+			rt.mStale.Inc()
+			if stale.Map != nil && stale.Map.Epoch() > cur.Epoch() && follow < maxEpochFollows {
+				rt.Adopt(stale.Map)
+				root.Annotate(fmt.Sprintf("stale epoch %d, adopted %d", cur.Epoch(), stale.Map.Epoch()))
+				if berr := rt.followBackoff(ctx, follow); berr != nil {
+					return nil, berr
+				}
+				continue
+			}
+		}
+		if err != nil {
+			rt.mAggErrors.Inc()
+		}
+		return res, err
+	}
+}
+
+// aggregateEpoch scatters the aggregate under one map and merges the
+// gathered partials.
+func (rt *Router) aggregateEpoch(ctx context.Context, q batch.AggregateQuery, sm *ShardMap, parent *obs.Span) (*AggregateResult, error) {
+	subs, err := sm.Decompose(q.Rect)
+	if err != nil {
+		return nil, err
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make(chan aggOutcome, len(subs))
+	var wg sync.WaitGroup
+	for i, sq := range subs {
+		wg.Add(1)
+		go func(i int, sq SubQuery) {
+			defer wg.Done()
+			o := rt.runAggSub(sctx, q, sq, sm, parent)
+			o.idx = i
+			out <- o
+		}(i, sq)
+	}
+	wg.Wait()
+	close(out)
+
+	res := &AggregateResult{SubQueries: len(subs), Epoch: sm.Epoch()}
+	parts := make([]batch.AggregateResult, 0, len(subs))
+	var missed []SubQuery
+	var subErr error
+	var staleErr *StaleEpochError
+	for o := range out {
+		res.Retries += o.retries
+		if o.err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			var se *StaleEpochError
+			if errors.As(o.err, &se) && (staleErr == nil || se.NodeEpoch > staleErr.NodeEpoch) {
+				staleErr = se
+			}
+			missed = append(missed, subs[o.idx])
+			if subErr == nil {
+				subErr = o.err
+			}
+			continue
+		}
+		parts = append(parts, o.part)
+	}
+	rt.mRetries.Add(uint64(res.Retries))
+	if staleErr != nil {
+		return res, staleErr
+	}
+	if len(missed) > 0 {
+		pe := newPartialError(missed, subErr)
+		parent.Annotate(fmt.Sprintf("aggregate refused, %d uncovered (first: %v)", len(missed), subErr))
+		return nil, pe
+	}
+	res.AggregateResult = batch.MergeAggregates(q.Op, q.Attr, parts)
+	return res, nil
+}
+
+// runAggSub answers one aggregate sub-query with replica rotation and
+// backoff. No hedging: index lookups are orders of magnitude below the
+// hedge delay, so a hedge leg could only fire on a node that is down —
+// which the next rotation reaches anyway.
+func (rt *Router) runAggSub(ctx context.Context, q batch.AggregateQuery, sq SubQuery, sm *ShardMap, parent *obs.Span) aggOutcome {
+	span := parent.Child(fmt.Sprintf("agg shard %d %v", sq.Shard, sq.Rect))
+	candidates := sm.ShardMembers(sq.Shard)
+	epoch := sm.Epoch()
+	var o aggOutcome
+	var lastErr error
+	attempt := 0
+	for ; attempt < rt.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			o.retries++
+			if err := rt.backoff(ctx, attempt); err != nil {
+				o.err = err
+				span.FinishErr(err)
+				return o
+			}
+		}
+		node := rt.pickNode(candidates, attempt)
+		part, err := rt.aggregateNode(ctx, node, q, sq.Rect, epoch)
+		if err == nil {
+			o.part = part
+			span.Annotate(fmt.Sprintf("node %d", node))
+			span.Finish()
+			return o
+		}
+		if ctx.Err() != nil {
+			o.err = ctx.Err()
+			span.FinishErr(o.err)
+			return o
+		}
+		lastErr = err
+		if errors.Is(err, ErrNotHosted) || errors.Is(err, ErrStaleEpoch) {
+			break
+		}
+	}
+	o.err = fmt.Errorf("cluster: aggregate shard %d exhausted %d attempts: %w", sq.Shard, attempt, lastErr)
+	span.FinishErr(o.err)
+	return o
+}
+
+// aggregateNode performs one aggregate attempt against a member, with
+// the per-node deadline and the same breaker/metrics bookkeeping as
+// queryNode.
+func (rt *Router) aggregateNode(ctx context.Context, node int, q batch.AggregateQuery, rect grid.Rect, epoch uint64) (batch.AggregateResult, error) {
+	reqCtx, cancel := context.WithTimeout(ctx, rt.deadline)
+	defer cancel()
+	start := time.Now()
+	resp, err := rt.doAggregateRequest(reqCtx, node, q, rect, epoch)
+	lat := time.Since(start)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			err = fmt.Errorf("%w: node %d after %v", errNodeTimeout, node, rt.deadline)
+		}
+		rt.nodeErr(node)
+	}
+	if err == nil || breakerCountable(err) {
+		rt.brk.Observe(node, lat, err)
+	}
+	rt.nodeObserve(node, lat)
+	if err != nil {
+		return batch.AggregateResult{}, err
+	}
+	return batch.AggregateResult{
+		Op:      q.Op,
+		Attr:    q.Attr,
+		Count:   resp.Count,
+		Sum:     resp.Sum,
+		Min:     resp.Min,
+		Max:     resp.Max,
+		Buckets: resp.Buckets,
+	}, nil
+}
+
+// doAggregateRequest is the raw HTTP exchange, epoch-stamped.
+func (rt *Router) doAggregateRequest(ctx context.Context, node int, q batch.AggregateQuery, rect grid.Rect, epoch uint64) (*aggregateResponse, error) {
+	url, ok := rt.urlOf(node)
+	if !ok {
+		return nil, fmt.Errorf("cluster: no endpoint for member %d", node)
+	}
+	body, err := json.Marshal(aggregateRequest{Rect: toWireRect(rect), Op: q.Op.String(), Attr: q.Attr, Epoch: epoch})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/aggregate", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", "aggregate")
+	httpResp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, decodeErrorBody(httpResp.StatusCode, data)
+	}
+	var ar aggregateResponse
+	if err := json.Unmarshal(data, &ar); err != nil {
+		return nil, fmt.Errorf("cluster: node %d: bad aggregate body: %w", node, err)
+	}
+	return &ar, nil
 }
 
 // nodeErr bumps the per-member error counter (nil-safe).

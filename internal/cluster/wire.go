@@ -17,6 +17,7 @@ import (
 // Endpoints:
 //
 //	POST /v1/query            queryRequest  → queryResponse
+//	POST /v1/aggregate        aggregateRequest → aggregateResponse (disk-free kernel)
 //	GET  /v1/bucket?cell=1,2,0              → bucketResponse (rebuild/migration source)
 //	GET  /v1/health                         → healthResponse
 //	GET  /v1/shards                         → shardsResponse
@@ -99,6 +100,32 @@ type queryResponse struct {
 	Degraded bool `json:"degraded,omitempty"`
 	// Epoch is the map epoch the answer was computed under.
 	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// aggregateRequest asks a node to answer one aggregate over a
+// sub-rectangle it hosts. Op travels as the batch.AggregateOp wire
+// string ("count", "sum", "min", "max").
+type aggregateRequest struct {
+	Rect wireRect `json:"rect"`
+	Op   string   `json:"op"`
+	Attr int      `json:"attr,omitempty"`
+	// Epoch is the shard-map epoch the sender routed against; 0 means
+	// unversioned and is served against the node's current map.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// aggregateResponse carries one partial aggregate, ready for
+// batch.MergeAggregates at the router. Min/Max are meaningful only
+// when Count > 0.
+type aggregateResponse struct {
+	Op      string  `json:"op"`
+	Attr    int     `json:"attr,omitempty"`
+	Count   int64   `json:"count"`
+	Sum     float64 `json:"sum,omitempty"`
+	Min     float64 `json:"min,omitempty"`
+	Max     float64 `json:"max,omitempty"`
+	Buckets int     `json:"buckets"`
+	Epoch   uint64  `json:"epoch,omitempty"`
 }
 
 // bucketResponse carries one bucket's records for cross-node rebuild

@@ -333,7 +333,38 @@ func (e *Executor) RangeSearch(ctx context.Context, r grid.Rect) (*Result, error
 	if !g.Contains(r.Lo) || !g.Contains(r.Hi) {
 		return nil, fmt.Errorf("exec: rect %v outside grid %v", r, g)
 	}
+	return e.run(ctx, func() ([][]int, int, bool, error) { return e.route(r) })
+}
 
+// RangeSearchBuckets reads an explicit set of row-major bucket numbers
+// with the same machinery as RangeSearch: per-disk workers, retries,
+// deadline, breaker avoidance, and degraded failover routing. It is
+// the physical entry point of the batch engine, whose deduped read
+// plans are bucket sets rather than rectangles. Buckets must be
+// distinct (a deduped plan never repeats one, and rejecting repeats
+// keeps the merged record order deterministic); records come back in
+// (bucket, insertion) order exactly as a rectangle covering the same
+// buckets would return them.
+func (e *Executor) RangeSearchBuckets(ctx context.Context, buckets []int) (*Result, error) {
+	n := e.file.Grid().Buckets()
+	seen := make(map[int]bool, len(buckets))
+	for _, b := range buckets {
+		if b < 0 || b >= n {
+			return nil, fmt.Errorf("exec: bucket %d outside [0,%d)", b, n)
+		}
+		if seen[b] {
+			return nil, fmt.Errorf("exec: duplicate bucket %d in read set", b)
+		}
+		seen[b] = true
+	}
+	return e.run(ctx, func() ([][]int, int, bool, error) { return e.routeBuckets(buckets) })
+}
+
+// run executes one already-validated query: route partitions the work
+// into per-disk bucket lists, then one worker per disk reads its list
+// honouring ctx and the configured deadline, and the results merge
+// into deterministic (bucket, insertion) order.
+func (e *Executor) run(ctx context.Context, route func() ([][]int, int, bool, error)) (*Result, error) {
 	// Past validation every query ends in exactly one of queriesOK /
 	// queriesErr, so exec.queries == exec.queries.ok + exec.queries.err.
 	m := e.metrics
@@ -355,7 +386,7 @@ func (e *Executor) RangeSearch(ctx context.Context, r grid.Rect) (*Result, error
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	perDisk, rerouted, degraded, err := e.route(r)
+	perDisk, rerouted, degraded, err := route()
 	if err != nil {
 		if m != nil {
 			m.queriesErr.Inc()
@@ -575,6 +606,93 @@ func (e *Executor) route(r grid.Rect) (perDisk [][]int, rerouted int, degraded b
 		}
 		return true
 	})
+	return perDisk, rerouted, degraded, nil
+}
+
+// routeBuckets is route for an explicit bucket set: identical fail-stop,
+// avoidance, and failover semantics, with the degraded min-makespan
+// assignment solved over the listed buckets instead of a rectangle.
+// Within each disk, buckets are read in the order given — the knob a
+// batch scheduling policy turns.
+func (e *Executor) routeBuckets(buckets []int) (perDisk [][]int, rerouted int, degraded bool, err error) {
+	g := e.file.Grid()
+	perDisk = make([][]int, e.file.Disks())
+	var failed map[int]bool
+	if e.inj != nil {
+		failed = e.inj.FailedSet()
+	}
+
+	avoid := failed
+	if e.avoid != nil && e.failover != nil {
+		if extra := e.avoid(); len(extra) > 0 {
+			avoid = make(map[int]bool, len(failed)+len(extra))
+			for d := range failed {
+				avoid[d] = true
+			}
+			for _, d := range extra {
+				if d >= 0 && d < e.file.Disks() {
+					avoid[d] = true
+				}
+			}
+		}
+	}
+
+	// primaryRoute places every bucket on its method disk.
+	primaryRoute := func() {
+		method := e.file.Method()
+		c := make(grid.Coord, g.K())
+		for _, b := range buckets {
+			g.Delinearize(b, c)
+			perDisk[method.DiskOf(c)] = append(perDisk[method.DiskOf(c)], b)
+		}
+	}
+
+	if len(avoid) == 0 {
+		primaryRoute()
+		return perDisk, 0, false, nil
+	}
+
+	if e.failover == nil {
+		method := e.file.Method()
+		c := make(grid.Coord, g.K())
+		var unreachable []int
+		for _, b := range buckets {
+			g.Delinearize(b, c)
+			d := method.DiskOf(c)
+			if failed[d] {
+				unreachable = append(unreachable, b)
+				continue
+			}
+			perDisk[d] = append(perDisk[d], b)
+		}
+		if len(unreachable) > 0 {
+			sort.Ints(unreachable)
+			fd := setToSlice(failed)
+			return nil, 0, true, &fault.UnavailableError{Buckets: unreachable, FailedDisks: fd}
+		}
+		return perDisk, 0, true, nil
+	}
+
+	degraded = len(failed) > 0
+	assign, err := e.failover.DegradedAssignmentBuckets(buckets, setToSlice(avoid))
+	if err != nil && len(avoid) > len(failed) {
+		avoid = failed
+		if len(failed) == 0 {
+			primaryRoute()
+			return perDisk, 0, false, nil
+		}
+		assign, err = e.failover.DegradedAssignmentBuckets(buckets, setToSlice(failed))
+	}
+	if err != nil {
+		return nil, 0, degraded, err
+	}
+	for _, b := range buckets {
+		d := assign[b]
+		perDisk[d] = append(perDisk[d], b)
+		if avoid[e.failover.PrimaryOf(b)] {
+			rerouted++
+		}
+	}
 	return perDisk, rerouted, degraded, nil
 }
 

@@ -161,6 +161,84 @@ func (r *Replicated) DegradedAssignment(rect grid.Rect, failed []int) (map[int]i
 	return out, nil
 }
 
+// DegradedAssignmentBuckets is DegradedAssignment for an explicit
+// bucket-number set rather than a rectangle — the shape a batch
+// engine's deduped read plan has after shared buckets are folded
+// across queries. Buckets may arrive in any order and may repeat;
+// the returned map has one entry per distinct bucket.
+func (r *Replicated) DegradedAssignmentBuckets(buckets []int, failed []int) (map[int]int, error) {
+	fs, err := r.failedSet(failed)
+	if err != nil {
+		return nil, err
+	}
+	jobs, ids, err := r.gatherBuckets(buckets, fs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]int, len(jobs))
+	if len(jobs) == 0 {
+		return out, nil
+	}
+	q, err := r.makespan(jobs, len(fs))
+	if err != nil {
+		return nil, err
+	}
+	byDisk, ok := r.assign(jobs, q)
+	if !ok {
+		// makespan returned a feasible quota by construction.
+		panic(fmt.Sprintf("replica: optimal makespan %d infeasible", q))
+	}
+	for d, occupants := range byDisk {
+		for _, j := range occupants {
+			out[ids[j]] = d
+		}
+	}
+	return out, nil
+}
+
+// gatherBuckets collects each listed bucket's admissible disks under
+// the failed set, mirroring gather for explicit bucket numbers.
+// Repeated buckets contribute one job each (the physical read happens
+// once). Buckets that lost both replicas make the set unavailable.
+func (r *Replicated) gatherBuckets(buckets []int, failed map[int]bool) ([]job, []int, error) {
+	var jobs []job
+	var ids []int
+	var lost []int
+	seen := make(map[int]bool, len(buckets))
+	for _, idx := range buckets {
+		if idx < 0 || idx >= len(r.primary) {
+			return nil, nil, fmt.Errorf("replica: bucket %d outside [0,%d)", idx, len(r.primary))
+		}
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		a, b := r.primary[idx], r.backup[idx]
+		aOK, bOK := !failed[a], !failed[b]
+		switch {
+		case !aOK && !bOK:
+			lost = append(lost, idx)
+			continue
+		case !aOK:
+			a = b
+		case !bOK:
+			b = a
+		}
+		jobs = append(jobs, job{a, b})
+		ids = append(ids, idx)
+	}
+	if len(lost) > 0 {
+		sort.Ints(lost)
+		fd := make([]int, 0, len(failed))
+		for d := range failed {
+			fd = append(fd, d)
+		}
+		sort.Ints(fd)
+		return nil, nil, &fault.UnavailableError{Buckets: lost, FailedDisks: fd}
+	}
+	return jobs, ids, nil
+}
+
 // failedSet validates and dedups a failed-disk list.
 func (r *Replicated) failedSet(failed []int) (map[int]bool, error) {
 	fs := make(map[int]bool, len(failed))

@@ -8,10 +8,12 @@ import (
 	"context"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"decluster/internal/alloc"
+	"decluster/internal/batch"
 	"decluster/internal/datagen"
 	"decluster/internal/exec"
 	"decluster/internal/fault"
@@ -39,11 +41,21 @@ import (
 // metrics double-count, drop, or race shows up here as an inequality —
 // the test is the proof behind the "<5% overhead, zero drift"
 // observability claim, so it must hold under -race -count=2.
+//
+// A second client population routes through a batch.Engine layered on
+// the same scheduler (its physical reads are DoBuckets calls and count
+// toward serve.queries.issued), so the batch identities are asserted
+// under the same chaos:
+//
+//	batch issued   = answered + failed                 (abandoned ⊆ failed)
+//	batch demand   = physical + deduped + pruned       (physical ≤ demand)
 func TestConservationSoak(t *testing.T) {
 	const (
-		disks   = 4
-		clients = 8
-		perCli  = 40
+		disks    = 4
+		clients  = 8
+		perCli   = 40
+		bClients = 4
+		bPerCli  = 30
 	)
 	g := grid.MustNew(16, 16)
 	m, err := alloc.NewHCAM(g, disks)
@@ -105,6 +117,25 @@ func TestConservationSoak(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The batch engine rides the same scheduler: every physical read is
+	// one DoBuckets admission, tallied so the serve.queries.issued
+	// conservation check can account for batch traffic exactly.
+	var physCalls atomic.Uint64
+	eng, err := batch.New(f,
+		func(ctx context.Context, buckets []int, prio int) (*exec.Result, error) {
+			physCalls.Add(1)
+			return s.DoBuckets(ctx, serve.BucketQuery{Buckets: buckets, Priority: prio})
+		},
+		batch.WithObserver(sink),
+		batch.WithWindow(3*time.Millisecond),
+		batch.WithMaxBatch(8),
+		batch.WithWave(6),
+		batch.WithPolicy(batch.PolicySharedWorkFirst),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	// Chaos driver: flap disk 1 and swing the transient-error rate while
 	// the clients run; always leave the disk recovered at stop so the
 	// fault failure/recovery counters must balance.
@@ -157,9 +188,39 @@ func TestConservationSoak(t *testing.T) {
 			}
 		}(c)
 	}
+	// Batch clients draw from a small rect pool so the window actually
+	// groups overlapping demand; every sixth query gets a deadline too
+	// tight to survive, exercising mid-batch abandonment.
+	for c := 0; c < bClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(5000 + c)))
+			pool := make([]grid.Rect, 6)
+			for i := range pool {
+				prng := rand.New(rand.NewSource(int64(77 + i)))
+				w, h := 1+prng.Intn(5), 1+prng.Intn(5)
+				x, y := prng.Intn(g.Dim(0)-w+1), prng.Intn(g.Dim(1)-h+1)
+				pool[i] = g.MustRect(grid.Coord{x, y}, grid.Coord{x + w - 1, y + h - 1})
+			}
+			for k := 0; k < bPerCli; k++ {
+				deadline := 200 * time.Millisecond
+				if k%6 == 0 {
+					deadline = time.Millisecond
+				}
+				qctx, cancel := context.WithTimeout(context.Background(), deadline)
+				_, _ = eng.Do(qctx, batch.Query{Rect: pool[rng.Intn(len(pool))], Priority: c % 3})
+				cancel()
+			}
+		}(c)
+	}
 	wg.Wait()
 	close(stop)
 	chaosWG.Wait()
+	bst, err := eng.Close()
+	if err != nil {
+		t.Fatalf("batch engine close: %v", err)
+	}
 	snap, err := s.Close()
 	if err != nil {
 		t.Fatalf("drain after soak: %v", err)
@@ -194,9 +255,13 @@ func TestConservationSoak(t *testing.T) {
 
 	// Query conservation: every issued query lands in exactly one
 	// terminal class, and every admitted query in exactly one outcome.
+	// Every serve query is either a direct client call or one batch
+	// physical read (a DoBuckets admission), so issued must equal the
+	// two populations exactly.
 	issued := cv("serve.queries.issued")
-	if issued != uint64(clients*perCli) {
-		t.Errorf("issued = %d, want %d", issued, clients*perCli)
+	if want := uint64(clients*perCli) + physCalls.Load(); issued != want {
+		t.Errorf("issued = %d, want %d (direct %d + batch reads %d)",
+			issued, want, clients*perCli, physCalls.Load())
 	}
 	eq("issued = admitted+rejected+evicted+expired+abandoned+closed",
 		issued, st.Admitted+st.Rejected+st.Evicted+st.Expired+st.Abandoned+cv("serve.queries.closed"))
@@ -229,6 +294,38 @@ func TestConservationSoak(t *testing.T) {
 	eq("exec queries err = serve unavailable+failed",
 		cv("exec.queries.err"), st.Unavailable+st.Failed)
 
+	// Batch conservation: every logical batch query lands in exactly one
+	// terminal class, and the read plan partitions exactly — physical
+	// dispatches never exceed logical demand, and the dedup savings is
+	// the difference to the read (plus whatever pruning saved on top).
+	eq("batch issued = answered+failed", bst.Issued, bst.Answered+bst.Failed)
+	if bst.Issued != uint64(bClients*bPerCli) {
+		t.Errorf("batch issued = %d, want %d", bst.Issued, bClients*bPerCli)
+	}
+	if bst.Abandoned > bst.Failed {
+		t.Errorf("batch abandoned %d exceeds failed %d", bst.Abandoned, bst.Failed)
+	}
+	eq("batch demand = physical+deduped+pruned", bst.Demand, bst.Physical+bst.Deduped+bst.Pruned)
+	if bst.Physical > bst.Demand {
+		t.Errorf("batch physical reads %d exceed logical demand %d", bst.Physical, bst.Demand)
+	}
+
+	// Batch registry mirrors must equal their Stats() twins, same as
+	// serve's.
+	eq("batch.queries.issued vs Issued", cv("batch.queries.issued"), bst.Issued)
+	eq("batch.queries.answered vs Answered", cv("batch.queries.answered"), bst.Answered)
+	eq("batch.queries.failed vs Failed", cv("batch.queries.failed"), bst.Failed)
+	eq("batch.queries.abandoned vs Abandoned", cv("batch.queries.abandoned"), bst.Abandoned)
+	eq("batch.groups vs Groups", cv("batch.groups"), bst.Groups)
+	eq("batch.demand.buckets vs Demand", cv("batch.demand.buckets"), bst.Demand)
+	eq("batch.reads.physical vs Physical", cv("batch.reads.physical"), bst.Physical)
+	eq("batch.reads.deduped vs Deduped", cv("batch.reads.deduped"), bst.Deduped)
+	eq("batch.reads.pruned vs Pruned", cv("batch.reads.pruned"), bst.Pruned)
+	eq("batch query latency count = answered",
+		reg.Histogram("batch.query.latency").Count(), bst.Answered)
+	eq("batch group latency count = groups",
+		reg.Histogram("batch.group.latency").Count(), bst.Groups)
+
 	// The chaos driver recovered everything it failed.
 	eq("fault failures = recoveries", cv("fault.disk.failures"), cv("fault.disk.recoveries"))
 
@@ -253,6 +350,18 @@ func TestConservationSoak(t *testing.T) {
 	}
 	if st.Shed() == 0 {
 		t.Error("nothing shed; admission bounds had no effect")
+	}
+	if bst.Answered == 0 {
+		t.Error("no batch query answered")
+	}
+	if bst.Groups == 0 {
+		t.Error("no batch group executed")
+	}
+	if bst.Deduped == 0 {
+		t.Error("no dedup savings; batch windows never grouped overlapping demand")
+	}
+	if bst.Abandoned == 0 {
+		t.Error("no batch query abandoned; tight deadlines had no effect")
 	}
 	traces := sink.SlowestTraces()
 	if len(traces) == 0 || len(traces) > 4 {

@@ -413,6 +413,37 @@ func (s *Scheduler) Search(ctx context.Context, r grid.Rect) (*exec.Result, erro
 // ctx.Err() when the caller gave up first), and a draining scheduler
 // returns ErrClosed.
 func (s *Scheduler) Do(ctx context.Context, q Query) (*exec.Result, error) {
+	return s.do(ctx, q.Priority,
+		func() string { return fmt.Sprintf("query %v prio %d", q.Rect, q.Priority) },
+		func(ctx context.Context) (*exec.Result, error) { return s.ex.RangeSearch(ctx, q.Rect) })
+}
+
+// BucketQuery is one admission unit naming an explicit bucket set —
+// the shape of a physical read the batch engine dispatches after
+// deduping shared buckets across a group of logical queries. It rides
+// the same admission queue, breakers, hedging, and failover as a
+// rectangle query and counts in the same Stats/metrics, so every
+// conservation identity spans both shapes.
+type BucketQuery struct {
+	// Buckets are distinct row-major bucket numbers; within each disk
+	// they are read in the order given.
+	Buckets []int
+	// Priority orders queued queries exactly as Query.Priority.
+	Priority int
+}
+
+// DoBuckets admits and runs one explicit bucket-set read. Semantics
+// match Do in every respect — blocking admission, shed and closed
+// errors, stats accounting.
+func (s *Scheduler) DoBuckets(ctx context.Context, q BucketQuery) (*exec.Result, error) {
+	return s.do(ctx, q.Priority,
+		func() string { return fmt.Sprintf("bucketset n=%d prio %d", len(q.Buckets), q.Priority) },
+		func(ctx context.Context) (*exec.Result, error) { return s.ex.RangeSearchBuckets(ctx, q.Buckets) })
+}
+
+// do is the shared admission-and-execution lifecycle of Do and
+// DoBuckets: count issued, trace, admit, run, classify the outcome.
+func (s *Scheduler) do(ctx context.Context, prio int, label func() string, run func(context.Context) (*exec.Result, error)) (*exec.Result, error) {
 	m := &s.metrics
 	m.issued.Inc()
 	var start time.Time
@@ -421,11 +452,11 @@ func (s *Scheduler) Do(ctx context.Context, q Query) (*exec.Result, error) {
 	}
 	var tr *obs.Trace
 	if s.obs.Tracing() {
-		tr = s.obs.StartTrace(fmt.Sprintf("query %v prio %d", q.Rect, q.Priority))
+		tr = s.obs.StartTrace(label())
 		defer s.obs.FinishTrace(tr)
 	}
 	asp := tr.Root().Child("admit")
-	if err := s.admit(ctx, q.Priority); err != nil {
+	if err := s.admit(ctx, prio); err != nil {
 		asp.FinishErr(err)
 		tr.Root().Annotate("shed")
 		return nil, err
@@ -435,7 +466,7 @@ func (s *Scheduler) Do(ctx context.Context, q Query) (*exec.Result, error) {
 	m.admitted.Inc()
 	defer s.release()
 	esp := tr.Root().Child("exec")
-	res, err := s.ex.RangeSearch(obs.ContextWithSpan(ctx, esp), q.Rect)
+	res, err := run(obs.ContextWithSpan(ctx, esp))
 	esp.FinishErr(err)
 	switch {
 	case err == nil:

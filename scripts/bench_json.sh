@@ -36,6 +36,13 @@
 #       over the same run's plain healthy mean — the decision loop must
 #       stay off the query path). The committed PR 7 healthy mean is
 #       echoed for cross-PR context.
+#   pr9 — BenchmarkBatchThroughput/{individual,batch}-o{2,4,8} (the
+#       same `overlap` identical queries resolved one admission slot
+#       per query vs one batched group answering every member from a
+#       deduped physical read; each op resolves all `overlap` queries,
+#       so the individual/batch ns-per-op ratio is the goodput factor).
+#       Acceptance bar: batch_vs_individual_goodput_x >= 1.5 at
+#       overlap 4.
 #
 # Usage: scripts/bench_json.sh [count] [suite] > BENCH_PR5.json
 set -eu
@@ -235,8 +242,47 @@ pr8)
 			printf "}\n"
 		}'
 	;;
+pr9)
+	go test -run '^$' -bench '^BenchmarkBatchThroughput$' \
+		-benchtime=20x -count="$count" . |
+		awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+		/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			sub(/^Benchmark/, "", name)
+			vals[name] = vals[name] sep[name] $3
+			sep[name] = ", "
+			sum[name] += $3
+			n[name]++
+		}
+		function mean(k) { return n[k] ? sum[k] / n[k] : 0 }
+		function series(k) {
+			printf "    \"%s\": {\"ns_per_op\": [%s], \"mean_ns_per_op\": %.0f}", k, vals[k], mean(k)
+		}
+		END {
+			ind = mean("BatchThroughput/individual-o4")
+			bat = mean("BatchThroughput/batch-o4")
+			printf "{\n"
+			printf "  \"benchmark\": \"BenchmarkBatchThroughput\",\n"
+			printf "  \"date\": \"%s\",\n", date
+			printf "  \"cpu\": \"%s\",\n", cpu
+			printf "  \"count\": %d,\n", n["BatchThroughput/batch-o4"]
+			printf "  \"results\": {\n"
+			series("BatchThroughput/individual-o2"); printf ",\n"
+			series("BatchThroughput/batch-o2"); printf ",\n"
+			series("BatchThroughput/individual-o4"); printf ",\n"
+			series("BatchThroughput/batch-o4"); printf ",\n"
+			series("BatchThroughput/individual-o8"); printf ",\n"
+			series("BatchThroughput/batch-o8"); printf "\n"
+			printf "  },\n"
+			printf "  \"batch_vs_individual_goodput_x\": %.2f,\n", bat ? ind / bat : 0
+			printf "  \"bar_goodput_x\": 1.5\n"
+			printf "}\n"
+		}'
+	;;
 *)
-	echo "bench_json.sh: unknown suite '$suite' (want pr4, pr5, pr6, pr7 or pr8)" >&2
+	echo "bench_json.sh: unknown suite '$suite' (want pr4, pr5, pr6, pr7, pr8 or pr9)" >&2
 	exit 2
 	;;
 esac
