@@ -1,0 +1,136 @@
+package decluster_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"decluster"
+	"decluster/internal/alloc"
+	"decluster/internal/grid"
+)
+
+// TestResultNoAliasing is the audit of the result-pooling ownership
+// rules: a Result a caller holds without releasing must stay immutable
+// while (a) other queries churn the executor's pools with Release-driven
+// reuse, concurrently, and (b) the file itself grows, reallocating and
+// appending to the bucket storage the zero-copy read path serves views
+// of. Any aliasing of pooled scratch or bucket storage into
+// Result.Records shows up here as a corrupted snapshot — and, under
+// -race (CI runs this package with it), as a data race.
+func TestResultNoAliasing(t *testing.T) {
+	g := grid.MustNew(16, 16)
+	m, err := alloc.NewHCAM(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := decluster.NewGridFile(decluster.GridFileConfig{Method: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InsertAll(decluster.UniformRecords{K: 2, Seed: 21}.Generate(3000)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := decluster.NewExecutor(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	held, err := e.RangeSearch(ctx, g.MustRect(grid.Coord{2, 2}, grid.Coord{13, 13}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep snapshot of the held result, taken before any churn.
+	want := make([][]float64, len(held.Records))
+	for i, rec := range held.Records {
+		want[i] = append([]float64(nil), rec.Values...)
+	}
+
+	// Churn 1: concurrent queries that release their results back to
+	// the pool, recycling whatever scratch a buggy merge would have
+	// aliased into the held result.
+	rects := []decluster.Rect{
+		g.MustRect(grid.Coord{0, 0}, grid.Coord{15, 15}),
+		g.MustRect(grid.Coord{2, 2}, grid.Coord{13, 13}),
+		g.MustRect(grid.Coord{7, 1}, grid.Coord{9, 14}),
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				res, err := e.RangeSearch(ctx, rects[(w+i)%len(rects)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				res.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Churn 2: grow the file. The read path serves read-only views of
+	// bucket storage; if the merge had kept views instead of copies,
+	// these appends would scribble over the held records.
+	if err := f.InsertAll(decluster.UniformRecords{K: 2, Seed: 22}.Generate(3000)); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(held.Records) != len(want) {
+		t.Fatalf("held result length changed under churn: %d, want %d", len(held.Records), len(want))
+	}
+	for i, rec := range held.Records {
+		for a, v := range rec.Values {
+			if v != want[i][a] {
+				t.Fatalf("held record %d attribute %d changed under churn: %v, want %v", i, a, v, want[i][a])
+			}
+		}
+	}
+}
+
+// TestResultReleaseIsTerminal pins the double-release contract: Release
+// is idempotent, and a second call must not hand the same Result to the
+// pool twice (which would let two queries share one Result).
+func TestResultReleaseIsTerminal(t *testing.T) {
+	g := grid.MustNew(8, 8)
+	m, err := alloc.NewHCAM(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := decluster.NewGridFile(decluster.GridFileConfig{Method: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InsertAll(decluster.UniformRecords{K: 2, Seed: 9}.Generate(500)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := decluster.NewExecutor(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RangeSearch(context.Background(), g.FullRect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Release()
+	res.Release() // must be a no-op, not a second pool put
+
+	// The pool can now hand the released Result to a new query; two
+	// back-to-back queries must get distinct live results.
+	r1, err := e.RangeSearch(context.Background(), g.FullRect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.RangeSearch(context.Background(), g.FullRect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 {
+		t.Fatal("double release handed one Result to two queries")
+	}
+	r1.Release()
+	r2.Release()
+}

@@ -513,9 +513,13 @@ func BenchmarkRangeSearch(b *testing.B) {
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.RangeSearch(ctx, r); err != nil {
+		res, err := e.RangeSearch(ctx, r)
+		if err != nil {
 			b.Fatal(err)
 		}
+		// Recycle per the facade ownership rules; a caller that keeps
+		// the result simply skips this and pays the allocation.
+		res.Release()
 	}
 }
 
@@ -591,6 +595,51 @@ func BenchmarkServeSoak(b *testing.B) {
 		}
 	})
 	b.StopTimer()
+	if _, err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkServeSoakP99 is BenchmarkServeSoak with a live obs sink, so
+// the benchmark reports the soak's query-latency p99 alongside mean
+// ns/op — the PR 10 bar is on the tail, not just the mean, because
+// pooling bugs (a stalled worker, a contended freelist) surface at p99
+// long before they move the average. bench_json.sh suite pr10 records
+// the p99-ns metric into BENCH_PR10.json.
+func BenchmarkServeSoakP99(b *testing.B) {
+	g := grid.MustNew(64, 64)
+	m, _ := alloc.NewHCAM(g, 16)
+	f, _ := decluster.NewGridFile(decluster.GridFileConfig{Method: m})
+	if err := f.InsertAll(decluster.UniformRecords{K: 2, Seed: 1}.Generate(50000)); err != nil {
+		b.Fatal(err)
+	}
+	rep, err := decluster.NewOffsetReplication(m, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := decluster.NewSink()
+	s, err := decluster.Serve(f,
+		decluster.WithServeFailover(rep),
+		decluster.WithHedging(decluster.HedgeConfig{After: time.Millisecond}),
+		decluster.WithAdmission(decluster.AdmissionConfig{MaxQueue: 1024}),
+		decluster.WithServeObserver(sink),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := g.MustRect(decluster.Coord{8, 8}, decluster.Coord{55, 55})
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := s.Search(ctx, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	p99 := sink.Registry().Histogram("serve.query.latency").Snapshot().Percentile(99)
+	b.ReportMetric(float64(p99.Nanoseconds()), "p99-ns")
 	if _, err := s.Close(); err != nil {
 		b.Fatal(err)
 	}

@@ -99,6 +99,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"slices"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -306,6 +308,12 @@ func main() {
 			}
 		}
 	}
+	passed := make(map[string]bool)
+	flag.Visit(func(fl *flag.Flag) { passed[fl.Name] = true })
+	if err := checkFlagScope(name, passed); err != nil {
+		fmt.Fprintln(os.Stderr, "declustersim:", err)
+		os.Exit(2)
+	}
 	if err := run(os.Stdout, name, m, opt, avail, chaos, recovery, clusterCfg, mode); err != nil {
 		fmt.Fprintln(os.Stderr, "declustersim:", err)
 		os.Exit(1)
@@ -387,6 +395,56 @@ var order = []string{
 	"table1", "theorem", "size", "shape", "attrs",
 	"disks-small", "disks-large", "dbsize", "pm", "endtoend",
 	"batch", "skew", "drift", "replication", "availability", "load", "witness",
+}
+
+// scopedFlags maps each flag that only specific experiments read to
+// those experiments. "all" appears only where the default sweep
+// actually reaches the consumer (availability); the soak experiments
+// are excluded from "all", so their knobs are not consumed there.
+var scopedFlags = map[string][]string{
+	"soak":          {"chaos", "cluster", "batch-goodput"},
+	"qps":           {"chaos"},
+	"clients":       {"chaos", "cluster", "batch-goodput"},
+	"hedge-after":   {"chaos", "cluster"},
+	"nodes":         {"cluster"},
+	"replicas":      {"cluster"},
+	"join":          {"cluster"},
+	"leave":         {"cluster"},
+	"partition":     {"cluster"},
+	"flash-crowd":   {"cluster"},
+	"autopilot":     {"cluster"},
+	"blinking":      {"cluster"},
+	"spike-factor":  {"cluster"},
+	"autopilot-p99": {"cluster"},
+	"migrate-rate":  {"cluster"},
+	"rebuild-rate":  {"recovery"},
+	"corrupt-prob":  {"recovery"},
+	"fail-disks":    {"availability", "all"},
+	"fail-prob":     {"availability", "all"},
+}
+
+// checkFlagScope rejects explicitly passed flags the selected
+// experiment never reads. Before this check such flags were silently
+// ignored — `-qps 500` without `-experiment chaos` ran the default
+// sweep at full tilt and reported numbers for a run the user never
+// asked for. The experiment name is the one after -soak/scenario-flag
+// implication, so the convenience spellings still work.
+func checkFlagScope(experiment string, passed map[string]bool) error {
+	names := make([]string, 0, len(passed))
+	for n := range passed {
+		if _, ok := scopedFlags[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		consumers := scopedFlags[n]
+		if !slices.Contains(consumers, experiment) {
+			return fmt.Errorf("-%s is read only by -experiment %s and would be silently ignored by %q",
+				n, strings.Join(consumers, "|"), experiment)
+		}
+	}
+	return nil
 }
 
 // outputMode selects how sweep experiments are rendered.

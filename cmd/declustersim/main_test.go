@@ -284,3 +284,60 @@ func TestRunCluster(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckFlagScope pins the silent-ignore fix: a soak-only flag
+// passed to an experiment that never reads it must be rejected, while
+// the same flag under a consuming experiment (including the implied
+// spellings) passes.
+func TestCheckFlagScope(t *testing.T) {
+	set := func(names ...string) map[string]bool {
+		m := make(map[string]bool, len(names))
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	for _, tc := range []struct {
+		experiment string
+		passed     map[string]bool
+		wantErr    string // substring; "" = accept
+	}{
+		// The bug: soak knobs under the default sweep were silently dropped.
+		{"all", set("qps"), "-qps"},
+		{"all", set("soak"), "-soak"},
+		{"size", set("clients"), "-clients"},
+		{"table1", set("hedge-after"), "-hedge-after"},
+		{"chaos", set("flash-crowd"), "-flash-crowd"},
+		{"batch-goodput", set("qps"), "-qps"},
+		{"batch-goodput", set("hedge-after"), "-hedge-after"},
+		{"size", set("rebuild-rate"), "-rebuild-rate"},
+		{"chaos", set("corrupt-prob"), "-corrupt-prob"},
+		{"chaos", set("nodes"), "-nodes"},
+		{"size", set("fail-disks"), "-fail-disks"},
+		// Consumed: the flag reaches its experiment.
+		{"chaos", set("soak", "qps", "clients", "hedge-after"), ""},
+		{"cluster", set("soak", "clients", "hedge-after", "nodes", "flash-crowd", "migrate-rate"), ""},
+		{"batch-goodput", set("soak", "clients"), ""},
+		{"recovery", set("rebuild-rate", "corrupt-prob"), ""},
+		{"availability", set("fail-disks", "fail-prob"), ""},
+		{"all", set("fail-disks"), ""}, // the default sweep runs availability
+		// Unscoped flags are everyone's business.
+		{"size", set("seed", "samples", "metric"), ""},
+		{"all", nil, ""},
+	} {
+		err := checkFlagScope(tc.experiment, tc.passed)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("checkFlagScope(%q, %v) rejected: %v", tc.experiment, tc.passed, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("checkFlagScope(%q, %v) accepted; want error naming %s", tc.experiment, tc.passed, tc.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) || !strings.Contains(err.Error(), tc.experiment) {
+			t.Errorf("checkFlagScope(%q, %v) error %q does not name the flag and experiment", tc.experiment, tc.passed, err)
+		}
+	}
+}

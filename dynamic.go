@@ -1,7 +1,9 @@
 package decluster
 
 import (
+	"decluster/internal/cost"
 	"decluster/internal/dyngrid"
+	"decluster/internal/grid"
 )
 
 // DynamicGridFile is an adaptable grid file (Nievergelt et al. 1984):
@@ -32,4 +34,44 @@ func RoundRobinAllocator() BucketAllocator { return dyngrid.RoundRobin() }
 // to the virtual grid cell containing the bucket's center.
 func MethodBucketAllocator(m Method) (BucketAllocator, error) {
 	return dyngrid.MethodAllocator(m)
+}
+
+// GridObserver receives a dynamic grid file's structural-change
+// notifications — cell disk moves and directory reshapes.
+type GridObserver = dyngrid.Observer
+
+// MaintainedEvaluator is a response-time kernel kept incrementally
+// correct while the underlying cell→disk mapping mutates.
+type MaintainedEvaluator = cost.MaintainedEvaluator
+
+// maintainObserver forwards dyngrid structural changes into the
+// maintained kernel.
+type maintainObserver struct{ me *cost.MaintainedEvaluator }
+
+func (o maintainObserver) CellMoved(cell []int, from, to int) {
+	// The file only reports cells of its own directory, so a delta
+	// failure is an invariant violation, not an input error.
+	if err := o.me.CellMoved(grid.Coord(cell), from, to); err != nil {
+		panic(err)
+	}
+}
+
+func (o maintainObserver) GridReshaped() { o.me.GridReshaped() }
+
+// NewDynamicEvaluator attaches a delta-maintained response-time kernel
+// to a dynamic grid file: bucket splits fold into the kernel's tables
+// as cell moves in O(axis-suffix) each, and a directory doubling
+// re-tiles the kernel for the new shape on the next query — queries
+// between inserts never see stale loads and never pay a per-query
+// rebuild. The evaluator observes the file from this call on (it
+// replaces any observer installed earlier); kernel and budget choose
+// tables as in NewKernelEvaluator. Not safe for concurrent use, like
+// the file itself.
+func NewDynamicEvaluator(f *DynamicGridFile, name string, k EvalKernel, tableBudget int64) (*MaintainedEvaluator, error) {
+	me, err := cost.NewMaintainedEvaluator(f.AsMethod(name), k, tableBudget)
+	if err != nil {
+		return nil, err
+	}
+	f.SetObserver(maintainObserver{me})
+	return me, nil
 }

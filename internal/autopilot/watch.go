@@ -16,7 +16,11 @@ type tickSample struct {
 	at      time.Time
 	lat     []obs.HistogramSnapshot // per member, from cluster.node.latency
 	nodeLat []obs.HistogramSnapshot // per member, node-reported via /v1/health
-	shed    uint64                  // cluster-wide cumulative shed count
+	// shedPer holds each member's cumulative shed count. Kept per member
+	// — not summed — so one member's counter reset after a restart
+	// re-anchors only that member instead of corrupting the cluster-wide
+	// window (see window.go).
+	shedPer []uint64
 }
 
 // watcher assembles Signals each tick: windowed per-node p99 from the
@@ -91,7 +95,7 @@ func (w *watcher) collect(now time.Time) Signals {
 		inMap[m] = true
 	}
 	joiner := sm.MaxMember() + 1 // the member ID PlanJoin will assign
-	var shed uint64
+	shedPer := make([]uint64, len(w.endpoints))
 	nodeLat := make([]obs.HistogramSnapshot, len(w.endpoints))
 	epochs := make(map[uint64]bool)
 	for i := range probes {
@@ -103,9 +107,15 @@ func (w *watcher) collect(now time.Time) Signals {
 			if inMap[i] {
 				sig.Unreachable++
 			}
+			// Carry the last known cumulative counters forward so a
+			// missed probe reads as "no new sheds", not as a counter
+			// reset.
+			if last := len(w.ring) - 1; last >= 0 && i < len(w.ring[last].shedPer) {
+				shedPer[i] = w.ring[last].shedPer[i]
+			}
 			continue
 		}
-		shed += p.h.Shed
+		shedPer[i] = p.h.Shed
 		nodeLat[i] = p.h.Latency
 		if p.h.Pending != 0 {
 			sig.MigrationInFlight = true
@@ -126,8 +136,9 @@ func (w *watcher) collect(now time.Time) Signals {
 	sig.EpochSplit = len(epochs) > 1
 
 	// Windowed latency and shed rate: current cumulative sample minus
-	// the oldest retained one.
-	cur := tickSample{at: now, shed: shed, nodeLat: nodeLat}
+	// the oldest retained one, re-anchored per member when a node
+	// restart reset its counters (window.go).
+	cur := tickSample{at: now, shedPer: shedPer, nodeLat: nodeLat}
 	if w.lat != nil {
 		cur.lat = make([]obs.HistogramSnapshot, w.lat.Len())
 		for i := 0; i < w.lat.Len(); i++ {
@@ -137,8 +148,16 @@ func (w *watcher) collect(now time.Time) Signals {
 	if len(w.ring) > 0 {
 		old := w.ring[0]
 		if span := now.Sub(old.at); span > 0 {
-			if cur.shed > old.shed {
-				sig.ShedRate = float64(cur.shed-old.shed) / span.Seconds()
+			var shed uint64
+			for m := range cur.shedPer {
+				var prev uint64
+				if m < len(old.shedPer) {
+					prev = old.shedPer[m]
+				}
+				shed += windowCounter(cur.shedPer[m], prev)
+			}
+			if shed > 0 {
+				sig.ShedRate = float64(shed) / span.Seconds()
 			}
 			for m := range cur.nodeLat {
 				if !inMap[m] {
@@ -146,6 +165,9 @@ func (w *watcher) collect(now time.Time) Signals {
 				}
 				var win obs.HistogramSnapshot
 				if m < len(cur.lat) {
+					// The router-side family lives in this process, so
+					// it never resets under a probed node's restart;
+					// plain Sub is safe here.
 					var prev obs.HistogramSnapshot
 					if m < len(old.lat) {
 						prev = old.lat[m]
@@ -158,12 +180,13 @@ func (w *watcher) collect(now time.Time) Signals {
 					// controller whose router only plans and migrates,
 					// never serves. Fall back to the histogram the node
 					// itself reported in its health replies, windowed
-					// the same way.
+					// the same way. Node-reported counters DO reset when
+					// the node restarts mid-window.
 					var prev obs.HistogramSnapshot
 					if m < len(old.nodeLat) {
 						prev = old.nodeLat[m]
 					}
-					win = cur.nodeLat[m].Sub(prev)
+					win = windowHistogram(cur.nodeLat[m], prev)
 				}
 				if p99 := win.Percentile(99); p99 > sig.P99 {
 					sig.P99 = p99

@@ -1,0 +1,56 @@
+package autopilot
+
+import "decluster/internal/obs"
+
+// Counter windowing over restart-prone sources. The watcher differences
+// cumulative counters (shed counts, node-reported latency histograms)
+// across its ring to get sliding windows. A probed node that restarts
+// resets those counters to zero, and a naive cur−prev diff then
+// produces garbage: the clamped histogram Sub keeps only the buckets
+// the young process has already outgrown, and a cluster-wide shed sum
+// lets one node's reset mask another's real sheds. These helpers detect
+// the regression per member and re-anchor: a freshly reset cumulative
+// counter IS the traffic since the restart, so the post-reset value
+// stands in for the window until pre-restart anchors age out of the
+// ring.
+//
+// Detection is heuristic in one direction: a restarted node that
+// out-counts its pre-restart self in every bucket within one window is
+// indistinguishable from an uninterrupted one, and the diff then
+// undercounts by the pre-restart totals. The window bounds that error,
+// and the next tick's anchors are post-restart.
+
+// windowCounter returns the windowed increase of a cumulative counter,
+// re-anchoring to cur when the counter regressed.
+func windowCounter(cur, prev uint64) uint64 {
+	if cur < prev {
+		return cur
+	}
+	return cur - prev
+}
+
+// histogramRegressed reports whether cur cannot be a later snapshot of
+// the same histogram as prev — some bucket (or the total) shrank.
+func histogramRegressed(cur, prev obs.HistogramSnapshot) bool {
+	if cur.Count < prev.Count {
+		return true
+	}
+	for i, p := range prev.Counts {
+		if p == 0 {
+			continue
+		}
+		if i >= len(cur.Counts) || cur.Counts[i] < p {
+			return true
+		}
+	}
+	return false
+}
+
+// windowHistogram returns the windowed distribution cur−prev,
+// re-anchoring to cur alone when the counters regressed.
+func windowHistogram(cur, prev obs.HistogramSnapshot) obs.HistogramSnapshot {
+	if histogramRegressed(cur, prev) {
+		return cur
+	}
+	return cur.Sub(prev)
+}

@@ -1,0 +1,89 @@
+package autopilot
+
+import (
+	"testing"
+	"time"
+
+	"decluster/internal/obs"
+)
+
+func TestWindowCounter(t *testing.T) {
+	for _, tc := range []struct {
+		cur, prev, want uint64
+	}{
+		{100, 60, 40}, // normal window
+		{60, 60, 0},   // idle window
+		{5, 60, 5},    // counter reset mid-window: re-anchor to cur
+		{0, 60, 0},    // reset, nothing since
+	} {
+		if got := windowCounter(tc.cur, tc.prev); got != tc.want {
+			t.Errorf("windowCounter(%d, %d) = %d, want %d", tc.cur, tc.prev, got, tc.want)
+		}
+	}
+}
+
+// snap builds a cumulative histogram snapshot from bucket counts.
+func snap(bounds []int64, counts ...uint64) obs.HistogramSnapshot {
+	s := obs.HistogramSnapshot{Bounds: bounds, Counts: counts}
+	for _, c := range counts {
+		s.Count += c
+	}
+	return s
+}
+
+// TestWindowHistogramRestart pins the restart bug: a node whose
+// histogram counters reset mid-window must yield its post-restart
+// distribution, not the clamped diff against pre-restart counts (which
+// kept only the buckets the young process had already outgrown and
+// produced a garbage p99).
+func TestWindowHistogramRestart(t *testing.T) {
+	bounds := []int64{int64(time.Millisecond), int64(10 * time.Millisecond)}
+	// Pre-restart: 100 fast, 50 mid, 2 slow observations.
+	prev := snap(bounds, 100, 50, 2)
+	// Post-restart: 5 fast, 80 mid — all mass ≤ 10ms.
+	cur := snap(bounds, 5, 80, 0)
+
+	if !histogramRegressed(cur, prev) {
+		t.Fatal("restart not detected")
+	}
+	win := windowHistogram(cur, prev)
+	if win.Count != cur.Count {
+		t.Fatalf("re-anchored window has %d observations, want the post-restart %d", win.Count, cur.Count)
+	}
+	// The clamped Sub would have reported [0, 30, 0]; re-anchoring keeps
+	// the true post-restart shape.
+	if got, want := win.Percentile(99), cur.Percentile(99); got != want {
+		t.Fatalf("re-anchored p99 %v, want %v", got, want)
+	}
+	sub := cur.Sub(prev)
+	if sub.Count == 0 || sub.Count == cur.Count {
+		t.Fatalf("test premise broken: clamped Sub count %d should be a distorted partial", sub.Count)
+	}
+}
+
+// TestWindowHistogramNormal keeps the happy path: monotone counters
+// window by plain subtraction.
+func TestWindowHistogramNormal(t *testing.T) {
+	bounds := []int64{int64(time.Millisecond)}
+	prev := snap(bounds, 10, 1)
+	cur := snap(bounds, 25, 1)
+	if histogramRegressed(cur, prev) {
+		t.Fatal("monotone growth flagged as restart")
+	}
+	win := windowHistogram(cur, prev)
+	if win.Count != 15 || win.Counts[0] != 15 || win.Counts[1] != 0 {
+		t.Fatalf("window = %+v, want 15 observations in bucket 0", win)
+	}
+}
+
+// TestWindowHistogramTotalRegression catches a reset even when every
+// pre-restart bucket that had mass grows again — the total gives it
+// away.
+func TestWindowHistogramTotalRegression(t *testing.T) {
+	bounds := []int64{int64(time.Millisecond)}
+	prev := snap(bounds, 3, 9)
+	cur := snap(bounds, 4, 0)
+	if !histogramRegressed(cur, prev) {
+		t.Fatal("total-count regression not detected")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"decluster/internal/datagen"
 	"decluster/internal/grid"
 	"decluster/internal/gridfile"
 )
@@ -115,13 +116,16 @@ func MergeAggregates(op AggregateOp, attr int, parts []AggregateResult) Aggregat
 // fall back to a per-bucket extrema table walked over the rectangle —
 // O(volume) of in-memory probes, still zero disk reads.
 //
-// The index is a snapshot of the file at build time and is immutable
-// afterwards, hence safe for concurrent use. Records() lets a holder
-// detect staleness against File.Len() and rebuild.
+// The index is a snapshot of the file at build time. It stays safe for
+// concurrent use as long as it is left immutable; a holder that keeps
+// it current with ApplyInsert takes on that call's single-writer
+// contract. Records() lets a holder detect staleness against File.Len()
+// and rebuild.
 type AggregateIndex struct {
 	g       *grid.Grid
 	k       int
 	disks   int
+	f       *gridfile.File
 	records int64
 	// counts and sums are padded-cell-major with disks entries per
 	// cell, exclusive prefix along every axis (see cost.PrefixEvaluator
@@ -136,6 +140,8 @@ type AggregateIndex struct {
 	bucketCount []int64
 	bucketMin   [][]float64 // per attribute, valid iff bucketCount > 0
 	bucketMax   [][]float64
+	// dcoord is ApplyInsert's odometer scratch, len k.
+	dcoord []int
 }
 
 // BuildAggregateIndex snapshots the file's per-bucket aggregates into
@@ -167,6 +173,7 @@ func BuildAggregateIndex(f *gridfile.File) (*AggregateIndex, error) {
 		g:           g,
 		k:           k,
 		disks:       disks,
+		f:           f,
 		counts:      make([]int64, cells*disks),
 		sums:        make([][]float64, k),
 		pstrides:    make([]int, k),
@@ -174,6 +181,7 @@ func BuildAggregateIndex(f *gridfile.File) (*AggregateIndex, error) {
 		bucketCount: make([]int64, g.Buckets()),
 		bucketMin:   make([][]float64, k),
 		bucketMax:   make([][]float64, k),
+		dcoord:      make([]int, k),
 	}
 	for i := range cellStrides {
 		ix.pstrides[i] = cellStrides[i] * disks
@@ -251,9 +259,74 @@ func BuildAggregateIndex(f *gridfile.File) (*AggregateIndex, error) {
 	return ix, nil
 }
 
-// Records is the record count the index was built over — compare with
+// Records is the record count the index reflects — compare with
 // File.Len() to detect staleness.
 func (ix *AggregateIndex) Records() int64 { return ix.records }
+
+// ApplyInsert folds one inserted record into the index in place,
+// keeping it current without a rebuild: the suffix box of the record's
+// cell gains the record in the count and sum prefix tables
+// (O(∏ axis-suffix), the same bound as cost.PrefixEvaluator.ApplyDelta)
+// and the bucket's extrema widen — extrema only ever widen under
+// inserts, which is why this maintenance is insert-only; a delete can
+// shrink a min or max and would need the bucket re-scanned. Call it
+// with the same record passed to the file's Insert, after that insert
+// succeeded. Counts stay exact; sums accumulate in insertion order, so
+// they match a from-scratch rebuild only up to floating-point
+// re-association.
+//
+// ApplyInsert mutates tables concurrent Aggregate calls read: the
+// holder must serialize it against queries.
+func (ix *AggregateIndex) ApplyInsert(rec datagen.Record) error {
+	c, err := ix.f.CellOf(rec.Values)
+	if err != nil {
+		return err
+	}
+	b := ix.g.Linearize(c)
+	d := ix.f.Method().DiskOf(c)
+	if ix.bucketCount[b] == 0 {
+		for a := 0; a < ix.k; a++ {
+			ix.bucketMin[a][b] = rec.Values[a]
+			ix.bucketMax[a][b] = rec.Values[a]
+		}
+	} else {
+		for a := 0; a < ix.k; a++ {
+			if v := rec.Values[a]; v < ix.bucketMin[a][b] {
+				ix.bucketMin[a][b] = v
+			} else if v > ix.bucketMax[a][b] {
+				ix.bucketMax[a][b] = v
+			}
+		}
+	}
+	ix.bucketCount[b]++
+	ix.records++
+
+	cur := ix.dcoord
+	off := 0
+	for i, v := range c {
+		cur[i] = v + 1
+		off += (v + 1) * ix.pstrides[i]
+	}
+	for {
+		ix.counts[off+d]++
+		for a := 0; a < ix.k; a++ {
+			ix.sums[a][off+d] += rec.Values[a]
+		}
+		i := ix.k - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			off += ix.pstrides[i]
+			if cur[i] < ix.paddedDims[i] {
+				break
+			}
+			off -= (cur[i] - c[i] - 1) * ix.pstrides[i]
+			cur[i] = c[i] + 1
+		}
+		if i < 0 {
+			return nil
+		}
+	}
+}
 
 // Grid returns the indexed grid.
 func (ix *AggregateIndex) Grid() *grid.Grid { return ix.g }

@@ -1,0 +1,110 @@
+package batch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"decluster/internal/alloc"
+	"decluster/internal/datagen"
+	"decluster/internal/grid"
+	"decluster/internal/gridfile"
+)
+
+// TestApplyInsertMatchesRebuild is the differential obligation of
+// insert maintenance: an index kept current with ApplyInsert must
+// answer every aggregate like one rebuilt from scratch over the grown
+// file — counts, extrema, and per-disk splits exactly; sums up to
+// floating-point re-association.
+func TestApplyInsertMatchesRebuild(t *testing.T) {
+	g := grid.MustNew(9, 7)
+	m, err := alloc.NewHCAM(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := gridfile.New(gridfile.Config{Method: m, PageCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InsertAll(datagen.Uniform{K: 2, Seed: 3}.Generate(500)); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildAggregateIndex(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := datagen.Uniform{K: 2, Seed: 17}.Generate(700)
+	for _, rec := range grown {
+		if err := f.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.ApplyInsert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Records() != int64(f.Len()) {
+		t.Fatalf("maintained index reflects %d records, file has %d", ix.Records(), f.Len())
+	}
+	rebuilt, err := BuildAggregateIndex(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	ops := []AggregateOp{OpCount, OpSum, OpMin, OpMax}
+	for i := 0; i < 300; i++ {
+		lo := grid.Coord{rng.Intn(9), rng.Intn(7)}
+		hi := grid.Coord{lo[0] + rng.Intn(9-lo[0]), lo[1] + rng.Intn(7-lo[1])}
+		q := AggregateQuery{Rect: grid.Rect{Lo: lo, Hi: hi}, Op: ops[i%len(ops)], Attr: i % 2}
+		got, err := ix.Aggregate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := rebuilt.Aggregate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Count != want.Count {
+			t.Fatalf("%v: maintained count %d, rebuilt %d", q, got.Count, want.Count)
+		}
+		for d := range got.PerDisk {
+			if got.PerDisk[d] != want.PerDisk[d] {
+				t.Fatalf("%v: disk %d maintained %d, rebuilt %d", q, d, got.PerDisk[d], want.PerDisk[d])
+			}
+		}
+		if q.Op == OpSum && math.Abs(got.Sum-want.Sum) > 1e-9*math.Max(1, math.Abs(want.Sum)) {
+			t.Fatalf("%v: maintained sum %v, rebuilt %v", q, got.Sum, want.Sum)
+		}
+		if (q.Op == OpMin || q.Op == OpMax) && (got.Min != want.Min || got.Max != want.Max) {
+			t.Fatalf("%v: maintained extrema [%v, %v], rebuilt [%v, %v]",
+				q, got.Min, got.Max, want.Min, want.Max)
+		}
+	}
+}
+
+// TestApplyInsertRejectsBadRecord pins validation: arity and range
+// errors surface without touching the tables.
+func TestApplyInsertRejectsBadRecord(t *testing.T) {
+	g := grid.MustNew(4, 4)
+	m, err := alloc.NewDM(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := gridfile.New(gridfile.Config{Method: m, PageCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildAggregateIndex(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.ApplyInsert(datagen.Record{Values: []float64{0.5}}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := ix.ApplyInsert(datagen.Record{Values: []float64{0.5, 1.5}}); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+	if ix.Records() != 0 {
+		t.Errorf("rejected inserts changed the record count to %d", ix.Records())
+	}
+}

@@ -27,6 +27,9 @@ type Evaluator struct {
 	// strides mirror the grid's row-major linearization so the hot loop
 	// can walk bucket numbers incrementally instead of re-linearizing.
 	strides []int
+	// cur is the rectangle walk's odometer scratch, reused across
+	// queries so ResponseTime allocates nothing.
+	cur []int
 }
 
 // NewEvaluator materializes the method's allocation.
@@ -45,8 +48,13 @@ func NewEvaluator(m alloc.Method) *Evaluator {
 		table:   alloc.Table(m),
 		loads:   make([]int, m.Disks()),
 		strides: strides,
+		cur:     make([]int, g.K()),
 	}
 }
+
+// setDisk updates the materialized table entry for bucket b — the walk
+// kernel's delta maintenance (a cell moving disks is one table write).
+func (e *Evaluator) setDisk(b, d int) { e.table[b] = d }
 
 // Method returns the evaluated method.
 func (e *Evaluator) Method() alloc.Method { return e.method }
@@ -60,7 +68,7 @@ func (e *Evaluator) ResponseTime(r grid.Rect) int {
 	// Walk the rectangle in row-major order, maintaining the bucket
 	// number incrementally.
 	k := len(r.Lo)
-	cur := make([]int, k)
+	cur := e.cur[:k]
 	base := 0
 	for i := 0; i < k; i++ {
 		cur[i] = r.Lo[i]

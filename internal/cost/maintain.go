@@ -1,0 +1,147 @@
+package cost
+
+import (
+	"decluster/internal/alloc"
+	"decluster/internal/grid"
+	"decluster/internal/query"
+)
+
+// MaintainedEvaluator keeps a response-time kernel correct while the
+// underlying method's cell→disk mapping mutates — the bridge between
+// the summed-area kernels (built once, immutable) and a mutating store
+// like dyngrid, whose splits move cells between disks and whose
+// directory doublings change the grid shape outright.
+//
+// Same-shape mutations are folded in place: a cell moving disks is two
+// PrefixEvaluator.ApplyDelta suffix-box updates on the prefix kernel
+// (O(∏ axis-suffix) each) or a single table write on the walk kernel.
+// A shape change (dyngrid doubling an axis) invalidates every table
+// index, so the evaluator re-arbitrates and re-tiles through the same
+// budgeted kernel selection as NewKernelEvaluator on the next use —
+// never silently serving loads for a grid that no longer exists. If the
+// grown grid pushes a forced prefix kernel past what its tables can
+// represent, the evaluator degrades to the walk kernel rather than
+// failing queries.
+//
+// Like the kernels it wraps, a MaintainedEvaluator is not safe for
+// concurrent use.
+type MaintainedEvaluator struct {
+	method alloc.Method
+	kernel Kernel
+	budget int64
+
+	eval   RTEvaluator
+	prefix *PrefixEvaluator // non-nil when eval is the prefix kernel
+	walk   *Evaluator       // non-nil when eval is the walk kernel
+	dims   []int            // grid shape the kernel was tiled for
+	stale  bool
+}
+
+// NewMaintainedEvaluator builds a maintained kernel over m with the
+// same arbitration as NewKernelEvaluator. The method must be the live
+// view of the mutating store: after mutations, its Grid and DiskOf
+// reflect the current mapping, which re-tiling reads.
+func NewMaintainedEvaluator(m alloc.Method, k Kernel, tableBudget int64) (*MaintainedEvaluator, error) {
+	e := &MaintainedEvaluator{method: m, kernel: k, budget: tableBudget}
+	if err := e.retile(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// retile rebuilds the kernel from the method's current state.
+func (e *MaintainedEvaluator) retile() error {
+	ev, err := NewKernelEvaluator(e.method, e.kernel, e.budget)
+	if err != nil {
+		return err
+	}
+	e.install(ev)
+	return nil
+}
+
+func (e *MaintainedEvaluator) install(ev RTEvaluator) {
+	e.eval = ev
+	e.prefix, _ = ev.(*PrefixEvaluator)
+	e.walk, _ = ev.(*Evaluator)
+	g := e.method.Grid()
+	e.dims = e.dims[:0]
+	for i := 0; i < g.K(); i++ {
+		e.dims = append(e.dims, g.Dim(i))
+	}
+	e.stale = false
+}
+
+// shapeChanged reports whether the method's grid no longer matches the
+// shape the kernel was tiled for.
+func (e *MaintainedEvaluator) shapeChanged() bool {
+	g := e.method.Grid()
+	if g.K() != len(e.dims) {
+		return true
+	}
+	for i := range e.dims {
+		if g.Dim(i) != e.dims[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// ensure re-tiles if a reshape was signalled or detected. Detection is
+// defensive: even a caller that forgets to forward GridReshaped cannot
+// make the evaluator serve loads tiled for a stale shape, because every
+// query re-checks the dims (k integer compares).
+func (e *MaintainedEvaluator) ensure() {
+	if !e.stale && !e.shapeChanged() {
+		return
+	}
+	if err := e.retile(); err != nil {
+		// A forced prefix kernel whose grown table is unrepresentable:
+		// degrade to the always-buildable walk kernel.
+		e.install(NewEvaluator(e.method))
+	}
+}
+
+// CellMoved folds one cell's disk reassignment into the kernel. Under a
+// pending reshape the move is subsumed by the coming re-tile.
+func (e *MaintainedEvaluator) CellMoved(cell grid.Coord, from, to int) error {
+	if e.stale || e.shapeChanged() {
+		e.stale = true
+		return nil
+	}
+	if e.prefix != nil {
+		if err := e.prefix.ApplyDelta(cell, from, -1); err != nil {
+			return err
+		}
+		return e.prefix.ApplyDelta(cell, to, +1)
+	}
+	e.walk.setDisk(e.method.Grid().Linearize(cell), to)
+	return nil
+}
+
+// GridReshaped marks the kernel stale; the next query re-arbitrates and
+// re-tiles for the new shape.
+func (e *MaintainedEvaluator) GridReshaped() { e.stale = true }
+
+// Method returns the evaluated method.
+func (e *MaintainedEvaluator) Method() alloc.Method { return e.method }
+
+// Prefix exposes the live prefix kernel (nil when the walk kernel is
+// active) — the hook the differential fuzz uses to compare maintained
+// tables against a from-scratch rebuild.
+func (e *MaintainedEvaluator) Prefix() *PrefixEvaluator {
+	e.ensure()
+	return e.prefix
+}
+
+// ResponseTime answers from the maintained kernel, re-tiling first if
+// the grid changed shape.
+func (e *MaintainedEvaluator) ResponseTime(r grid.Rect) int {
+	e.ensure()
+	return e.eval.ResponseTime(r)
+}
+
+// Evaluate measures the method over a workload with the shared fold.
+func (e *MaintainedEvaluator) Evaluate(w query.Workload) Result {
+	e.ensure()
+	return e.eval.Evaluate(w)
+}

@@ -1,0 +1,223 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"decluster/internal/alloc"
+	"decluster/internal/grid"
+)
+
+// mutMethod is a mutable allocation over an explicit table — the test
+// double for a store (dyngrid) whose cell→disk mapping changes under
+// the evaluator.
+type mutMethod struct {
+	g     *grid.Grid
+	disks int
+	table []int
+}
+
+func newMutMethod(g *grid.Grid, disks int, seed int64) *mutMethod {
+	rng := rand.New(rand.NewSource(seed))
+	table := make([]int, g.Buckets())
+	for i := range table {
+		table[i] = rng.Intn(disks)
+	}
+	return &mutMethod{g: g, disks: disks, table: table}
+}
+
+func (m *mutMethod) Name() string     { return "mut" }
+func (m *mutMethod) Grid() *grid.Grid { return m.g }
+func (m *mutMethod) Disks() int       { return m.disks }
+func (m *mutMethod) DiskOf(c grid.Coord) int {
+	if !m.g.Contains(c) {
+		panic("mutMethod: coordinate outside grid")
+	}
+	return m.table[m.g.Linearize(c)]
+}
+
+// move reassigns bucket b to disk d and returns the previous disk.
+func (m *mutMethod) move(b, d int) int {
+	old := m.table[b]
+	m.table[b] = d
+	return old
+}
+
+// FuzzPrefixApplyDelta is the differential proof obligation of delta
+// maintenance: folding an arbitrary stream of cell moves into the
+// summed-area tables with ApplyDelta must leave tables bit-identical to
+// a from-scratch rebuild over the mutated allocation — TablesEqual, not
+// just equal answers on sampled rectangles. The stream bytes decode to
+// (bucket, disk) move pairs so the fuzzer explores edge cells (cell 0,
+// the high corner) and no-op moves (to == from) for free.
+func FuzzPrefixApplyDelta(f *testing.F) {
+	f.Add(uint8(8), uint8(8), uint8(0), uint8(4), int64(1), []byte{0, 1, 63, 2, 17, 0})
+	f.Add(uint8(16), uint8(5), uint8(3), uint8(7), int64(2), []byte{255, 6, 0, 0, 128, 3, 128, 3})
+	f.Add(uint8(4), uint8(4), uint8(4), uint8(2), int64(3), []byte{9, 1, 9, 0, 9, 1})
+	f.Fuzz(func(t *testing.T, d0, d1, d2, disks uint8, seed int64, stream []byte) {
+		dims := []int{int(d0)%16 + 1, int(d1)%16 + 1}
+		if d2%4 != 0 {
+			dims = append(dims, int(d2)%6+1)
+		}
+		g, err := grid.New(dims...)
+		if err != nil {
+			t.Skip()
+		}
+		nd := int(disks)%12 + 1
+		m := newMutMethod(g, nd, seed)
+
+		maintained, err := NewPrefixEvaluator(m)
+		if err != nil {
+			t.Fatalf("prefix build failed on fuzz-scale grid %v: %v", g, err)
+		}
+		cell := make(grid.Coord, g.K())
+		for i := 0; i+1 < len(stream); i += 2 {
+			b := int(stream[i]) % g.Buckets()
+			to := int(stream[i+1]) % nd
+			from := m.move(b, to)
+			g.Delinearize(b, cell)
+			if err := maintained.ApplyDelta(cell, from, -1); err != nil {
+				t.Fatalf("ApplyDelta(%v, %d, -1): %v", cell, from, err)
+			}
+			if err := maintained.ApplyDelta(cell, to, +1); err != nil {
+				t.Fatalf("ApplyDelta(%v, %d, +1): %v", cell, to, err)
+			}
+		}
+
+		rebuilt, err := NewPrefixEvaluator(m)
+		if err != nil {
+			t.Fatalf("rebuild failed: %v", err)
+		}
+		if !maintained.TablesEqual(rebuilt) {
+			t.Fatalf("delta-maintained tables diverge from rebuild after %d moves on %v grid × %d disks",
+				len(stream)/2, g, nd)
+		}
+		// Belt and braces: the maintained kernel must also agree with the
+		// naive walk over the mutated allocation.
+		r := fuzzRect(g, uint8(seed), d0^d1, d1, disks)
+		if got, want := maintained.ResponseTime(r), ResponseTime(m, r); got != want {
+			t.Fatalf("maintained ResponseTime(%v) = %d, naive = %d", r, got, want)
+		}
+	})
+}
+
+// TestApplyDeltaValidation pins the error cases: wrong arity, cell out
+// of range, disk out of range.
+func TestApplyDeltaValidation(t *testing.T) {
+	g := grid.MustNew(4, 4)
+	m, err := alloc.NewDM(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewPrefixEvaluator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyDelta(grid.Coord{1}, 0, 1); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := e.ApplyDelta(grid.Coord{4, 0}, 0, 1); err == nil {
+		t.Error("out-of-range cell accepted")
+	}
+	if err := e.ApplyDelta(grid.Coord{0, -1}, 0, 1); err == nil {
+		t.Error("negative cell accepted")
+	}
+	if err := e.ApplyDelta(grid.Coord{0, 0}, 4, 1); err == nil {
+		t.Error("out-of-range disk accepted")
+	}
+	if err := e.ApplyDelta(grid.Coord{0, 0}, -1, 1); err == nil {
+		t.Error("negative disk accepted")
+	}
+}
+
+// TestApplyDeltaVisibleToClones pins the shared-table contract: a delta
+// applied through one clone is visible to all.
+func TestApplyDeltaVisibleToClones(t *testing.T) {
+	g := grid.MustNew(6, 6)
+	m := newMutMethod(g, 3, 11)
+	e, err := NewPrefixEvaluator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Clone()
+	cell := grid.Coord{2, 3}
+	b := g.Linearize(cell)
+	from := m.move(b, (m.table[b]+1)%3)
+	to := m.table[b]
+	if err := e.ApplyDelta(cell, from, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyDelta(cell, to, +1); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := NewPrefixEvaluator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.TablesEqual(rebuilt) {
+		t.Fatal("delta through original not visible to clone")
+	}
+}
+
+// TestMaintainedEvaluator drives the arbitration wrapper through moves
+// and a reshape on both kernels.
+func TestMaintainedEvaluator(t *testing.T) {
+	for _, kernel := range []Kernel{KernelPrefix, KernelWalk, KernelAuto} {
+		g := grid.MustNew(8, 8)
+		m := newMutMethod(g, 4, 5)
+		me, err := NewMaintainedEvaluator(m, kernel, 0)
+		if err != nil {
+			t.Fatalf("kernel %v: %v", kernel, err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		cell := make(grid.Coord, g.K())
+		for i := 0; i < 50; i++ {
+			b := rng.Intn(g.Buckets())
+			to := rng.Intn(4)
+			from := m.move(b, to)
+			g.Delinearize(b, cell)
+			if err := me.CellMoved(cell, from, to); err != nil {
+				t.Fatalf("kernel %v move %d: %v", kernel, i, err)
+			}
+		}
+		r := g.MustRect(grid.Coord{1, 2}, grid.Coord{6, 7})
+		if got, want := me.ResponseTime(r), ResponseTime(m, r); got != want {
+			t.Fatalf("kernel %v after moves: maintained %d, naive %d", kernel, got, want)
+		}
+
+		// Reshape: swap in a bigger grid behind the method's back and
+		// signal it. The evaluator must re-tile, not serve stale loads.
+		g2 := grid.MustNew(16, 16)
+		m.g = g2
+		m.table = make([]int, g2.Buckets())
+		for i := range m.table {
+			m.table[i] = rng.Intn(4)
+		}
+		me.GridReshaped()
+		r2 := g2.MustRect(grid.Coord{3, 0}, grid.Coord{14, 15})
+		if got, want := me.ResponseTime(r2), ResponseTime(m, r2); got != want {
+			t.Fatalf("kernel %v after reshape: maintained %d, naive %d", kernel, got, want)
+		}
+	}
+}
+
+// TestMaintainedEvaluatorDetectsReshape drops the GridReshaped signal
+// on purpose: the defensive shape check alone must trigger the re-tile.
+func TestMaintainedEvaluatorDetectsReshape(t *testing.T) {
+	g := grid.MustNew(4, 4)
+	m := newMutMethod(g, 2, 7)
+	me, err := NewMaintainedEvaluator(m, KernelPrefix, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := grid.MustNew(8, 4)
+	m.g = g2
+	m.table = make([]int, g2.Buckets())
+	for i := range m.table {
+		m.table[i] = i % 2
+	}
+	r := g2.FullRect()
+	if got, want := me.ResponseTime(r), ResponseTime(m, r); got != want {
+		t.Fatalf("unsignalled reshape: maintained %d, naive %d", got, want)
+	}
+}

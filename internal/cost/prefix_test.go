@@ -231,3 +231,33 @@ func TestKernelSelection(t *testing.T) {
 		t.Error("unknown kernel accepted")
 	}
 }
+
+// TestLoadsZeroAllocs gates the hot-path allocation budget of the
+// prefix kernel: after construction, Loads (and therefore ResponseTime)
+// must not allocate — the corner terms are built by doubling into the
+// evaluator's reusable buffer.
+func TestLoadsZeroAllocs(t *testing.T) {
+	g := grid.MustNew(24, 24)
+	m, err := alloc.NewHCAM(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewPrefixEvaluator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.MustRect(grid.Coord{3, 5}, grid.Coord{20, 17})
+	sink := 0
+	if avg := testing.AllocsPerRun(200, func() {
+		loads := e.Loads(r)
+		sink += loads[0]
+	}); avg > 0 {
+		t.Errorf("PrefixEvaluator.Loads allocates %.1f allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		sink += e.ResponseTime(r)
+	}); avg > 0 {
+		t.Errorf("PrefixEvaluator.ResponseTime allocates %.1f allocs/op, want 0", avg)
+	}
+	_ = sink
+}

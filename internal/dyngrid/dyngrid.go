@@ -108,6 +108,9 @@ type File struct {
 	count   int
 	splits  int
 	doubles int
+	// obs, when set, receives structural-change notifications (see
+	// Observer).
+	obs Observer
 }
 
 // New creates an empty dynamic grid file with a single bucket covering
@@ -342,9 +345,13 @@ func (f *File) splitRegion(id, axis int) {
 	f.buckets = append(f.buckets, nb)
 	f.splits++
 
-	// Repoint directory cells in the upper half.
+	// Repoint directory cells in the upper half, telling the observer
+	// about each cell whose owning disk actually changed.
 	f.eachCell(upper, func(cell []int) {
 		f.dir[f.dirIndex(cell)] = newID
+		if f.obs != nil && nb.disk != b.disk {
+			f.obs.CellMoved(cell, b.disk, nb.disk)
+		}
 	})
 	// Redistribute records.
 	keep := b.records[:0]
@@ -427,6 +434,9 @@ func (f *File) addScale(axis, p int, v float64) {
 		} else if b.region.Hi[axis] > p {
 			b.region.Hi[axis]++
 		}
+	}
+	if f.obs != nil {
+		f.obs.GridReshaped()
 	}
 }
 

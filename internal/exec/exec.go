@@ -16,10 +16,12 @@
 package exec
 
 import (
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -79,6 +81,10 @@ type Executor struct {
 	// pays one pointer comparison per site.
 	obs     *obs.Sink
 	metrics *execMetrics
+	// states pools per-query scratch (routing tables, disk tasks, merge
+	// buffers, a reusable cancellation context) so the steady-state
+	// query path allocates nothing.
+	states sync.Pool
 }
 
 // execMetrics holds the executor's pre-resolved metric handles. Every
@@ -293,6 +299,14 @@ func (e *Executor) queryReader() BucketReader {
 }
 
 // Result is the outcome of a parallel search.
+//
+// Ownership: the caller owns a returned Result and every slice it
+// holds. Nothing in the executor retains or mutates them, so holding a
+// Result across later queries is always safe. A caller that is done
+// with a Result may call Release to recycle its buffers into the
+// executor's pool; after Release the Result and its slices must not be
+// touched — a later query may reuse them. Callers that never call
+// Release simply opt out of reuse.
 type Result struct {
 	// Records are the qualifying records, in deterministic (bucket,
 	// insertion) order regardless of worker scheduling.
@@ -307,6 +321,25 @@ type Result struct {
 	Rerouted int
 	// Degraded reports whether any fail-stop disk affected routing.
 	Degraded bool
+
+	// owner is the pool Release returns the Result to; nil for Results
+	// built outside the pooled path (and after Release, making a double
+	// Release a no-op).
+	owner *sync.Pool
+}
+
+// Release hands the Result's buffers back for reuse by later queries.
+// It is optional: callers that keep results alive indefinitely just
+// never call it. Calling Release while still holding Records is a
+// use-after-free bug on the caller's side; Release on a nil Result or
+// one not from the pool is a no-op.
+func (r *Result) Release() {
+	if r == nil || r.owner == nil {
+		return
+	}
+	p := r.owner
+	r.owner = nil
+	p.Put(r)
 }
 
 // bucketRecs is one bucket's payload as collected by a disk worker.
@@ -333,7 +366,7 @@ func (e *Executor) RangeSearch(ctx context.Context, r grid.Rect) (*Result, error
 	if !g.Contains(r.Lo) || !g.Contains(r.Hi) {
 		return nil, fmt.Errorf("exec: rect %v outside grid %v", r, g)
 	}
-	return e.run(ctx, func() ([][]int, int, bool, error) { return e.route(r) })
+	return e.run(ctx, r, nil)
 }
 
 // RangeSearchBuckets reads an explicit set of row-major bucket numbers
@@ -357,46 +390,63 @@ func (e *Executor) RangeSearchBuckets(ctx context.Context, buckets []int) (*Resu
 		}
 		seen[b] = true
 	}
-	return e.run(ctx, func() ([][]int, int, bool, error) { return e.routeBuckets(buckets) })
+	return e.run(ctx, grid.Rect{}, buckets)
 }
 
 // run executes one already-validated query: route partitions the work
-// into per-disk bucket lists, then one worker per disk reads its list
-// honouring ctx and the configured deadline, and the results merge
-// into deterministic (bucket, insertion) order.
-func (e *Executor) run(ctx context.Context, route func() ([][]int, int, bool, error)) (*Result, error) {
+// into per-disk bucket lists, then one pooled worker per disk reads its
+// list honouring ctx and the configured deadline, and the results merge
+// into deterministic (bucket, insertion) order. A nil buckets slice
+// selects rectangle routing over r; otherwise buckets is the explicit
+// read set. Every piece of per-query state — routing tables, disk
+// tasks, the cancellation context, the merge buffer, the Result — is
+// pooled, so the healthy unobserved path allocates nothing.
+func (e *Executor) run(ctx context.Context, r grid.Rect, buckets []int) (*Result, error) {
 	// Past validation every query ends in exactly one of queriesOK /
 	// queriesErr, so exec.queries == exec.queries.ok + exec.queries.err.
 	m := e.metrics
 	if m != nil {
 		m.queries.Inc()
 	}
-	var qsp *obs.Span
+	qs := e.getState()
+	qs.m = m
 	if e.obs.Tracing() {
-		qsp = obs.SpanFromContext(ctx)
+		qs.qsp = obs.SpanFromContext(ctx)
 	}
+	qs.beginCtx(ctx)
 
-	if e.deadline > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, e.deadline)
-		defer cancel()
+	var rerouted int
+	var degraded bool
+	var err error
+	if buckets == nil {
+		rerouted, degraded, err = e.route(qs, r)
+	} else {
+		rerouted, degraded, err = e.routeBuckets(qs, buckets)
 	}
-	// Derive a cancellable context so the first failing worker stops
-	// every sibling promptly instead of letting them scan to completion.
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	perDisk, rerouted, degraded, err := route()
 	if err != nil {
+		qs.endCtx()
+		e.putState(qs)
 		if m != nil {
 			m.queriesErr.Inc()
 		}
 		return nil, err
 	}
 
+	disks := e.file.Disks()
+	active := 0
+	for d := 0; d < disks; d++ {
+		t := &qs.tasks[d]
+		t.out = t.out[:0]
+		t.retries = 0
+		t.tally = readTally{}
+		if len(qs.perDisk[d]) > 0 {
+			active++
+		}
+	}
+
 	limit := e.maxParallel
-	if limit == 0 || limit > len(perDisk) {
-		limit = len(perDisk)
+	if limit == 0 || limit > disks {
+		limit = disks
 	}
 	if limit > runtime.NumCPU()*4 {
 		limit = runtime.NumCPU() * 4
@@ -404,74 +454,34 @@ func (e *Executor) run(ctx context.Context, route func() ([][]int, int, bool, er
 	if limit < 1 {
 		limit = 1
 	}
-
-	reader := e.queryReader()
-	results := make([][]bucketRecs, e.file.Disks())
-	retries := make([]int, e.file.Disks())
-	sem := make(chan struct{}, limit)
-	var wg sync.WaitGroup
-	var firstErr error
-	var errOnce sync.Once
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			cancel() // stop sibling workers promptly
-		})
+	useSem := limit < active
+	if useSem {
+		qs.setSemTokens(limit)
 	}
 
-	for d, buckets := range perDisk {
-		if len(buckets) == 0 {
+	qs.reader = e.queryReader()
+	qs.wg.Add(active)
+	for d := 0; d < disks; d++ {
+		if len(qs.perDisk[d]) == 0 {
 			continue
 		}
-		wg.Add(1)
-		go func(d int, buckets []int) {
-			defer wg.Done()
-			var dsp *obs.Span
-			if qsp != nil {
-				dsp = qsp.Child(fmt.Sprintf("disk %d", d))
-				defer dsp.Finish()
-			}
-			var tally *readTally
-			if m != nil {
-				tally = new(readTally)
-				defer m.flush(d, tally)
-			}
-			select {
-			case sem <- struct{}{}:
-				defer func() { <-sem }()
-			case <-ctx.Done():
-				dsp.FinishErr(ctx.Err())
-				fail(ctx.Err())
-				return
-			}
-			var out []bucketRecs
-			for _, b := range buckets {
-				if err := ctx.Err(); err != nil {
-					dsp.FinishErr(err)
-					fail(err)
-					return
-				}
-				if e.file.BucketLen(b) == 0 {
-					continue // the grid directory knows the bucket is empty
-				}
-				recs, tries, err := e.readWithRetry(ctx, reader, dsp, tally, d, b)
-				retries[d] += tries
-				if err != nil {
-					dsp.FinishErr(err)
-					fail(err)
-					return
-				}
-				out = append(out, bucketRecs{bucket: b, recs: recs})
-			}
-			results[d] = out
-		}(d, buckets)
+		t := &qs.tasks[d]
+		t.qs = qs
+		t.disk = d
+		t.buckets = qs.perDisk[d]
+		t.useSem = useSem
+		submitTask(t)
 	}
-	wg.Wait()
-	if firstErr != nil {
+	qs.wg.Wait()
+	qs.endCtx()
+
+	if qs.firstErr != nil {
+		err := qs.firstErr
+		e.putState(qs)
 		if m != nil {
 			m.queriesErr.Inc()
 		}
-		return nil, firstErr
+		return nil, err
 	}
 	if m != nil {
 		m.queriesOK.Inc()
@@ -481,36 +491,78 @@ func (e *Executor) run(ctx context.Context, route func() ([][]int, int, bool, er
 		m.rerouted.Add(uint64(rerouted))
 	}
 
-	out := &Result{
-		BucketsPerDisk: make([]int, e.file.Disks()),
-		Rerouted:       rerouted,
-		Degraded:       degraded,
+	out := newResult()
+	if cap(out.BucketsPerDisk) < disks {
+		out.BucketsPerDisk = make([]int, disks)
 	}
-	var all []bucketRecs
-	for d, brs := range results {
-		out.BucketsPerDisk[d] = len(brs)
-		out.Retries += retries[d]
-		all = append(all, brs...)
+	out.BucketsPerDisk = out.BucketsPerDisk[:disks]
+	out.Retries, out.Rerouted, out.Degraded = 0, rerouted, degraded
+	all := qs.all[:0]
+	for d := 0; d < disks; d++ {
+		t := &qs.tasks[d]
+		out.BucketsPerDisk[d] = len(t.out)
+		out.Retries += t.retries
+		all = append(all, t.out...)
 	}
+	qs.all = all
 	// Deterministic merge: records ordered by (bucket of origin,
-	// insertion order) regardless of worker scheduling.
-	sort.Slice(all, func(i, j int) bool { return all[i].bucket < all[j].bucket })
-	for _, br := range all {
-		out.Records = append(out.Records, br.recs...)
+	// insertion order) regardless of worker scheduling. The records are
+	// copied out of the read path's views into the Result's own backing,
+	// so the Result aliases neither the grid file nor any pooled buffer.
+	slices.SortFunc(all, func(a, b bucketRecs) int { return cmp.Compare(a.bucket, b.bucket) })
+	recs := out.Records[:0]
+	for i := range all {
+		recs = append(recs, all[i].recs...)
 	}
+	out.Records = recs
+	e.putState(qs)
 	return out, nil
 }
 
-// route partitions the query's buckets into per-disk work lists. With
-// fail-stop disks present it either reroutes via the replica scheme's
-// min-makespan degraded assignment or — without replication — reports
-// the unreachable buckets as a typed *fault.UnavailableError. Disks
-// named by the WithAvoid hook are additionally routed around when the
-// failover scheme permits, falling back to reading them when it does
-// not: avoidance is advisory, fail-stop is not.
-func (e *Executor) route(r grid.Rect) (perDisk [][]int, rerouted int, degraded bool, err error) {
+// primaryRouteRect walks r with the query's reusable coordinate and
+// places every bucket on its method disk. The walk is inlined (no
+// iterator callback) because a captured-closure iterator is itself a
+// per-query allocation.
+func (e *Executor) primaryRouteRect(qs *queryState, r grid.Rect) {
 	g := e.file.Grid()
-	perDisk = make([][]int, e.file.Disks())
+	method := e.file.Method()
+	k := g.K()
+	if len(qs.coord) != k {
+		qs.coord = make(grid.Coord, k)
+	}
+	c := qs.coord
+	copy(c, r.Lo)
+	for {
+		d := method.DiskOf(c)
+		qs.perDisk[d] = append(qs.perDisk[d], g.Linearize(c))
+		i := k - 1
+		for ; i >= 0; i-- {
+			c[i]++
+			if c[i] <= r.Hi[i] {
+				break
+			}
+			c[i] = r.Lo[i]
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// route partitions the query's buckets into per-disk work lists held in
+// qs.perDisk. With fail-stop disks present it either reroutes via the
+// replica scheme's min-makespan degraded assignment or — without
+// replication — reports the unreachable buckets as a typed
+// *fault.UnavailableError. Disks named by the WithAvoid hook are
+// additionally routed around when the failover scheme permits, falling
+// back to reading them when it does not: avoidance is advisory,
+// fail-stop is not.
+func (e *Executor) route(qs *queryState, r grid.Rect) (rerouted int, degraded bool, err error) {
+	g := e.file.Grid()
+	perDisk := qs.perDisk
+	for d := range perDisk {
+		perDisk[d] = perDisk[d][:0]
+	}
 	var failed map[int]bool
 	if e.inj != nil {
 		failed = e.inj.FailedSet()
@@ -535,13 +587,8 @@ func (e *Executor) route(r grid.Rect) (perDisk [][]int, rerouted int, degraded b
 
 	if len(avoid) == 0 {
 		// Healthy path: primary routing straight off the method.
-		method := e.file.Method()
-		grid.EachRect(r, func(c grid.Coord) bool {
-			d := method.DiskOf(c)
-			perDisk[d] = append(perDisk[d], g.Linearize(c))
-			return true
-		})
-		return perDisk, 0, false, nil
+		e.primaryRouteRect(qs, r)
+		return 0, false, nil
 	}
 
 	if e.failover == nil {
@@ -565,9 +612,9 @@ func (e *Executor) route(r grid.Rect) (perDisk [][]int, rerouted int, degraded b
 				fd = append(fd, d)
 			}
 			sort.Ints(fd)
-			return nil, 0, true, &fault.UnavailableError{Buckets: unreachable, FailedDisks: fd}
+			return 0, true, &fault.UnavailableError{Buckets: unreachable, FailedDisks: fd}
 		}
-		return perDisk, 0, true, nil
+		return 0, true, nil
 	}
 
 	// Replica failover: schedule every bucket onto a live replica,
@@ -584,18 +631,13 @@ func (e *Executor) route(r grid.Rect) (perDisk [][]int, rerouted int, degraded b
 		avoid = failed
 		if len(failed) == 0 {
 			// Nothing actually failed: plain primary routing.
-			method := e.file.Method()
-			grid.EachRect(r, func(c grid.Coord) bool {
-				d := method.DiskOf(c)
-				perDisk[d] = append(perDisk[d], g.Linearize(c))
-				return true
-			})
-			return perDisk, 0, false, nil
+			e.primaryRouteRect(qs, r)
+			return 0, false, nil
 		}
 		assign, err = e.failover.DegradedAssignment(r, setToSlice(failed))
 	}
 	if err != nil {
-		return nil, 0, degraded, err
+		return 0, degraded, err
 	}
 	grid.EachRect(r, func(c grid.Coord) bool {
 		b := g.Linearize(c)
@@ -606,7 +648,22 @@ func (e *Executor) route(r grid.Rect) (perDisk [][]int, rerouted int, degraded b
 		}
 		return true
 	})
-	return perDisk, rerouted, degraded, nil
+	return rerouted, degraded, nil
+}
+
+// primaryRouteBuckets places every listed bucket on its method disk,
+// reusing the query's coordinate scratch.
+func (e *Executor) primaryRouteBuckets(qs *queryState, buckets []int) {
+	g := e.file.Grid()
+	method := e.file.Method()
+	if len(qs.coord) != g.K() {
+		qs.coord = make(grid.Coord, g.K())
+	}
+	c := qs.coord
+	for _, b := range buckets {
+		g.Delinearize(b, c)
+		qs.perDisk[method.DiskOf(c)] = append(qs.perDisk[method.DiskOf(c)], b)
+	}
 }
 
 // routeBuckets is route for an explicit bucket set: identical fail-stop,
@@ -614,9 +671,12 @@ func (e *Executor) route(r grid.Rect) (perDisk [][]int, rerouted int, degraded b
 // assignment solved over the listed buckets instead of a rectangle.
 // Within each disk, buckets are read in the order given — the knob a
 // batch scheduling policy turns.
-func (e *Executor) routeBuckets(buckets []int) (perDisk [][]int, rerouted int, degraded bool, err error) {
+func (e *Executor) routeBuckets(qs *queryState, buckets []int) (rerouted int, degraded bool, err error) {
 	g := e.file.Grid()
-	perDisk = make([][]int, e.file.Disks())
+	perDisk := qs.perDisk
+	for d := range perDisk {
+		perDisk[d] = perDisk[d][:0]
+	}
 	var failed map[int]bool
 	if e.inj != nil {
 		failed = e.inj.FailedSet()
@@ -637,24 +697,17 @@ func (e *Executor) routeBuckets(buckets []int) (perDisk [][]int, rerouted int, d
 		}
 	}
 
-	// primaryRoute places every bucket on its method disk.
-	primaryRoute := func() {
-		method := e.file.Method()
-		c := make(grid.Coord, g.K())
-		for _, b := range buckets {
-			g.Delinearize(b, c)
-			perDisk[method.DiskOf(c)] = append(perDisk[method.DiskOf(c)], b)
-		}
-	}
-
 	if len(avoid) == 0 {
-		primaryRoute()
-		return perDisk, 0, false, nil
+		e.primaryRouteBuckets(qs, buckets)
+		return 0, false, nil
 	}
 
 	if e.failover == nil {
 		method := e.file.Method()
-		c := make(grid.Coord, g.K())
+		if len(qs.coord) != g.K() {
+			qs.coord = make(grid.Coord, g.K())
+		}
+		c := qs.coord
 		var unreachable []int
 		for _, b := range buckets {
 			g.Delinearize(b, c)
@@ -668,9 +721,9 @@ func (e *Executor) routeBuckets(buckets []int) (perDisk [][]int, rerouted int, d
 		if len(unreachable) > 0 {
 			sort.Ints(unreachable)
 			fd := setToSlice(failed)
-			return nil, 0, true, &fault.UnavailableError{Buckets: unreachable, FailedDisks: fd}
+			return 0, true, &fault.UnavailableError{Buckets: unreachable, FailedDisks: fd}
 		}
-		return perDisk, 0, true, nil
+		return 0, true, nil
 	}
 
 	degraded = len(failed) > 0
@@ -678,13 +731,13 @@ func (e *Executor) routeBuckets(buckets []int) (perDisk [][]int, rerouted int, d
 	if err != nil && len(avoid) > len(failed) {
 		avoid = failed
 		if len(failed) == 0 {
-			primaryRoute()
-			return perDisk, 0, false, nil
+			e.primaryRouteBuckets(qs, buckets)
+			return 0, false, nil
 		}
 		assign, err = e.failover.DegradedAssignmentBuckets(buckets, setToSlice(failed))
 	}
 	if err != nil {
-		return nil, 0, degraded, err
+		return 0, degraded, err
 	}
 	for _, b := range buckets {
 		d := assign[b]
@@ -693,7 +746,7 @@ func (e *Executor) routeBuckets(buckets []int) (perDisk [][]int, rerouted int, d
 			rerouted++
 		}
 	}
-	return perDisk, rerouted, degraded, nil
+	return rerouted, degraded, nil
 }
 
 // setToSlice returns the set's members in ascending order.

@@ -2,12 +2,10 @@ package exec
 
 import (
 	"context"
-	"fmt"
 	"sync"
 
 	"decluster/internal/datagen"
 	"decluster/internal/fault"
-	"decluster/internal/grid"
 	"decluster/internal/gridfile"
 )
 
@@ -30,23 +28,19 @@ type BucketReader interface {
 // health observation) can wrap the same base layer.
 func NewFileReader(f *gridfile.File) BucketReader { return fileReader{f: f} }
 
-// fileReader is the default BucketReader: it snapshots buckets from the
-// grid file through the public trace API. The disk argument is
-// irrelevant — every replica serves identical bytes.
+// fileReader is the default BucketReader: it serves the grid file's
+// bucket storage directly as a read-only view — no coordinate
+// round-trip, no result-set envelope, no copying. The executor's merge
+// copies records into the query's Result before returning, so the view
+// never escapes to callers. The disk argument is irrelevant — every
+// replica serves identical bytes.
 type fileReader struct {
 	f *gridfile.File
 }
 
 // ReadBucket reads bucket b from the grid file.
 func (r fileReader) ReadBucket(_ context.Context, _, b int) ([]datagen.Record, error) {
-	g := r.f.Grid()
-	c := g.Delinearize(b, nil)
-	rs, err := r.f.CellRangeSearch(grid.Rect{Lo: c, Hi: c})
-	if err != nil {
-		// A linearized in-range bucket always yields a valid rect.
-		return nil, fmt.Errorf("exec: bucket %d: %w", b, err)
-	}
-	return rs.Records, nil
+	return r.f.Bucket(b), nil
 }
 
 // NewStoreReader returns a BucketReader over a checksummed physical

@@ -37,12 +37,42 @@ type Trace struct {
 	root  *Span
 	done  bool
 	total time.Duration
+
+	// Span arena: spans are carved from chunks owned by this trace, so
+	// a traced query with thousands of read spans performs one
+	// allocation per spanChunk spans instead of one per span. Chunks are
+	// never recycled across traces — a hedge leg may finish its span
+	// after the trace itself is finished and offered, so cross-trace
+	// reuse would be a use-after-free; per-trace ownership makes the
+	// late finish harmlessly touch memory only this trace references.
+	smu   sync.Mutex
+	chunk []Span
 }
+
+// spanChunk is the arena chunk size: big enough to amortize the per-span
+// allocation on read-heavy traces, small enough not to bloat two-span
+// admission traces.
+const spanChunk = 16
 
 func newTrace(id uint64, name string) *Trace {
 	t := &Trace{id: id, name: name, epoch: time.Now()}
-	t.root = &Span{tr: t, name: name}
+	t.root = t.newSpan(name, 0)
 	return t
+}
+
+// newSpan carves one span from the trace's arena.
+func (t *Trace) newSpan(name string, start time.Duration) *Span {
+	t.smu.Lock()
+	if len(t.chunk) == 0 {
+		t.chunk = make([]Span, spanChunk)
+	}
+	s := &t.chunk[0]
+	t.chunk = t.chunk[1:]
+	t.smu.Unlock()
+	s.tr = t
+	s.name = name
+	s.start = start
+	return s
 }
 
 // ID returns the trace's sink-unique id (0 for nil).
@@ -105,7 +135,7 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{tr: s.tr, name: name, start: s.tr.now()}
+	c := s.tr.newSpan(name, s.tr.now())
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()

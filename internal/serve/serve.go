@@ -413,9 +413,7 @@ func (s *Scheduler) Search(ctx context.Context, r grid.Rect) (*exec.Result, erro
 // ctx.Err() when the caller gave up first), and a draining scheduler
 // returns ErrClosed.
 func (s *Scheduler) Do(ctx context.Context, q Query) (*exec.Result, error) {
-	return s.do(ctx, q.Priority,
-		func() string { return fmt.Sprintf("query %v prio %d", q.Rect, q.Priority) },
-		func(ctx context.Context) (*exec.Result, error) { return s.ex.RangeSearch(ctx, q.Rect) })
+	return s.do(ctx, serveOp{kind: opRect, rect: q.Rect, prio: q.Priority})
 }
 
 // BucketQuery is one admission unit naming an explicit bucket set —
@@ -436,14 +434,38 @@ type BucketQuery struct {
 // match Do in every respect — blocking admission, shed and closed
 // errors, stats accounting.
 func (s *Scheduler) DoBuckets(ctx context.Context, q BucketQuery) (*exec.Result, error) {
-	return s.do(ctx, q.Priority,
-		func() string { return fmt.Sprintf("bucketset n=%d prio %d", len(q.Buckets), q.Priority) },
-		func(ctx context.Context) (*exec.Result, error) { return s.ex.RangeSearchBuckets(ctx, q.Buckets) })
+	return s.do(ctx, serveOp{kind: opBuckets, buckets: q.Buckets, prio: q.Priority})
+}
+
+// serveOp is one admission unit, plain data instead of the label/run
+// closure pair do used to take — two heap allocations per query the
+// zero-alloc hot path cannot afford. The trace label is formatted only
+// when tracing is on, and dispatch is a switch on kind.
+type serveOp struct {
+	kind    opKind
+	rect    grid.Rect
+	buckets []int
+	prio    int
+}
+
+type opKind uint8
+
+const (
+	opRect opKind = iota
+	opBuckets
+)
+
+// label formats the op's trace name; called only on the traced path.
+func (o *serveOp) label() string {
+	if o.kind == opRect {
+		return fmt.Sprintf("query %v prio %d", o.rect, o.prio)
+	}
+	return fmt.Sprintf("bucketset n=%d prio %d", len(o.buckets), o.prio)
 }
 
 // do is the shared admission-and-execution lifecycle of Do and
 // DoBuckets: count issued, trace, admit, run, classify the outcome.
-func (s *Scheduler) do(ctx context.Context, prio int, label func() string, run func(context.Context) (*exec.Result, error)) (*exec.Result, error) {
+func (s *Scheduler) do(ctx context.Context, o serveOp) (*exec.Result, error) {
 	m := &s.metrics
 	m.issued.Inc()
 	var start time.Time
@@ -452,11 +474,11 @@ func (s *Scheduler) do(ctx context.Context, prio int, label func() string, run f
 	}
 	var tr *obs.Trace
 	if s.obs.Tracing() {
-		tr = s.obs.StartTrace(label())
+		tr = s.obs.StartTrace(o.label())
 		defer s.obs.FinishTrace(tr)
 	}
 	asp := tr.Root().Child("admit")
-	if err := s.admit(ctx, prio); err != nil {
+	if err := s.admit(ctx, o.prio); err != nil {
 		asp.FinishErr(err)
 		tr.Root().Annotate("shed")
 		return nil, err
@@ -466,7 +488,14 @@ func (s *Scheduler) do(ctx context.Context, prio int, label func() string, run f
 	m.admitted.Inc()
 	defer s.release()
 	esp := tr.Root().Child("exec")
-	res, err := run(obs.ContextWithSpan(ctx, esp))
+	ectx := obs.ContextWithSpan(ctx, esp)
+	var res *exec.Result
+	var err error
+	if o.kind == opRect {
+		res, err = s.ex.RangeSearch(ectx, o.rect)
+	} else {
+		res, err = s.ex.RangeSearchBuckets(ectx, o.buckets)
+	}
 	esp.FinishErr(err)
 	switch {
 	case err == nil:

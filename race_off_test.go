@@ -1,0 +1,5 @@
+//go:build !race
+
+package decluster_test
+
+const raceEnabled = false

@@ -43,6 +43,17 @@
 #       so the individual/batch ns-per-op ratio is the goodput factor).
 #       Acceptance bar: batch_vs_individual_goodput_x >= 1.5 at
 #       overlap 4.
+#   pr10 — BenchmarkRangeSearch with -benchmem (the pooled zero-alloc
+#       executor hot path) and BenchmarkServeSoakP99 (a full closed-loop
+#       serve soak per op, reporting the window's p99 as p99-ns).
+#       Acceptance bars: rangesearch_allocs_per_op == 0 and
+#       speedup_x_vs_pr4 >= 1.3 (the committed PR 4 RangeSearch mean
+#       over this run's mean).
+#   pr10-check — CI enforcement, no JSON: quick re-run of
+#       BenchmarkRangeSearch, then exit non-zero if it allocates at all
+#       or its mean ns/op regresses past the committed baseline
+#       (BENCH_PR10.json × 1.5 headroom for runner noise when present,
+#       else the BENCH_PR4.json mean it must beat).
 #
 # Usage: scripts/bench_json.sh [count] [suite] > BENCH_PR5.json
 set -eu
@@ -281,8 +292,91 @@ pr9)
 			printf "}\n"
 		}'
 	;;
+pr10)
+	baseline=$(sed -n 's/.*"RangeSearch".*"mean_ns_per_op": \([0-9]*\).*/\1/p' BENCH_PR4.json 2>/dev/null | head -1 || true)
+	go test -run '^$' -bench '^BenchmarkRangeSearch$|^BenchmarkServeSoakP99$' \
+		-benchmem -benchtime=2s -count="$count" . |
+		awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v baseline="${baseline:-0}" '
+		/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			sub(/^Benchmark/, "", name)
+			# Metrics come as value/unit pairs; order varies with
+			# -benchmem and ReportMetric, so scan rather than index.
+			for (i = 3; i + 1 <= NF; i += 2) {
+				v = $i; u = $(i + 1)
+				if (u == "ns/op") {
+					vals[name] = vals[name] sep[name] v
+					sep[name] = ", "
+					sum[name] += v
+					n[name]++
+				} else if (u == "allocs/op") { asum[name] += v; an[name]++ }
+				else if (u == "B/op") { bsum[name] += v; bn[name]++ }
+				else if (u == "p99-ns") { psum[name] += v; pn[name]++ }
+			}
+		}
+		function mean(k) { return n[k] ? sum[k] / n[k] : 0 }
+		function amean(k) { return an[k] ? asum[k] / an[k] : 0 }
+		END {
+			rs = mean("RangeSearch")
+			printf "{\n"
+			printf "  \"benchmark\": \"BenchmarkRangeSearch\",\n"
+			printf "  \"date\": \"%s\",\n", date
+			printf "  \"cpu\": \"%s\",\n", cpu
+			printf "  \"count\": %d,\n", n["RangeSearch"]
+			printf "  \"results\": {\n"
+			printf "    \"RangeSearch\": {\"ns_per_op\": [%s], \"mean_ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.2f},\n", \
+				vals["RangeSearch"], rs, bn["RangeSearch"] ? bsum["RangeSearch"] / bn["RangeSearch"] : 0, amean("RangeSearch")
+			printf "    \"ServeSoakP99\": {\"ns_per_op\": [%s], \"mean_ns_per_op\": %.0f, \"mean_p99_ns\": %.0f}\n", \
+				vals["ServeSoakP99"], mean("ServeSoakP99"), pn["ServeSoakP99"] ? psum["ServeSoakP99"] / pn["ServeSoakP99"] : 0
+			printf "  },\n"
+			printf "  \"rangesearch_allocs_per_op\": %.2f,\n", amean("RangeSearch")
+			printf "  \"bar_allocs_per_op\": 0,\n"
+			printf "  \"pr4_rangesearch_mean_ns_per_op\": %d,\n", baseline
+			printf "  \"speedup_x_vs_pr4\": %.2f,\n", (baseline && rs) ? baseline / rs : 0
+			printf "  \"bar_speedup_x\": 1.3\n"
+			printf "}\n"
+		}'
+	;;
+pr10-check)
+	pr10=$(sed -n 's/.*"RangeSearch": {"ns_per_op".*"mean_ns_per_op": \([0-9]*\).*/\1/p' BENCH_PR10.json 2>/dev/null | head -1 || true)
+	pr4=$(sed -n 's/.*"RangeSearch".*"mean_ns_per_op": \([0-9]*\).*/\1/p' BENCH_PR4.json 2>/dev/null | head -1 || true)
+	if [ -n "$pr10" ]; then
+		# Generous 1.5× over the committed mean: CI runners are noisy,
+		# and a real pooling regression overshoots far past that.
+		bar=$((pr10 * 3 / 2))
+	elif [ -n "$pr4" ]; then
+		# No PR 10 baseline committed yet: at minimum the pooled path
+		# must still beat the pre-pooling executor outright.
+		bar="$pr4"
+	else
+		bar=0
+	fi
+	out=$(go test -run '^$' -bench '^BenchmarkRangeSearch$' -benchmem -benchtime=1s -count="$count" .)
+	printf '%s\n' "$out"
+	printf '%s\n' "$out" | awk -v bar="$bar" '
+		/^BenchmarkRangeSearch/ {
+			for (i = 3; i + 1 <= NF; i += 2) {
+				if ($(i + 1) == "ns/op") { sum += $i; n++ }
+				else if ($(i + 1) == "allocs/op") { asum += $i; an++ }
+			}
+		}
+		END {
+			if (!n) { print "pr10-check: BenchmarkRangeSearch produced no samples" > "/dev/stderr"; exit 1 }
+			if (an && asum > 0) {
+				printf "pr10-check: RangeSearch allocates %.2f allocs/op; the pooled hot path must stay at 0\n", asum / an > "/dev/stderr"
+				exit 1
+			}
+			if (bar > 0 && sum / n > bar) {
+				printf "pr10-check: RangeSearch mean %.0f ns/op regressed past the committed baseline bar %d\n", sum / n, bar > "/dev/stderr"
+				exit 1
+			}
+			printf "pr10-check: ok (mean %.0f ns/op, 0 allocs/op, bar %d)\n", sum / n, bar
+		}'
+	;;
 *)
-	echo "bench_json.sh: unknown suite '$suite' (want pr4, pr5, pr6, pr7, pr8 or pr9)" >&2
+	echo "bench_json.sh: unknown suite '$suite' (want pr4, pr5, pr6, pr7, pr8, pr9, pr10 or pr10-check)" >&2
 	exit 2
 	;;
 esac
